@@ -1,0 +1,181 @@
+package sdnshield
+
+// This file holds one testing.B benchmark per table/figure of the
+// paper's evaluation (§IX). Each delegates to the shared experiment
+// runners in internal/bench, which the sdnbench CLI uses to print the
+// paper-style rows; the benchmarks here report the same quantities as
+// per-op metrics so `go test -bench=. -benchmem` regenerates every
+// result.
+
+import (
+	"testing"
+	"time"
+
+	"sdnshield/internal/bench"
+	"sdnshield/internal/core"
+	"sdnshield/internal/permengine"
+)
+
+// BenchmarkTable1Effectiveness runs the §IX-B1 attack-coverage experiment
+// (4 proof-of-concept attacks × {baseline, SDNShield}) once per
+// iteration and reports how many attacks each runtime stopped.
+func BenchmarkTable1Effectiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outcomes, err := bench.RunEffectiveness()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var baselineBlocked, shieldBlocked float64
+		for _, o := range outcomes {
+			if !o.Succeeded {
+				if o.Runtime == "baseline" {
+					baselineBlocked++
+				} else {
+					shieldBlocked++
+				}
+			}
+		}
+		b.ReportMetric(baselineBlocked, "baseline-blocked/4")
+		b.ReportMetric(shieldBlocked, "sdnshield-blocked/4")
+	}
+}
+
+// benchmarkFig5 measures single-core permission-check cost for one
+// manifest complexity and API (the bars of Figure 5).
+func benchmarkFig5(b *testing.B, tokens, filtersPerToken int, api core.Token) {
+	set := bench.BuildComplexityManifestFor(api, tokens, filtersPerToken)
+	engine := permengine.New(nil)
+	engine.SetPermissions("bench", set)
+	trace := bench.Fig5TraceForBench(4096, api)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		//nolint:errcheck // ~5% of the trace is denied by design
+		engine.Check(trace[i%len(trace)])
+	}
+}
+
+func BenchmarkFig5InsertFlowSmall(b *testing.B) {
+	benchmarkFig5(b, 1, 10, core.TokenInsertFlow)
+}
+
+func BenchmarkFig5InsertFlowMedium(b *testing.B) {
+	benchmarkFig5(b, 5, 15, core.TokenInsertFlow)
+}
+
+func BenchmarkFig5InsertFlowLarge(b *testing.B) {
+	benchmarkFig5(b, 15, 20, core.TokenInsertFlow)
+}
+
+func BenchmarkFig5ReadStatisticsSmall(b *testing.B) {
+	benchmarkFig5(b, 1, 10, core.TokenReadStatistics)
+}
+
+func BenchmarkFig5ReadStatisticsMedium(b *testing.B) {
+	benchmarkFig5(b, 5, 15, core.TokenReadStatistics)
+}
+
+func BenchmarkFig5ReadStatisticsLarge(b *testing.B) {
+	benchmarkFig5(b, 15, 20, core.TokenReadStatistics)
+}
+
+// BenchmarkFig6Latency reports median control-plane latency for both
+// scenarios and runtimes at a fixed switch count (the sdnbench CLI sweeps
+// switch counts).
+func BenchmarkFig6Latency(b *testing.B) {
+	rounds := b.N
+	if rounds < 10 {
+		rounds = 10
+	}
+	if rounds > 500 {
+		rounds = 500
+	}
+	rows, err := bench.RunFig6([]int{4}, rounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Latency.Median.Nanoseconds()),
+			r.Scenario+"-"+r.Runtime+"-median-ns")
+	}
+}
+
+// BenchmarkFig7Throughput reports sustained responses/sec under packet-in
+// flood for both runtimes.
+func BenchmarkFig7Throughput(b *testing.B) {
+	duration := time.Duration(b.N) * time.Millisecond
+	if duration < 100*time.Millisecond {
+		duration = 100 * time.Millisecond
+	}
+	if duration > 2*time.Second {
+		duration = 2 * time.Second
+	}
+	rows, err := bench.RunFig7([]int{4}, duration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ResponsesPerSec, r.Runtime+"-responses/s")
+	}
+}
+
+// BenchmarkFig8Scalability reports latency medians while concurrent apps
+// of growing complexity share the controller.
+func BenchmarkFig8Scalability(b *testing.B) {
+	rounds := b.N
+	if rounds < 8 {
+		rounds = 8
+	}
+	if rounds > 200 {
+		rounds = 200
+	}
+	rows, err := bench.RunFig8([]int{1, 8}, []int{16}, rounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Runtime != "sdnshield" {
+			continue
+		}
+		name := "apps"
+		switch {
+		case r.Apps == 1 && r.CallsPerEvent == 1:
+			name = "apps1-calls1-median-ns"
+		case r.Apps == 8:
+			name = "apps8-calls1-median-ns"
+		default:
+			name = "apps1-calls16-median-ns"
+		}
+		b.ReportMetric(float64(r.Latency.Median.Nanoseconds()), name)
+	}
+}
+
+// BenchmarkReconcile measures one full reconciliation of the large
+// complexity manifest against a constraint-heavy policy (§IX-A: never
+// exceeds one second).
+func BenchmarkReconcile(b *testing.B) {
+	set := bench.BuildComplexityManifest(15, 20)
+	manifest, err := ParseManifest(set.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy, err := ParsePolicy(`
+LET boundary = {
+	PERM visible_topology
+	PERM read_statistics LIMITING PORT_LEVEL
+	PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
+	PERM network_access LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0
+}
+ASSERT EITHER { PERM network_access } OR { PERM send_packet_out }
+ASSERT EITHER { PERM host_network } OR { PERM insert_flow }
+ASSERT APP pressured <= boundary
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconcile("pressured", manifest, policy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command sdnshieldc is the SDNShield permission compiler and
+// reconciliation tool: it parses an app's permission manifest, verifies
+// it against the administrator's security policy, and prints the
+// reconciled permissions for review.
+//
+// Usage:
+//
+//	sdnshieldc -app monitor -manifest monitor.perm [-policy site.policy] [-strict]
+//
+// With -strict the exit code is 2 when the policy was violated (even if
+// repaired), letting deployment pipelines gate on clean manifests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdnshield"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdnshieldc:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("sdnshieldc", flag.ContinueOnError)
+	appName := fs.String("app", "app", "app identity the manifest belongs to")
+	manifestPath := fs.String("manifest", "", "path to the permission manifest (required)")
+	policyPath := fs.String("policy", "", "path to the security policy (optional)")
+	strict := fs.Bool("strict", false, "exit with status 2 on any policy violation")
+	quiet := fs.Bool("quiet", false, "print only the reconciled permissions")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *manifestPath == "" {
+		fs.Usage()
+		return 1, fmt.Errorf("-manifest is required")
+	}
+
+	manifestSrc, err := os.ReadFile(*manifestPath)
+	if err != nil {
+		return 1, err
+	}
+	manifest, err := sdnshield.ParseManifest(string(manifestSrc))
+	if err != nil {
+		return 1, fmt.Errorf("parse manifest: %w", err)
+	}
+
+	var policy *sdnshield.Policy
+	if *policyPath != "" {
+		policySrc, err := os.ReadFile(*policyPath)
+		if err != nil {
+			return 1, err
+		}
+		policy, err = sdnshield.ParsePolicy(string(policySrc))
+		if err != nil {
+			return 1, fmt.Errorf("parse policy: %w", err)
+		}
+	}
+
+	result, err := sdnshield.Reconcile(*appName, manifest, policy)
+	if err != nil {
+		return 1, err
+	}
+
+	if !*quiet {
+		fmt.Printf("app: %s\n", result.App)
+		if macros := manifest.Macros(); len(macros) > 0 {
+			fmt.Printf("stub macros: %v\n", macros)
+		}
+		if result.Clean {
+			fmt.Println("policy check: clean")
+		} else {
+			fmt.Printf("policy check: %d violation(s)\n", len(result.Violations))
+			for _, v := range result.Violations {
+				fmt.Println("  -", v)
+			}
+		}
+		fmt.Println("reconciled permissions:")
+	}
+	fmt.Println(result.Permissions)
+
+	if *strict && !result.Clean {
+		return 2, nil
+	}
+	return 0, nil
+}

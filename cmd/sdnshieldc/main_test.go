@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunScenario1(t *testing.T) {
+	manifest := writeFile(t, "m.perm", `
+PERM visible_topology LIMITING LocalTopo
+PERM read_statistics
+PERM network_access LIMITING AdminRange
+PERM insert_flow
+`)
+	policy := writeFile(t, "p.policy", `
+LET LocalTopo = {SWITCH 0,1 LINK 0-1}
+LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}
+ASSERT EITHER { PERM network_access } OR { PERM insert_flow }
+`)
+
+	code, err := run([]string{"-app", "monitor", "-manifest", manifest, "-policy", policy})
+	if err != nil || code != 0 {
+		t.Fatalf("run = (%d, %v)", code, err)
+	}
+
+	// -strict turns the (repaired) violation into exit code 2.
+	code, err = run([]string{"-app", "monitor", "-manifest", manifest, "-policy", policy, "-strict"})
+	if err != nil || code != 2 {
+		t.Fatalf("strict run = (%d, %v), want exit 2", code, err)
+	}
+
+	// Without a policy the stub macros stay unbound, which -strict flags.
+	code, err = run([]string{"-app", "monitor", "-manifest", manifest, "-quiet", "-strict"})
+	if err != nil || code != 2 {
+		t.Fatalf("unbound-stub run = (%d, %v), want exit 2", code, err)
+	}
+
+	// A stub-free manifest without a policy is clean.
+	plain := writeFile(t, "plain.perm", "PERM read_statistics LIMITING PORT_LEVEL")
+	code, err = run([]string{"-app", "monitor", "-manifest", plain, "-quiet", "-strict"})
+	if err != nil || code != 0 {
+		t.Fatalf("policy-less run = (%d, %v)", code, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	good := writeFile(t, "m.perm", "PERM read_statistics")
+	bad := writeFile(t, "bad.perm", "PERM levitate")
+	badPolicy := writeFile(t, "bad.policy", "FROB")
+
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"missing manifest flag", nil},
+		{"nonexistent manifest", []string{"-manifest", "/nonexistent"}},
+		{"unparsable manifest", []string{"-manifest", bad}},
+		{"nonexistent policy", []string{"-manifest", good, "-policy", "/nonexistent"}},
+		{"unparsable policy", []string{"-manifest", good, "-policy", badPolicy}},
+		{"bad flag", []string{"-frobnicate"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := run(tt.args); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

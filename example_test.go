@@ -1,0 +1,66 @@
+package sdnshield_test
+
+import (
+	"fmt"
+
+	"sdnshield"
+)
+
+// ExampleReconcile walks the paper's Scenario 1: the monitoring app's
+// shipped manifest is reconciled against the administrator's policy; the
+// mutual exclusion fires and insert_flow is revoked.
+func ExampleReconcile() {
+	manifest, _ := sdnshield.ParseManifest(`
+PERM visible_topology LIMITING LocalTopo
+PERM read_statistics
+PERM network_access LIMITING AdminRange
+PERM insert_flow
+`)
+	policy, _ := sdnshield.ParsePolicy(`
+LET LocalTopo = {SWITCH 0,1 LINK 0-1}
+LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}
+ASSERT EITHER { PERM network_access } OR { PERM insert_flow }
+`)
+	result, _ := sdnshield.Reconcile("monitor", manifest, policy)
+	fmt.Println("clean:", result.Clean)
+	fmt.Println(result.Permissions)
+	// Output:
+	// clean: false
+	// PERM visible_topology LIMITING SWITCH {0,1} LINK {0-1}
+	// PERM read_statistics
+	// PERM host_network LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0
+}
+
+// ExamplePermissions_Check enforces the reconciled permissions on two
+// host-network calls: the admin collector passes, the exfiltration
+// attempt is denied.
+func ExamplePermissions_Check() {
+	manifest, _ := sdnshield.ParseManifest(
+		"PERM host_network LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0")
+	perms := manifest.Permissions()
+
+	report := perms.Check(sdnshield.APICall{
+		App: "monitor", Permission: "host_network",
+		HostIP: "10.1.0.9", HostPort: 443,
+	})
+	leak := perms.Check(sdnshield.APICall{
+		App: "monitor", Permission: "host_network",
+		HostIP: "203.0.113.9", HostPort: 80,
+	})
+	fmt.Println("report to collector:", report)
+	fmt.Println("exfiltration denied:", leak != nil)
+	// Output:
+	// report to collector: <nil>
+	// exfiltration denied: true
+}
+
+// ExamplePermissions_Restrict shows the §V-A customization path: the
+// administrator appends a filter to a granted permission.
+func ExamplePermissions_Restrict() {
+	manifest, _ := sdnshield.ParseManifest("PERM insert_flow")
+	perms := manifest.Permissions()
+	_ = perms.Restrict("insert_flow", "ACTION FORWARD AND MAX_PRIORITY 100")
+	fmt.Println(perms)
+	// Output:
+	// PERM insert_flow LIMITING (ACTION FORWARD AND MAX_PRIORITY 100)
+}

@@ -1,0 +1,128 @@
+// Appstore models the SDN app-market workflow of §III: several app
+// releases arrive with their shipped permission manifests; the
+// administrator's site policy is applied to each; and the reconciliation
+// engine produces a per-app review report — clean approvals, repaired
+// manifests awaiting sign-off, and the exact privileges each app will
+// run with.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdnshield"
+)
+
+// sitePolicy is the administrator's template: a boundary for third-party
+// apps plus the attack-pattern mutual exclusions.
+const sitePolicy = `
+# Stub bindings for this deployment.
+LET LocalTopo = {SWITCH 1,2,3,4}
+LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}
+
+# No app may both talk to the outside world and shape traffic.
+ASSERT EITHER { PERM network_access } OR { PERM send_packet_out }
+ASSERT EITHER { PERM network_access } OR { PERM insert_flow }
+`
+
+// submissions are the app releases under review with their shipped
+// manifests.
+var submissions = []struct {
+	name     string
+	vendor   string
+	manifest string
+}{
+	{
+		name:   "l2switch",
+		vendor: "OpenDaylight community",
+		manifest: `
+PERM pkt_in_event
+PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
+PERM send_pkt_out LIMITING FROM_PKT_IN
+`,
+	},
+	{
+		name:   "tenant-monitor",
+		vendor: "Acme NetWatch",
+		manifest: `
+PERM visible_topology LIMITING LocalTopo
+PERM read_statistics
+PERM network_access LIMITING AdminRange
+PERM insert_flow
+`,
+	},
+	{
+		name:   "load-balancer",
+		vendor: "FlowBalance Inc",
+		manifest: `
+PERM pkt_in_event
+PERM insert_flow LIMITING WILDCARD IP_DST 255.255.255.0
+PERM send_pkt_out LIMITING FROM_PKT_IN
+PERM read_statistics LIMITING PORT_LEVEL
+`,
+	},
+	{
+		name:   "telemetry-exporter",
+		vendor: "unknown",
+		manifest: `
+PERM visible_topology
+PERM read_statistics
+PERM read_payload
+PERM pkt_in_event
+PERM network_access
+PERM send_packet_out
+`,
+	},
+}
+
+func main() {
+	policy, err := sdnshield.ParsePolicy(sitePolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	approved, flagged := 0, 0
+	for _, sub := range submissions {
+		fmt.Printf("==== %s (%s) ====\n", sub.name, sub.vendor)
+		manifest, err := sdnshield.ParseManifest(sub.manifest)
+		if err != nil {
+			fmt.Println("  REJECTED: manifest does not parse:", err)
+			continue
+		}
+		result, err := sdnshield.Reconcile(sub.name, manifest, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if result.Clean {
+			approved++
+			fmt.Println("  status: APPROVED as requested")
+		} else {
+			flagged++
+			fmt.Println("  status: REPAIRED — administrator review required")
+			for _, v := range result.Violations {
+				fmt.Println("   ", v)
+			}
+		}
+		fmt.Println("  deployable permissions:")
+		for _, line := range splitLines(result.Permissions.String()) {
+			fmt.Println("   ", line)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("summary: %d approved unchanged, %d repaired\n", approved, flagged)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

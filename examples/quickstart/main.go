@@ -1,0 +1,74 @@
+// Quickstart: the SDNShield permission pipeline in ~60 lines — parse an
+// app's permission manifest, reconcile it against the administrator's
+// security policy, and enforce the result on concrete API calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdnshield"
+)
+
+// The app developer ships this manifest with the app release. The stubs
+// LocalTopo and AdminRange are left for the administrator to bind.
+const manifestSrc = `
+PERM visible_topology LIMITING LocalTopo
+PERM read_statistics
+PERM network_access LIMITING AdminRange
+PERM insert_flow
+`
+
+// The administrator's local security policy: bind the stubs and forbid
+// any single app from holding both network access and rule insertion —
+// the combination behind remote-controlled rule manipulation.
+const policySrc = `
+LET LocalTopo = {SWITCH 0,1 LINK 0-1}
+LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}
+ASSERT EITHER { PERM network_access } OR { PERM insert_flow }
+`
+
+func main() {
+	manifest, err := sdnshield.ParseManifest(manifestSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := sdnshield.ParsePolicy(policySrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := sdnshield.Reconcile("monitor", manifest, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== reconciliation report ==")
+	for _, v := range result.Violations {
+		fmt.Println(" ", v)
+	}
+	fmt.Println("\n== final permissions ==")
+	fmt.Println(result.Permissions)
+
+	fmt.Println("\n== runtime checks ==")
+	check := func(desc string, call sdnshield.APICall) {
+		if err := result.Permissions.Check(call); err != nil {
+			fmt.Printf("  DENY  %-42s %v\n", desc, err)
+		} else {
+			fmt.Printf("  ALLOW %s\n", desc)
+		}
+	}
+	check("report to the admin collector", sdnshield.APICall{
+		App: "monitor", Permission: "host_network", HostIP: "10.1.0.9", HostPort: 443,
+	})
+	check("exfiltrate to an outside host", sdnshield.APICall{
+		App: "monitor", Permission: "host_network", HostIP: "203.0.113.9", HostPort: 80,
+	})
+	check("read port statistics", sdnshield.APICall{
+		App: "monitor", Permission: "read_statistics", StatsLevel: "port",
+	})
+	check("insert a forwarding rule (truncated)", sdnshield.APICall{
+		App: "monitor", Permission: "insert_flow",
+		IPDst: "10.0.0.1", Priority: 10, Actions: []string{"forward"},
+	})
+}

@@ -1,0 +1,3 @@
+module sdnshield
+
+go 1.22

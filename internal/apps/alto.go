@@ -1,0 +1,284 @@
+package apps
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/core"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+	"sdnshield/internal/topology"
+)
+
+// AltoCostPath is the data-model node the ALTO app publishes link costs
+// under.
+const AltoCostPath = "alto/cost"
+
+// LinkCosts is the ALTO cost map: routing cost per link.
+type LinkCosts map[core.LinkID]int
+
+// Alto is the ALTO (Application-Layer Traffic Optimization) service app
+// of the §IX-A traffic-engineering scenario: it watches topology events
+// and publishes real-time topology and routing-cost information into the
+// controller's data model for upper-layer apps.
+type Alto struct {
+	name string
+
+	mu sync.Mutex
+	// costOverride lets the harness (or an operator) skew link costs to
+	// force rerouting, driving the TE reaction path.
+	costOverride map[core.LinkID]int
+
+	api     isolation.API
+	updates atomic.Uint64
+}
+
+// NewAlto builds the app. Name defaults to "alto".
+func NewAlto(name string) *Alto {
+	if name == "" {
+		name = "alto"
+	}
+	return &Alto{name: name, costOverride: make(map[core.LinkID]int)}
+}
+
+// Name implements isolation.App.
+func (a *Alto) Name() string { return a.name }
+
+// Updates reports how many cost maps were published.
+func (a *Alto) Updates() uint64 { return a.updates.Load() }
+
+// Init implements isolation.App: publish the initial cost map and
+// republish on every topology event.
+func (a *Alto) Init(api isolation.API) error {
+	a.api = api
+	if err := api.Subscribe(controller.EventTopology, func(controller.Event) {
+		a.publish()
+	}); err != nil {
+		return err
+	}
+	return a.publish()
+}
+
+// SetLinkCost overrides one link's routing cost and republishes,
+// triggering downstream TE reactions.
+func (a *Alto) SetLinkCost(l core.LinkID, cost int) error {
+	a.mu.Lock()
+	a.costOverride[l] = cost
+	a.mu.Unlock()
+	return a.publish()
+}
+
+func (a *Alto) publish() error {
+	links, err := a.api.Links()
+	if err != nil {
+		return err
+	}
+	costs := make(LinkCosts, len(links))
+	a.mu.Lock()
+	for _, l := range links {
+		cost := 1
+		if o, ok := a.costOverride[l.ID()]; ok {
+			cost = o
+		}
+		costs[l.ID()] = cost
+	}
+	a.mu.Unlock()
+	if err := a.api.Publish(AltoCostPath, costs); err != nil {
+		return err
+	}
+	a.updates.Add(1)
+	return nil
+}
+
+// RequiredPermissions is the app's manifest.
+func (a *Alto) RequiredPermissions() string {
+	return `# alto permission manifest
+PERM visible_topology
+PERM topology_event
+PERM modify_topology
+`
+}
+
+// TrafficEngineer is the TE app of the §IX-A scenario: it listens to the
+// ALTO app's cost publications and reacts with flow-mods that steer
+// traffic between configured host pairs over min-cost paths.
+type TrafficEngineer struct {
+	name string
+	// Pairs are the (src, dst) host IPs to engineer routes for.
+	Pairs [][2]of.IPv4
+	// FlowPriority of installed routing rules.
+	FlowPriority uint16
+
+	api       isolation.API
+	reactions atomic.Uint64
+	denials   atomic.Uint64
+}
+
+// NewTrafficEngineer builds the app. Name defaults to "te".
+func NewTrafficEngineer(name string, pairs [][2]of.IPv4) *TrafficEngineer {
+	if name == "" {
+		name = "te"
+	}
+	return &TrafficEngineer{name: name, Pairs: pairs, FlowPriority: 20}
+}
+
+// Name implements isolation.App.
+func (t *TrafficEngineer) Name() string { return t.name }
+
+// Reactions reports how many cost updates the app has acted on.
+func (t *TrafficEngineer) Reactions() uint64 { return t.reactions.Load() }
+
+// Denials reports permission denials the app absorbed.
+func (t *TrafficEngineer) Denials() uint64 { return t.denials.Load() }
+
+// Init implements isolation.App.
+func (t *TrafficEngineer) Init(api isolation.API) error {
+	t.api = api
+	return api.Subscribe(controller.EventDataModel, func(ev controller.Event) {
+		if ev.ModelPath != AltoCostPath {
+			return
+		}
+		costs, ok := ev.ModelValue.(LinkCosts)
+		if !ok {
+			return
+		}
+		t.react(costs)
+	})
+}
+
+// react recomputes min-cost routes for every configured pair and installs
+// them.
+func (t *TrafficEngineer) react(costs LinkCosts) {
+	t.reactions.Add(1)
+	hosts, err := t.api.Hosts()
+	if err != nil {
+		t.denials.Add(1)
+		return
+	}
+	links, err := t.api.Links()
+	if err != nil {
+		t.denials.Add(1)
+		return
+	}
+	byIP := make(map[of.IPv4]topology.Host, len(hosts))
+	for _, h := range hosts {
+		byIP[h.IP] = h
+	}
+	for _, pair := range t.Pairs {
+		src, okS := byIP[pair[0]]
+		dst, okD := byIP[pair[1]]
+		if !okS || !okD {
+			continue
+		}
+		path := minCostPath(links, costs, src.Switch, dst.Switch)
+		if path == nil {
+			continue
+		}
+		t.installPath(path, dst)
+	}
+}
+
+// pathHop pairs a switch with its forwarding port toward the next hop.
+type pathHop struct {
+	dpid of.DPID
+	out  uint16
+}
+
+// minCostPath is Dijkstra over the published cost map.
+func minCostPath(links []topology.Link, costs LinkCosts, src, dst of.DPID) []pathHop {
+	type edge struct {
+		to   of.DPID
+		port uint16
+		cost int
+	}
+	adj := make(map[of.DPID][]edge)
+	for _, l := range links {
+		c, ok := costs[l.ID()]
+		if !ok {
+			c = 1
+		}
+		adj[l.A] = append(adj[l.A], edge{to: l.B, port: l.APort, cost: c})
+		adj[l.B] = append(adj[l.B], edge{to: l.A, port: l.BPort, cost: c})
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := map[of.DPID]int{src: 0}
+	prev := make(map[of.DPID]pathHop) // hop on the predecessor toward this node
+	visited := make(map[of.DPID]bool)
+	for {
+		// Extract the unvisited node with minimal distance (deterministic
+		// tie-break by DPID).
+		best := of.DPID(0)
+		bestDist := inf
+		found := false
+		for node, d := range dist {
+			if visited[node] {
+				continue
+			}
+			if d < bestDist || (d == bestDist && (!found || node < best)) {
+				best, bestDist, found = node, d, true
+			}
+		}
+		if !found {
+			return nil
+		}
+		if best == dst {
+			break
+		}
+		visited[best] = true
+		for _, e := range adj[best] {
+			nd := bestDist + e.cost
+			if cur, ok := dist[e.to]; !ok || nd < cur {
+				dist[e.to] = nd
+				prev[e.to] = pathHop{dpid: best, out: e.port}
+			}
+		}
+	}
+	if src == dst {
+		return []pathHop{{dpid: dst}}
+	}
+	var rev []pathHop
+	cur := dst
+	for cur != src {
+		hop, ok := prev[cur]
+		if !ok {
+			return nil
+		}
+		rev = append(rev, hop)
+		cur = hop.dpid
+	}
+	out := make([]pathHop, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return append(out, pathHop{dpid: dst})
+}
+
+func (t *TrafficEngineer) installPath(path []pathHop, dst topology.Host) {
+	match := of.NewMatch().
+		Set(of.FieldEthType, uint64(of.EthTypeIPv4)).
+		Set(of.FieldIPDst, uint64(dst.IP))
+	for i, hop := range path {
+		out := hop.out
+		if i == len(path)-1 {
+			out = dst.Port
+		}
+		err := t.api.InsertFlow(hop.dpid, controller.FlowSpec{
+			Match:    match,
+			Priority: t.FlowPriority,
+			Actions:  []of.Action{of.Output(out)},
+		})
+		if err != nil {
+			t.denials.Add(1)
+		}
+	}
+}
+
+// RequiredPermissions is the app's manifest.
+func (t *TrafficEngineer) RequiredPermissions() string {
+	return `# te permission manifest
+PERM visible_topology
+PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
+PERM delete_flow LIMITING OWN_FLOWS
+`
+}

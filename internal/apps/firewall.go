@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"sync/atomic"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+)
+
+// Firewall is a port-ACL security app: it installs high-priority drop
+// rules for blocked destination ports on every switch. It is the victim
+// app of the Class 4 (dynamic-flow-tunneling) experiment.
+type Firewall struct {
+	name string
+	// BlockedPorts are the TCP destination ports to drop.
+	BlockedPorts []uint16
+	// Priority of the ACL rules; high so routing rules cannot shadow them
+	// (under SDNShield, other apps also cannot override them thanks to
+	// ownership filters).
+	Priority uint16
+
+	installed atomic.Uint64
+	denials   atomic.Uint64
+}
+
+// NewFirewall builds the app. Name defaults to "firewall".
+func NewFirewall(name string, blocked []uint16) *Firewall {
+	if name == "" {
+		name = "firewall"
+	}
+	return &Firewall{name: name, BlockedPorts: blocked, Priority: 500}
+}
+
+// Name implements isolation.App.
+func (f *Firewall) Name() string { return f.name }
+
+// Installed counts installed ACL rules.
+func (f *Firewall) Installed() uint64 { return f.installed.Load() }
+
+// Denials counts permission denials absorbed.
+func (f *Firewall) Denials() uint64 { return f.denials.Load() }
+
+// Init implements isolation.App: install the ACL on every visible switch
+// and re-install on topology changes.
+func (f *Firewall) Init(api isolation.API) error {
+	if err := api.Subscribe(controller.EventTopology, func(ev controller.Event) {
+		if ev.TopoChange != nil && ev.TopoChange.What == "switch-added" {
+			f.installOn(api, ev.TopoChange.DPID)
+		}
+	}); err != nil {
+		// topology_event is optional: without it the firewall still
+		// covers the switches present at start-up.
+		f.denials.Add(1)
+	}
+	switches, err := api.Switches()
+	if err != nil {
+		return err
+	}
+	for _, sw := range switches {
+		f.installOn(api, sw.DPID)
+	}
+	return nil
+}
+
+func (f *Firewall) installOn(api isolation.API, dpid of.DPID) {
+	for _, port := range f.BlockedPorts {
+		match := of.NewMatch().
+			Set(of.FieldEthType, uint64(of.EthTypeIPv4)).
+			Set(of.FieldIPProto, uint64(of.IPProtoTCP)).
+			Set(of.FieldTPDst, uint64(port))
+		err := api.InsertFlow(dpid, controller.FlowSpec{
+			Match:    match,
+			Priority: f.Priority,
+			Actions:  []of.Action{of.Drop()},
+		})
+		if err != nil {
+			f.denials.Add(1)
+		} else {
+			f.installed.Add(1)
+		}
+	}
+}
+
+// RequiredPermissions is the app's manifest.
+func (f *Firewall) RequiredPermissions() string {
+	return `# firewall permission manifest
+PERM visible_topology
+PERM topology_event
+PERM insert_flow LIMITING ACTION DROP AND OWN_FLOWS
+PERM delete_flow LIMITING OWN_FLOWS
+`
+}

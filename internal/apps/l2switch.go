@@ -1,0 +1,129 @@
+// Package apps provides the controller applications used throughout the
+// SDNShield evaluation: the L2 learning switch and the ALTO +
+// traffic-engineering pair (the two end-to-end scenarios of §IX-A), a
+// shortest-path router and a tenant monitor (the Scenario 1/2 apps of
+// §VII), and a port-ACL firewall. The proof-of-concept attack apps live
+// in the malicious subpackage.
+//
+// Every app is written against isolation.API only, so the same code runs
+// unmodified on the baseline monolithic runtime and inside SDNShield
+// containers — the compatibility property §VI-A claims.
+package apps
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+)
+
+// L2Switch is a MAC-learning switch app modeled on OpenDaylight's
+// l2switch: it learns host positions from packet-ins (ARP traffic in the
+// paper's scenario), installs destination-MAC switching rules, and floods
+// unknown destinations.
+type L2Switch struct {
+	name string
+
+	mu    sync.Mutex
+	table map[of.DPID]map[of.MAC]uint16 // learned MAC -> port per switch
+
+	// FlowPriority is the priority of installed switching rules.
+	FlowPriority uint16
+	// IdleTimeout is applied to installed rules (0 = permanent).
+	IdleTimeout uint16
+
+	packetIns atomic.Uint64
+	flowMods  atomic.Uint64
+	denials   atomic.Uint64
+}
+
+// NewL2Switch builds the app. Name defaults to "l2switch" when empty.
+func NewL2Switch(name string) *L2Switch {
+	if name == "" {
+		name = "l2switch"
+	}
+	return &L2Switch{
+		name:         name,
+		table:        make(map[of.DPID]map[of.MAC]uint16),
+		FlowPriority: 10,
+	}
+}
+
+// Name implements isolation.App.
+func (l *L2Switch) Name() string { return l.name }
+
+// Stats reports processed packet-ins, issued flow-mods and permission
+// denials (used by the end-to-end benchmarks).
+func (l *L2Switch) Stats() (packetIns, flowMods, denials uint64) {
+	return l.packetIns.Load(), l.flowMods.Load(), l.denials.Load()
+}
+
+// Init implements isolation.App.
+func (l *L2Switch) Init(api isolation.API) error {
+	return api.Subscribe(controller.EventPacketIn, func(ev controller.Event) {
+		l.handlePacketIn(api, ev.PacketIn)
+	})
+}
+
+func (l *L2Switch) learn(dpid of.DPID, mac of.MAC, port uint16) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.table[dpid] == nil {
+		l.table[dpid] = make(map[of.MAC]uint16)
+	}
+	l.table[dpid][mac] = port
+}
+
+func (l *L2Switch) lookup(dpid of.DPID, mac of.MAC) (uint16, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	port, ok := l.table[dpid][mac]
+	return port, ok
+}
+
+func (l *L2Switch) handlePacketIn(api isolation.API, pin *of.PacketIn) {
+	l.packetIns.Add(1)
+	pkt := pin.Packet
+	if pkt == nil {
+		return
+	}
+	l.learn(pin.DPID, pkt.EthSrc, pin.InPort)
+
+	outPort, known := l.lookup(pin.DPID, pkt.EthDst)
+	if !known || pkt.EthDst.IsBroadcast() {
+		// Flood the buffered packet; no rule is installed for broadcasts.
+		if err := api.SendPacketOut(pin.DPID, pin.BufferID, pin.InPort, []of.Action{of.Flood()}, nil); err != nil {
+			l.denials.Add(1)
+		}
+		return
+	}
+
+	// Known unicast destination: install a switching rule, then release
+	// the buffered packet along it.
+	match := of.NewMatch().Set(of.FieldEthDst, pkt.EthDst.Uint64())
+	err := api.InsertFlow(pin.DPID, controller.FlowSpec{
+		Match:       match,
+		Priority:    l.FlowPriority,
+		Actions:     []of.Action{of.Output(outPort)},
+		IdleTimeout: l.IdleTimeout,
+	})
+	if err != nil {
+		l.denials.Add(1)
+	} else {
+		l.flowMods.Add(1)
+	}
+	if err := api.SendPacketOut(pin.DPID, pin.BufferID, pin.InPort, []of.Action{of.Output(outPort)}, nil); err != nil {
+		l.denials.Add(1)
+	}
+}
+
+// RequiredPermissions is the minimal manifest the app ships with.
+func (l *L2Switch) RequiredPermissions() string {
+	return `# l2switch permission manifest
+PERM pkt_in_event
+PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
+PERM send_pkt_out LIMITING FROM_PKT_IN
+`
+}

@@ -1,0 +1,158 @@
+package malicious
+
+import (
+	"fmt"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+	"sdnshield/internal/topology"
+)
+
+// RouteHijacker is the Class 3 attack app: it stealthily changes the
+// existing route between two hosts so the traffic traverses a third,
+// attacker-controlled host (a man in the middle). It installs rules at a
+// priority above the legitimate routing app's.
+type RouteHijacker struct {
+	attackState
+	name string
+	// VictimSrc and VictimDst are the IPs of the flows to divert.
+	VictimSrc, VictimDst of.IPv4
+	// EavesdropperIP is the attacker-controlled host that must see the
+	// traffic.
+	EavesdropperIP of.IPv4
+	// Priority above the legitimate routes.
+	Priority uint16
+
+	api isolation.API
+}
+
+// NewRouteHijacker builds the app. Name defaults to "hijacker".
+func NewRouteHijacker(name string, src, dst, eavesdropper of.IPv4) *RouteHijacker {
+	if name == "" {
+		name = "hijacker"
+	}
+	return &RouteHijacker{
+		name: name, VictimSrc: src, VictimDst: dst,
+		EavesdropperIP: eavesdropper, Priority: 900,
+	}
+}
+
+// Name implements isolation.App.
+func (h *RouteHijacker) Name() string { return h.name }
+
+// Init implements isolation.App.
+func (h *RouteHijacker) Init(api isolation.API) error {
+	h.api = api
+	return nil
+}
+
+// Hijack performs the attack once: divert VictimSrc→VictimDst traffic to
+// the eavesdropper's attachment point.
+func (h *RouteHijacker) Hijack() error {
+	hosts, err := h.api.Hosts()
+	if h.record(err) != nil {
+		return err
+	}
+	var src, eav *topology.Host
+	for i := range hosts {
+		switch hosts[i].IP {
+		case h.VictimSrc:
+			src = &hosts[i]
+		case h.EavesdropperIP:
+			eav = &hosts[i]
+		}
+	}
+	if src == nil || eav == nil {
+		return fmt.Errorf("malicious: victim or eavesdropper host not visible")
+	}
+	links, err := h.api.Links()
+	if h.record(err) != nil {
+		return err
+	}
+
+	match := of.NewMatch().
+		Set(of.FieldEthType, uint64(of.EthTypeIPv4)).
+		Set(of.FieldIPSrc, uint64(h.VictimSrc)).
+		Set(of.FieldIPDst, uint64(h.VictimDst))
+
+	// Steer from the victim's ingress switch toward the eavesdropper.
+	path := bfsPath(links, src.Switch, eav.Switch)
+	if path == nil {
+		return fmt.Errorf("malicious: no path to eavesdropper")
+	}
+	for i, hop := range path {
+		out := hop.out
+		if i == len(path)-1 {
+			out = eav.Port
+		}
+		if err := h.record(h.api.InsertFlow(hop.dpid, controller.FlowSpec{
+			Match:    match,
+			Priority: h.Priority,
+			Actions:  []of.Action{of.Output(out)},
+		})); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pathHop pairs a switch with its forwarding port.
+type pathHop struct {
+	dpid of.DPID
+	out  uint16
+}
+
+// bfsPath is an unweighted shortest path over the visible links.
+func bfsPath(links []topology.Link, src, dst of.DPID) []pathHop {
+	type edge struct {
+		to   of.DPID
+		port uint16
+	}
+	adj := make(map[of.DPID][]edge)
+	for _, l := range links {
+		adj[l.A] = append(adj[l.A], edge{to: l.B, port: l.APort})
+		adj[l.B] = append(adj[l.B], edge{to: l.A, port: l.BPort})
+	}
+	if src == dst {
+		return []pathHop{{dpid: dst}}
+	}
+	prev := map[of.DPID]pathHop{}
+	visited := map[of.DPID]bool{src: true}
+	queue := []of.DPID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			prev[e.to] = pathHop{dpid: cur, out: e.port}
+			queue = append(queue, e.to)
+		}
+	}
+	if !visited[dst] {
+		return nil
+	}
+	var rev []pathHop
+	cur := dst
+	for cur != src {
+		hop := prev[cur]
+		rev = append(rev, hop)
+		cur = hop.dpid
+	}
+	out := make([]pathHop, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return append(out, pathHop{dpid: dst})
+}
+
+// RequestedPermissions is the over-broad manifest the attacker ships.
+func (h *RouteHijacker) RequestedPermissions() string {
+	return `PERM visible_topology
+PERM insert_flow
+PERM delete_flow
+`
+}

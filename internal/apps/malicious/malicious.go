@@ -1,0 +1,47 @@
+// Package malicious implements the four proof-of-concept attack apps of
+// §IX-B1, one per threat class of §II:
+//
+//	Class 1 — RSTInjector sniffs packet-ins and injects TCP RST segments
+//	          into active HTTP sessions (data-plane intrusion).
+//	Class 2 — Leaker collects topology and switch/port configuration and
+//	          exfiltrates it to a remote attacker over the host network.
+//	Class 3 — RouteHijacker re-routes traffic between two hosts through a
+//	          third, attacker-controlled host (man in the middle).
+//	Class 4 — Tunneler establishes a dynamic-flow tunnel through a
+//	          firewall that only admits HTTP, by rewriting headers at
+//	          both tunnel ends.
+//
+// Each app records whether every step of its attack was accepted by the
+// controller; the effectiveness harness (Table I) combines that with
+// data-plane observation to decide whether the attack succeeded.
+package malicious
+
+import (
+	"sync/atomic"
+)
+
+// attackState tracks accepted and denied attack steps.
+type attackState struct {
+	attempted atomic.Uint64
+	accepted  atomic.Uint64
+	denied    atomic.Uint64
+}
+
+// Attempted reports how many attack steps the app tried.
+func (s *attackState) Attempted() uint64 { return s.attempted.Load() }
+
+// Accepted reports how many attack steps the controller accepted.
+func (s *attackState) Accepted() uint64 { return s.accepted.Load() }
+
+// Denied reports how many attack steps were blocked.
+func (s *attackState) Denied() uint64 { return s.denied.Load() }
+
+func (s *attackState) record(err error) error {
+	s.attempted.Add(1)
+	if err != nil {
+		s.denied.Add(1)
+	} else {
+		s.accepted.Add(1)
+	}
+	return err
+}

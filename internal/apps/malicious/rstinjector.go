@@ -1,0 +1,60 @@
+package malicious
+
+import (
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+)
+
+// RSTInjector is the Class 1 attack app: it monitors active flows via
+// packet-in messages and injects forged TCP RST segments into every HTTP
+// session it observes, tearing the connections down.
+type RSTInjector struct {
+	attackState
+	name string
+}
+
+// NewRSTInjector builds the app. Name defaults to "rst-injector".
+func NewRSTInjector(name string) *RSTInjector {
+	if name == "" {
+		name = "rst-injector"
+	}
+	return &RSTInjector{name: name}
+}
+
+// Name implements isolation.App.
+func (r *RSTInjector) Name() string { return r.name }
+
+// Init implements isolation.App.
+func (r *RSTInjector) Init(api isolation.API) error {
+	// The subscription itself may already be blocked; the attack then
+	// never observes traffic.
+	return r.record(api.Subscribe(controller.EventPacketIn, func(ev controller.Event) {
+		r.handle(api, ev.PacketIn)
+	}))
+}
+
+func (r *RSTInjector) handle(api isolation.API, pin *of.PacketIn) {
+	pkt := pin.Packet
+	if pkt == nil || pkt.IPProto != of.IPProtoTCP {
+		return
+	}
+	if pkt.TPDst != 80 && pkt.TPSrc != 80 {
+		return
+	}
+	// Forge a RST from the server back to the client — fabricated
+	// content, so FROM_PKT_IN provenance can never be claimed.
+	rst := of.NewTCPPacket(pkt.EthDst, pkt.EthSrc, pkt.IPDst, pkt.IPSrc,
+		pkt.TPDst, pkt.TPSrc, of.TCPFlagRST)
+	rst.TCPSeq = pkt.TCPSeq + 1
+	//nolint:errcheck // denial is recorded by attackState
+	r.record(api.SendPacketOut(pin.DPID, 0, of.PortNone, []of.Action{of.Flood()}, rst))
+}
+
+// RequestedPermissions is the over-broad manifest the attacker ships.
+func (r *RSTInjector) RequestedPermissions() string {
+	return `PERM pkt_in_event
+PERM read_payload
+PERM send_pkt_out
+`
+}

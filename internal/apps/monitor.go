@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+)
+
+// Monitor is the tenant monitoring app of §VII Scenario 1: it supervises
+// network usage and reports to administrator-controlled collectors over
+// the host network. Its manifest requests topology, statistics and
+// host-network access with stubs (LocalTopo, AdminRange) the
+// administrator binds at deployment.
+type Monitor struct {
+	name string
+	// Collector is the report sink's address.
+	Collector of.IPv4
+	// CollectorPort is the report sink's port.
+	CollectorPort uint16
+
+	api     isolation.API
+	reports atomic.Uint64
+	denials atomic.Uint64
+}
+
+// NewMonitor builds the app. Name defaults to "monitor".
+func NewMonitor(name string, collector of.IPv4, port uint16) *Monitor {
+	if name == "" {
+		name = "monitor"
+	}
+	return &Monitor{name: name, Collector: collector, CollectorPort: port}
+}
+
+// Name implements isolation.App.
+func (m *Monitor) Name() string { return m.name }
+
+// Reports counts successfully delivered usage reports.
+func (m *Monitor) Reports() uint64 { return m.reports.Load() }
+
+// Denials counts permission denials the app handled gracefully.
+func (m *Monitor) Denials() uint64 { return m.denials.Load() }
+
+// Init implements isolation.App.
+func (m *Monitor) Init(api isolation.API) error {
+	m.api = api
+	return nil
+}
+
+// usageReport is the JSON document shipped to the collector.
+type usageReport struct {
+	Switches []uint64          `json:"switches"`
+	Ports    map[string]uint64 `json:"portRxPackets"`
+}
+
+// Poll collects one round of statistics and ships it to the collector.
+// Permission denials are absorbed (§III: apps should handle denials
+// gracefully), recorded in Denials.
+func (m *Monitor) Poll() error {
+	switches, err := m.api.Switches()
+	if err != nil {
+		m.denials.Add(1)
+		return err
+	}
+	report := usageReport{Ports: make(map[string]uint64)}
+	for _, sw := range switches {
+		report.Switches = append(report.Switches, uint64(sw.DPID))
+		ports, err := m.api.PortStats(sw.DPID, of.PortNone)
+		if err != nil {
+			m.denials.Add(1)
+			continue
+		}
+		for _, p := range ports {
+			report.Ports[fmt.Sprintf("%d:%d", uint64(sw.DPID), p.Port)] = p.RxPackets
+		}
+	}
+	payload, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	conn, err := m.api.HostConnect(m.Collector, m.CollectorPort)
+	if err != nil {
+		m.denials.Add(1)
+		return err
+	}
+	conn.Send(payload)
+	m.reports.Add(1)
+	return nil
+}
+
+// RequiredPermissions is the manifest the app ships with (§VII Scenario
+// 1, stubs included).
+func (m *Monitor) RequiredPermissions() string {
+	return `# monitoring app release manifest (stubs bound by the administrator)
+PERM visible_topology LIMITING LocalTopo
+PERM read_statistics
+PERM network_access LIMITING AdminRange
+PERM insert_flow
+`
+}

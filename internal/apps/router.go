@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"sync/atomic"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+	"sdnshield/internal/topology"
+)
+
+// Router is a reactive shortest-path routing app (the benign behaviour of
+// §VII Scenario 2's routing app): on an IPv4 packet-in it resolves the
+// destination host, computes a shortest path over its visible topology,
+// installs per-hop forwarding rules and releases the buffered packet.
+type Router struct {
+	name string
+	// FlowPriority of installed routes.
+	FlowPriority uint16
+
+	routes  atomic.Uint64
+	denials atomic.Uint64
+}
+
+// NewRouter builds the app. Name defaults to "router".
+func NewRouter(name string) *Router {
+	if name == "" {
+		name = "router"
+	}
+	return &Router{name: name, FlowPriority: 15}
+}
+
+// Name implements isolation.App.
+func (r *Router) Name() string { return r.name }
+
+// Routes counts installed end-to-end routes.
+func (r *Router) Routes() uint64 { return r.routes.Load() }
+
+// Denials counts permission denials absorbed.
+func (r *Router) Denials() uint64 { return r.denials.Load() }
+
+// Init implements isolation.App.
+func (r *Router) Init(api isolation.API) error {
+	return api.Subscribe(controller.EventPacketIn, func(ev controller.Event) {
+		r.handlePacketIn(api, ev.PacketIn)
+	})
+}
+
+func (r *Router) handlePacketIn(api isolation.API, pin *of.PacketIn) {
+	pkt := pin.Packet
+	if pkt == nil || pkt.EthType != of.EthTypeIPv4 {
+		return
+	}
+	hosts, err := api.Hosts()
+	if err != nil {
+		r.denials.Add(1)
+		return
+	}
+	var dst *topology.Host
+	for i := range hosts {
+		if hosts[i].IP == pkt.IPDst {
+			dst = &hosts[i]
+			break
+		}
+	}
+	if dst == nil {
+		return
+	}
+	links, err := api.Links()
+	if err != nil {
+		r.denials.Add(1)
+		return
+	}
+	path := minCostPath(links, nil, pin.DPID, dst.Switch)
+	if path == nil {
+		return
+	}
+	match := of.NewMatch().
+		Set(of.FieldEthType, uint64(of.EthTypeIPv4)).
+		Set(of.FieldIPDst, uint64(pkt.IPDst))
+	ok := true
+	for i, hop := range path {
+		out := hop.out
+		if i == len(path)-1 {
+			out = dst.Port
+		}
+		err := api.InsertFlow(hop.dpid, controller.FlowSpec{
+			Match:    match,
+			Priority: r.FlowPriority,
+			Actions:  []of.Action{of.Output(out)},
+		})
+		if err != nil {
+			r.denials.Add(1)
+			ok = false
+		}
+	}
+	if ok {
+		r.routes.Add(1)
+	}
+	// Release the buffered packet along the freshly installed first hop.
+	out := dst.Port
+	if len(path) > 1 {
+		out = path[0].out
+	}
+	if err := api.SendPacketOut(pin.DPID, pin.BufferID, pin.InPort, []of.Action{of.Output(out)}, nil); err != nil {
+		r.denials.Add(1)
+	}
+}
+
+// RequiredPermissions is the manifest of §VII Scenario 2.
+func (r *Router) RequiredPermissions() string {
+	return `# routing app manifest (§VII scenario 2)
+PERM visible_topology
+PERM flow_event
+PERM send_pkt_out
+PERM pkt_in_event
+PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
+`
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty sample should be zero")
+	}
+	one := Summarize([]time.Duration{5 * time.Millisecond})
+	if one.Median != 5*time.Millisecond || one.P10 != one.P90 {
+		t.Errorf("single sample summary = %+v", one)
+	}
+	samples := make([]time.Duration, 0, 100)
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Microsecond)
+	}
+	s := Summarize(samples)
+	if s.N != 100 || s.Min != time.Microsecond || s.Max != 100*time.Microsecond {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Median < 50*time.Microsecond || s.Median > 51*time.Microsecond {
+		t.Errorf("median = %v", s.Median)
+	}
+	if s.P10 < 10*time.Microsecond || s.P10 > 11*time.Microsecond {
+		t.Errorf("p10 = %v", s.P10)
+	}
+	if s.P90 < 90*time.Microsecond || s.P90 > 91*time.Microsecond {
+		t.Errorf("p90 = %v", s.P90)
+	}
+	if s.Mean != 50500*time.Nanosecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("Title", "a", "bee", "c")
+	tbl.AddRow(1, "x", 3.5)
+	tbl.AddRow("longer", "y", 1)
+	out := tbl.String()
+	for _, want := range []string{"Title", "a", "bee", "longer", "3.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5SmallRun(t *testing.T) {
+	rows := RunFig5(2000)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 complexities x 2 APIs)", len(rows))
+	}
+	for _, r := range rows {
+		if r.ChecksPerSec <= 0 {
+			t.Errorf("non-positive throughput: %+v", r)
+		}
+		// ~5% of the trace violates; denial rate should be near that.
+		if r.DenialRate < 0.01 || r.DenialRate > 0.15 {
+			t.Errorf("denial rate off (%v): %+v", r.DenialRate, r)
+		}
+		// The paper reports sub-microsecond checks; allow generous slack
+		// for CI noise but catch order-of-magnitude regressions.
+		if r.NsPerCheck > 50000 {
+			t.Errorf("check latency regressed: %+v", r)
+		}
+	}
+	out := FormatFig5(rows)
+	if !strings.Contains(out, "insert_flow") || !strings.Contains(out, "large") {
+		t.Errorf("format missing fields:\n%s", out)
+	}
+}
+
+func TestFig6SmallRun(t *testing.T) {
+	rows, err := RunFig6([]int{2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 scenarios x 2 runtimes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Latency.N != 10 || r.Latency.Median <= 0 {
+			t.Errorf("bad latency summary: %+v", r)
+		}
+	}
+	t.Logf("\n%s", FormatFig6(rows))
+}
+
+func TestFig7SmallRun(t *testing.T) {
+	rows, err := RunFig7([]int{2}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ResponsesPerSec <= 0 {
+			t.Errorf("no throughput measured: %+v", r)
+		}
+	}
+	t.Logf("\n%s", FormatFig7(rows))
+}
+
+func TestFig8SmallRun(t *testing.T) {
+	rows, err := RunFig8([]int{1, 2}, []int{4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // (2 app counts + 1 call count) x 2 runtimes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	t.Logf("\n%s", FormatFig8(rows))
+}
+
+func TestReconcileBenchUnderOneSecond(t *testing.T) {
+	rows, err := RunReconcileBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's observation: never exceeds one second.
+		if r.Duration > time.Second {
+			t.Errorf("reconciliation exceeded 1s: %+v", r)
+		}
+		if r.Violations == 0 {
+			t.Errorf("pressure manifest should violate the boundary: %+v", r)
+		}
+	}
+	t.Logf("\n%s", FormatReconcile(rows))
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sdnshield/internal/permlang"
+	"sdnshield/internal/policylang"
+	"sdnshield/internal/reconcile"
+)
+
+// ReconcileRow is one row of the reconciliation-cost experiment (§IX-A
+// notes the engine never exceeded one second under pressure).
+type ReconcileRow struct {
+	Tokens          int
+	FiltersPerToken int
+	Constraints     int
+	Duration        time.Duration
+	Violations      int
+}
+
+// buildPressurePolicy generates a policy with the given number of
+// boundary + exclusion constraints.
+func buildPressurePolicy(constraints int) string {
+	var sb strings.Builder
+	sb.WriteString(`LET boundary = {
+	PERM visible_topology
+	PERM read_statistics LIMITING PORT_LEVEL
+	PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS AND MAX_PRIORITY 30000
+	PERM read_flow_table LIMITING OWN_FLOWS
+	PERM network_access LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0
+}
+`)
+	for i := 0; i < constraints; i++ {
+		switch i % 3 {
+		case 0:
+			sb.WriteString("ASSERT EITHER { PERM network_access } OR { PERM send_packet_out }\n")
+		case 1:
+			sb.WriteString("ASSERT EITHER { PERM host_network } OR { PERM insert_flow }\n")
+		default:
+			sb.WriteString("ASSERT APP pressured <= boundary\n")
+		}
+	}
+	return sb.String()
+}
+
+// RunReconcileBench measures reconciliation wall time on the Fig. 5
+// complexity manifests against increasingly constraint-heavy policies.
+func RunReconcileBench() ([]ReconcileRow, error) {
+	var out []ReconcileRow
+	for _, cx := range Fig5Complexities {
+		for _, constraints := range []int{3, 15, 60} {
+			set := BuildComplexityManifest(cx.Tokens, cx.FiltersPerToken)
+			manifest, err := permlang.Parse(set.String())
+			if err != nil {
+				return nil, fmt.Errorf("reparse complexity manifest: %w", err)
+			}
+			policy, err := policylang.Parse(buildPressurePolicy(constraints))
+			if err != nil {
+				return nil, err
+			}
+			engine := reconcile.New()
+			start := time.Now()
+			res, err := engine.Reconcile("pressured", manifest, policy)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ReconcileRow{
+				Tokens:          cx.Tokens,
+				FiltersPerToken: cx.FiltersPerToken,
+				Constraints:     constraints,
+				Duration:        time.Since(start),
+				Violations:      len(res.Violations),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatReconcile renders the reconciliation-cost rows.
+func FormatReconcile(rows []ReconcileRow) string {
+	t := NewTable("Reconciliation engine cost (paper: < 1 s under pressure)",
+		"tokens", "filters/token", "constraints", "violations", "duration")
+	for _, r := range rows {
+		t.AddRow(r.Tokens, r.FiltersPerToken, r.Constraints, r.Violations, r.Duration)
+	}
+	return t.String()
+}

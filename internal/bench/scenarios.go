@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sdnshield/internal/apps"
+	"sdnshield/internal/cbench"
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+	"sdnshield/internal/permlang"
+	"sdnshield/internal/topology"
+)
+
+// scenarioEnv is the Fig. 6–8 measurement rig: a kernel fronted by
+// CBench fake switches, with apps running on the selected runtime.
+type scenarioEnv struct {
+	kernel   *controller.Kernel
+	shield   *isolation.Shield
+	mono     *isolation.Monolith
+	switches []*cbench.FakeSwitch
+	shielded bool
+}
+
+func newScenarioEnv(nSwitches int, shielded bool, cfg isolation.Config) (*scenarioEnv, error) {
+	k := controller.New(nil, nil)
+	env := &scenarioEnv{
+		kernel:   k,
+		shielded: shielded,
+		mono:     isolation.NewMonolith(k),
+		shield:   isolation.NewShield(k, cfg),
+	}
+	for i := 1; i <= nSwitches; i++ {
+		fs, err := cbench.Connect(k, of.DPID(i), 4)
+		if err != nil {
+			env.close()
+			return nil, err
+		}
+		env.switches = append(env.switches, fs)
+	}
+	return env, nil
+}
+
+func (e *scenarioEnv) close() {
+	e.shield.Stop()
+	e.kernel.Stop()
+	for _, fs := range e.switches {
+		fs.Close()
+	}
+}
+
+// launch starts an app on the selected runtime, granting its manifest
+// under SDNShield.
+func (e *scenarioEnv) launch(app isolation.App, manifest string) error {
+	if !e.shielded {
+		return e.mono.Launch(app)
+	}
+	e.shield.SetPermissions(app.Name(), permlang.MustParse(manifest).Set())
+	return e.shield.Launch(app)
+}
+
+// runtimeName labels result rows.
+func (e *scenarioEnv) runtimeName() string {
+	if e.shielded {
+		return "sdnshield"
+	}
+	return "baseline"
+}
+
+// setupL2 launches the learning switch and pre-learns the measurement
+// destination on every fake switch so latency probes trigger flow-mods.
+func (e *scenarioEnv) setupL2() (*apps.L2Switch, error) {
+	l2 := apps.NewL2Switch("l2switch")
+	if err := e.launch(l2, l2.RequiredPermissions()); err != nil {
+		return nil, err
+	}
+	for _, fs := range e.switches {
+		// A packet-in *from* host 2 teaches the app where host 2 lives.
+		if err := fs.SendPacketIn(2, 99, 2); err != nil {
+			return nil, err
+		}
+		// The controller floods the unknown destination; wait for it so
+		// learning has definitely happened before measuring.
+		if _, err := fs.WaitResponse(2 * time.Second); err != nil {
+			return nil, fmt.Errorf("pre-learn on %v: %w", fs.DPID(), err)
+		}
+	}
+	return l2, nil
+}
+
+// setupTE wires the ALTO + traffic-engineering scenario: a linear
+// topology view over the fake switches, one host on each end, and the
+// alto/te apps.
+func (e *scenarioEnv) setupTE() (*apps.Alto, *apps.TrafficEngineer, error) {
+	n := len(e.switches)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("TE scenario needs >= 2 switches")
+	}
+	topo := e.kernel.Topology()
+	for i := 1; i < n; i++ {
+		err := topo.AddLink(topology.Link{
+			A: of.DPID(i), APort: 3, B: of.DPID(i + 1), BPort: 2,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	h1 := topology.Host{MAC: of.MAC{0x0e, 0, 0, 0, 0, 1}, IP: of.IPv4FromOctets(10, 9, 0, 1), Switch: 1, Port: 1}
+	h2 := topology.Host{MAC: of.MAC{0x0e, 0, 0, 0, 0, 2}, IP: of.IPv4FromOctets(10, 9, 0, 2), Switch: of.DPID(n), Port: 1}
+	e.kernel.LearnHost(h1)
+	e.kernel.LearnHost(h2)
+
+	alto := apps.NewAlto("alto")
+	te := apps.NewTrafficEngineer("te", [][2]of.IPv4{{h1.IP, h2.IP}, {h2.IP, h1.IP}})
+	// TE first so it sees ALTO's initial publication.
+	if err := e.launch(te, te.RequiredPermissions()); err != nil {
+		return nil, nil, err
+	}
+	if err := e.launch(alto, alto.RequiredPermissions()); err != nil {
+		return nil, nil, err
+	}
+	// Wait until the initial reaction produced flow-mods end to end.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.switches[n-1].FlowMods() == 0 {
+		if time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("TE warm-up: no flow-mods observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return alto, te, nil
+}
+
+// measureTERound times one event-chain reaction: port-status in, next
+// flow-mod on the far switch out.
+func (e *scenarioEnv) measureTERound(round int, timeout time.Duration) (time.Duration, error) {
+	last := e.switches[len(e.switches)-1]
+	mid := e.switches[len(e.switches)/2]
+	last.Drain()
+	start := time.Now()
+	if err := mid.SendPortStatus(4, round%2 == 0); err != nil {
+		return 0, err
+	}
+	if _, err := last.WaitFlowMod(timeout); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

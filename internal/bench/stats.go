@@ -1,0 +1,63 @@
+// Package bench implements the SDNShield evaluation harness: one runner
+// per table/figure of §IX, each reproducing the paper's workload and
+// reporting the same rows or series. The runners are plain library code
+// so the same experiments back the testing.B benchmarks, the sdnbench
+// CLI and the integration tests.
+package bench
+
+import (
+	"sort"
+	"time"
+)
+
+// Summary condenses a latency sample the way the paper's error bars do:
+// median with 10th/90th percentiles (Fig. 6).
+type Summary struct {
+	N      int
+	Median time.Duration
+	P10    time.Duration
+	P90    time.Duration
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Summarize computes the summary of a latency sample.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	return Summary{
+		N:      len(sorted),
+		Median: percentile(sorted, 50),
+		P10:    percentile(sorted, 10),
+		P90:    percentile(sorted, 90),
+		Mean:   sum / time.Duration(len(sorted)),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// percentile interpolates the p-th percentile of a sorted sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+}

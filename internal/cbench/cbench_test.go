@@ -1,0 +1,191 @@
+package cbench
+
+import (
+	"testing"
+	"time"
+
+	"sdnshield/internal/apps"
+	"sdnshield/internal/controller"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/of"
+)
+
+func newKernelWithL2(t *testing.T) (*controller.Kernel, *apps.L2Switch) {
+	t.Helper()
+	k := controller.New(nil, nil)
+	t.Cleanup(k.Stop)
+	l2 := apps.NewL2Switch("l2switch")
+	if err := isolation.NewMonolith(k).Launch(l2); err != nil {
+		t.Fatal(err)
+	}
+	return k, l2
+}
+
+func TestConnectHandshake(t *testing.T) {
+	k, _ := newKernelWithL2(t)
+	fs, err := Connect(k, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.DPID() != 7 {
+		t.Errorf("DPID = %v", fs.DPID())
+	}
+	if got := len(k.Switches()); got != 1 {
+		t.Errorf("registered switches = %d", got)
+	}
+	// The kernel's topology sees the advertised ports.
+	if ports := k.Switches()[0].Ports; len(ports) != 4 {
+		t.Errorf("ports = %v", ports)
+	}
+}
+
+func TestPacketInDrivesController(t *testing.T) {
+	k, l2 := newKernelWithL2(t)
+	fs, err := Connect(k, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// Unknown destination: the controller floods (a packet-out).
+	if err := fs.SendPacketIn(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := fs.WaitResponse(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type() != of.MsgPacketOut {
+		t.Errorf("first response = %v, want PACKET_OUT flood", msg.Type())
+	}
+
+	// Now host 2's location is learned: traffic to it earns a flow-mod.
+	fs.Drain()
+	if err := fs.SendPacketIn(3, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WaitFlowMod(2 * time.Second); err != nil {
+		t.Fatalf("no flow-mod: %v", err)
+	}
+	if fs.FlowMods() == 0 || fs.PacketOuts() == 0 || fs.Responses() < 2 {
+		t.Errorf("counters = %d flowmods, %d pktouts", fs.FlowMods(), fs.PacketOuts())
+	}
+	pins, _, _ := l2.Stats()
+	if pins < 2 {
+		t.Errorf("l2switch saw %d packet-ins", pins)
+	}
+}
+
+func TestMeasureLatency(t *testing.T) {
+	k, _ := newKernelWithL2(t)
+	fs, err := Connect(k, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// Pre-learn destination 2.
+	if err := fs.SendPacketIn(2, 9, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WaitResponse(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d, err := fs.MeasureLatency(1, 2, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > time.Second {
+		t.Errorf("latency = %v", d)
+	}
+}
+
+func TestPortStatusPropagates(t *testing.T) {
+	k, _ := newKernelWithL2(t)
+	fs, err := Connect(k, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	got := make(chan string, 4)
+	k.Subscribe(controller.EventTopology, func(ev controller.Event) {
+		got <- ev.TopoChange.What
+	})
+	if err := fs.SendPortStatus(2, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case what := <-got:
+		if what != "port-down" {
+			t.Errorf("event = %q", what)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no topology event")
+	}
+}
+
+func TestStatsAnswered(t *testing.T) {
+	k, _ := newKernelWithL2(t)
+	fs, err := Connect(k, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// The fake switch fabricates stats so monitoring apps can run.
+	ports, err := k.PortStats(1, of.PortNone)
+	if err != nil || len(ports) == 0 {
+		t.Errorf("PortStats = %v, %v", ports, err)
+	}
+	flows, err := k.FlowStats(1, nil)
+	if err != nil || len(flows) == 0 {
+		t.Errorf("FlowStats = %v, %v", flows, err)
+	}
+	ss, err := k.SwitchStats(1)
+	if err != nil || ss.FlowCount == 0 {
+		t.Errorf("SwitchStats = %+v, %v", ss, err)
+	}
+	if err := k.Barrier(1); err != nil {
+		t.Errorf("Barrier: %v", err)
+	}
+}
+
+func TestFloodStopsAndCounts(t *testing.T) {
+	k, _ := newKernelWithL2(t)
+	fs, err := Connect(k, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	stop := make(chan struct{})
+	done := make(chan uint64, 1)
+	go func() { done <- fs.Flood(stop) }()
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	select {
+	case sent := <-done:
+		if sent == 0 {
+			t.Error("flood sent nothing")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("flood did not stop")
+	}
+	if fs.Responses() == 0 {
+		t.Error("no responses during flood")
+	}
+}
+
+func TestWaitResponseTimeout(t *testing.T) {
+	k, _ := newKernelWithL2(t)
+	fs, err := Connect(k, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.WaitResponse(20 * time.Millisecond); err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}

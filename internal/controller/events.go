@@ -1,0 +1,89 @@
+package controller
+
+import (
+	"fmt"
+
+	"sdnshield/internal/of"
+)
+
+// EventKind classifies northbound event notifications. Each kind maps to
+// the SDNShield event permission token guarding its delivery.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventPacketIn delivers a data-plane packet (pkt_in_event token; the
+	// packet payload additionally requires read_payload).
+	EventPacketIn EventKind = iota + 1
+	// EventFlowRemoved reports a flow leaving a table (flow_event token).
+	EventFlowRemoved
+	// EventPortStatus reports a port change (topology_event token).
+	EventPortStatus
+	// EventTopology reports a link/switch change in the controller's
+	// topology view (topology_event token).
+	EventTopology
+	// EventError reports a switch error message (error_event token).
+	EventError
+	// EventDataModel reports a data-model publication, the
+	// OpenDaylight-style model-driven notification the ALTO scenario uses
+	// (flow_event token is not required; subscription is mediated by the
+	// publishing path's own token, see DataModel).
+	EventDataModel
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventPacketIn:
+		return "packet-in"
+	case EventFlowRemoved:
+		return "flow-removed"
+	case EventPortStatus:
+		return "port-status"
+	case EventTopology:
+		return "topology"
+	case EventError:
+		return "error"
+	case EventDataModel:
+		return "data-model"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one northbound notification. Exactly the field matching Kind
+// is populated.
+type Event struct {
+	Kind EventKind
+
+	PacketIn    *of.PacketIn
+	FlowRemoved *of.FlowRemoved
+	PortStatus  *of.PortStatus
+	Error       *of.Error
+
+	// FlowOwner is the owner of the removed flow (FlowRemoved events),
+	// resolved from the shadow table before the removal was mirrored.
+	FlowOwner string
+
+	// TopoChange describes a topology event.
+	TopoChange *TopoChange
+
+	// ModelPath and ModelValue carry a data-model publication.
+	ModelPath  string
+	ModelValue interface{}
+}
+
+// TopoChange describes one controller-view topology mutation.
+type TopoChange struct {
+	// What is "switch-added", "switch-removed", "link-added",
+	// "link-removed", "port-up", "port-down".
+	What string
+	DPID of.DPID
+	Peer of.DPID
+	Port uint16
+}
+
+// Handler consumes events. Handlers run on the kernel's dispatch
+// goroutine in the baseline (monolithic) architecture and on the app's
+// container goroutine under SDNShield isolation.
+type Handler func(Event)

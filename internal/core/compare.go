@@ -1,0 +1,129 @@
+package core
+
+// This file implements the paper's Algorithm 1: deciding the inclusion
+// relation of a pair of filter expressions. The left operand is converted
+// to CNF and the right to DNF; inclusion holds iff every disjunctive
+// clause of the left includes every conjunctive clause of the right, where
+// a clause pair is decided by per-dimension singleton comparison. The
+// result is sound and conservative, exactly as in the paper.
+
+// literalIncludes reports whether the behaviour set of literal a includes
+// that of literal x. Only same-dimension literals are comparable.
+func literalIncludes(a, x Literal) bool {
+	if a.F.Dimension() != x.F.Dimension() {
+		return false
+	}
+	switch {
+	case !a.Neg && !x.Neg:
+		return a.F.Includes(x.F)
+	case a.Neg && x.Neg:
+		// ¬f ⊇ ¬g  ⇔  g ⊇ f
+		return x.F.Includes(a.F)
+	case a.Neg && !x.Neg:
+		// ¬f ⊇ g  ⇔  f ∩ g = ∅
+		return a.F.DisjointWith(x.F) || x.F.DisjointWith(a.F)
+	default:
+		// f ⊇ ¬g holds only when f covers its whole dimension.
+		return a.F.Total()
+	}
+}
+
+// literalsContradict reports whether two literals of one conjunctive
+// clause cannot hold simultaneously (making the clause unsatisfiable).
+func literalsContradict(a, b Literal) bool {
+	if a.F.Dimension() != b.F.Dimension() {
+		return false
+	}
+	switch {
+	case !a.Neg && !b.Neg:
+		return a.F.DisjointWith(b.F) || b.F.DisjointWith(a.F)
+	case a.Neg && !b.Neg:
+		// ¬f ∧ g = ∅ ⇔ g ⊆ f
+		return a.F.Includes(b.F)
+	case !a.Neg && b.Neg:
+		return b.F.Includes(a.F)
+	default:
+		// ¬f ∧ ¬g: empty only if f ∪ g covers the dimension; conservative.
+		return false
+	}
+}
+
+// conjUnsatisfiable reports whether a conjunctive clause is empty
+// (contains contradictory literals). Conservative: false when unsure.
+func conjUnsatisfiable(x Clause) bool {
+	for i := range x {
+		if !x[i].Neg && x[i].F.Total() {
+			continue
+		}
+		for j := i + 1; j < len(x); j++ {
+			if literalsContradict(x[i], x[j]) {
+				return true
+			}
+		}
+		// A negated total literal is itself empty.
+		if x[i].Neg && x[i].F.Total() {
+			return true
+		}
+	}
+	return false
+}
+
+// disjClauseIncludesConj implements Algorithm 1's step 2 on one pair: a
+// disjunctive clause (from the left CNF) against a conjunctive clause
+// (from the right DNF).
+func disjClauseIncludesConj(a, x Clause) bool {
+	// A clause containing a positive total literal admits everything.
+	for _, lit := range a {
+		if !lit.Neg && lit.F.Total() {
+			return true
+		}
+	}
+	// An unsatisfiable conjunction is the empty set, included in anything.
+	if conjUnsatisfiable(x) {
+		return true
+	}
+	for _, lit := range a {
+		for _, xLit := range x {
+			if literalIncludes(lit, xLit) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Includes reports whether filter expression a includes (permits at least
+// everything permitted by) filter expression b, per Algorithm 1. A nil
+// expression is unrestricted. The result is conservative: false with a
+// nil error means inclusion could not be established; ErrExprTooLarge
+// signals the expressions exceeded the normalization budget.
+func Includes(a, b Expr) (bool, error) {
+	if a == nil {
+		return true, nil
+	}
+	cnfA, err := ToCNF(a)
+	if err != nil {
+		return false, err
+	}
+	dnfB, err := ToDNF(b)
+	if err != nil {
+		return false, err
+	}
+	for _, clauseA := range cnfA {
+		for _, clauseB := range dnfB {
+			if !disjClauseIncludesConj(clauseA, clauseB) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Equivalent reports mutual inclusion of two filter expressions.
+func Equivalent(a, b Expr) (bool, error) {
+	ab, err := Includes(a, b)
+	if err != nil || !ab {
+		return false, err
+	}
+	return Includes(b, a)
+}

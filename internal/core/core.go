@@ -1,0 +1,21 @@
+// Package core implements SDNShield's permission model — the paper's
+// primary contribution (§IV–§V). It defines:
+//
+//   - permission tokens (Table II): the coarse-grained privileges dividing
+//     app behaviour along SDN resources × actions, plus host-system tokens;
+//   - singleton permission filters: fine-grained predicates over the
+//     runtime attributes of an API call (flow predicate, actions,
+//     ownership, priority, table size, packet-out provenance, topology,
+//     callbacks, statistics granularity);
+//   - filter expressions: AND/OR/NOT compositions of singleton filters;
+//   - the comparison algebra (Algorithm 1): a sound, conservative
+//     inclusion test on filter expressions via CNF/DNF normalization and
+//     per-dimension singleton comparison;
+//   - permission sets with the MEET/JOIN/inclusion operations the
+//     reconciliation engine (§V-B) is built on.
+//
+// The package is purely algebraic: it never touches the controller. The
+// permission engine (internal/permengine) feeds it Call values describing
+// mediated API invocations; the reconciliation engine
+// (internal/reconcile) manipulates its permission sets.
+package core

@@ -1,0 +1,54 @@
+package core
+
+// Filter is a singleton permission filter (§IV-B): a predicate over one
+// attribute dimension of an API call. Filters on different dimensions are
+// independent — they never include or exclude each other — which is what
+// makes Algorithm 1's per-dimension comparison sound.
+//
+// Implementations must be immutable after construction: the permission
+// engine shares compiled filters across concurrent checks.
+type Filter interface {
+	// Dimension names the attribute axis the filter inspects. Two filters
+	// are comparable only when their dimensions are equal.
+	Dimension() string
+
+	// Test labels the call. applicable is false when the call does not
+	// carry the attribute this filter inspects; such filters pass the call
+	// through unmodified (the paper: a singleton filter "is only effective
+	// to modify a subset of permissions that contain the specific
+	// attributes it inspects").
+	Test(call *Call) (matched, applicable bool)
+
+	// Includes reports whether every call this filter labels true is also
+	// labeled true by the receiver. It must be conservative: returning
+	// false when unsure is sound, returning true when wrong is not.
+	// Callers guarantee other has the same dimension.
+	Includes(other Filter) bool
+
+	// DisjointWith reports whether no call can be labeled true by both
+	// filters. Conservative in the same direction as Includes.
+	DisjointWith(other Filter) bool
+
+	// Total reports whether the filter labels every applicable call true.
+	Total() bool
+
+	// Equal reports structural equality.
+	Equal(other Filter) bool
+
+	// String renders the filter in permission-language syntax.
+	String() string
+}
+
+// Filter dimensions. Predicate and wildcard filters append the field name
+// so that, e.g., an IP_SRC predicate never constrains an IP_DST predicate.
+const (
+	DimAction    = "action"
+	DimOwner     = "owner"
+	DimPriority  = "priority"
+	DimTableSize = "tablesize"
+	DimPktOut    = "pktout"
+	DimPhysTopo  = "topo"
+	DimVirtTopo  = "topo:virt"
+	DimCallback  = "callback"
+	DimStats     = "stats"
+)

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"testing"
+
+	"sdnshield/internal/of"
+)
+
+// insertCall builds a flow-insert call with the given match, the shape the
+// predicate/wildcard/action filters are usually checked against.
+func insertCall(app string, match *of.Match, actions []of.Action) *Call {
+	return &Call{
+		App:          app,
+		Token:        TokenInsertFlow,
+		DPID:         1,
+		HasDPID:      true,
+		Match:        match,
+		Actions:      actions,
+		Priority:     100,
+		HasPriority:  true,
+		HasRuleCount: true,
+		HasFlowOwner: true,
+	}
+}
+
+func subnet(a, b, c, d byte, bits int) (uint64, uint64) {
+	return uint64(of.IPv4FromOctets(a, b, c, d)), uint64(of.PrefixMask(bits))
+}
+
+func TestPredFilterTest(t *testing.T) {
+	v, m := subnet(10, 13, 0, 0, 16)
+	f := NewPredFilter(of.FieldIPDst, v, m)
+
+	inside := of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 13, 7, 7)))
+	outside := of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 14, 7, 7)))
+	narrower := of.NewMatch()
+	nv, nm := subnet(10, 13, 7, 0, 24)
+	narrower.SetMasked(of.FieldIPDst, nv, nm)
+	wider := of.NewMatch()
+	wv, wm := subnet(10, 0, 0, 0, 8)
+	wider.SetMasked(of.FieldIPDst, wv, wm)
+
+	tests := []struct {
+		name  string
+		match *of.Match
+		want  bool
+	}{
+		{"exact ip inside", inside, true},
+		{"exact ip outside", outside, false},
+		{"narrower subnet", narrower, true},
+		{"wider subnet rejected", wider, false},
+		{"wildcarded field rejected", of.NewMatch(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, applicable := f.Test(insertCall("app", tt.match, nil))
+			if !applicable {
+				t.Fatal("filter should be applicable to flow calls")
+			}
+			if got != tt.want {
+				t.Errorf("Test = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPredFilterHostNetworkMapping(t *testing.T) {
+	// The paper's "network_access LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0".
+	v, m := subnet(10, 1, 0, 0, 16)
+	f := NewPredFilter(of.FieldIPDst, v, m)
+
+	adminCall := &Call{App: "monitor", Token: TokenHostNetwork,
+		HostIP: of.IPv4FromOctets(10, 1, 3, 4), HostPort: 443, HasHostIP: true}
+	attackerCall := &Call{App: "monitor", Token: TokenHostNetwork,
+		HostIP: of.IPv4FromOctets(203, 0, 113, 5), HostPort: 80, HasHostIP: true}
+
+	if got, app := f.Test(adminCall); !app || !got {
+		t.Errorf("admin-range connect = (%v,%v), want allow", got, app)
+	}
+	if got, app := f.Test(attackerCall); !app || got {
+		t.Errorf("attacker connect = (%v,%v), want deny", got, app)
+	}
+	// Filter is inapplicable to calls without the attribute.
+	if _, app := f.Test(&Call{App: "x", Token: TokenFileSystem, Path: "/etc"}); app {
+		t.Error("IP filter should not apply to file-system calls")
+	}
+}
+
+func TestPredFilterIncludesDisjoint(t *testing.T) {
+	v16, m16 := subnet(10, 13, 0, 0, 16)
+	v24, m24 := subnet(10, 13, 7, 0, 24)
+	vOther, _ := subnet(10, 14, 0, 0, 16)
+
+	wide := NewPredFilter(of.FieldIPDst, v16, m16)
+	narrow := NewPredFilter(of.FieldIPDst, v24, m24)
+	other := NewPredFilter(of.FieldIPDst, vOther, m16)
+	srcWide := NewPredFilter(of.FieldIPSrc, v16, m16)
+
+	if !wide.Includes(narrow) {
+		t.Error("/16 should include /24 (paper §V-B example)")
+	}
+	if narrow.Includes(wide) {
+		t.Error("/24 must not include /16")
+	}
+	if !wide.Includes(wide) {
+		t.Error("inclusion must be reflexive")
+	}
+	if wide.Includes(other) || other.Includes(wide) {
+		t.Error("disjoint subnets must not include each other")
+	}
+	if !wide.DisjointWith(other) {
+		t.Error("10.13/16 and 10.14/16 are disjoint")
+	}
+	if wide.DisjointWith(narrow) {
+		t.Error("nested subnets are not disjoint")
+	}
+	if wide.Includes(srcWide) || srcWide.Includes(wide) {
+		t.Error("different fields are incomparable")
+	}
+	if wide.DisjointWith(srcWide) {
+		t.Error("different fields are never disjoint")
+	}
+}
+
+func TestWildcardFilter(t *testing.T) {
+	// Paper's load balancer: upper 24 bits of IP_DST must stay wildcarded.
+	req := uint64(of.PrefixMask(24))
+	f := NewWildcardFilter(of.FieldIPDst, req)
+
+	okMatch := of.NewMatch().SetMasked(of.FieldIPDst, 0x07, uint64(of.IPv4(0x000000ff)))
+	badMatch := of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 0, 0, 7)))
+
+	if got, app := f.Test(insertCall("lb", okMatch, nil)); !app || !got {
+		t.Errorf("low-8-bit rule = (%v,%v), want allow", got, app)
+	}
+	if got, app := f.Test(insertCall("lb", badMatch, nil)); !app || got {
+		t.Errorf("full-IP rule = (%v,%v), want deny", got, app)
+	}
+	if got, app := f.Test(insertCall("lb", of.NewMatch(), nil)); !app || !got {
+		t.Errorf("fully wildcarded rule = (%v,%v), want allow", got, app)
+	}
+
+	less := NewWildcardFilter(of.FieldIPDst, uint64(of.PrefixMask(16)))
+	if !less.Includes(f) {
+		t.Error("requiring fewer wildcard bits is more permissive")
+	}
+	if f.Includes(less) {
+		t.Error("requiring more wildcard bits must not include fewer")
+	}
+	if f.DisjointWith(less) {
+		t.Error("wildcard filters never disjoint")
+	}
+	if !NewWildcardFilter(of.FieldIPDst, 0).Total() {
+		t.Error("zero requirement is total")
+	}
+}
+
+func TestActionFilter(t *testing.T) {
+	fwd := NewActionFilter(ActionClassForward)
+	drop := NewActionFilter(ActionClassDrop)
+	modAny := NewModifyActionFilter(0)
+	modDst := NewModifyActionFilter(of.FieldIPDst)
+
+	tests := []struct {
+		name    string
+		filter  *ActionFilter
+		actions []of.Action
+		want    bool
+	}{
+		{"fwd allows output", fwd, []of.Action{of.Output(3)}, true},
+		{"fwd allows flood", fwd, []of.Action{of.Flood()}, true},
+		{"fwd rejects modify", fwd, []of.Action{of.SetField(of.FieldIPDst, 1), of.Output(2)}, false},
+		{"fwd rejects drop", fwd, []of.Action{of.Drop()}, false},
+		{"drop allows drop", drop, []of.Action{of.Drop()}, true},
+		{"drop allows empty list", drop, []of.Action{}, true},
+		{"drop rejects output", drop, []of.Action{of.Output(1)}, false},
+		{"modify allows rewrite+fwd", modAny, []of.Action{of.SetField(of.FieldIPDst, 1), of.Output(2)}, true},
+		{"modify allows pure fwd", modAny, []of.Action{of.Output(2)}, true},
+		{"modify rejects drop", modAny, []of.Action{of.Drop()}, false},
+		{"modify field hit", modDst, []of.Action{of.SetField(of.FieldIPDst, 1), of.Output(2)}, true},
+		{"modify field miss", modDst, []of.Action{of.SetField(of.FieldIPSrc, 1), of.Output(2)}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, app := tt.filter.Test(insertCall("app", of.NewMatch(), tt.actions))
+			if !app {
+				t.Fatal("action filter should apply to calls with actions")
+			}
+			if got != tt.want {
+				t.Errorf("Test = %v, want %v", got, tt.want)
+			}
+		})
+	}
+
+	if _, app := fwd.Test(&Call{Token: TokenReadStatistics, StatsLevel: of.StatsPort}); app {
+		t.Error("action filter should not apply to stats calls")
+	}
+	if !modAny.Includes(modDst) || modDst.Includes(modAny) {
+		t.Error("MODIFY(any) strictly includes MODIFY(field)")
+	}
+	if !modAny.Includes(fwd) {
+		t.Error("MODIFY includes FORWARD (rewrite rules may end in a forward)")
+	}
+	if !fwd.DisjointWith(drop) || !drop.DisjointWith(modAny) {
+		t.Error("FORWARD/DROP and DROP/MODIFY are disjoint")
+	}
+	if fwd.DisjointWith(modAny) {
+		t.Error("FORWARD overlaps MODIFY")
+	}
+	if !NewModifyActionFilter(of.FieldIPSrc).DisjointWith(modDst) {
+		t.Error("MODIFY on different fields is disjoint")
+	}
+}
+
+func TestOwnerFilter(t *testing.T) {
+	own := NewOwnerFilter(true)
+	all := NewOwnerFilter(false)
+
+	mine := insertCall("router", of.NewMatch(), nil)
+	mine.FlowOwner = "router"
+	theirs := insertCall("router", of.NewMatch(), nil)
+	theirs.FlowOwner = "firewall"
+	fresh := insertCall("router", of.NewMatch(), nil) // no owner: new flow
+
+	if got, _ := own.Test(mine); !got {
+		t.Error("own flow should pass OWN_FLOWS")
+	}
+	if got, _ := own.Test(theirs); got {
+		t.Error("foreign flow must fail OWN_FLOWS")
+	}
+	if got, _ := own.Test(fresh); !got {
+		t.Error("new flow belongs to its creator")
+	}
+	if got, _ := all.Test(theirs); !got {
+		t.Error("ALL_FLOWS admits everything")
+	}
+	if !all.Includes(own) || own.Includes(all) {
+		t.Error("ALL_FLOWS strictly includes OWN_FLOWS")
+	}
+	if !all.Total() || own.Total() {
+		t.Error("totality misreported")
+	}
+}
+
+func TestPriorityFilter(t *testing.T) {
+	max100 := NewMaxPriorityFilter(100)
+	max200 := NewMaxPriorityFilter(200)
+	min150 := NewMinPriorityFilter(150)
+	min50 := NewMinPriorityFilter(50)
+
+	call := insertCall("app", of.NewMatch(), nil)
+	call.Priority = 120
+	if got, _ := max100.Test(call); got {
+		t.Error("priority 120 must fail MAX_PRIORITY 100")
+	}
+	if got, _ := max200.Test(call); !got {
+		t.Error("priority 120 passes MAX_PRIORITY 200")
+	}
+	if got, _ := min150.Test(call); got {
+		t.Error("priority 120 must fail MIN_PRIORITY 150")
+	}
+	if got, _ := min50.Test(call); !got {
+		t.Error("priority 120 passes MIN_PRIORITY 50")
+	}
+
+	if !max200.Includes(max100) || max100.Includes(max200) {
+		t.Error("larger MAX bound includes smaller")
+	}
+	if !min50.Includes(min150) || min150.Includes(min50) {
+		t.Error("smaller MIN bound includes larger")
+	}
+	if max200.Includes(min50) || min50.Includes(max200) {
+		t.Error("MAX and MIN are incomparable (conservatively)")
+	}
+	if !max100.DisjointWith(min150) {
+		t.Error("MAX 100 and MIN 150 are disjoint")
+	}
+	if max200.DisjointWith(min150) {
+		t.Error("MAX 200 and MIN 150 overlap")
+	}
+	if !NewMaxPriorityFilter(0xffff).Total() || !NewMinPriorityFilter(0).Total() {
+		t.Error("extreme bounds are total")
+	}
+}
+
+func TestTableSizeFilter(t *testing.T) {
+	f := NewTableSizeFilter(10)
+	call := insertCall("app", of.NewMatch(), nil)
+	call.RuleCount = 9
+	if got, _ := f.Test(call); !got {
+		t.Error("9 < 10 should pass")
+	}
+	call.RuleCount = 10
+	if got, _ := f.Test(call); got {
+		t.Error("10 rules hit the cap")
+	}
+	if !NewTableSizeFilter(20).Includes(f) || f.Includes(NewTableSizeFilter(20)) {
+		t.Error("larger cap includes smaller")
+	}
+}
+
+func TestPktOutFilter(t *testing.T) {
+	fromIn := NewPktOutFilter(false)
+	arb := NewPktOutFilter(true)
+
+	buffered := &Call{App: "a", Token: TokenSendPktOut, FromPktIn: true, HasProvenance: true}
+	forged := &Call{App: "a", Token: TokenSendPktOut, FromPktIn: false, HasProvenance: true}
+
+	if got, _ := fromIn.Test(buffered); !got {
+		t.Error("buffered pkt-out passes FROM_PKT_IN")
+	}
+	if got, _ := fromIn.Test(forged); got {
+		t.Error("forged pkt-out must fail FROM_PKT_IN")
+	}
+	if got, _ := arb.Test(forged); !got {
+		t.Error("ARBITRARY admits forged payloads")
+	}
+	if !arb.Includes(fromIn) || fromIn.Includes(arb) {
+		t.Error("ARBITRARY strictly includes FROM_PKT_IN")
+	}
+	if !arb.Total() || fromIn.Total() {
+		t.Error("totality misreported")
+	}
+}
+
+func TestPhysTopoFilter(t *testing.T) {
+	f := NewPhysTopoFilter([]of.DPID{1, 2, 3})
+
+	visible := &Call{Token: TokenVisibleTopology, Switches: []of.DPID{1, 3},
+		Links: []LinkID{NewLinkID(1, 3)}}
+	hidden := &Call{Token: TokenVisibleTopology, Switches: []of.DPID{1, 9}}
+	crossLink := &Call{Token: TokenVisibleTopology, Links: []LinkID{NewLinkID(1, 9)}}
+
+	if got, app := f.Test(visible); !app || !got {
+		t.Errorf("in-scope topology call = (%v,%v), want allow", got, app)
+	}
+	if got, _ := f.Test(hidden); got {
+		t.Error("switch 9 is outside the filter")
+	}
+	if got, _ := f.Test(crossLink); got {
+		t.Error("link to hidden switch must be denied")
+	}
+	dpidCall := &Call{Token: TokenInsertFlow, DPID: 2, HasDPID: true,
+		Match: of.NewMatch(), HasFlowOwner: true}
+	if got, _ := f.Test(dpidCall); !got {
+		t.Error("flow-mod on permitted switch passes")
+	}
+	dpidCall.DPID = 7
+	if got, _ := f.Test(dpidCall); got {
+		t.Error("flow-mod on hidden switch fails")
+	}
+
+	sub := NewPhysTopoFilter([]of.DPID{1, 2})
+	if !f.Includes(sub) || sub.Includes(f) {
+		t.Error("superset switch set includes subset")
+	}
+	other := NewPhysTopoFilter([]of.DPID{8, 9})
+	if !f.DisjointWith(other) {
+		t.Error("disjoint switch sets are disjoint")
+	}
+
+	explicit := NewPhysTopoFilterWithLinks([]of.DPID{1, 2, 3}, []LinkID{NewLinkID(1, 2)})
+	if explicit.AllowsLink(NewLinkID(2, 3)) {
+		t.Error("explicit link set excludes unlisted links")
+	}
+	if !f.Includes(explicit) {
+		t.Error("derived links over {1,2,3} cover explicit {1-2}")
+	}
+	if explicit.Includes(f) {
+		t.Error("explicit {1-2} cannot cover derived links of {1,2,3}")
+	}
+	if !explicit.Includes(NewPhysTopoFilterWithLinks([]of.DPID{1, 2}, []LinkID{NewLinkID(1, 2)})) {
+		t.Error("explicit superset should include explicit subset")
+	}
+}
+
+func TestVirtTopoFilter(t *testing.T) {
+	big := NewSingleBigSwitchFilter()
+	virtualCall := &Call{Token: TokenInsertFlow, DPID: 0, HasDPID: true,
+		Match: of.NewMatch(), HasFlowOwner: true}
+	physCall := &Call{Token: TokenInsertFlow, DPID: 4, HasDPID: true,
+		Match: of.NewMatch(), HasFlowOwner: true}
+
+	if got, app := big.Test(virtualCall); !app || !got {
+		t.Errorf("virtual switch call = (%v,%v), want allow", got, app)
+	}
+	if got, _ := big.Test(physCall); got {
+		t.Error("physical DPID must be invisible behind a big switch")
+	}
+
+	mapped := NewMappedTopoFilter(map[of.DPID][]of.DPID{100: {1, 2}, 101: {3}})
+	vc := &Call{Token: TokenVisibleTopology, Switches: []of.DPID{100, 101}}
+	if got, _ := mapped.Test(vc); !got {
+		t.Error("virtual ids are visible")
+	}
+	pc := &Call{Token: TokenVisibleTopology, Switches: []of.DPID{1}}
+	if got, _ := mapped.Test(pc); got {
+		t.Error("physical ids are hidden")
+	}
+	if !mapped.Equal(NewMappedTopoFilter(map[of.DPID][]of.DPID{101: {3}, 100: {2, 1}})) {
+		t.Error("equality should be order-insensitive")
+	}
+	if mapped.Equal(big) || big.Includes(mapped) {
+		t.Error("different modes differ")
+	}
+}
+
+func TestCallbackFilter(t *testing.T) {
+	intercept := NewCallbackFilter(CallbackIntercept)
+	observe := &Call{Token: TokenPktInEvent, Event: CallbackObserve}
+	doIntercept := &Call{Token: TokenPktInEvent, Event: CallbackIntercept}
+	reorder := &Call{Token: TokenPktInEvent, Event: CallbackReorder}
+
+	if got, _ := intercept.Test(observe); !got {
+		t.Error("plain observation always passes")
+	}
+	if got, _ := intercept.Test(doIntercept); !got {
+		t.Error("granted interception passes")
+	}
+	if got, _ := intercept.Test(reorder); got {
+		t.Error("reordering requires its own grant")
+	}
+}
+
+func TestStatsFilter(t *testing.T) {
+	port := NewStatsFilter(of.StatsPort)
+	flowCall := &Call{Token: TokenReadStatistics, StatsLevel: of.StatsFlow}
+	portCall := &Call{Token: TokenReadStatistics, StatsLevel: of.StatsPort}
+	switchCall := &Call{Token: TokenReadStatistics, StatsLevel: of.StatsSwitch}
+
+	if got, _ := port.Test(flowCall); got {
+		t.Error("PORT_LEVEL must hide per-flow counters")
+	}
+	if got, _ := port.Test(portCall); !got {
+		t.Error("PORT_LEVEL admits port stats")
+	}
+	if got, _ := port.Test(switchCall); !got {
+		t.Error("coarser queries pass")
+	}
+
+	flow := NewStatsFilter(of.StatsFlow)
+	if !flow.Includes(port) || port.Includes(flow) {
+		t.Error("FLOW_LEVEL strictly includes PORT_LEVEL")
+	}
+	if !flow.Total() || port.Total() {
+		t.Error("totality misreported")
+	}
+}
+
+func TestFilterStringRendering(t *testing.T) {
+	v, m := subnet(10, 13, 0, 0, 16)
+	tests := []struct {
+		f    Filter
+		want string
+	}{
+		{NewPredFilter(of.FieldIPDst, v, m), "IP_DST 10.13.0.0 MASK 255.255.0.0"},
+		{NewPredFilter(of.FieldTPDst, 80, of.FullMask(of.FieldTPDst)), "TCP_DST 80"},
+		{NewWildcardFilter(of.FieldIPDst, uint64(of.PrefixMask(24))), "WILDCARD IP_DST 255.255.255.0"},
+		{NewActionFilter(ActionClassForward), "ACTION FORWARD"},
+		{NewModifyActionFilter(of.FieldIPDst), "ACTION MODIFY IP_DST"},
+		{NewOwnerFilter(true), "OWN_FLOWS"},
+		{NewMaxPriorityFilter(500), "MAX_PRIORITY 500"},
+		{NewTableSizeFilter(128), "MAX_RULE_COUNT 128"},
+		{NewPktOutFilter(false), "FROM_PKT_IN"},
+		{NewPhysTopoFilter([]of.DPID{2, 1}), "SWITCH {1,2}"},
+		{NewSingleBigSwitchFilter(), "VIRTUAL SINGLE_BIG_SWITCH"},
+		{NewCallbackFilter(CallbackIntercept), "EVENT_INTERCEPTION"},
+		{NewStatsFilter(of.StatsPort), "PORT_LEVEL"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestFilterEqual(t *testing.T) {
+	v, m := subnet(10, 13, 0, 0, 16)
+	pool := []Filter{
+		NewPredFilter(of.FieldIPDst, v, m),
+		NewPredFilter(of.FieldIPSrc, v, m),
+		NewWildcardFilter(of.FieldIPDst, m),
+		NewActionFilter(ActionClassForward),
+		NewOwnerFilter(true),
+		NewMaxPriorityFilter(100),
+		NewTableSizeFilter(10),
+		NewPktOutFilter(true),
+		NewPhysTopoFilter([]of.DPID{1, 2}),
+		NewSingleBigSwitchFilter(),
+		NewCallbackFilter(CallbackIntercept),
+		NewStatsFilter(of.StatsPort),
+	}
+	for i, a := range pool {
+		for j, b := range pool {
+			if (i == j) != a.Equal(b) {
+				t.Errorf("Equal(%s, %s) = %v", a, b, a.Equal(b))
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sdnshield/internal/of"
+)
+
+func monitorTemplate() *Set {
+	// §V-A: monitoring apps may read topology, port-level statistics, and
+	// talk to collectors in 192.168.0.0/16.
+	return NewSetOf(
+		Permission{Token: TokenVisibleTopology},
+		Permission{Token: TokenReadStatistics, Filter: NewLeaf(NewStatsFilter(of.StatsPort))},
+		Permission{Token: TokenHostNetwork, Filter: NewLeaf(ipDstFilter(192, 168, 0, 0, 16))},
+	)
+}
+
+func TestSetGrantAndAllows(t *testing.T) {
+	s := monitorTemplate()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	okCall := &Call{App: "m", Token: TokenReadStatistics, StatsLevel: of.StatsPort}
+	fineCall := &Call{App: "m", Token: TokenReadStatistics, StatsLevel: of.StatsFlow}
+	noPerm := &Call{App: "m", Token: TokenInsertFlow, Match: of.NewMatch(), HasFlowOwner: true}
+
+	if !s.Allows(okCall) {
+		t.Error("port stats should be allowed")
+	}
+	if s.Allows(fineCall) {
+		t.Error("flow stats must be denied")
+	}
+	if s.Allows(noPerm) {
+		t.Error("missing token must deny")
+	}
+	connect := &Call{App: "m", Token: TokenHostNetwork,
+		HostIP: of.IPv4FromOctets(192, 168, 3, 3), HasHostIP: true}
+	if !s.Allows(connect) {
+		t.Error("collector range connect allowed")
+	}
+	connect.HostIP = of.IPv4FromOctets(8, 8, 8, 8)
+	if s.Allows(connect) {
+		t.Error("outside collector range must deny")
+	}
+}
+
+func TestSetGrantWidens(t *testing.T) {
+	s := NewSet()
+	s.Grant(TokenReadFlowTable, NewLeaf(NewOwnerFilter(true)))
+	s.Grant(TokenReadFlowTable, NewLeaf(ipDstFilter(10, 13, 0, 0, 16)))
+
+	foreignInSubnet := &Call{App: "a", Token: TokenReadFlowTable,
+		Match:     of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 13, 1, 1))),
+		FlowOwner: "other", HasFlowOwner: true}
+	if !s.Allows(foreignInSubnet) {
+		t.Error("second grant must widen via OR")
+	}
+	// Granting unconditionally absorbs the filters.
+	s.Grant(TokenReadFlowTable, nil)
+	if f, ok := s.FilterFor(TokenReadFlowTable); !ok || f != nil {
+		t.Error("nil grant should make the token unconditional")
+	}
+	if s.Len() != 1 {
+		t.Error("re-granting must not duplicate tokens")
+	}
+}
+
+func TestSetRestrictRevoke(t *testing.T) {
+	s := monitorTemplate()
+	s.Restrict(TokenHostNetwork, NewLeaf(NewPredFilter(of.FieldTPDst, 443, of.FullMask(of.FieldTPDst))))
+	call := &Call{App: "m", Token: TokenHostNetwork,
+		HostIP: of.IPv4FromOctets(192, 168, 3, 3), HostPort: 80, HasHostIP: true}
+	if s.Allows(call) {
+		t.Error("restricted port must deny 80")
+	}
+	call.HostPort = 443
+	if !s.Allows(call) {
+		t.Error("443 should pass")
+	}
+	// Restricting an unconditional grant installs the filter.
+	s.Restrict(TokenVisibleTopology, NewLeaf(NewPhysTopoFilter([]of.DPID{1}))) // unconditional before
+	topoCall := &Call{App: "m", Token: TokenVisibleTopology, Switches: []of.DPID{2}}
+	if s.Allows(topoCall) {
+		t.Error("restriction on unconditional grant must bite")
+	}
+	// Restricting an absent token is a no-op.
+	s.Restrict(TokenInsertFlow, NewLeaf(NewOwnerFilter(true)))
+	if s.Has(TokenInsertFlow) {
+		t.Error("restrict must not grant")
+	}
+
+	s.Revoke(TokenHostNetwork)
+	if s.Has(TokenHostNetwork) || s.Len() != 2 {
+		t.Error("revoke failed")
+	}
+	s.Revoke(TokenHostNetwork) // idempotent
+}
+
+func TestSetMeet(t *testing.T) {
+	requested := NewSetOf(
+		Permission{Token: TokenVisibleTopology},
+		Permission{Token: TokenReadStatistics}, // unconditioned: wants flow level too
+		Permission{Token: TokenHostNetwork},    // wants everywhere
+		Permission{Token: TokenInsertFlow},     // not in template at all
+	)
+	bounded := requested.Meet(monitorTemplate())
+
+	if bounded.Has(TokenInsertFlow) {
+		t.Error("meet must drop tokens absent from the boundary")
+	}
+	statsCall := &Call{App: "m", Token: TokenReadStatistics, StatsLevel: of.StatsFlow}
+	if bounded.Allows(statsCall) {
+		t.Error("meet must narrow stats to port level")
+	}
+	statsCall.StatsLevel = of.StatsPort
+	if !bounded.Allows(statsCall) {
+		t.Error("port stats survive the meet")
+	}
+	// Meet result must be included in both operands.
+	if inc, err := monitorTemplate().Includes(bounded); err != nil || !inc {
+		t.Errorf("template must include meet: (%v,%v)", inc, err)
+	}
+	if inc, err := requested.Includes(bounded); err != nil || !inc {
+		t.Errorf("request must include meet: (%v,%v)", inc, err)
+	}
+}
+
+func TestSetJoin(t *testing.T) {
+	a := NewSetOf(
+		Permission{Token: TokenReadStatistics, Filter: NewLeaf(NewStatsFilter(of.StatsPort))},
+		Permission{Token: TokenVisibleTopology},
+	)
+	b := NewSetOf(
+		Permission{Token: TokenReadStatistics, Filter: NewLeaf(NewStatsFilter(of.StatsFlow))},
+		Permission{Token: TokenPktInEvent},
+	)
+	j := a.Join(b)
+	if !j.Has(TokenPktInEvent) || !j.Has(TokenVisibleTopology) {
+		t.Error("join must union tokens")
+	}
+	if !j.Allows(&Call{App: "x", Token: TokenReadStatistics, StatsLevel: of.StatsFlow}) {
+		t.Error("join widens stats to flow level")
+	}
+	// Join includes both operands.
+	for _, op := range []*Set{a, b} {
+		if inc, err := j.Includes(op); err != nil || !inc {
+			t.Errorf("join must include operand: (%v,%v)", inc, err)
+		}
+	}
+}
+
+func TestSetIncludesScenario(t *testing.T) {
+	// ASSERT monitorAppPerm <= templatePerm from §V-A.
+	template := monitorTemplate()
+
+	conforming := NewSetOf(
+		Permission{Token: TokenReadStatistics, Filter: NewLeaf(NewStatsFilter(of.StatsSwitch))},
+		Permission{Token: TokenHostNetwork, Filter: NewLeaf(ipDstFilter(192, 168, 7, 0, 24))},
+	)
+	if inc, err := template.Includes(conforming); err != nil || !inc {
+		t.Errorf("conforming app must satisfy boundary: (%v,%v)", inc, err)
+	}
+
+	violating := NewSetOf(
+		Permission{Token: TokenReadStatistics, Filter: NewLeaf(NewStatsFilter(of.StatsFlow))},
+	)
+	if inc, _ := template.Includes(violating); inc {
+		t.Error("flow-level stats exceed the boundary")
+	}
+
+	extraToken := NewSetOf(Permission{Token: TokenInsertFlow})
+	if inc, _ := template.Includes(extraToken); inc {
+		t.Error("token outside boundary must fail")
+	}
+}
+
+func TestSetEqualCloneString(t *testing.T) {
+	s := monitorTemplate()
+	c := s.Clone()
+	if eq, err := s.Equal(c); err != nil || !eq {
+		t.Errorf("clone must be equal: (%v,%v)", eq, err)
+	}
+	c.Revoke(TokenHostNetwork)
+	if eq, _ := s.Equal(c); eq {
+		t.Error("modified clone differs")
+	}
+	if s.Has(TokenHostNetwork) != true {
+		t.Error("clone mutation leaked into original")
+	}
+
+	str := s.String()
+	for _, want := range []string{
+		"PERM visible_topology",
+		"PERM read_statistics LIMITING PORT_LEVEL",
+		"PERM host_network LIMITING IP_DST 192.168.0.0 MASK 255.255.0.0",
+	} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestPermissionString(t *testing.T) {
+	p := Permission{Token: TokenInsertFlow,
+		Filter: &And{L: NewLeaf(NewActionFilter(ActionClassForward)), R: NewLeaf(NewOwnerFilter(true))}}
+	want := "PERM insert_flow LIMITING (ACTION FORWARD AND OWN_FLOWS)"
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := (Permission{Token: TokenFlowEvent}).String(); got != "PERM flow_event" {
+		t.Errorf("String = %q", got)
+	}
+}

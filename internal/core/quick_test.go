@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sdnshield/internal/of"
+)
+
+// genSet draws a random permission set over a fixed token population and
+// the shared filter pool.
+func genSet(r *rand.Rand) *Set {
+	tokens := []Token{
+		TokenInsertFlow, TokenReadFlowTable, TokenReadStatistics,
+		TokenSendPktOut, TokenPktInEvent, TokenHostNetwork,
+	}
+	pool := filterPool()
+	s := NewSet()
+	n := 1 + r.Intn(len(tokens))
+	for i := 0; i < n; i++ {
+		tok := tokens[r.Intn(len(tokens))]
+		var filter Expr
+		if r.Intn(4) != 0 {
+			filter = randomExpr(r, pool, 2)
+		}
+		s.Grant(tok, filter)
+	}
+	return s
+}
+
+// setPair is a quick.Generator producing two random sets and a call.
+type setPair struct {
+	a, b *Set
+	call *Call
+}
+
+// Generate implements quick.Generator.
+func (setPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(setPair{a: genSet(r), b: genSet(r), call: randomFullCall(r)})
+}
+
+func TestQuickMeetIsLowerBound(t *testing.T) {
+	// Any call allowed by A MEET B must be allowed by both A and B.
+	f := func(p setPair) bool {
+		meet := p.a.Meet(p.b)
+		for _, tok := range []Token{TokenInsertFlow, TokenReadStatistics, TokenSendPktOut} {
+			call := *p.call
+			call.Token = tok
+			if meet.Allows(&call) && (!p.a.Allows(&call) || !p.b.Allows(&call)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIsUpperBound(t *testing.T) {
+	// Any call allowed by A or by B must be allowed by A JOIN B.
+	f := func(p setPair) bool {
+		join := p.a.Join(p.b)
+		for _, tok := range []Token{TokenInsertFlow, TokenReadStatistics, TokenSendPktOut} {
+			call := *p.call
+			call.Token = tok
+			if (p.a.Allows(&call) || p.b.Allows(&call)) && !join.Allows(&call) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeetJoinIncludesAlgebra(t *testing.T) {
+	// Algorithm 1 must certify the lattice bounds: A ⊇ A MEET B and
+	// A JOIN B ⊇ A.
+	f := func(p setPair) bool {
+		meet := p.a.Meet(p.b)
+		if inc, err := p.a.Includes(meet); err != nil || !inc {
+			return false
+		}
+		join := p.a.Join(p.b)
+		inc, err := join.Includes(p.a)
+		return err == nil && inc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIncludesIsSoundOnSets(t *testing.T) {
+	// If Includes claims A ⊇ B, no call may be allowed by B but denied by
+	// A (the set-level version of the Algorithm 1 soundness property).
+	f := func(p setPair, seed int64) bool {
+		inc, err := p.a.Includes(p.b)
+		if err != nil || !inc {
+			return true // nothing claimed
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 30; i++ {
+			call := randomFullCall(r)
+			for _, tok := range p.b.Tokens() {
+				c := *call
+				c.Token = tok
+				if p.b.Allows(&c) && !p.a.Allows(&c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneIsEqual(t *testing.T) {
+	f := func(p setPair) bool {
+		c := p.a.Clone()
+		eq, err := p.a.Equal(c)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGrantMonotonic(t *testing.T) {
+	// Granting more never shrinks the allowed set.
+	f := func(p setPair) bool {
+		wider := p.a.Clone()
+		for _, perm := range p.b.Permissions() {
+			wider.Grant(perm.Token, perm.Filter)
+		}
+		for _, tok := range p.a.Tokens() {
+			call := *p.call
+			call.Token = tok
+			if p.a.Allows(&call) && !wider.Allows(&call) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMatchSubsumesSound(t *testing.T) {
+	// of.Match.Subsumes soundness via quick-generated packets.
+	f := func(dstA, dstB uint32, bitsA, bitsB uint8, port uint16, seed int64) bool {
+		a := of.NewMatch().SetMasked(of.FieldIPDst, uint64(dstA), uint64(of.PrefixMask(int(bitsA%33))))
+		b := of.NewMatch().
+			SetMasked(of.FieldIPDst, uint64(dstB), uint64(of.PrefixMask(int(bitsB%33)))).
+			Set(of.FieldTPDst, uint64(port))
+		if !a.Subsumes(b) {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			pkt := of.NewTCPPacket(of.MAC{1}, of.MAC{2},
+				of.IPv4(r.Uint32()), of.IPv4(dstB), uint16(r.Uint32()), port, 0)
+			// Force the packet into b's region.
+			v, m := b.Get(of.FieldIPDst)
+			pkt.IPDst = of.IPv4((uint64(pkt.IPDst) &^ m) | v)
+			inPort := uint16(r.Intn(8))
+			if b.MatchesPacket(pkt, inPort) && !a.MatchesPacket(pkt, inPort) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

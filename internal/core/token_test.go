@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func TestParseToken(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Token
+		ok   bool
+	}{
+		{"insert_flow", TokenInsertFlow, true},
+		{"read_flow_table", TokenReadFlowTable, true},
+		{"INSERT_FLOW", TokenInsertFlow, true},
+		{"  visible_topology ", TokenVisibleTopology, true},
+		// Paper alias spellings.
+		{"network_access", TokenHostNetwork, true},
+		{"send_packet_out", TokenSendPktOut, true},
+		{"read_topology", TokenVisibleTopology, true},
+		{"nonsense", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := ParseToken(tt.in)
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("ParseToken(%q) = (%v,%v), want (%v,%v)", tt.in, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	for _, tok := range AllTokens() {
+		if !tok.Valid() {
+			t.Errorf("token %d invalid", tok)
+		}
+		got, ok := ParseToken(tok.String())
+		if !ok || got != tok {
+			t.Errorf("round trip failed for %v", tok)
+		}
+	}
+	if len(AllTokens()) != NumTokens {
+		t.Errorf("AllTokens length %d != NumTokens %d", len(AllTokens()), NumTokens)
+	}
+}
+
+func TestTokenClassification(t *testing.T) {
+	tests := []struct {
+		tok      Token
+		resource ResourceClass
+		kind     ActionKind
+	}{
+		{TokenReadFlowTable, ResourceFlowTable, ActionRead},
+		{TokenInsertFlow, ResourceFlowTable, ActionWrite},
+		{TokenFlowEvent, ResourceFlowTable, ActionEvent},
+		{TokenVisibleTopology, ResourceTopology, ActionRead},
+		{TokenModifyTopology, ResourceTopology, ActionWrite},
+		{TokenReadStatistics, ResourceStatistics, ActionRead},
+		{TokenErrorEvent, ResourceStatistics, ActionEvent},
+		{TokenReadPayload, ResourcePacket, ActionRead},
+		{TokenSendPktOut, ResourcePacket, ActionWrite},
+		{TokenPktInEvent, ResourcePacket, ActionEvent},
+		{TokenHostNetwork, ResourceHostSystem, ActionWrite},
+		{TokenFileSystem, ResourceHostSystem, ActionWrite},
+	}
+	for _, tt := range tests {
+		if got := tt.tok.Resource(); got != tt.resource {
+			t.Errorf("%v.Resource() = %v, want %v", tt.tok, got, tt.resource)
+		}
+		if got := tt.tok.Kind(); got != tt.kind {
+			t.Errorf("%v.Kind() = %v, want %v", tt.tok, got, tt.kind)
+		}
+	}
+	// Every token must be classified.
+	for _, tok := range AllTokens() {
+		if tok.Resource() == 0 {
+			t.Errorf("%v has no resource class", tok)
+		}
+		if tok.Kind() == 0 {
+			t.Errorf("%v has no action kind", tok)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package flowtable implements an OpenFlow 1.0-style flow table:
+// priority-ordered matching over the 12-tuple, add/modify/delete with
+// strict and non-strict semantics, per-entry counters, idle/hard
+// timeouts, and per-app ownership tags. Ownership is the substrate for
+// SDNShield's OWN_FLOWS filter and table-size accounting.
+package flowtable
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"sdnshield/internal/of"
+)
+
+// ErrTableFull reports an insert into a table at capacity.
+var ErrTableFull = errors.New("flowtable: table full")
+
+// Entry is one flow rule. The zero IdleTimeout/HardTimeout mean the rule
+// never expires.
+type Entry struct {
+	Match       *of.Match
+	Priority    uint16
+	Actions     []of.Action
+	Cookie      uint64
+	Owner       string
+	IdleTimeout uint16 // seconds
+	HardTimeout uint16 // seconds
+
+	// Packets and Bytes are the entry's hit counters.
+	Packets uint64
+	Bytes   uint64
+
+	installedAt time.Time
+	lastHit     time.Time
+}
+
+// Clone deep-copies the entry (match and actions included).
+func (e *Entry) Clone() *Entry {
+	c := *e
+	if e.Match != nil {
+		c.Match = e.Match.Clone()
+	}
+	c.Actions = of.CloneActions(e.Actions)
+	return &c
+}
+
+// Table is a concurrency-safe flow table.
+type Table struct {
+	mu       sync.Mutex
+	entries  []*Entry // sorted by priority descending, stable insertion order
+	capacity int
+	now      func() time.Time
+}
+
+// Option configures a Table.
+type Option func(*Table)
+
+// WithClock injects the time source (tests use a fake clock to drive
+// timeout expiry deterministically).
+func WithClock(now func() time.Time) Option {
+	return func(t *Table) { t.now = now }
+}
+
+// New builds a flow table; capacity <= 0 means unbounded.
+func New(capacity int, opts ...Option) *Table {
+	t := &Table{capacity: capacity, now: time.Now}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Capacity returns the table's capacity (0 = unbounded).
+func (t *Table) Capacity() int { return t.capacity }
+
+// Add installs a rule. Per OpenFlow semantics an entry with an identical
+// match and priority is replaced (counters reset). Returns ErrTableFull
+// when at capacity.
+func (t *Table) Add(e Entry) error {
+	if e.Match == nil {
+		e.Match = of.NewMatch()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	e.installedAt, e.lastHit = now, now
+	e.Match = e.Match.Clone()
+	e.Actions = of.CloneActions(e.Actions)
+
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match.Equal(e.Match) {
+			t.entries[i] = &e
+			return nil
+		}
+	}
+	if t.capacity > 0 && len(t.entries) >= t.capacity {
+		return ErrTableFull
+	}
+	// Insert keeping priority-descending order, after equal priorities
+	// (stable).
+	idx := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].Priority < e.Priority
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[idx+1:], t.entries[idx:])
+	t.entries[idx] = &e
+	return nil
+}
+
+// Modify rewrites the actions of matching rules. Non-strict modifies
+// every rule whose match is subsumed by m; strict requires equal match
+// and priority. Returns the number of modified rules.
+func (t *Table) Modify(m *of.Match, priority uint16, strict bool, actions []of.Action) int {
+	if m == nil {
+		m = of.NewMatch()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	count := 0
+	for _, e := range t.entries {
+		if matchesForEdit(e, m, priority, strict) {
+			e.Actions = of.CloneActions(actions)
+			count++
+		}
+	}
+	return count
+}
+
+// Delete removes matching rules with OpenFlow's strict/non-strict
+// semantics and returns the removed entries (snapshots).
+func (t *Table) Delete(m *of.Match, priority uint16, strict bool) []*Entry {
+	if m == nil {
+		m = of.NewMatch()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*Entry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if matchesForEdit(e, m, priority, strict) {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+func matchesForEdit(e *Entry, m *of.Match, priority uint16, strict bool) bool {
+	if strict {
+		return e.Priority == priority && e.Match.Equal(m)
+	}
+	return m.Subsumes(e.Match)
+}
+
+// Lookup finds the highest-priority entry matching the packet and bumps
+// its counters. ok is false on a table miss.
+func (t *Table) Lookup(pkt *of.Packet, inPort uint16, size uint64) (*Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.Match.MatchesPacket(pkt, inPort) {
+			e.Packets++
+			e.Bytes += size
+			e.lastHit = t.now()
+			return e.Clone(), true
+		}
+	}
+	return nil, false
+}
+
+// Entries returns snapshots of all rules whose match is subsumed by m
+// (nil/wildcard m returns everything), in table order.
+func (t *Table) Entries(m *of.Match) []*Entry {
+	if m == nil {
+		m = of.NewMatch()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		if m.Subsumes(e.Match) {
+			out = append(out, e.Clone())
+		}
+	}
+	return out
+}
+
+// CountByOwner returns the number of rules installed by one app, the
+// quantity SDNShield's MAX_RULE_COUNT filter bounds.
+func (t *Table) CountByOwner(owner string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.entries {
+		if e.Owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// OwnerOf returns the owner of the highest-priority rule equal to or
+// overlapping the given match, preferring exact matches. ok is false when
+// no rule overlaps. The permission engine uses this to resolve
+// Call.FlowOwner before a modify/delete check.
+func (t *Table) OwnerOf(m *of.Match, priority uint16) (string, bool) {
+	if m == nil {
+		m = of.NewMatch()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.Priority == priority && e.Match.Equal(m) {
+			return e.Owner, true
+		}
+	}
+	for _, e := range t.entries {
+		if e.Match.Overlaps(m) {
+			return e.Owner, true
+		}
+	}
+	return "", false
+}
+
+// ForeignOverlapOwner returns the owner of the first rule overlapping m
+// whose owner differs from app and whose priority is at or below
+// maxPriority — the rule a new insert at maxPriority could shadow. It
+// allocates nothing, serving the permission engine's hot path.
+func (t *Table) ForeignOverlapOwner(app string, m *of.Match, maxPriority uint16) (string, bool) {
+	if m == nil {
+		m = of.NewMatch()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.Owner == app || e.Priority > maxPriority {
+			continue
+		}
+		if e.Match.Overlaps(m) {
+			return e.Owner, true
+		}
+	}
+	return "", false
+}
+
+// Owners returns the distinct owners of rules overlapping the match, in
+// table order. Used to detect rule-override attacks across apps.
+func (t *Table) Owners(m *of.Match) []string {
+	if m == nil {
+		m = of.NewMatch()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range t.entries {
+		if e.Match.Overlaps(m) && !seen[e.Owner] {
+			seen[e.Owner] = true
+			out = append(out, e.Owner)
+		}
+	}
+	return out
+}
+
+// Expire removes entries past their idle or hard timeout and returns the
+// expired entries with the reason, for FlowRemoved notifications.
+func (t *Table) Expire() []Expired {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var out []Expired
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		switch {
+		case e.HardTimeout > 0 && now.Sub(e.installedAt) >= time.Duration(e.HardTimeout)*time.Second:
+			out = append(out, Expired{Entry: e, Reason: of.RemovedHardTimeout})
+		case e.IdleTimeout > 0 && now.Sub(e.lastHit) >= time.Duration(e.IdleTimeout)*time.Second:
+			out = append(out, Expired{Entry: e, Reason: of.RemovedIdleTimeout})
+		default:
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return out
+}
+
+// Expired pairs a removed entry with its removal reason.
+type Expired struct {
+	Entry  *Entry
+	Reason of.FlowRemovedReason
+}
+
+// Stats aggregates the table's counters for switch-level statistics.
+func (t *Table) Stats() of.SwitchStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := of.SwitchStats{FlowCount: uint32(len(t.entries))}
+	for _, e := range t.entries {
+		s.PacketsTotal += e.Packets
+		s.BytesTotal += e.Bytes
+	}
+	return s
+}
+
+// FlowStats renders flow-level statistics rows for entries subsumed by m.
+func (t *Table) FlowStats(m *of.Match) []of.FlowStatsEntry {
+	entries := t.Entries(m)
+	out := make([]of.FlowStatsEntry, len(entries))
+	for i, e := range entries {
+		out[i] = of.FlowStatsEntry{
+			Match:    e.Match,
+			Priority: e.Priority,
+			Cookie:   e.Cookie,
+			Packets:  e.Packets,
+			Bytes:    e.Bytes,
+		}
+	}
+	return out
+}

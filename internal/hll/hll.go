@@ -1,0 +1,392 @@
+// Package hll implements the §VI-C extension the paper sketches as
+// future work: SDNShield support for high-level declarative SDN policy
+// languages (the Frenetic/Pyretic/NetKAT family). App policies are
+// written as combinators (filters, forwarding, header rewriting,
+// sequential and parallel composition); the compiler lowers the composed
+// policy to OpenFlow rules while tracking, per action, which app
+// contributed it — the fine-grained ownership information the paper asks
+// the compiler to expose. The shielded installer then feeds each owner's
+// contribution to the permission engine separately and supports
+// *partial denial*: a rule survives with the denied app's actions
+// stripped, rather than failing wholesale.
+package hll
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdnshield/internal/of"
+)
+
+// Policy is a declarative packet-processing policy. Policies are pure
+// values; Compile lowers a set of per-app policies into prioritized
+// flow rules.
+type Policy interface {
+	fmt.Stringer
+	// fragments lowers the policy into predicate→actions fragments for
+	// the given owning app.
+	fragments(owner string) ([]fragment, error)
+}
+
+// OwnedAction is one flow action together with the app that contributed
+// it through composition.
+type OwnedAction struct {
+	Owner  string
+	Action of.Action
+}
+
+// fragment is an intermediate compilation unit: a predicate and the
+// owned actions applied to matching packets.
+type fragment struct {
+	pred    *of.Match
+	actions []OwnedAction
+}
+
+// ---------------------------------------------------------------------------
+// Atomic policies
+
+// filterPolicy restricts processing to packets matching a predicate.
+type filterPolicy struct {
+	match *of.Match
+}
+
+// Filter builds a predicate policy from field constraints. Use the Fx
+// helpers (FIPDst, FTPDst, …) to construct constraints.
+func Filter(constraints ...FieldConstraint) Policy {
+	m := of.NewMatch()
+	for _, c := range constraints {
+		m.SetMasked(c.Field, c.Value, c.Mask)
+	}
+	return &filterPolicy{match: m}
+}
+
+// FieldConstraint is one field restriction of a Filter.
+type FieldConstraint struct {
+	Field of.Field
+	Value uint64
+	Mask  uint64
+}
+
+// FIPDst constrains the destination IP (optionally by prefix).
+func FIPDst(ip of.IPv4, bits int) FieldConstraint {
+	return FieldConstraint{Field: of.FieldIPDst, Value: uint64(ip), Mask: uint64(of.PrefixMask(bits))}
+}
+
+// FIPSrc constrains the source IP (optionally by prefix).
+func FIPSrc(ip of.IPv4, bits int) FieldConstraint {
+	return FieldConstraint{Field: of.FieldIPSrc, Value: uint64(ip), Mask: uint64(of.PrefixMask(bits))}
+}
+
+// FTPDst constrains the TCP/UDP destination port.
+func FTPDst(port uint16) FieldConstraint {
+	return FieldConstraint{Field: of.FieldTPDst, Value: uint64(port), Mask: of.FullMask(of.FieldTPDst)}
+}
+
+// FEthType constrains the EtherType.
+func FEthType(t uint16) FieldConstraint {
+	return FieldConstraint{Field: of.FieldEthType, Value: uint64(t), Mask: of.FullMask(of.FieldEthType)}
+}
+
+func (p *filterPolicy) fragments(owner string) ([]fragment, error) {
+	return []fragment{{pred: p.match.Clone(), actions: nil}}, nil
+}
+
+func (p *filterPolicy) String() string { return "filter(" + p.match.String() + ")" }
+
+// fwdPolicy outputs packets on a port.
+type fwdPolicy struct {
+	port uint16
+}
+
+// Fwd forwards matching packets out the given port.
+func Fwd(port uint16) Policy { return &fwdPolicy{port: port} }
+
+func (p *fwdPolicy) fragments(owner string) ([]fragment, error) {
+	return []fragment{{
+		pred:    of.NewMatch(),
+		actions: []OwnedAction{{Owner: owner, Action: of.Output(p.port)}},
+	}}, nil
+}
+
+func (p *fwdPolicy) String() string { return fmt.Sprintf("fwd(%d)", p.port) }
+
+// modPolicy rewrites a header field.
+type modPolicy struct {
+	field of.Field
+	value uint64
+}
+
+// Mod rewrites a header field on matching packets.
+func Mod(field of.Field, value uint64) Policy { return &modPolicy{field: field, value: value} }
+
+func (p *modPolicy) fragments(owner string) ([]fragment, error) {
+	return []fragment{{
+		pred:    of.NewMatch(),
+		actions: []OwnedAction{{Owner: owner, Action: of.SetField(p.field, p.value)}},
+	}}, nil
+}
+
+func (p *modPolicy) String() string { return fmt.Sprintf("mod(%s=%d)", p.field, p.value) }
+
+// dropPolicy discards packets.
+type dropPolicy struct{}
+
+// Drop discards matching packets.
+func Drop() Policy { return dropPolicy{} }
+
+func (dropPolicy) fragments(owner string) ([]fragment, error) {
+	return []fragment{{
+		pred:    of.NewMatch(),
+		actions: []OwnedAction{{Owner: owner, Action: of.Drop()}},
+	}}, nil
+}
+
+func (dropPolicy) String() string { return "drop" }
+
+// ---------------------------------------------------------------------------
+// Composition
+
+// seqPolicy is sequential composition (the >> of Pyretic): filters narrow
+// the predicate; action policies accumulate.
+type seqPolicy struct {
+	parts []Policy
+}
+
+// Seq composes policies sequentially: Seq(Filter(...), Fwd(1)) forwards
+// exactly the filtered packets. Header rewrites apply before subsequent
+// forwards, as in the source language; rewrites that would change how a
+// *later filter* matches are rejected at compile time (the classic
+// restriction of rule-based compilation).
+func Seq(parts ...Policy) Policy { return &seqPolicy{parts: parts} }
+
+func (p *seqPolicy) fragments(owner string) ([]fragment, error) {
+	acc := []fragment{{pred: of.NewMatch()}}
+	for _, part := range parts(p.parts) {
+		partFrags, err := part.fragments(owner)
+		if err != nil {
+			return nil, err
+		}
+		var next []fragment
+		for _, a := range acc {
+			// A filter after a rewrite cannot be compiled to one rule.
+			if hasRewrite(a.actions) && isFilter(part) {
+				return nil, fmt.Errorf("hll: filter after header rewrite in %s is not compilable", p)
+			}
+			for _, b := range partFrags {
+				merged, ok := intersect(a.pred, b.pred)
+				if !ok {
+					continue
+				}
+				actions := make([]OwnedAction, 0, len(a.actions)+len(b.actions))
+				actions = append(actions, a.actions...)
+				actions = append(actions, b.actions...)
+				next = append(next, fragment{pred: merged, actions: actions})
+			}
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+func parts(ps []Policy) []Policy { return ps }
+
+func isFilter(p Policy) bool {
+	_, ok := p.(*filterPolicy)
+	return ok
+}
+
+func hasRewrite(actions []OwnedAction) bool {
+	for _, a := range actions {
+		if a.Action.Type == of.ActionSetField {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *seqPolicy) String() string {
+	names := make([]string, len(p.parts))
+	for i, part := range p.parts {
+		names[i] = part.String()
+	}
+	return "(" + strings.Join(names, " >> ") + ")"
+}
+
+// parPolicy is parallel composition (the + of Pyretic): the packet is
+// processed by every operand; actions union.
+type parPolicy struct {
+	parts []Policy
+}
+
+// Par composes policies in parallel: every matching operand contributes
+// its actions to the packet.
+func Par(policies ...Policy) Policy { return &parPolicy{parts: policies} }
+
+func (p *parPolicy) fragments(owner string) ([]fragment, error) {
+	var all [][]fragment
+	for _, part := range p.parts {
+		frags, err := part.fragments(owner)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, frags)
+	}
+	return mergeParallel(all), nil
+}
+
+func (p *parPolicy) String() string {
+	names := make([]string, len(p.parts))
+	for i, part := range p.parts {
+		names[i] = part.String()
+	}
+	return "(" + strings.Join(names, " + ") + ")"
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+
+// Rule is one compiled OpenFlow rule with per-action ownership — the
+// information the paper asks the policy compiler to expose to SDNShield.
+type Rule struct {
+	Match    *of.Match
+	Priority uint16
+	Actions  []OwnedAction
+}
+
+// Owners returns the distinct apps contributing to the rule, sorted.
+func (r Rule) Owners() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range r.Actions {
+		if !seen[a.Owner] {
+			seen[a.Owner] = true
+			out = append(out, a.Owner)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActionsOf returns the plain actions contributed by one owner.
+func (r Rule) ActionsOf(owner string) []of.Action {
+	var out []of.Action
+	for _, a := range r.Actions {
+		if a.Owner == owner {
+			out = append(out, a.Action)
+		}
+	}
+	return out
+}
+
+// PlainActions flattens the owned actions, dropping explicit drops when
+// forwarding actions are present (drop is the empty action list).
+func (r Rule) PlainActions() []of.Action {
+	var out []of.Action
+	for _, a := range r.Actions {
+		if a.Action.Type == of.ActionDrop {
+			continue
+		}
+		out = append(out, a.Action)
+	}
+	return out
+}
+
+// Compile lowers the parallel composition of each app's policy into
+// prioritized rules. Priorities are assigned so that more-specific
+// intersection rules shadow their generalizations, the standard
+// classifier layout.
+func Compile(appPolicies map[string]Policy) ([]Rule, error) {
+	apps := make([]string, 0, len(appPolicies))
+	for app := range appPolicies {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+
+	var all [][]fragment
+	for _, app := range apps {
+		frags, err := appPolicies[app].fragments(app)
+		if err != nil {
+			return nil, fmt.Errorf("compile policy of %q: %w", app, err)
+		}
+		all = append(all, frags)
+	}
+	merged := mergeParallel(all)
+
+	// More constrained predicates get higher priority so intersections
+	// shadow the fragments they refine.
+	rules := make([]Rule, 0, len(merged))
+	for _, f := range merged {
+		rules = append(rules, Rule{
+			Match:    f.pred,
+			Priority: uint16(100 + 10*len(f.pred.ConstrainedFields())),
+			Actions:  f.actions,
+		})
+	}
+	sort.SliceStable(rules, func(i, j int) bool { return rules[i].Priority > rules[j].Priority })
+	return rules, nil
+}
+
+// mergeParallel folds fragment sets pairwise: overlapping fragments gain
+// a refined intersection carrying both action sets, while the originals
+// remain for their exclusive regions.
+func mergeParallel(sets [][]fragment) []fragment {
+	if len(sets) == 0 {
+		return nil
+	}
+	acc := sets[0]
+	for _, next := range sets[1:] {
+		var out []fragment
+		for _, a := range acc {
+			for _, b := range next {
+				if merged, ok := intersect(a.pred, b.pred); ok {
+					actions := make([]OwnedAction, 0, len(a.actions)+len(b.actions))
+					actions = append(actions, a.actions...)
+					actions = append(actions, b.actions...)
+					out = append(out, fragment{pred: merged, actions: actions})
+				}
+			}
+		}
+		out = append(out, acc...)
+		out = append(out, next...)
+		acc = dedupeFragments(out)
+	}
+	return acc
+}
+
+// dedupeFragments keeps the first fragment per (predicate, actions) pair.
+func dedupeFragments(frags []fragment) []fragment {
+	seen := make(map[string]bool, len(frags))
+	out := frags[:0]
+	for _, f := range frags {
+		key := f.pred.Key() + "|" + actionsKey(f.actions)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+func actionsKey(actions []OwnedAction) string {
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = a.Owner + ":" + a.Action.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// intersect merges two predicates; ok is false when they are disjoint.
+func intersect(a, b *of.Match) (*of.Match, bool) {
+	if !a.Overlaps(b) {
+		return nil, false
+	}
+	m := a.Clone()
+	for _, f := range b.ConstrainedFields() {
+		bv, bm := b.Get(f)
+		av, am := m.Get(f)
+		m.SetMasked(f, (av&am)|(bv&bm), am|bm)
+	}
+	return m, true
+}

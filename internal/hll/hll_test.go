@@ -1,0 +1,297 @@
+package hll
+
+import (
+	"strings"
+	"testing"
+
+	"sdnshield/internal/of"
+	"sdnshield/internal/permengine"
+	"sdnshield/internal/permlang"
+)
+
+func ip(a, b, c, d byte) of.IPv4 { return of.IPv4FromOctets(a, b, c, d) }
+
+// evalPolicies is the semantic reference: apply every app's policy to the
+// packet directly and collect the owned actions (parallel composition
+// semantics).
+func evalPolicies(t *testing.T, policies map[string]Policy, pkt *of.Packet, inPort uint16) map[string]int {
+	t.Helper()
+	out := make(map[string]int)
+	for app, p := range policies {
+		frags, err := p.fragments(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frags {
+			if f.pred.MatchesPacket(pkt, inPort) {
+				for _, a := range f.actions {
+					out[a.Owner+":"+a.Action.String()]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// evalRules applies the compiled classifier: highest-priority matching
+// rule wins.
+func evalRules(rules []Rule, pkt *of.Packet, inPort uint16) (Rule, bool) {
+	for _, r := range rules { // rules are sorted by priority descending
+		if r.Match.MatchesPacket(pkt, inPort) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+func TestCompileParallelComposition(t *testing.T) {
+	// The §VI-C scenario: a forwarding app and a monitoring app process
+	// the same traffic in parallel.
+	policies := map[string]Policy{
+		"router":  Seq(Filter(FIPDst(ip(10, 0, 0, 2), 32)), Fwd(3)),
+		"monitor": Seq(Filter(FTPDst(80)), Fwd(of.PortController)),
+	}
+	rules, err := Compile(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A packet matching both policies must hit a rule carrying both
+	// owners' actions.
+	both := of.NewTCPPacket(of.MAC{1}, of.MAC{2}, ip(10, 0, 0, 1), ip(10, 0, 0, 2), 99, 80, 0)
+	rule, ok := evalRules(rules, both, 1)
+	if !ok {
+		t.Fatal("no rule for overlapping packet")
+	}
+	owners := rule.Owners()
+	if len(owners) != 2 || owners[0] != "monitor" || owners[1] != "router" {
+		t.Fatalf("owners = %v", owners)
+	}
+	if len(rule.ActionsOf("router")) != 1 || len(rule.ActionsOf("monitor")) != 1 {
+		t.Fatalf("per-owner actions wrong: %+v", rule.Actions)
+	}
+
+	// A packet matching only the router's predicate hits a router-only
+	// rule.
+	routerOnly := of.NewTCPPacket(of.MAC{1}, of.MAC{2}, ip(10, 0, 0, 1), ip(10, 0, 0, 2), 99, 443, 0)
+	rule, ok = evalRules(rules, routerOnly, 1)
+	if !ok {
+		t.Fatal("no rule for router-only packet")
+	}
+	if got := rule.Owners(); len(got) != 1 || got[0] != "router" {
+		t.Fatalf("owners = %v", got)
+	}
+}
+
+func TestCompiledClassifierMatchesSemantics(t *testing.T) {
+	// The winning rule's action set must equal the union of actions the
+	// source policies would apply, across a grid of probe packets.
+	policies := map[string]Policy{
+		"fw":  Seq(Filter(FEthType(of.EthTypeIPv4), FTPDst(22)), Drop()),
+		"rt":  Seq(Filter(FIPDst(ip(10, 1, 0, 0), 16)), Fwd(2)),
+		"mon": Seq(Filter(FIPSrc(ip(10, 2, 0, 0), 16)), Fwd(of.PortController)),
+	}
+	rules, err := Compile(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dsts := []of.IPv4{ip(10, 1, 5, 5), ip(192, 168, 0, 1)}
+	srcs := []of.IPv4{ip(10, 2, 1, 1), ip(172, 16, 0, 1)}
+	ports := []uint16{22, 80}
+	for _, src := range srcs {
+		for _, dst := range dsts {
+			for _, port := range ports {
+				pkt := of.NewTCPPacket(of.MAC{1}, of.MAC{2}, src, dst, 1000, port, 0)
+				want := evalPolicies(t, policies, pkt, 1)
+				rule, ok := evalRules(rules, pkt, 1)
+				got := make(map[string]int)
+				if ok {
+					for _, a := range rule.Actions {
+						got[a.Owner+":"+a.Action.String()]++
+					}
+				}
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if len(want) != len(got) {
+					t.Fatalf("pkt %v: semantic %v vs compiled %v (rule %v)", pkt, want, got, rule)
+				}
+				for k := range want {
+					if got[k] == 0 {
+						t.Fatalf("pkt %v: missing action %s (got %v)", pkt, k, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSeqRejectsFilterAfterRewrite(t *testing.T) {
+	p := Seq(Mod(of.FieldTPDst, 80), Filter(FTPDst(80)), Fwd(1))
+	if _, err := p.fragments("x"); err == nil {
+		t.Fatal("filter after rewrite must be rejected")
+	}
+	if _, err := Compile(map[string]Policy{"x": p}); err == nil {
+		t.Fatal("Compile must surface the error")
+	}
+	// Rewrite then forward is fine.
+	ok := Seq(Filter(FTPDst(22)), Mod(of.FieldTPDst, 80), Fwd(1))
+	if _, err := ok.fragments("x"); err != nil {
+		t.Fatalf("rewrite before forward rejected: %v", err)
+	}
+}
+
+func TestDisjointSeqCompilesToNothing(t *testing.T) {
+	p := Seq(Filter(FTPDst(22)), Filter(FTPDst(80)), Fwd(1))
+	frags, err := p.fragments("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 0 {
+		t.Fatalf("contradictory filters should compile to no fragments: %v", frags)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	p := Par(Seq(Filter(FTPDst(80)), Fwd(1)), Drop())
+	s := p.String()
+	for _, want := range []string{"filter", "fwd(1)", "drop", ">>", "+"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if Mod(of.FieldTPDst, 8).String() != "mod(TCP_DST=8)" {
+		t.Errorf("mod rendering = %q", Mod(of.FieldTPDst, 8).String())
+	}
+}
+
+func TestInstallShieldedPartialDenial(t *testing.T) {
+	// The router may forward; the monitor may NOT send to the controller
+	// (no grant at all). The joint rule must survive with the monitor's
+	// contribution stripped — §VI-C's partial denial.
+	engine := permengine.New(nil)
+	engine.SetPermissions("router", permlang.MustParse(
+		"PERM insert_flow LIMITING ACTION FORWARD").Set())
+	// monitor intentionally has no permissions.
+
+	policies := map[string]Policy{
+		"router":  Seq(Filter(FIPDst(ip(10, 0, 0, 2), 32)), Fwd(3)),
+		"monitor": Seq(Filter(FTPDst(80)), Fwd(of.PortController)),
+	}
+	rules, err := Compile(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type installed struct {
+		owner   string
+		actions []of.Action
+	}
+	var got []installed
+	report, err := InstallShielded(engine, 1, rules, func(owner string, dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
+		got = append(got, installed{owner: owner, actions: actions})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Partial == 0 {
+		t.Errorf("expected partial installs, report = %+v", report)
+	}
+	if report.Dropped == 0 {
+		t.Errorf("monitor-only rules should be dropped entirely, report = %+v", report)
+	}
+	if len(report.Denied) == 0 {
+		t.Error("denials should be reported")
+	}
+	for _, d := range report.Denied {
+		if d.Owner != "monitor" {
+			t.Errorf("unexpected denial for %q: %v", d.Owner, d.Err)
+		}
+	}
+	for _, inst := range got {
+		if strings.Contains(inst.owner, "monitor") {
+			t.Errorf("monitor's contribution leaked into %q", inst.owner)
+		}
+		for _, a := range inst.actions {
+			if a.Type == of.ActionOutput && a.Port == of.PortController {
+				t.Errorf("denied controller-send installed: %v", inst.actions)
+			}
+		}
+	}
+}
+
+func TestInstallShieldedAllAllowed(t *testing.T) {
+	engine := permengine.New(nil)
+	engine.SetPermissions("router", permlang.MustParse("PERM insert_flow").Set())
+	engine.SetPermissions("monitor", permlang.MustParse("PERM insert_flow").Set())
+
+	policies := map[string]Policy{
+		"router":  Seq(Filter(FIPDst(ip(10, 0, 0, 2), 32)), Fwd(3)),
+		"monitor": Seq(Filter(FTPDst(80)), Fwd(of.PortController)),
+	}
+	rules, err := Compile(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jointSeen := false
+	report, err := InstallShielded(engine, 1, rules, func(owner string, dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
+		if owner == "monitor+router" {
+			jointSeen = true
+			if len(actions) != 2 {
+				t.Errorf("joint rule actions = %v", actions)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Partial != 0 || report.Dropped != 0 || len(report.Denied) != 0 {
+		t.Errorf("clean install expected, report = %+v", report)
+	}
+	if report.Installed != len(rules) {
+		t.Errorf("installed %d of %d", report.Installed, len(rules))
+	}
+	if !jointSeen {
+		t.Error("joint-ownership rule never installed")
+	}
+}
+
+func TestInstallShieldedFilterRefinement(t *testing.T) {
+	// Ownership splitting also honours fine-grained filters: the router
+	// may only touch 10.0.0.0/8, so its contribution to a 192.168 rule is
+	// stripped while the monitor's stands.
+	engine := permengine.New(nil)
+	engine.SetPermissions("router", permlang.MustParse(
+		"PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0").Set())
+	engine.SetPermissions("monitor", permlang.MustParse("PERM insert_flow").Set())
+
+	policies := map[string]Policy{
+		"router":  Seq(Filter(FIPDst(ip(192, 168, 1, 1), 32)), Fwd(2)),
+		"monitor": Seq(Filter(FIPDst(ip(192, 168, 1, 1), 32)), Fwd(of.PortController)),
+	}
+	rules, err := Compile(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := InstallShielded(engine, 1, rules, func(owner string, dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
+		if owner != "monitor" {
+			t.Errorf("only the monitor's slice should install, got %q", owner)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Denied) == 0 {
+		t.Error("router's out-of-scope contribution should be denied")
+	}
+}
+
+func TestJointOwnerFormatting(t *testing.T) {
+	if jointOwner([]string{"a"}) != "a" || jointOwner([]string{"a", "b"}) != "a+b" {
+		t.Error("jointOwner wrong")
+	}
+}

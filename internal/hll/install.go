@@ -1,0 +1,95 @@
+package hll
+
+import (
+	"sdnshield/internal/core"
+	"sdnshield/internal/of"
+	"sdnshield/internal/permengine"
+)
+
+// InstallFunc installs one rule on behalf of a (possibly joint) owner.
+// internal/controller.Kernel.InsertFlow adapts directly.
+type InstallFunc func(owner string, dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error
+
+// InstallReport summarizes a shielded installation of compiled rules.
+type InstallReport struct {
+	// Installed counts rules installed intact.
+	Installed int
+	// Partial counts rules installed with some owners' actions stripped
+	// (the §VI-C partial-denial extension).
+	Partial int
+	// Dropped counts rules denied entirely (no permitted actions left).
+	Dropped int
+	// Denied lists the per-owner denials encountered.
+	Denied []OwnerDenial
+}
+
+// OwnerDenial records one owner's rejected contribution.
+type OwnerDenial struct {
+	Owner string
+	Rule  Rule
+	Err   error
+}
+
+// InstallShielded feeds each compiled rule to the permission engine once
+// per contributing owner — the ownership splitting of §VI-C. Owners whose
+// contribution is denied have their actions stripped (partial denial);
+// rules with no surviving actions are dropped.
+func InstallShielded(engine *permengine.Engine, dpid of.DPID, rules []Rule, install InstallFunc) (*InstallReport, error) {
+	report := &InstallReport{}
+	for _, rule := range rules {
+		var surviving []OwnedAction
+		deniedHere := 0
+		for _, owner := range rule.Owners() {
+			actions := rule.ActionsOf(owner)
+			call := &core.Call{
+				App:          owner,
+				Token:        core.TokenInsertFlow,
+				DPID:         dpid,
+				HasDPID:      true,
+				Match:        rule.Match,
+				Actions:      actions,
+				Priority:     rule.Priority,
+				HasPriority:  true,
+				HasFlowOwner: true, // compiled rules own their slice of flow space
+			}
+			if err := engine.Check(call); err != nil {
+				deniedHere++
+				report.Denied = append(report.Denied, OwnerDenial{Owner: owner, Rule: rule, Err: err})
+				continue
+			}
+			for _, a := range actions {
+				surviving = append(surviving, OwnedAction{Owner: owner, Action: a})
+			}
+		}
+		switch {
+		case len(surviving) == 0:
+			report.Dropped++
+			continue
+		case deniedHere > 0:
+			report.Partial++
+		default:
+			report.Installed++
+		}
+		stripped := Rule{Match: rule.Match, Priority: rule.Priority, Actions: surviving}
+		owner := jointOwner(stripped.Owners())
+		if err := install(owner, dpid, stripped.Match, stripped.Priority, stripped.PlainActions()); err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+// jointOwner names a rule contributed by several apps.
+func jointOwner(owners []string) string {
+	if len(owners) == 1 {
+		return owners[0]
+	}
+	out := ""
+	for i, o := range owners {
+		if i > 0 {
+			out += "+"
+		}
+		out += o
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package hostsim simulates the controller host machine's operating
+// system surface: outbound network sockets, a filesystem and process
+// execution. These are the "system calls" SDNShield's reference monitor
+// mediates (§VI-A); the host_network / file_system / process_runtime
+// permission tokens govern access to them.
+//
+// The simulation exists so the Class 2 (information leakage) experiments
+// have a concrete sink: an attacker-controlled endpoint records whatever
+// a compromised app manages to exfiltrate.
+package hostsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sdnshield/internal/of"
+)
+
+// endpointKey addresses a remote service.
+type endpointKey struct {
+	ip   of.IPv4
+	port uint16
+}
+
+// Endpoint is a remote network service reachable from the controller
+// host. It records every payload delivered to it.
+type Endpoint struct {
+	ip   of.IPv4
+	port uint16
+
+	mu       sync.Mutex
+	received [][]byte
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() (of.IPv4, uint16) { return e.ip, e.port }
+
+// Received snapshots the payloads delivered so far.
+func (e *Endpoint) Received() [][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([][]byte, len(e.received))
+	for i, b := range e.received {
+		c := make([]byte, len(b))
+		copy(c, b)
+		out[i] = c
+	}
+	return out
+}
+
+func (e *Endpoint) deliver(data []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := make([]byte, len(data))
+	copy(c, data)
+	e.received = append(e.received, c)
+}
+
+// HostOS is the simulated operating system. All methods are
+// concurrency-safe. The methods here are the raw, unmediated kernel
+// surface; SDNShield's reference monitor wraps them per app.
+type HostOS struct {
+	mu        sync.Mutex
+	endpoints map[endpointKey]*Endpoint
+	files     map[string][]byte
+	execLog   []string
+}
+
+// NewHostOS returns an empty host.
+func NewHostOS() *HostOS {
+	return &HostOS{
+		endpoints: make(map[endpointKey]*Endpoint),
+		files:     make(map[string][]byte),
+	}
+}
+
+// RegisterEndpoint creates a reachable remote service (e.g. the
+// administrator's collector, or an attacker's drop box).
+func (h *HostOS) RegisterEndpoint(ip of.IPv4, port uint16) *Endpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := endpointKey{ip: ip, port: port}
+	if ep, ok := h.endpoints[key]; ok {
+		return ep
+	}
+	ep := &Endpoint{ip: ip, port: port}
+	h.endpoints[key] = ep
+	return ep
+}
+
+// Conn is an established outbound connection.
+type Conn struct {
+	ep *Endpoint
+}
+
+// Send delivers a payload to the remote endpoint.
+func (c *Conn) Send(data []byte) {
+	c.ep.deliver(data)
+}
+
+// Connect opens an outbound connection; it fails when nothing listens at
+// the address (connection refused).
+func (h *HostOS) Connect(ip of.IPv4, port uint16) (*Conn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ep, ok := h.endpoints[endpointKey{ip: ip, port: port}]
+	if !ok {
+		return nil, fmt.Errorf("hostsim: connect %s:%d: connection refused", ip, port)
+	}
+	return &Conn{ep: ep}, nil
+}
+
+// WriteFile stores a file.
+func (h *HostOS) WriteFile(path string, data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := make([]byte, len(data))
+	copy(c, data)
+	h.files[path] = c
+}
+
+// ReadFile loads a file.
+func (h *HostOS) ReadFile(path string) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, ok := h.files[path]
+	if !ok {
+		return nil, fmt.Errorf("hostsim: read %s: no such file", path)
+	}
+	c := make([]byte, len(data))
+	copy(c, data)
+	return c, nil
+}
+
+// Files lists stored paths, sorted.
+func (h *HostOS) Files() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.files))
+	for p := range h.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Exec records a process execution (the simulation's stand-in for shell
+// access).
+func (h *HostOS) Exec(cmd string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.execLog = append(h.execLog, cmd)
+}
+
+// ExecLog snapshots the executed commands.
+func (h *HostOS) ExecLog() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.execLog))
+	copy(out, h.execLog)
+	return out
+}

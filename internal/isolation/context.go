@@ -1,0 +1,547 @@
+package isolation
+
+import (
+	"sdnshield/internal/controller"
+	"sdnshield/internal/core"
+	"sdnshield/internal/flowtable"
+	"sdnshield/internal/hostsim"
+	"sdnshield/internal/of"
+	"sdnshield/internal/permengine"
+	"sdnshield/internal/topology"
+)
+
+// modelTokens maps a data-model path root to the tokens required to read
+// and write it. Unlisted roots fall back to the topology tokens, which is
+// the conservative default for the model-driven northbound (§VIII:
+// sensitive YANG nodes are associated with required permissions).
+var modelTokens = map[string]struct{ read, write core.Token }{
+	"topology": {read: core.TokenVisibleTopology, write: core.TokenModifyTopology},
+	"alto":     {read: core.TokenVisibleTopology, write: core.TokenModifyTopology},
+	"stats":    {read: core.TokenReadStatistics, write: core.TokenModifyTopology},
+	"flows":    {read: core.TokenReadFlowTable, write: core.TokenInsertFlow},
+}
+
+func modelTokenFor(path string, write bool) core.Token {
+	root := path
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			root = path[:i]
+			break
+		}
+	}
+	entry, ok := modelTokens[root]
+	if !ok {
+		entry = struct{ read, write core.Token }{
+			read: core.TokenVisibleTopology, write: core.TokenModifyTopology,
+		}
+	}
+	if write {
+		return entry.write
+	}
+	return entry.read
+}
+
+// shieldedAPI is the mediated API implementation: every method builds the
+// permission-check view of the call and routes check + execution through
+// the KSD pool.
+type shieldedAPI struct {
+	name      string
+	shield    *Shield
+	container *Container
+	// virt is non-nil when the app's visible_topology carries a
+	// single-big-switch filter; all topology-addressed calls are then
+	// translated (§VI-B1).
+	virt *translator
+}
+
+var _ API = (*shieldedAPI)(nil)
+
+func newShieldedAPI(s *Shield, c *Container) *shieldedAPI {
+	api := &shieldedAPI{name: c.name, shield: s, container: c}
+	if set, ok := s.engine.Permissions(c.name); ok {
+		if vf := findVirtFilter(set); vf != nil && vf.Mode() == core.VirtSingleBigSwitch {
+			api.virt = newTranslator(s.kernel, c.name)
+		}
+	}
+	return api
+}
+
+// findVirtFilter scans the visible_topology grant for a virtual-topology
+// filter leaf.
+func findVirtFilter(set *core.Set) *core.VirtTopoFilter {
+	expr, ok := set.FilterFor(core.TokenVisibleTopology)
+	if !ok {
+		return nil
+	}
+	var found *core.VirtTopoFilter
+	var walk func(e core.Expr)
+	walk = func(e core.Expr) {
+		switch v := e.(type) {
+		case *core.Leaf:
+			if vf, ok := v.F.(*core.VirtTopoFilter); ok && found == nil {
+				found = vf
+			}
+		case *core.Not:
+			walk(v.X)
+		case *core.And:
+			walk(v.L)
+			walk(v.R)
+		case *core.Or:
+			walk(v.L)
+			walk(v.R)
+		}
+	}
+	walk(expr)
+	return found
+}
+
+func (a *shieldedAPI) AppName() string { return a.name }
+
+func (a *shieldedAPI) engine() *permengine.Engine { return a.shield.engine }
+
+// foreignOwner finds the owner of a foreign flow the operation would
+// affect: any rule overlapping the match whose owner differs from the
+// caller and which the new rule could shadow (equal or lower priority).
+// Returns "" when the operation only touches the app's own flow space.
+func (a *shieldedAPI) foreignOwner(dpid of.DPID, match *of.Match, priority uint16) string {
+	owner, _ := a.shield.kernel.ForeignFlowOwner(a.name, dpid, match, priority)
+	return owner
+}
+
+// checkInsertFlow builds and checks the insert_flow call.
+func (a *shieldedAPI) checkInsertFlow(dpid of.DPID, spec controller.FlowSpec) error {
+	match := spec.Match
+	if match == nil {
+		match = of.NewMatch()
+	}
+	actions := spec.Actions
+	if actions == nil {
+		actions = []of.Action{}
+	}
+	call := &core.Call{
+		App:          a.name,
+		Token:        core.TokenInsertFlow,
+		DPID:         dpid,
+		HasDPID:      true,
+		Match:        match,
+		Actions:      actions,
+		Priority:     spec.Priority,
+		HasPriority:  true,
+		FlowOwner:    a.foreignOwner(dpid, match, spec.Priority),
+		HasFlowOwner: true,
+		RuleCount:    a.shield.kernel.RuleCount(a.name, dpid),
+		HasRuleCount: true,
+	}
+	return a.engine().Check(call)
+}
+
+func (a *shieldedAPI) InsertFlow(dpid of.DPID, spec controller.FlowSpec) error {
+	return a.shield.do(func() error {
+		if a.virt != nil {
+			return a.virt.insertFlow(a, dpid, spec)
+		}
+		if err := a.checkInsertFlow(dpid, spec); err != nil {
+			return err
+		}
+		return a.shield.kernel.InsertFlow(a.name, dpid, spec)
+	})
+}
+
+// modifyToken returns the token guarding flow modification for this app:
+// modify_flow when granted, otherwise insert_flow (Table II: insert_flow
+// "including insert and modify").
+func (a *shieldedAPI) modifyToken() core.Token {
+	if a.engine().HasToken(a.name, core.TokenModifyFlow) {
+		return core.TokenModifyFlow
+	}
+	return core.TokenInsertFlow
+}
+
+// checkAffected checks token against every existing rule the match
+// subsumes, so a single call cannot touch another app's flows unnoticed.
+func (a *shieldedAPI) checkAffected(token core.Token, dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
+	if match == nil {
+		match = of.NewMatch()
+	}
+	entries, err := a.shield.kernel.Flows(dpid, match)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		call := &core.Call{
+			App: a.name, Token: token, DPID: dpid, HasDPID: true,
+			Match: match, Actions: actions,
+			Priority: priority, HasPriority: true,
+			HasFlowOwner: true,
+		}
+		return a.engine().Check(call)
+	}
+	for _, e := range entries {
+		call := &core.Call{
+			App: a.name, Token: token, DPID: dpid, HasDPID: true,
+			Match: e.Match, Actions: actions,
+			Priority: e.Priority, HasPriority: true,
+			FlowOwner: e.Owner, HasFlowOwner: true,
+		}
+		if call.Actions == nil {
+			call.Actions = e.Actions
+		}
+		if err := a.engine().Check(call); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *shieldedAPI) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
+	return a.shield.do(func() error {
+		if err := a.checkAffected(a.modifyToken(), dpid, match, priority, actions); err != nil {
+			return err
+		}
+		return a.shield.kernel.ModifyFlow(dpid, match, priority, actions)
+	})
+}
+
+func (a *shieldedAPI) checkDeleteFlow(dpid of.DPID, match *of.Match, priority uint16) error {
+	return a.checkAffected(core.TokenDeleteFlow, dpid, match, priority, nil)
+}
+
+// virtualDeleteCall builds the delete_flow check for the virtual view
+// (translated deletes only ever touch the app's own physical rules).
+func (a *shieldedAPI) virtualDeleteCall(match *of.Match, priority uint16) *core.Call {
+	if match == nil {
+		match = of.NewMatch()
+	}
+	return &core.Call{
+		App: a.name, Token: core.TokenDeleteFlow, DPID: bigSwitchDPID, HasDPID: true,
+		Match: match, Priority: priority, HasPriority: true, HasFlowOwner: true,
+	}
+}
+
+func (a *shieldedAPI) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
+	return a.shield.do(func() error {
+		if a.virt != nil {
+			return a.virt.deleteFlow(a, dpid, match, priority, strict)
+		}
+		if err := a.checkDeleteFlow(dpid, match, priority); err != nil {
+			return err
+		}
+		return a.shield.kernel.DeleteFlow(dpid, match, priority, strict)
+	})
+}
+
+func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, error) {
+	return doValue(a.shield, func() ([]*flowtable.Entry, error) {
+		// Audit-visible check of the operation itself.
+		opCall := &core.Call{
+			App: a.name, Token: core.TokenReadFlowTable, DPID: dpid, HasDPID: true,
+			Match: match, HasFlowOwner: true,
+		}
+		if opCall.Match == nil {
+			opCall.Match = of.NewMatch()
+		}
+		if !a.engine().HasToken(a.name, core.TokenReadFlowTable) {
+			return nil, a.engine().Check(opCall)
+		}
+		entries, err := a.shield.kernel.Flows(dpid, match)
+		if err != nil {
+			return nil, err
+		}
+		// Per-entry visibility filtering (§IV-B: filters restrict apps'
+		// visibility of flow table entries).
+		set, _ := a.engine().Permissions(a.name)
+		visible := entries[:0]
+		for _, e := range entries {
+			call := &core.Call{
+				App: a.name, Token: core.TokenReadFlowTable, DPID: dpid, HasDPID: true,
+				Match: e.Match, Actions: e.Actions,
+				Priority: e.Priority, HasPriority: true,
+				FlowOwner: e.Owner, HasFlowOwner: true,
+			}
+			if set.Allows(call) {
+				visible = append(visible, e)
+			}
+		}
+		return visible, nil
+	})
+}
+
+func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) error {
+	return a.shield.do(func() error {
+		fromPktIn := pkt == nil && bufferID != 0 && a.shield.kernel.PacketInSeen(dpid, bufferID)
+		call := &core.Call{
+			App: a.name, Token: core.TokenSendPktOut, DPID: dpid, HasDPID: true,
+			Actions:       actions,
+			FromPktIn:     fromPktIn,
+			HasProvenance: true,
+		}
+		if call.Actions == nil {
+			call.Actions = []of.Action{}
+		}
+		if pkt != nil {
+			call.Match = of.MatchFromPacket(pkt, inPort)
+		}
+		if err := a.engine().Check(call); err != nil {
+			return err
+		}
+		return a.shield.kernel.SendPacketOut(dpid, bufferID, inPort, actions, pkt)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEntry, error) {
+	return doValue(a.shield, func() ([]of.FlowStatsEntry, error) {
+		call := &core.Call{
+			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
+			StatsLevel: of.StatsFlow, Match: match,
+		}
+		if call.Match == nil {
+			call.Match = of.NewMatch()
+		}
+		if err := a.engine().Check(call); err != nil {
+			return nil, err
+		}
+		if a.virt != nil {
+			return a.virt.flowStats(dpid, match)
+		}
+		rows, err := a.shield.kernel.FlowStats(dpid, match)
+		if err != nil {
+			return nil, err
+		}
+		set, _ := a.engine().Permissions(a.name)
+		visible := rows[:0]
+		for _, row := range rows {
+			rowCall := &core.Call{
+				App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
+				StatsLevel: of.StatsFlow, Match: row.Match,
+				Priority: row.Priority, HasPriority: true,
+			}
+			if set.Allows(rowCall) {
+				visible = append(visible, row)
+			}
+		}
+		return visible, nil
+	})
+}
+
+func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry, error) {
+	return doValue(a.shield, func() ([]of.PortStatsEntry, error) {
+		call := &core.Call{
+			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
+			StatsLevel: of.StatsPort,
+		}
+		if err := a.engine().Check(call); err != nil {
+			return nil, err
+		}
+		if a.virt != nil {
+			return a.virt.portStats(dpid, port)
+		}
+		return a.shield.kernel.PortStats(dpid, port)
+	})
+}
+
+func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
+	return doValue(a.shield, func() (of.SwitchStats, error) {
+		call := &core.Call{
+			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
+			StatsLevel: of.StatsSwitch,
+		}
+		if err := a.engine().Check(call); err != nil {
+			return of.SwitchStats{}, err
+		}
+		if a.virt != nil {
+			return a.virt.switchStats()
+		}
+		return a.shield.kernel.SwitchStats(dpid)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+
+func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
+	return doValue(a.shield, func() ([]topology.SwitchInfo, error) {
+		all := a.shield.kernel.Topology().Switches()
+		ids := make([]of.DPID, len(all))
+		for i, s := range all {
+			ids[i] = s.DPID
+		}
+		call := &core.Call{App: a.name, Token: core.TokenVisibleTopology, Switches: ids}
+		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
+			return nil, a.engine().Check(call)
+		}
+		if a.virt != nil {
+			return a.virt.switches(), nil
+		}
+		// Filter to the visible subset rather than denying outright.
+		set, _ := a.engine().Permissions(a.name)
+		visible := all[:0]
+		for _, s := range all {
+			c := &core.Call{App: a.name, Token: core.TokenVisibleTopology, Switches: []of.DPID{s.DPID}}
+			if set.Allows(c) {
+				visible = append(visible, s)
+			}
+		}
+		return visible, nil
+	})
+}
+
+func (a *shieldedAPI) Links() ([]topology.Link, error) {
+	return doValue(a.shield, func() ([]topology.Link, error) {
+		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
+			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology})
+		}
+		if a.virt != nil {
+			return nil, nil // a single big switch has no internal links
+		}
+		set, _ := a.engine().Permissions(a.name)
+		all := a.shield.kernel.Topology().Links()
+		visible := all[:0]
+		for _, l := range all {
+			c := &core.Call{App: a.name, Token: core.TokenVisibleTopology,
+				Switches: []of.DPID{l.A, l.B},
+				Links:    []core.LinkID{l.ID()}}
+			if set.Allows(c) {
+				visible = append(visible, l)
+			}
+		}
+		return visible, nil
+	})
+}
+
+func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
+	return doValue(a.shield, func() ([]topology.Host, error) {
+		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
+			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology})
+		}
+		if a.virt != nil {
+			return a.virt.hosts(), nil
+		}
+		set, _ := a.engine().Permissions(a.name)
+		all := a.shield.kernel.Topology().Hosts()
+		visible := all[:0]
+		for _, h := range all {
+			c := &core.Call{App: a.name, Token: core.TokenVisibleTopology, Switches: []of.DPID{h.Switch}}
+			if set.Allows(c) {
+				visible = append(visible, h)
+			}
+		}
+		return visible, nil
+	})
+}
+
+func (a *shieldedAPI) AddLink(l topology.Link) error {
+	return a.shield.do(func() error {
+		call := &core.Call{App: a.name, Token: core.TokenModifyTopology,
+			Switches: []of.DPID{l.A, l.B}, Links: []core.LinkID{l.ID()}}
+		if err := a.engine().Check(call); err != nil {
+			return err
+		}
+		return a.shield.kernel.AddLink(l)
+	})
+}
+
+func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
+	return a.shield.do(func() error {
+		call := &core.Call{App: a.name, Token: core.TokenModifyTopology,
+			Switches: []of.DPID{x, y}, Links: []core.LinkID{core.NewLinkID(x, y)}}
+		if err := a.engine().Check(call); err != nil {
+			return err
+		}
+		a.shield.kernel.RemoveLink(x, y)
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Model-driven data store
+
+func (a *shieldedAPI) Publish(path string, value interface{}) error {
+	return a.shield.do(func() error {
+		call := &core.Call{App: a.name, Token: modelTokenFor(path, true)}
+		if err := a.engine().Check(call); err != nil {
+			return err
+		}
+		a.shield.kernel.Publish(path, value)
+		return nil
+	})
+}
+
+func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
+	type result struct {
+		v  interface{}
+		ok bool
+	}
+	res, err := doValue(a.shield, func() (result, error) {
+		call := &core.Call{App: a.name, Token: modelTokenFor(path, false)}
+		if err := a.engine().Check(call); err != nil {
+			return result{}, err
+		}
+		v, ok := a.shield.kernel.ReadModel(path)
+		return result{v: v, ok: ok}, nil
+	})
+	return res.v, res.ok, err
+}
+
+// ---------------------------------------------------------------------------
+// Host system calls (the SecurityManager role)
+
+func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error) {
+	return doValue(a.shield, func() (*hostsim.Conn, error) {
+		call := &core.Call{App: a.name, Token: core.TokenHostNetwork,
+			HostIP: ip, HostPort: port, HasHostIP: true}
+		if err := a.engine().Check(call); err != nil {
+			return nil, err
+		}
+		return a.shield.kernel.HostOS().Connect(ip, port)
+	})
+}
+
+func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
+	return doValue(a.shield, func() ([]byte, error) {
+		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Path: path}
+		if err := a.engine().Check(call); err != nil {
+			return nil, err
+		}
+		return a.shield.kernel.HostOS().ReadFile(path)
+	})
+}
+
+func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
+	return a.shield.do(func() error {
+		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Path: path}
+		if err := a.engine().Check(call); err != nil {
+			return err
+		}
+		a.shield.kernel.HostOS().WriteFile(path, data)
+		return nil
+	})
+}
+
+func (a *shieldedAPI) HostExec(cmd string) error {
+	return a.shield.do(func() error {
+		call := &core.Call{App: a.name, Token: core.TokenProcessRuntime}
+		if err := a.engine().Check(call); err != nil {
+			return err
+		}
+		a.shield.kernel.HostOS().Exec(cmd)
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Events and utilities
+
+func (a *shieldedAPI) Subscribe(kind controller.EventKind, fn controller.Handler) error {
+	return a.container.subscribe(kind, fn)
+}
+
+func (a *shieldedAPI) HasPermission(token core.Token) bool {
+	return a.engine().HasToken(a.name, token)
+}
+
+func (a *shieldedAPI) Transaction() *Tx {
+	return &Tx{api: a}
+}

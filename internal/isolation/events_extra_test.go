@@ -1,0 +1,151 @@
+package isolation
+
+import (
+	"testing"
+	"time"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/of"
+)
+
+// TestFlowRemovedEventOwnershipFilter: flow_event LIMITING OWN_FLOWS only
+// delivers removals of the app's own rules.
+func TestFlowRemovedEventOwnershipFilter(t *testing.T) {
+	env := newEnv(t, 1)
+	grant(t, env.shield, "writer", "PERM insert_flow\nPERM delete_flow")
+	grant(t, env.shield, "watcher", "PERM insert_flow\nPERM delete_flow\nPERM flow_event LIMITING OWN_FLOWS")
+
+	var writer, watcher API
+	if err := env.shield.Launch(app("writer", func(a API) error { writer = a; return nil })); err != nil {
+		t.Fatal(err)
+	}
+	removed := make(chan string, 8)
+	if err := env.shield.Launch(app("watcher", func(a API) error {
+		watcher = a
+		return a.Subscribe(controller.EventFlowRemoved, func(ev controller.Event) {
+			removed <- ev.FlowOwner
+		})
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	own := of.NewMatch().Set(of.FieldTPDst, 443)
+	foreign := of.NewMatch().Set(of.FieldTPDst, 80)
+	if err := watcher.InsertFlow(1, controller.FlowSpec{Match: own, Priority: 5, Actions: []of.Action{of.Output(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.InsertFlow(1, controller.FlowSpec{Match: foreign, Priority: 5, Actions: []of.Action{of.Output(1)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The writer's own deletion must NOT reach the watcher...
+	if err := writer.DeleteFlow(1, foreign, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// ...the watcher's own deletion must.
+	if err := watcher.DeleteFlow(1, own, 0, false); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case owner := <-removed:
+		if owner != "watcher" {
+			t.Fatalf("foreign removal leaked to watcher (owner %q)", owner)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("own removal event never delivered")
+	}
+	select {
+	case owner := <-removed:
+		t.Fatalf("unexpected extra event (owner %q)", owner)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestModifyFlowAllowedPath: an app modifying its own rules succeeds and
+// the change reaches the switch.
+func TestModifyFlowAllowedPath(t *testing.T) {
+	env := newEnv(t, 1)
+	grant(t, env.shield, "app", "PERM insert_flow LIMITING OWN_FLOWS")
+	var api API
+	if err := env.shield.Launch(app("app", func(a API) error { api = a; return nil })); err != nil {
+		t.Fatal(err)
+	}
+	m := of.NewMatch().Set(of.FieldTPDst, 8080)
+	if err := api.InsertFlow(1, controller.FlowSpec{Match: m, Priority: 4, Actions: []of.Action{of.Output(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	// modify_flow is not granted, so the insert_flow fallback (Table II:
+	// "including insert and modify") authorizes the modify.
+	if err := api.ModifyFlow(1, m, 4, []of.Action{of.Output(2)}); err != nil {
+		t.Fatalf("own-flow modify denied: %v", err)
+	}
+	if err := env.kernel.Barrier(1); err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := env.built.Net.Switch(1)
+	entries := sw.Table().Entries(nil)
+	if len(entries) != 1 || entries[0].Actions[0].Port != 2 {
+		t.Fatalf("modify not applied: %v", entries)
+	}
+}
+
+// TestIdleTimeoutFlowRemovedReachesApps: switch-side expiry produces a
+// flow_event delivery and cleans the kernel shadow.
+func TestIdleTimeoutFlowRemovedReachesApps(t *testing.T) {
+	env := newEnv(t, 1)
+	grant(t, env.shield, "app", "PERM insert_flow\nPERM flow_event")
+	events := make(chan *of.FlowRemoved, 4)
+	var api API
+	if err := env.shield.Launch(app("app", func(a API) error {
+		api = a
+		return a.Subscribe(controller.EventFlowRemoved, func(ev controller.Event) {
+			events <- ev.FlowRemoved
+		})
+	})); err != nil {
+		t.Fatal(err)
+	}
+	m := of.NewMatch().Set(of.FieldTPDst, 7)
+	if err := api.InsertFlow(1, controller.FlowSpec{
+		Match: m, Priority: 3, Actions: []of.Action{of.Output(1)}, IdleTimeout: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.kernel.Barrier(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive expiry: the harness ticks the switch's expiry scan after the
+	// idle interval has passed.
+	sw, _ := env.built.Net.Switch(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sw.ExpireFlows()
+		select {
+		case fr := <-events:
+			if fr.Reason != of.RemovedIdleTimeout {
+				t.Fatalf("reason = %v", fr.Reason)
+			}
+			// The shadow is cleaned too.
+			pollDeadline := time.Now().Add(time.Second)
+			for {
+				flows, err := env.kernel.Flows(1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(flows) == 0 {
+					return
+				}
+				if time.Now().After(pollDeadline) {
+					t.Fatalf("shadow retains %v", flows)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle timeout never fired")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,434 @@
+package isolation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/core"
+	"sdnshield/internal/of"
+	"sdnshield/internal/permengine"
+)
+
+// Config tunes the shielded runtime.
+type Config struct {
+	// KSDWorkers is the size of the Kernel Service Deputy pool. Multiple
+	// deputies run in parallel to offload API requests from apps (§VI-A).
+	// Default 4.
+	KSDWorkers int
+	// EventQueueSize is the per-app event queue depth. Events beyond it
+	// are dropped (and counted) rather than blocking the kernel. Default
+	// 1024.
+	EventQueueSize int
+	// EventWorkers is the number of event-delivery goroutines per app
+	// container — the paper's model of apps spawning worker threads that
+	// inherit their parent's (unprivileged) principal. Default 1
+	// (strictly ordered delivery); raise it for throughput-oriented apps.
+	EventWorkers int
+	// ActivityLogSize enables the forensic activity log (§VII) with the
+	// given ring-buffer capacity. Zero disables logging; the engine's
+	// check/denial counters remain available either way.
+	ActivityLogSize int
+	// DropOnFullQueue makes event delivery non-blocking: events beyond
+	// EventQueueSize are dropped (and counted) instead of exerting
+	// backpressure on the kernel's dispatcher. The blocking default
+	// mirrors the monolithic baseline, where a slow handler naturally
+	// throttles its switch's dispatch.
+	DropOnFullQueue bool
+}
+
+func (c *Config) fill() {
+	if c.KSDWorkers <= 0 {
+		c.KSDWorkers = 4
+	}
+	if c.EventQueueSize <= 0 {
+		c.EventQueueSize = 1024
+	}
+	if c.EventWorkers <= 0 {
+		c.EventWorkers = 1
+	}
+}
+
+// ErrShieldStopped reports API use after shutdown.
+var ErrShieldStopped = errors.New("isolation: shield stopped")
+
+// Shield is the SDNShield runtime: the permission engine, the KSD pool
+// and the app containers.
+type Shield struct {
+	kernel *controller.Kernel
+	engine *permengine.Engine
+	cfg    Config
+
+	reqCh     chan func()
+	replyPool sync.Pool
+	workers   sync.WaitGroup
+	stopped   atomic.Bool
+
+	mu         sync.Mutex
+	containers map[string]*Container
+}
+
+// NewShield builds the shielded runtime over a kernel. The permission
+// engine resolves stateful filters against the kernel's shadow tables.
+func NewShield(kernel *controller.Kernel, cfg Config) *Shield {
+	cfg.fill()
+	var opts []permengine.Option
+	if cfg.ActivityLogSize > 0 {
+		opts = append(opts, permengine.WithActivityLog(cfg.ActivityLogSize))
+	}
+	s := &Shield{
+		kernel:     kernel,
+		engine:     permengine.New(kernel, opts...),
+		cfg:        cfg,
+		reqCh:      make(chan func(), 256),
+		containers: make(map[string]*Container),
+	}
+	s.replyPool.New = func() interface{} { return make(chan error, 1) }
+	for i := 0; i < cfg.KSDWorkers; i++ {
+		s.workers.Add(1)
+		go s.ksdLoop()
+	}
+	return s
+}
+
+// Engine exposes the permission engine (for permission installation and
+// audit).
+func (s *Shield) Engine() *permengine.Engine { return s.engine }
+
+// Kernel exposes the trusted kernel (test and harness use only; apps
+// never see it).
+func (s *Shield) Kernel() *controller.Kernel { return s.kernel }
+
+// SetPermissions installs an app's reconciled permission set.
+func (s *Shield) SetPermissions(app string, set *core.Set) {
+	s.engine.SetPermissions(app, set)
+}
+
+// ksdLoop is one Kernel Service Deputy: it executes mediated API calls on
+// behalf of apps.
+func (s *Shield) ksdLoop() {
+	defer s.workers.Done()
+	for fn := range s.reqCh {
+		fn()
+	}
+}
+
+// do routes a closure through the KSD pool and waits for its completion —
+// the inter-thread hop whose cost the paper's end-to-end overhead
+// measurements capture.
+func (s *Shield) do(fn func() error) error {
+	if s.stopped.Load() {
+		return ErrShieldStopped
+	}
+	done, _ := s.replyPool.Get().(chan error)
+	s.reqCh <- func() { done <- fn() }
+	err := <-done
+	s.replyPool.Put(done)
+	return err
+}
+
+// doValue is do for calls with results.
+func doValue[T any](s *Shield, fn func() (T, error)) (T, error) {
+	var out T
+	err := s.do(func() error {
+		var err error
+		out, err = fn()
+		return err
+	})
+	return out, err
+}
+
+// Launch starts an app in its own container: Init runs on the container
+// goroutine with a mediated API handle. Panics in Init or handlers are
+// contained (the container dies, the controller survives).
+func (s *Shield) Launch(app App) error {
+	if s.stopped.Load() {
+		return ErrShieldStopped
+	}
+	name := app.Name()
+	s.mu.Lock()
+	if _, dup := s.containers[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("isolation: app %q already launched", name)
+	}
+	c := &Container{
+		name:     name,
+		shield:   s,
+		events:   make(chan controller.Event, s.cfg.EventQueueSize),
+		handlers: make(map[controller.EventKind][]controller.Handler),
+		kernels:  make(map[controller.EventKind]int),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.containers[name] = c
+	s.mu.Unlock()
+
+	api := newShieldedAPI(s, c)
+	initErr := make(chan error, 1)
+	go func() {
+		initErr <- c.safeInit(app, api)
+		c.eventLoop()
+	}()
+	// Additional event workers model app-spawned threads; they inherit
+	// the container's (unprivileged) principal.
+	for i := 1; i < s.cfg.EventWorkers; i++ {
+		c.workers.Add(1)
+		go func() {
+			defer c.workers.Done()
+			c.extraEventLoop()
+		}()
+	}
+	if err := <-initErr; err != nil {
+		s.removeContainer(name)
+		c.Stop()
+		return fmt.Errorf("init app %q: %w", name, err)
+	}
+	return nil
+}
+
+// AttackerHandle returns a mediated API handle bound to a launched app,
+// modeling the threat of arbitrary code execution inside the app (§II):
+// the attacker operates with exactly the app's privileges, never more.
+// Experiments and examples use it to drive attacks "as" a compromised
+// app.
+func AttackerHandle(s *Shield, app string) (API, error) {
+	c, ok := s.Container(app)
+	if !ok {
+		return nil, fmt.Errorf("isolation: app %q not launched", app)
+	}
+	return newShieldedAPI(s, c), nil
+}
+
+// Container returns a launched app's container.
+func (s *Shield) Container(name string) (*Container, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[name]
+	return c, ok
+}
+
+func (s *Shield) removeContainer(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.containers, name)
+}
+
+// Stop terminates every container and the KSD pool.
+func (s *Shield) Stop() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	containers := make([]*Container, 0, len(s.containers))
+	for _, c := range s.containers {
+		containers = append(containers, c)
+	}
+	s.containers = make(map[string]*Container)
+	s.mu.Unlock()
+	for _, c := range containers {
+		c.Stop()
+	}
+	close(s.reqCh)
+	s.workers.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+
+// Container is an app's sandbox: its event queue, its registered
+// handlers and its lifecycle. It stands in for the paper's unprivileged
+// Java thread: the app's code only ever runs on the container goroutine,
+// holding a mediated API handle and no kernel references.
+type Container struct {
+	name   string
+	shield *Shield
+
+	events chan controller.Event
+
+	hmu      sync.Mutex
+	handlers map[controller.EventKind][]controller.Handler
+	kernels  map[controller.EventKind]int // kernel subscription ids
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	workers  sync.WaitGroup
+
+	dropped atomic.Uint64
+	panics  atomic.Uint64
+}
+
+// Name returns the contained app's identity.
+func (c *Container) Name() string { return c.name }
+
+// DroppedEvents reports how many events overflowed the app's queue.
+func (c *Container) DroppedEvents() uint64 { return c.dropped.Load() }
+
+// Panics reports how many app panics the container absorbed.
+func (c *Container) Panics() uint64 { return c.panics.Load() }
+
+// Stop terminates the container's event loops.
+func (c *Container) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		// Unhook kernel subscriptions so no further events arrive.
+		c.hmu.Lock()
+		for kind, id := range c.kernels {
+			c.shield.kernel.Unsubscribe(kind, id)
+		}
+		c.hmu.Unlock()
+	})
+	<-c.done
+	c.workers.Wait()
+}
+
+// extraEventLoop is one app-spawned worker draining the same queue.
+func (c *Container) extraEventLoop() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case ev := <-c.events:
+			c.deliver(ev)
+		}
+	}
+}
+
+func (c *Container) safeInit(app App, api API) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.panics.Add(1)
+			err = fmt.Errorf("app panicked during init: %v", r)
+		}
+	}()
+	return app.Init(api)
+}
+
+// eventLoop delivers queued events to the app's handlers on the
+// container goroutine, absorbing panics.
+func (c *Container) eventLoop() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case ev := <-c.events:
+			c.deliver(ev)
+		}
+	}
+}
+
+func (c *Container) deliver(ev controller.Event) {
+	c.hmu.Lock()
+	handlers := make([]controller.Handler, len(c.handlers[ev.Kind]))
+	copy(handlers, c.handlers[ev.Kind])
+	c.hmu.Unlock()
+	for _, fn := range handlers {
+		c.safeHandle(fn, ev)
+	}
+}
+
+func (c *Container) safeHandle(fn controller.Handler, ev controller.Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.panics.Add(1)
+		}
+	}()
+	fn(ev)
+}
+
+// subscribe wires an app handler: loading-time token check, kernel
+// subscription (once per kind) with per-event permission filtering and
+// payload redaction, and queued delivery into the container.
+func (c *Container) subscribe(kind controller.EventKind, fn controller.Handler) error {
+	token, ok := eventToken(kind)
+	if !ok {
+		return fmt.Errorf("isolation: unknown event kind %v", kind)
+	}
+	// Loading-time access control (§VIII): no token, no wiring at all.
+	if !c.shield.engine.HasToken(c.name, token) {
+		return &permengine.DeniedError{App: c.name, Token: token, Detail: "event subscription"}
+	}
+	c.hmu.Lock()
+	defer c.hmu.Unlock()
+	c.handlers[kind] = append(c.handlers[kind], fn)
+	if _, wired := c.kernels[kind]; !wired {
+		id := c.shield.kernel.Subscribe(kind, func(ev controller.Event) {
+			if !c.shield.allowEvent(c.name, ev) {
+				return
+			}
+			ev = c.shield.redactEvent(c.name, ev)
+			if c.shield.cfg.DropOnFullQueue {
+				select {
+				case c.events <- ev:
+				case <-c.stop:
+				default:
+					c.dropped.Add(1)
+				}
+				return
+			}
+			select {
+			case c.events <- ev:
+			case <-c.stop:
+			}
+		})
+		c.kernels[kind] = id
+	}
+	return nil
+}
+
+// allowEvent runs the per-event permission check.
+func (s *Shield) allowEvent(app string, ev controller.Event) bool {
+	token, ok := eventToken(ev.Kind)
+	if !ok {
+		return false
+	}
+	call := &core.Call{App: app, Token: token, Event: core.CallbackObserve}
+	switch ev.Kind {
+	case controller.EventPacketIn:
+		call.DPID = ev.PacketIn.DPID
+		call.HasDPID = true
+		call.Match = of.MatchFromPacket(ev.PacketIn.Packet, ev.PacketIn.InPort)
+	case controller.EventFlowRemoved:
+		call.DPID = ev.FlowRemoved.DPID
+		call.HasDPID = true
+		call.Match = ev.FlowRemoved.Match
+		call.Priority = ev.FlowRemoved.Priority
+		call.HasPriority = true
+		call.FlowOwner = ev.FlowOwner
+		call.HasFlowOwner = true
+	case controller.EventPortStatus:
+		call.DPID = ev.PortStatus.DPID
+		call.HasDPID = true
+	case controller.EventTopology:
+		tc := ev.TopoChange
+		call.Switches = append(call.Switches, tc.DPID)
+		if tc.Peer != 0 {
+			call.Switches = append(call.Switches, tc.Peer)
+			call.Links = []core.LinkID{core.NewLinkID(tc.DPID, tc.Peer)}
+		}
+	case controller.EventError, controller.EventDataModel:
+		// Token-level check only.
+	}
+	return s.engine.Check(call) == nil
+}
+
+// redactEvent strips packet payloads from apps without read_payload.
+func (s *Shield) redactEvent(app string, ev controller.Event) controller.Event {
+	if ev.Kind != controller.EventPacketIn || ev.PacketIn == nil || ev.PacketIn.Packet == nil {
+		return ev
+	}
+	if len(ev.PacketIn.Packet.Payload) == 0 {
+		return ev
+	}
+	if s.engine.HasToken(app, core.TokenReadPayload) {
+		return ev
+	}
+	pin := *ev.PacketIn
+	pin.Packet = pin.Packet.Clone()
+	pin.Packet.Payload = nil
+	ev.PacketIn = &pin
+	return ev
+}

@@ -1,0 +1,323 @@
+package isolation
+
+import (
+	"fmt"
+	"sort"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/of"
+	"sdnshield/internal/topology"
+)
+
+// translator implements the abstract-topology evaluation of §VI-B1: apps
+// behind a VIRTUAL SINGLE_BIG_SWITCH filter see one switch (DPID 0) whose
+// ports are the physical network's external ports. Flow rules addressed
+// to the virtual switch are expanded into per-switch rules along shortest
+// physical paths; statistics queries fan out to the member switches and
+// aggregate.
+type translator struct {
+	kernel *controller.Kernel
+	app    string
+}
+
+func newTranslator(kernel *controller.Kernel, app string) *translator {
+	return &translator{kernel: kernel, app: app}
+}
+
+// bigSwitchDPID is the DPID of the app-visible virtual switch.
+const bigSwitchDPID of.DPID = 0
+
+func (t *translator) mapping() *topology.BigSwitchMap {
+	return topology.BuildBigSwitchMap(t.kernel.Topology())
+}
+
+func (t *translator) switches() []topology.SwitchInfo {
+	m := t.mapping()
+	return []topology.SwitchInfo{{DPID: bigSwitchDPID, Ports: m.Ports()}}
+}
+
+func (t *translator) hosts() []topology.Host {
+	m := t.mapping()
+	var out []topology.Host
+	for _, h := range t.kernel.Topology().Hosts() {
+		if v, ok := m.Virtual(topology.AttachPoint{Switch: h.Switch, Port: h.Port}); ok {
+			out = append(out, topology.Host{MAC: h.MAC, IP: h.IP, Switch: bigSwitchDPID, Port: v})
+		}
+	}
+	return out
+}
+
+// insertFlow expands one virtual rule. The virtual match may pin IN_PORT
+// to a virtual port; Output actions address virtual ports; SetField
+// actions are applied at the egress switch.
+func (t *translator) insertFlow(api *shieldedAPI, dpid of.DPID, spec controller.FlowSpec) error {
+	if dpid != bigSwitchDPID {
+		return fmt.Errorf("isolation: app %q sees only the virtual switch %v", t.app, bigSwitchDPID)
+	}
+	// Check the virtual call itself (token + filters on the virtual view).
+	if err := api.checkInsertFlow(bigSwitchDPID, spec); err != nil {
+		return err
+	}
+	m := t.mapping()
+
+	match := spec.Match
+	if match == nil {
+		match = of.NewMatch()
+	}
+	// Pull the virtual ingress, if constrained.
+	var ingress *topology.AttachPoint
+	if v, mask := match.Get(of.FieldInPort); mask != 0 {
+		ap, err := m.Physical(uint16(v))
+		if err != nil {
+			return err
+		}
+		ingress = &ap
+	}
+	physMatch := match.Clone()
+	physMatch.SetMasked(of.FieldInPort, 0, 0) // ports are remapped physically
+
+	var rewrites []of.Action
+	var egress []uint16
+	dropRule := len(spec.Actions) == 0
+	for _, a := range spec.Actions {
+		switch a.Type {
+		case of.ActionDrop:
+			dropRule = true
+		case of.ActionSetField:
+			rewrites = append(rewrites, a)
+		case of.ActionOutput:
+			egress = append(egress, a.Port)
+		case of.ActionFlood:
+			for p := 1; p <= m.NumPorts(); p++ {
+				egress = append(egress, uint16(p))
+			}
+		}
+	}
+
+	if dropRule {
+		return t.installDropEverywhere(physMatch, ingress, spec)
+	}
+	for _, vport := range egress {
+		ap, err := m.Physical(vport)
+		if err != nil {
+			return err
+		}
+		if err := t.installPathRules(physMatch, ingress, ap, rewrites, spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// installDropEverywhere installs a drop rule on every member switch (or
+// only the ingress switch when the virtual rule pins IN_PORT).
+func (t *translator) installDropEverywhere(match *of.Match, ingress *topology.AttachPoint, spec controller.FlowSpec) error {
+	topo := t.kernel.Topology()
+	targets := topo.SwitchIDs()
+	if ingress != nil {
+		targets = []of.DPID{ingress.Switch}
+	}
+	for _, dpid := range targets {
+		phys := match.Clone()
+		if ingress != nil {
+			phys.Set(of.FieldInPort, uint64(ingress.Port))
+		}
+		err := t.kernel.InsertFlow(t.app, dpid, controller.FlowSpec{
+			Match: phys, Priority: spec.Priority,
+			Actions:     []of.Action{of.Drop()},
+			IdleTimeout: spec.IdleTimeout, HardTimeout: spec.HardTimeout,
+			Cookie: spec.Cookie,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// installPathRules lays rules along shortest paths toward the egress
+// attachment point. With a pinned ingress only that path is installed;
+// otherwise every switch gets a rule forwarding toward the egress.
+func (t *translator) installPathRules(match *of.Match, ingress *topology.AttachPoint, egressAP topology.AttachPoint, rewrites []of.Action, spec controller.FlowSpec) error {
+	topo := t.kernel.Topology()
+	sources := topo.SwitchIDs()
+	if ingress != nil {
+		sources = []of.DPID{ingress.Switch}
+	}
+	// installed dedups per-switch rules when multiple sources share path
+	// suffixes.
+	installed := make(map[of.DPID]bool)
+	for _, src := range sources {
+		path, ok := topo.ShortestPath(src, egressAP.Switch)
+		if !ok {
+			return fmt.Errorf("isolation: egress switch %v unreachable from %v", egressAP.Switch, src)
+		}
+		for i, hop := range path {
+			if installed[hop.DPID] {
+				continue
+			}
+			installed[hop.DPID] = true
+			phys := match.Clone()
+			if ingress != nil && hop.DPID == ingress.Switch && i == 0 {
+				phys.Set(of.FieldInPort, uint64(ingress.Port))
+			}
+			var actions []of.Action
+			if hop.DPID == egressAP.Switch {
+				actions = append(actions, rewrites...)
+				actions = append(actions, of.Output(egressAP.Port))
+			} else {
+				actions = append(actions, of.Output(hop.OutPort))
+			}
+			err := t.kernel.InsertFlow(t.app, hop.DPID, controller.FlowSpec{
+				Match: phys, Priority: spec.Priority, Actions: actions,
+				IdleTimeout: spec.IdleTimeout, HardTimeout: spec.HardTimeout,
+				Cookie: spec.Cookie,
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deleteFlow removes the app's translated rules matching the virtual
+// match from every member switch.
+func (t *translator) deleteFlow(api *shieldedAPI, dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
+	if dpid != bigSwitchDPID {
+		return fmt.Errorf("isolation: app %q sees only the virtual switch %v", t.app, bigSwitchDPID)
+	}
+	call := api.virtualDeleteCall(match, priority)
+	if err := api.engine().Check(call); err != nil {
+		return err
+	}
+	if match == nil {
+		match = of.NewMatch()
+	}
+	physMatch := match.Clone()
+	physMatch.SetMasked(of.FieldInPort, 0, 0)
+	for _, sw := range t.kernel.Topology().SwitchIDs() {
+		entries, err := t.kernel.Flows(sw, physMatch)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.Owner != t.app {
+				continue // never touch other apps' physical rules
+			}
+			if strict && e.Priority != priority {
+				continue
+			}
+			if err := t.kernel.DeleteFlow(sw, e.Match, e.Priority, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flowStats aggregates the app's translated rules across member
+// switches, grouped by physical match.
+func (t *translator) flowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEntry, error) {
+	if dpid != bigSwitchDPID {
+		return nil, fmt.Errorf("isolation: app %q sees only the virtual switch %v", t.app, bigSwitchDPID)
+	}
+	if match == nil {
+		match = of.NewMatch()
+	}
+	physMatch := match.Clone()
+	physMatch.SetMasked(of.FieldInPort, 0, 0)
+	agg := make(map[string]*of.FlowStatsEntry)
+	var order []string
+	for _, sw := range t.kernel.Topology().SwitchIDs() {
+		// Aggregate over the kernel's authoritative per-switch counters.
+		rows, err := t.kernel.FlowStats(sw, physMatch)
+		if err != nil {
+			return nil, err
+		}
+		owned, err := t.kernel.Flows(sw, physMatch)
+		if err != nil {
+			return nil, err
+		}
+		ours := make(map[string]bool, len(owned))
+		for _, e := range owned {
+			if e.Owner == t.app {
+				ours[e.Match.Key()+fmt.Sprint(e.Priority)] = true
+			}
+		}
+		for _, row := range rows {
+			key := row.Match.Key() + fmt.Sprint(row.Priority)
+			if !ours[key] {
+				continue
+			}
+			// Strip the physical in-port for the virtual view key.
+			vMatch := row.Match.Clone()
+			vMatch.SetMasked(of.FieldInPort, 0, 0)
+			vkey := vMatch.Key() + fmt.Sprint(row.Priority)
+			if entry, ok := agg[vkey]; ok {
+				entry.Packets += row.Packets
+				entry.Bytes += row.Bytes
+			} else {
+				agg[vkey] = &of.FlowStatsEntry{
+					Match: vMatch, Priority: row.Priority, Cookie: row.Cookie,
+					Packets: row.Packets, Bytes: row.Bytes,
+				}
+				order = append(order, vkey)
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]of.FlowStatsEntry, 0, len(order))
+	for _, k := range order {
+		out = append(out, *agg[k])
+	}
+	return out, nil
+}
+
+// portStats maps virtual ports to physical attachment points and queries
+// each.
+func (t *translator) portStats(dpid of.DPID, vport uint16) ([]of.PortStatsEntry, error) {
+	if dpid != bigSwitchDPID {
+		return nil, fmt.Errorf("isolation: app %q sees only the virtual switch %v", t.app, bigSwitchDPID)
+	}
+	m := t.mapping()
+	var vports []uint16
+	if vport == of.PortNone {
+		for p := 1; p <= m.NumPorts(); p++ {
+			vports = append(vports, uint16(p))
+		}
+	} else {
+		vports = []uint16{vport}
+	}
+	out := make([]of.PortStatsEntry, 0, len(vports))
+	for _, vp := range vports {
+		ap, err := m.Physical(vp)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := t.kernel.PortStats(ap.Switch, ap.Port)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			row.Port = vp
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// switchStats aggregates switch-level counters over all member switches.
+func (t *translator) switchStats() (of.SwitchStats, error) {
+	var agg of.SwitchStats
+	for _, sw := range t.kernel.Topology().SwitchIDs() {
+		s, err := t.kernel.SwitchStats(sw)
+		if err != nil {
+			return of.SwitchStats{}, err
+		}
+		agg.FlowCount += s.FlowCount
+		agg.PacketsTotal += s.PacketsTotal
+		agg.BytesTotal += s.BytesTotal
+	}
+	return agg, nil
+}

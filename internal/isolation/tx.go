@@ -1,0 +1,102 @@
+package isolation
+
+import (
+	"sdnshield/internal/controller"
+	"sdnshield/internal/flowtable"
+	"sdnshield/internal/of"
+	"sdnshield/internal/permengine"
+)
+
+// prechecker is implemented by API variants that can check a call without
+// executing it; the transaction uses it to validate every call before the
+// first effect (§VI-B2). The monolithic API has no checks, so its
+// transactions only provide atomic rollback.
+type prechecker interface {
+	checkInsertFlow(dpid of.DPID, spec controller.FlowSpec) error
+	checkDeleteFlow(dpid of.DPID, match *of.Match, priority uint16) error
+}
+
+// Tx is an atomic group of flow operations. Build it with the fluent
+// Insert/Delete methods and Commit once; the entire group executes only
+// if every call passes permission checking, and a mid-apply failure rolls
+// back the already-applied prefix.
+type Tx struct {
+	api   API
+	inner permengine.Tx
+}
+
+// InsertFlow plans a flow insertion.
+func (t *Tx) InsertFlow(dpid of.DPID, spec controller.FlowSpec) *Tx {
+	var check func() error
+	if pc, ok := t.api.(prechecker); ok {
+		check = func() error { return pc.checkInsertFlow(dpid, spec) }
+	}
+	t.inner.Add(permengine.PlannedCall{
+		Call:  txDesc{fmt: "insert-flow"},
+		Check: check,
+		Apply: func() error { return t.api.InsertFlow(dpid, spec) },
+		Revert: func() error {
+			return t.api.DeleteFlow(dpid, spec.Match, spec.Priority, true)
+		},
+	})
+	return t
+}
+
+// DeleteFlow plans a flow deletion. On rollback the removed rules (as
+// visible to the app) are reinstalled.
+func (t *Tx) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) *Tx {
+	var check func() error
+	if pc, ok := t.api.(prechecker); ok {
+		check = func() error { return pc.checkDeleteFlow(dpid, match, priority) }
+	}
+	var removed []*flowtable.Entry
+	t.inner.Add(permengine.PlannedCall{
+		Call:  txDesc{fmt: "delete-flow"},
+		Check: check,
+		Apply: func() error {
+			entries, err := t.api.Flows(dpid, match)
+			if err == nil {
+				for _, e := range entries {
+					if !strict || e.Priority == priority {
+						removed = append(removed, e)
+					}
+				}
+			}
+			return t.api.DeleteFlow(dpid, match, priority, strict)
+		},
+		Revert: func() error {
+			for _, e := range removed {
+				err := t.api.InsertFlow(dpid, controller.FlowSpec{
+					Match: e.Match, Priority: e.Priority, Actions: e.Actions,
+					IdleTimeout: e.IdleTimeout, HardTimeout: e.HardTimeout,
+					Cookie: e.Cookie,
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	return t
+}
+
+// SendPacketOut plans a packet injection. Packet-outs cannot be undone;
+// place them last so a rollback never needs to revert one.
+func (t *Tx) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) *Tx {
+	t.inner.Add(permengine.PlannedCall{
+		Call:  txDesc{fmt: "packet-out"},
+		Apply: func() error { return t.api.SendPacketOut(dpid, bufferID, inPort, actions, pkt) },
+	})
+	return t
+}
+
+// Len returns the number of planned calls.
+func (t *Tx) Len() int { return t.inner.Len() }
+
+// Commit checks all calls, then applies them atomically.
+func (t *Tx) Commit() error { return t.inner.Commit() }
+
+type txDesc struct{ fmt string }
+
+func (d txDesc) String() string { return d.fmt }

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"fmt"
+
+	"sdnshield/internal/of"
+	"sdnshield/internal/topology"
+)
+
+// Built describes a constructed test network: the simulator plus the
+// ready-made topology graph a controller can be seeded with (standing in
+// for LLDP discovery).
+type Built struct {
+	Net   *Network
+	Topo  *topology.Topology
+	Hosts []*Host
+}
+
+// hostMAC derives a deterministic host MAC from an index.
+func hostMAC(i int) of.MAC {
+	return of.MAC{0x02, 0x00, 0x00, 0x00, byte(i >> 8), byte(i)}
+}
+
+// hostIP derives a deterministic 10.0.x.y host address from an index.
+func hostIP(i int) of.IPv4 {
+	return of.IPv4FromOctets(10, 0, byte(i>>8), byte(i))
+}
+
+// Linear builds a linear topology s1-s2-…-sN with one host per switch.
+// Port 1 of each switch faces its host; port 2 links left, port 3 links
+// right. Hosts are h1..hN with MACs 02:00:00:00:00:0i and IPs 10.0.0.i.
+func Linear(n int) (*Built, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netsim: linear topology needs >= 1 switch, got %d", n)
+	}
+	net := New()
+	topo := topology.New()
+	b := &Built{Net: net, Topo: topo}
+	for i := 1; i <= n; i++ {
+		sw, err := net.AddSwitch(of.DPID(i), 3, 0)
+		if err != nil {
+			return nil, err
+		}
+		topo.AddSwitch(of.DPID(i), sw.PortInfos())
+	}
+	for i := 1; i < n; i++ {
+		if err := net.Link(of.DPID(i), 3, of.DPID(i+1), 2); err != nil {
+			return nil, err
+		}
+		if err := topo.AddLink(topology.Link{A: of.DPID(i), APort: 3, B: of.DPID(i + 1), BPort: 2}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i <= n; i++ {
+		h, err := net.AddHost(hostMAC(i), hostIP(i), of.DPID(i), 1)
+		if err != nil {
+			return nil, err
+		}
+		b.Hosts = append(b.Hosts, h)
+		topo.AddHost(topology.Host{MAC: h.MAC(), IP: h.IP(), Switch: of.DPID(i), Port: 1})
+	}
+	return b, nil
+}
+
+// Star builds a hub-and-spoke topology: switch 1 is the core, switches
+// 2..n+1 are edges each holding one host on port 1.
+func Star(edges int) (*Built, error) {
+	if edges < 1 {
+		return nil, fmt.Errorf("netsim: star topology needs >= 1 edge, got %d", edges)
+	}
+	net := New()
+	topo := topology.New()
+	b := &Built{Net: net, Topo: topo}
+
+	core, err := net.AddSwitch(1, edges, 0)
+	if err != nil {
+		return nil, err
+	}
+	topo.AddSwitch(1, core.PortInfos())
+	for i := 0; i < edges; i++ {
+		dpid := of.DPID(i + 2)
+		sw, err := net.AddSwitch(dpid, 2, 0)
+		if err != nil {
+			return nil, err
+		}
+		topo.AddSwitch(dpid, sw.PortInfos())
+		if err := net.Link(1, uint16(i+1), dpid, 2); err != nil {
+			return nil, err
+		}
+		if err := topo.AddLink(topology.Link{A: 1, APort: uint16(i + 1), B: dpid, BPort: 2}); err != nil {
+			return nil, err
+		}
+		h, err := net.AddHost(hostMAC(i+1), hostIP(i+1), dpid, 1)
+		if err != nil {
+			return nil, err
+		}
+		b.Hosts = append(b.Hosts, h)
+		topo.AddHost(topology.Host{MAC: h.MAC(), IP: h.IP(), Switch: dpid, Port: 1})
+	}
+	return b, nil
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+
+	"sdnshield/internal/of"
+)
+
+// Host is a simulated end host: it injects packets at its attachment
+// point and records everything the data plane delivers to it.
+type Host struct {
+	mac  of.MAC
+	ip   of.IPv4
+	sw   of.DPID
+	port uint16
+	net  *Network
+
+	mu      sync.Mutex
+	inbox   []*of.Packet
+	arrived *sync.Cond
+}
+
+// MAC returns the host's hardware address.
+func (h *Host) MAC() of.MAC { return h.mac }
+
+// IP returns the host's IPv4 address.
+func (h *Host) IP() of.IPv4 { return h.ip }
+
+// Attachment returns the host's switch and port.
+func (h *Host) Attachment() (of.DPID, uint16) { return h.sw, h.port }
+
+// Send injects a packet into the network at the host's port.
+func (h *Host) Send(pkt *of.Packet) {
+	h.net.mu.RLock()
+	sw, ok := h.net.switches[h.sw]
+	h.net.mu.RUnlock()
+	if !ok {
+		return
+	}
+	sw.processPacket(pkt.Clone(), h.port, maxHops)
+}
+
+// SendTCP is a convenience for sending one TCP segment to a destination
+// host identified by MAC/IP.
+func (h *Host) SendTCP(dst *Host, srcPort, dstPort uint16, flags uint8, payload []byte) {
+	pkt := of.NewTCPPacket(h.mac, dst.mac, h.ip, dst.ip, srcPort, dstPort, flags)
+	pkt.Payload = payload
+	h.Send(pkt)
+}
+
+func (h *Host) receive(pkt *of.Packet) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.inbox = append(h.inbox, pkt.Clone())
+	h.arrived.Broadcast()
+}
+
+// Received snapshots the host's inbox.
+func (h *Host) Received() []*of.Packet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*of.Packet, len(h.inbox))
+	copy(out, h.inbox)
+	return out
+}
+
+// ClearInbox empties the inbox.
+func (h *Host) ClearInbox() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.inbox = nil
+}
+
+// WaitFor blocks until a packet satisfying pred arrives (scanning packets
+// already in the inbox first) or the timeout elapses.
+func (h *Host) WaitFor(pred func(*of.Packet) bool, timeout time.Duration) (*of.Packet, bool) {
+	deadline := time.Now().Add(timeout)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	scanned := 0
+	for {
+		for ; scanned < len(h.inbox); scanned++ {
+			if pred(h.inbox[scanned]) {
+				return h.inbox[scanned], true
+			}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, false
+		}
+		// Cond has no timed wait; poll with a short sleep while releasing
+		// the lock so receive() can make progress.
+		h.mu.Unlock()
+		time.Sleep(minDuration(remaining, time.Millisecond))
+		h.mu.Lock()
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+// Package netsim simulates an OpenFlow data plane: switches with real
+// flow tables, inter-switch links, and hosts that send and receive
+// packets. Each switch speaks the internal/of control protocol to a
+// controller over an of.Conn, exactly the role Mininet + Open vSwitch
+// play in the paper's testbed (§IX-A); CBench-style load generation drives
+// the same path.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"sdnshield/internal/flowtable"
+	"sdnshield/internal/of"
+)
+
+// maxHops bounds data-plane forwarding so flood loops in cyclic
+// topologies terminate.
+const maxHops = 64
+
+// maxBuffers bounds per-switch packet-in buffers.
+const maxBuffers = 4096
+
+// peer describes what a switch port connects to.
+type peer struct {
+	isHost bool
+	host   of.MAC
+	sw     of.DPID
+	port   uint16
+}
+
+// Network is a simulated network of switches, links and hosts.
+type Network struct {
+	mu       sync.RWMutex
+	switches map[of.DPID]*Switch
+	hosts    map[of.MAC]*Host
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		switches: make(map[of.DPID]*Switch),
+		hosts:    make(map[of.MAC]*Host),
+	}
+}
+
+// AddSwitch creates a switch with the given number of ports (numbered
+// from 1) and a flow table of the given capacity (0 = unbounded).
+func (n *Network) AddSwitch(dpid of.DPID, numPorts int, tableCapacity int) (*Switch, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.switches[dpid]; ok {
+		return nil, fmt.Errorf("netsim: switch %v already exists", dpid)
+	}
+	sw := &Switch{
+		dpid:    dpid,
+		net:     n,
+		table:   flowtable.New(tableCapacity),
+		ports:   make(map[uint16]peer, numPorts),
+		portsUp: make(map[uint16]bool, numPorts),
+		stats:   make(map[uint16]*of.PortStatsEntry, numPorts),
+		buffers: make(map[uint32]bufferedPacket),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for p := uint16(1); p <= uint16(numPorts); p++ {
+		sw.ports[p] = peer{}
+		sw.portsUp[p] = true
+		sw.stats[p] = &of.PortStatsEntry{Port: p}
+	}
+	n.switches[dpid] = sw
+	return sw, nil
+}
+
+// Switch returns a switch by DPID.
+func (n *Network) Switch(dpid of.DPID) (*Switch, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	sw, ok := n.switches[dpid]
+	return sw, ok
+}
+
+// Switches returns all switches (unordered).
+func (n *Network) Switches() []*Switch {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*Switch, 0, len(n.switches))
+	for _, sw := range n.switches {
+		out = append(out, sw)
+	}
+	return out
+}
+
+// Link wires two switch ports together bidirectionally.
+func (n *Network) Link(a of.DPID, aPort uint16, b of.DPID, bPort uint16) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sa, ok := n.switches[a]
+	if !ok {
+		return fmt.Errorf("netsim: unknown switch %v", a)
+	}
+	sb, ok := n.switches[b]
+	if !ok {
+		return fmt.Errorf("netsim: unknown switch %v", b)
+	}
+	if err := sa.checkPortFree(aPort); err != nil {
+		return err
+	}
+	if err := sb.checkPortFree(bPort); err != nil {
+		return err
+	}
+	sa.ports[aPort] = peer{sw: b, port: bPort}
+	sb.ports[bPort] = peer{sw: a, port: aPort}
+	return nil
+}
+
+// AddHost attaches a host to a switch port.
+func (n *Network) AddHost(mac of.MAC, ip of.IPv4, dpid of.DPID, port uint16) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sw, ok := n.switches[dpid]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown switch %v", dpid)
+	}
+	if err := sw.checkPortFree(port); err != nil {
+		return nil, err
+	}
+	if _, dup := n.hosts[mac]; dup {
+		return nil, fmt.Errorf("netsim: host %v already exists", mac)
+	}
+	h := &Host{mac: mac, ip: ip, sw: dpid, port: port, net: n}
+	h.arrived = sync.NewCond(&h.mu)
+	sw.ports[port] = peer{isHost: true, host: mac}
+	n.hosts[mac] = h
+	return h, nil
+}
+
+// Host returns a host by MAC.
+func (n *Network) Host(mac of.MAC) (*Host, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.hosts[mac]
+	return h, ok
+}
+
+// deliver hands a packet to whatever sits behind (dpid, outPort).
+func (n *Network) deliver(from of.DPID, outPort uint16, pkt *of.Packet, hops int) {
+	n.mu.RLock()
+	sw, ok := n.switches[from]
+	n.mu.RUnlock()
+	if !ok {
+		return
+	}
+	sw.mu.Lock()
+	p, exists := sw.ports[outPort]
+	up := sw.portsUp[outPort]
+	if exists && up {
+		st := sw.stats[outPort]
+		st.TxPackets++
+		st.TxBytes += uint64(packetSize(pkt))
+	}
+	sw.mu.Unlock()
+	if !exists || !up {
+		return
+	}
+	switch {
+	case p.isHost:
+		n.mu.RLock()
+		h, ok := n.hosts[p.host]
+		n.mu.RUnlock()
+		if ok {
+			h.receive(pkt)
+		}
+	case p.sw != 0 || p.port != 0:
+		n.mu.RLock()
+		next, ok := n.switches[p.sw]
+		n.mu.RUnlock()
+		if ok {
+			next.processPacket(pkt, p.port, hops)
+		}
+	default:
+		// Unwired port: packet vanishes.
+	}
+}
+
+// packetSize approximates the frame's wire size for byte counters.
+func packetSize(pkt *of.Packet) int {
+	return 64 + len(pkt.Payload)
+}
+
+// Stop shuts every switch down and waits for their control loops.
+func (n *Network) Stop() {
+	for _, sw := range n.Switches() {
+		sw.Stop()
+	}
+}

@@ -1,0 +1,447 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"sdnshield/internal/flowtable"
+	"sdnshield/internal/of"
+)
+
+// startSwitch wires a switch to an in-memory controller connection and
+// returns the controller side.
+func startSwitch(t *testing.T, sw *Switch) of.Conn {
+	t.Helper()
+	ctrlSide, swSide := of.Pipe()
+	if err := sw.Start(swSide); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sw.Stop)
+	// Consume the HELLO.
+	msg, err := ctrlSide.Recv()
+	if err != nil || msg.Type() != of.MsgHello {
+		t.Fatalf("expected HELLO, got (%v, %v)", msg, err)
+	}
+	return ctrlSide
+}
+
+// recvType receives messages until one of the wanted type arrives.
+func recvType(t *testing.T, c of.Conn, want of.MsgType) of.Message {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	result := make(chan of.Message, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if msg.Type() == want {
+				result <- msg
+				return
+			}
+		}
+	}()
+	select {
+	case msg := <-result:
+		return msg
+	case err := <-errCh:
+		t.Fatalf("recv: %v", err)
+	case <-deadline:
+		t.Fatalf("timed out waiting for %v", want)
+	}
+	return nil
+}
+
+func TestFeaturesHandshake(t *testing.T) {
+	net := New()
+	sw, err := net.AddSwitch(7, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := startSwitch(t, sw)
+	if err := ctrl.Send(&of.FeaturesRequest{Header: of.Header{Xid: 11}}); err != nil {
+		t.Fatal(err)
+	}
+	reply := recvType(t, ctrl, of.MsgFeaturesReply).(*of.FeaturesReply)
+	if reply.DPID != 7 || reply.NumPorts != 4 || len(reply.Ports) != 4 || reply.XID() != 11 {
+		t.Errorf("features = %+v", reply)
+	}
+	// Echo.
+	if err := ctrl.Send(&of.EchoRequest{Header: of.Header{Xid: 12}, Data: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	echo := recvType(t, ctrl, of.MsgEchoReply).(*of.EchoReply)
+	if string(echo.Data) != "hi" {
+		t.Errorf("echo = %+v", echo)
+	}
+	// Barrier.
+	if err := ctrl.Send(&of.BarrierRequest{Header: of.Header{Xid: 13}}); err != nil {
+		t.Fatal(err)
+	}
+	recvType(t, ctrl, of.MsgBarrierReply)
+}
+
+func TestPacketInOnTableMissAndPacketOut(t *testing.T) {
+	b, err := Linear(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Stop()
+	sw1, _ := b.Net.Switch(1)
+	ctrl := startSwitch(t, sw1)
+
+	h1, h2 := b.Hosts[0], b.Hosts[1]
+	h1.SendTCP(h2, 1234, 80, of.TCPFlagSYN, []byte("syn"))
+
+	pin := recvType(t, ctrl, of.MsgPacketIn).(*of.PacketIn)
+	if pin.DPID != 1 || pin.InPort != 1 || pin.Reason != of.ReasonNoMatch {
+		t.Fatalf("packet-in = %+v", pin)
+	}
+	if pin.Packet.IPDst != h2.IP() {
+		t.Errorf("packet content lost: %v", pin.Packet)
+	}
+	if pin.BufferID == 0 {
+		t.Fatal("packet should be buffered")
+	}
+
+	// Packet-out by buffer id: forward out port 3 (toward s2); s2 has no
+	// rules so it will also packet-in, but s2 has no controller — the
+	// packet just dies there. Instead flood from s1 and verify nothing
+	// explodes, then deliver directly to h1's side.
+	err = ctrl.Send(&of.PacketOut{
+		Header:   of.Header{Xid: 20},
+		DPID:     1,
+		BufferID: pin.BufferID,
+		InPort:   of.PortNone,
+		Actions:  []of.Action{of.Output(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reusing the buffer must fail.
+	err = ctrl.Send(&of.PacketOut{
+		Header:   of.Header{Xid: 21},
+		DPID:     1,
+		BufferID: pin.BufferID,
+		InPort:   of.PortNone,
+		Actions:  []of.Action{of.Output(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := recvType(t, ctrl, of.MsgError).(*of.Error)
+	if e.XID() != 21 {
+		t.Errorf("error xid = %d", e.XID())
+	}
+}
+
+func TestFlowModInstallAndForward(t *testing.T) {
+	b, err := Linear(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Stop()
+	sw1, _ := b.Net.Switch(1)
+	sw2, _ := b.Net.Switch(2)
+	c1 := startSwitch(t, sw1)
+	c2 := startSwitch(t, sw2)
+
+	h1, h2 := b.Hosts[0], b.Hosts[1]
+	// Install forwarding rules: s1 sends h2-bound traffic out port 3,
+	// s2 delivers to its host port 1.
+	mustSend(t, c1, &of.FlowMod{
+		Header: of.Header{Xid: 1}, DPID: 1, Command: of.FlowAdd,
+		Match:    of.NewMatch().Set(of.FieldIPDst, uint64(h2.IP())),
+		Priority: 10, Actions: []of.Action{of.Output(3)},
+	})
+	mustSend(t, c2, &of.FlowMod{
+		Header: of.Header{Xid: 1}, DPID: 2, Command: of.FlowAdd,
+		Match:    of.NewMatch().Set(of.FieldIPDst, uint64(h2.IP())),
+		Priority: 10, Actions: []of.Action{of.Output(1)},
+	})
+	// Barrier both switches so the rules are definitely installed.
+	mustSend(t, c1, &of.BarrierRequest{Header: of.Header{Xid: 2}})
+	recvType(t, c1, of.MsgBarrierReply)
+	mustSend(t, c2, &of.BarrierRequest{Header: of.Header{Xid: 2}})
+	recvType(t, c2, of.MsgBarrierReply)
+
+	h1.SendTCP(h2, 1234, 80, of.TCPFlagSYN, []byte("hello"))
+	pkt, ok := h2.WaitFor(func(p *of.Packet) bool { return p.TPDst == 80 }, time.Second)
+	if !ok {
+		t.Fatal("packet not delivered end to end")
+	}
+	if string(pkt.Payload) != "hello" {
+		t.Errorf("payload = %q", pkt.Payload)
+	}
+}
+
+func mustSend(t *testing.T, c of.Conn, msg of.Message) {
+	t.Helper()
+	if err := c.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloodReachesAllHostsOnce(t *testing.T) {
+	b, err := Star(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Stop()
+	// Install flood rules everywhere (ARP learning style).
+	for _, sw := range b.Net.Switches() {
+		if err := sw.Table().Add(flowEntryFlood()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := b.Hosts[0]
+	src.Send(of.NewARPRequest(src.MAC(), src.IP(), b.Hosts[2].IP()))
+
+	for i, h := range b.Hosts {
+		if i == 0 {
+			if len(h.Received()) != 0 {
+				t.Error("sender must not receive its own broadcast")
+			}
+			continue
+		}
+		if _, ok := h.WaitFor(func(p *of.Packet) bool { return p.EthType == of.EthTypeARP }, time.Second); !ok {
+			t.Errorf("host %d missed the broadcast", i)
+		}
+	}
+}
+
+func TestSetFieldRewrite(t *testing.T) {
+	b, err := Linear(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Stop()
+	h1, h2 := b.Hosts[0], b.Hosts[1]
+	sw1, _ := b.Net.Switch(1)
+	sw2, _ := b.Net.Switch(2)
+
+	// s1 rewrites the destination port (dynamic-flow-tunneling style) and
+	// forwards; s2 delivers.
+	err = sw1.Table().Add(flowEntry(
+		of.NewMatch().Set(of.FieldTPDst, 8080),
+		10,
+		[]of.Action{of.SetField(of.FieldTPDst, 80), of.Output(3)},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw2.Table().Add(flowEntryTo(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	h1.SendTCP(h2, 5555, 8080, of.TCPFlagSYN, nil)
+	pkt, ok := h2.WaitFor(func(p *of.Packet) bool { return p.IPProto == of.IPProtoTCP }, time.Second)
+	if !ok {
+		t.Fatal("packet lost")
+	}
+	if pkt.TPDst != 80 {
+		t.Errorf("TPDst = %d, want rewritten 80", pkt.TPDst)
+	}
+}
+
+func TestPortDownBlocksDelivery(t *testing.T) {
+	b, err := Linear(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Stop()
+	sw1, _ := b.Net.Switch(1)
+	sw2, _ := b.Net.Switch(2)
+	ctrl := startSwitch(t, sw1)
+	if err := sw1.Table().Add(flowEntryTo(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw2.Table().Add(flowEntryTo(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sw1.SetPortState(3, false); err != nil {
+		t.Fatal(err)
+	}
+	ps := recvType(t, ctrl, of.MsgPortStatus).(*of.PortStatus)
+	if ps.Port.Port != 3 || ps.Port.Up {
+		t.Errorf("port status = %+v", ps)
+	}
+
+	b.Hosts[0].SendTCP(b.Hosts[1], 1, 2, 0, nil)
+	if _, ok := b.Hosts[1].WaitFor(func(*of.Packet) bool { return true }, 50*time.Millisecond); ok {
+		t.Error("packet crossed a downed port")
+	}
+
+	if err := sw1.SetPortState(3, true); err != nil {
+		t.Fatal(err)
+	}
+	b.Hosts[0].SendTCP(b.Hosts[1], 1, 2, 0, nil)
+	if _, ok := b.Hosts[1].WaitFor(func(*of.Packet) bool { return true }, time.Second); !ok {
+		t.Error("packet lost after port re-enable")
+	}
+	if err := sw1.SetPortState(99, false); err == nil {
+		t.Error("unknown port accepted")
+	}
+}
+
+func TestStatsCollection(t *testing.T) {
+	b, err := Linear(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Stop()
+	sw1, _ := b.Net.Switch(1)
+	ctrl := startSwitch(t, sw1)
+	if err := sw1.Table().Add(flowEntryTo(3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b.Hosts[0].SendTCP(b.Hosts[1], 1000, 80, 0, []byte("x"))
+	}
+
+	mustSend(t, ctrl, &of.StatsRequest{Header: of.Header{Xid: 5}, DPID: 1, Kind: of.StatsFlow})
+	fr := recvType(t, ctrl, of.MsgStatsReply).(*of.StatsReply)
+	if len(fr.Flows) != 1 || fr.Flows[0].Packets != 5 {
+		t.Errorf("flow stats = %+v", fr.Flows)
+	}
+
+	mustSend(t, ctrl, &of.StatsRequest{Header: of.Header{Xid: 6}, DPID: 1, Kind: of.StatsPort, Port: of.PortNone})
+	pr := recvType(t, ctrl, of.MsgStatsReply).(*of.StatsReply)
+	var rx, tx uint64
+	for _, p := range pr.Ports {
+		rx += p.RxPackets
+		tx += p.TxPackets
+	}
+	if rx != 5 || tx != 5 {
+		t.Errorf("port stats rx=%d tx=%d", rx, tx)
+	}
+
+	mustSend(t, ctrl, &of.StatsRequest{Header: of.Header{Xid: 7}, DPID: 1, Kind: of.StatsSwitch})
+	sr := recvType(t, ctrl, of.MsgStatsReply).(*of.StatsReply)
+	if sr.Switch.FlowCount != 1 || sr.Switch.PacketsTotal != 5 {
+		t.Errorf("switch stats = %+v", sr.Switch)
+	}
+}
+
+func TestFlowRemovedOnDelete(t *testing.T) {
+	net := New()
+	sw, err := net.AddSwitch(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := startSwitch(t, sw)
+	mustSend(t, ctrl, &of.FlowMod{
+		Header: of.Header{Xid: 1}, DPID: 1, Command: of.FlowAdd,
+		Match: of.NewMatch().Set(of.FieldTPDst, 80), Priority: 7, Cookie: 99,
+		Actions: []of.Action{of.Output(2)},
+	})
+	mustSend(t, ctrl, &of.FlowMod{
+		Header: of.Header{Xid: 2}, DPID: 1, Command: of.FlowDelete,
+		Match: of.NewMatch(),
+	})
+	fr := recvType(t, ctrl, of.MsgFlowRemoved).(*of.FlowRemoved)
+	if fr.Cookie != 99 || fr.Reason != of.RemovedDelete || fr.Priority != 7 {
+		t.Errorf("flow removed = %+v", fr)
+	}
+}
+
+func TestWiringErrors(t *testing.T) {
+	net := New()
+	if _, err := net.AddSwitch(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddSwitch(1, 2, 0); err == nil {
+		t.Error("duplicate switch accepted")
+	}
+	if err := net.Link(1, 1, 9, 1); err == nil {
+		t.Error("link to unknown switch accepted")
+	}
+	if _, err := net.AddSwitch(2, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Link(1, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Link(1, 1, 2, 2); err == nil {
+		t.Error("double-wiring a port accepted")
+	}
+	if _, err := net.AddHost(of.MAC{1}, 0, 1, 1); err == nil {
+		t.Error("host on wired port accepted")
+	}
+	if _, err := net.AddHost(of.MAC{1}, 0, 1, 9); err == nil {
+		t.Error("host on missing port accepted")
+	}
+	if _, err := net.AddHost(of.MAC{1}, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddHost(of.MAC{1}, 0, 2, 2); err == nil {
+		t.Error("duplicate host accepted")
+	}
+}
+
+func TestMalformedControlMessages(t *testing.T) {
+	net := New()
+	sw, err := net.AddSwitch(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := startSwitch(t, sw)
+	// Unknown flow-mod command.
+	mustSend(t, ctrl, &of.FlowMod{Header: of.Header{Xid: 1}, DPID: 1, Command: 99, Match: of.NewMatch()})
+	e := recvType(t, ctrl, of.MsgError).(*of.Error)
+	if e.Code != of.ErrBadRequest {
+		t.Errorf("error = %+v", e)
+	}
+	// Packet-out with neither packet nor buffer.
+	mustSend(t, ctrl, &of.PacketOut{Header: of.Header{Xid: 2}, DPID: 1, InPort: of.PortNone})
+	e = recvType(t, ctrl, of.MsgError).(*of.Error)
+	if e.XID() != 2 {
+		t.Errorf("error xid = %d", e.XID())
+	}
+	// Unsupported message type (a stats reply sent to a switch).
+	mustSend(t, ctrl, &of.StatsReply{Header: of.Header{Xid: 3}})
+	e = recvType(t, ctrl, of.MsgError).(*of.Error)
+	if e.XID() != 3 {
+		t.Errorf("error xid = %d", e.XID())
+	}
+}
+
+func TestTableCapacityError(t *testing.T) {
+	net := New()
+	sw, err := net.AddSwitch(1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := startSwitch(t, sw)
+	mustSend(t, ctrl, &of.FlowMod{
+		Header: of.Header{Xid: 1}, DPID: 1, Command: of.FlowAdd,
+		Match: of.NewMatch().Set(of.FieldTPDst, 80), Priority: 1,
+	})
+	mustSend(t, ctrl, &of.FlowMod{
+		Header: of.Header{Xid: 2}, DPID: 1, Command: of.FlowAdd,
+		Match: of.NewMatch().Set(of.FieldTPDst, 81), Priority: 1,
+	})
+	e := recvType(t, ctrl, of.MsgError).(*of.Error)
+	if e.Code != of.ErrTableFull || e.XID() != 2 {
+		t.Errorf("error = %+v", e)
+	}
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func flowEntryFlood() flowtable.Entry {
+	return flowEntry(of.NewMatch(), 1, []of.Action{of.Flood()})
+}
+
+func flowEntryTo(port uint16) flowtable.Entry {
+	return flowEntry(of.NewMatch(), 1, []of.Action{of.Output(port)})
+}
+
+func flowEntry(m *of.Match, prio uint16, actions []of.Action) flowtable.Entry {
+	return flowtable.Entry{Match: m, Priority: prio, Actions: actions}
+}

@@ -1,0 +1,389 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sdnshield/internal/flowtable"
+	"sdnshield/internal/of"
+)
+
+// bufferedPacket is a packet parked in the switch awaiting a packet-out
+// that references its buffer id.
+type bufferedPacket struct {
+	pkt    *of.Packet
+	inPort uint16
+}
+
+// Switch is one simulated OpenFlow switch: a flow table, ports, counters
+// and a control-channel loop.
+type Switch struct {
+	dpid  of.DPID
+	net   *Network
+	table *flowtable.Table
+
+	mu      sync.Mutex
+	ports   map[uint16]peer
+	portsUp map[uint16]bool
+	stats   map[uint16]*of.PortStatsEntry
+	buffers map[uint32]bufferedPacket
+	bufSeq  uint32
+	bufFIFO []uint32
+
+	ctrl    of.Conn
+	started atomic.Bool
+	xid     atomic.Uint32
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// DPID returns the switch's datapath id.
+func (s *Switch) DPID() of.DPID { return s.dpid }
+
+// Table exposes the switch's flow table (used by tests and the
+// effectiveness experiments to inspect data-plane state).
+func (s *Switch) Table() *flowtable.Table { return s.table }
+
+func (s *Switch) checkPortFree(port uint16) error {
+	p, ok := s.ports[port]
+	if !ok {
+		return fmt.Errorf("netsim: switch %v has no port %d", s.dpid, port)
+	}
+	if p.isHost || p.sw != 0 || p.port != 0 {
+		return fmt.Errorf("netsim: switch %v port %d already wired", s.dpid, port)
+	}
+	return nil
+}
+
+// PortInfos describes the switch's ports for features replies.
+func (s *Switch) PortInfos() []of.PortInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]of.PortInfo, 0, len(s.ports))
+	for p := range s.ports {
+		out = append(out, of.PortInfo{
+			Port: p,
+			Name: fmt.Sprintf("s%d-eth%d", uint64(s.dpid), p),
+			Up:   s.portsUp[p],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
+	return out
+}
+
+// Start attaches the switch to its controller connection and launches the
+// control loop. It sends HELLO and FEATURES_REPLY-on-request like a real
+// switch. Stop terminates the loop.
+func (s *Switch) Start(ctrl of.Conn) error {
+	if s.started.Swap(true) {
+		return fmt.Errorf("netsim: switch %v already started", s.dpid)
+	}
+	s.ctrl = ctrl
+	if err := ctrl.Send(&of.Hello{Header: of.Header{Xid: s.nextXID()}}); err != nil {
+		return fmt.Errorf("hello from %v: %w", s.dpid, err)
+	}
+	go s.controlLoop()
+	return nil
+}
+
+// Stop terminates the control loop and waits for it.
+func (s *Switch) Stop() {
+	if !s.started.Load() {
+		return
+	}
+	select {
+	case <-s.stop:
+		// already stopped
+	default:
+		close(s.stop)
+		if s.ctrl != nil {
+			s.ctrl.Close()
+		}
+	}
+	<-s.done
+}
+
+func (s *Switch) nextXID() uint32 { return s.xid.Add(1) }
+
+func (s *Switch) controlLoop() {
+	defer close(s.done)
+	for {
+		msg, err := s.ctrl.Recv()
+		if err != nil {
+			return
+		}
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		s.handle(msg)
+	}
+}
+
+func (s *Switch) send(msg of.Message) {
+	if s.ctrl == nil {
+		return
+	}
+	_ = s.ctrl.Send(msg) // the peer vanishing mid-send is benign here
+}
+
+func (s *Switch) sendError(xid uint32, code of.ErrorCode, format string, args ...interface{}) {
+	s.send(&of.Error{
+		Header:  of.Header{Xid: xid},
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (s *Switch) handle(msg of.Message) {
+	switch m := msg.(type) {
+	case *of.Hello:
+		// Symmetric hello; nothing to do.
+	case *of.EchoRequest:
+		s.send(&of.EchoReply{Header: of.Header{Xid: m.Xid}, Data: m.Data})
+	case *of.FeaturesRequest:
+		ports := s.PortInfos()
+		s.send(&of.FeaturesReply{
+			Header:   of.Header{Xid: m.Xid},
+			DPID:     s.dpid,
+			NumPorts: uint16(len(ports)),
+			Ports:    ports,
+		})
+	case *of.FlowMod:
+		s.handleFlowMod(m)
+	case *of.PacketOut:
+		s.handlePacketOut(m)
+	case *of.StatsRequest:
+		s.handleStatsRequest(m)
+	case *of.BarrierRequest:
+		s.send(&of.BarrierReply{Header: of.Header{Xid: m.Xid}})
+	default:
+		s.sendError(msg.XID(), of.ErrBadRequest, "unsupported message %v", msg.Type())
+	}
+}
+
+func (s *Switch) handleFlowMod(m *of.FlowMod) {
+	switch m.Command {
+	case of.FlowAdd:
+		err := s.table.Add(flowtable.Entry{
+			Match:       m.Match,
+			Priority:    m.Priority,
+			Actions:     m.Actions,
+			Cookie:      m.Cookie,
+			IdleTimeout: m.IdleTimeout,
+			HardTimeout: m.HardTimeout,
+		})
+		if err != nil {
+			s.sendError(m.Xid, of.ErrTableFull, "add: %v", err)
+		}
+	case of.FlowModify:
+		s.table.Modify(m.Match, m.Priority, false, m.Actions)
+	case of.FlowDelete, of.FlowDeleteStrict:
+		removed := s.table.Delete(m.Match, m.Priority, m.Command == of.FlowDeleteStrict)
+		for _, e := range removed {
+			s.send(&of.FlowRemoved{
+				Header:   of.Header{Xid: s.nextXID()},
+				DPID:     s.dpid,
+				Match:    e.Match,
+				Priority: e.Priority,
+				Cookie:   e.Cookie,
+				Reason:   of.RemovedDelete,
+				Packets:  e.Packets,
+				Bytes:    e.Bytes,
+			})
+		}
+	default:
+		s.sendError(m.Xid, of.ErrBadRequest, "unknown flow-mod command %v", m.Command)
+	}
+}
+
+func (s *Switch) handlePacketOut(m *of.PacketOut) {
+	pkt := m.Packet
+	inPort := m.InPort
+	if m.BufferID != 0 {
+		s.mu.Lock()
+		buffered, ok := s.buffers[m.BufferID]
+		if ok {
+			delete(s.buffers, m.BufferID)
+		}
+		s.mu.Unlock()
+		if !ok {
+			s.sendError(m.Xid, of.ErrBadRequest, "unknown buffer %d", m.BufferID)
+			return
+		}
+		if pkt == nil {
+			pkt = buffered.pkt
+		}
+		if inPort == of.PortNone {
+			inPort = buffered.inPort
+		}
+	}
+	if pkt == nil {
+		s.sendError(m.Xid, of.ErrBadRequest, "packet-out without packet or buffer")
+		return
+	}
+	s.executeActions(pkt.Clone(), inPort, m.Actions, maxHops)
+}
+
+func (s *Switch) handleStatsRequest(m *of.StatsRequest) {
+	reply := &of.StatsReply{Header: of.Header{Xid: m.Xid}, DPID: s.dpid, Kind: m.Kind}
+	switch m.Kind {
+	case of.StatsFlow:
+		reply.Flows = s.table.FlowStats(m.Match)
+	case of.StatsPort:
+		s.mu.Lock()
+		ports := make([]uint16, 0, len(s.stats))
+		for p := range s.stats {
+			if m.Port == of.PortNone || m.Port == p {
+				ports = append(ports, p)
+			}
+		}
+		sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+		for _, p := range ports {
+			reply.Ports = append(reply.Ports, *s.stats[p])
+		}
+		s.mu.Unlock()
+	case of.StatsSwitch:
+		reply.Switch = s.table.Stats()
+	default:
+		s.sendError(m.Xid, of.ErrBadRequest, "unknown stats kind %v", m.Kind)
+		return
+	}
+	s.send(reply)
+}
+
+// processPacket runs the data-plane pipeline for a packet arriving on
+// inPort.
+func (s *Switch) processPacket(pkt *of.Packet, inPort uint16, hops int) {
+	if hops <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if st, ok := s.stats[inPort]; ok {
+		st.RxPackets++
+		st.RxBytes += uint64(packetSize(pkt))
+	}
+	s.mu.Unlock()
+
+	entry, ok := s.table.Lookup(pkt, inPort, uint64(packetSize(pkt)))
+	if !ok {
+		s.sendPacketIn(pkt, inPort, of.ReasonNoMatch)
+		return
+	}
+	s.executeActions(pkt, inPort, entry.Actions, hops-1)
+}
+
+// InjectPacket inserts a packet into the switch pipeline as if it arrived
+// on the given port (used by hosts and tests).
+func (s *Switch) InjectPacket(pkt *of.Packet, inPort uint16) {
+	s.processPacket(pkt.Clone(), inPort, maxHops)
+}
+
+func (s *Switch) executeActions(pkt *of.Packet, inPort uint16, actions []of.Action, hops int) {
+	if len(actions) == 0 {
+		return // drop
+	}
+	for _, a := range actions {
+		switch a.Type {
+		case of.ActionDrop:
+			return
+		case of.ActionSetField:
+			pkt.SetFieldValue(a.Field, a.Value)
+		case of.ActionFlood:
+			s.flood(pkt, inPort, hops)
+		case of.ActionOutput:
+			switch a.Port {
+			case of.PortFlood, of.PortAll:
+				s.flood(pkt, inPort, hops)
+			case of.PortController:
+				s.sendPacketIn(pkt, inPort, of.ReasonAction)
+			case of.PortInPort:
+				s.net.deliver(s.dpid, inPort, pkt.Clone(), hops)
+			case of.PortNone, of.PortLocal:
+				// drop / local stack: nothing to deliver
+			default:
+				s.net.deliver(s.dpid, a.Port, pkt.Clone(), hops)
+			}
+		}
+	}
+}
+
+func (s *Switch) flood(pkt *of.Packet, inPort uint16, hops int) {
+	s.mu.Lock()
+	ports := make([]uint16, 0, len(s.ports))
+	for p := range s.ports {
+		if p != inPort && s.portsUp[p] {
+			ports = append(ports, p)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for _, p := range ports {
+		s.net.deliver(s.dpid, p, pkt.Clone(), hops)
+	}
+}
+
+func (s *Switch) sendPacketIn(pkt *of.Packet, inPort uint16, reason of.PacketInReason) {
+	if s.ctrl == nil {
+		return
+	}
+	s.mu.Lock()
+	s.bufSeq++
+	id := s.bufSeq
+	s.buffers[id] = bufferedPacket{pkt: pkt.Clone(), inPort: inPort}
+	s.bufFIFO = append(s.bufFIFO, id)
+	for len(s.bufFIFO) > maxBuffers {
+		evict := s.bufFIFO[0]
+		s.bufFIFO = s.bufFIFO[1:]
+		delete(s.buffers, evict)
+	}
+	s.mu.Unlock()
+
+	s.send(&of.PacketIn{
+		Header:   of.Header{Xid: s.nextXID()},
+		DPID:     s.dpid,
+		InPort:   inPort,
+		Reason:   reason,
+		BufferID: id,
+		Packet:   pkt.Clone(),
+	})
+}
+
+// SetPortState flips a port up or down and notifies the controller with a
+// PORT_STATUS message, driving topology events.
+func (s *Switch) SetPortState(port uint16, up bool) error {
+	s.mu.Lock()
+	if _, ok := s.ports[port]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("netsim: switch %v has no port %d", s.dpid, port)
+	}
+	s.portsUp[port] = up
+	s.mu.Unlock()
+	s.send(&of.PortStatus{
+		Header: of.Header{Xid: s.nextXID()},
+		DPID:   s.dpid,
+		Reason: of.PortModified,
+		Port:   of.PortInfo{Port: port, Name: fmt.Sprintf("s%d-eth%d", uint64(s.dpid), port), Up: up},
+	})
+	return nil
+}
+
+// ExpireFlows evicts timed-out entries and emits FlowRemoved
+// notifications; the harness calls it periodically.
+func (s *Switch) ExpireFlows() {
+	for _, exp := range s.table.Expire() {
+		s.send(&of.FlowRemoved{
+			Header:   of.Header{Xid: s.nextXID()},
+			DPID:     s.dpid,
+			Match:    exp.Entry.Match,
+			Priority: exp.Entry.Priority,
+			Cookie:   exp.Entry.Cookie,
+			Reason:   exp.Reason,
+			Packets:  exp.Entry.Packets,
+			Bytes:    exp.Entry.Bytes,
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package of
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionType discriminates the flow actions this substrate supports.
+type ActionType uint8
+
+// Supported action types. ActionDrop is represented explicitly (an empty
+// action list also drops, as in OpenFlow); the explicit form lets the
+// permission engine's action filter reason about intent.
+const (
+	ActionOutput ActionType = iota + 1
+	ActionDrop
+	ActionSetField
+	ActionFlood
+)
+
+// String names the action type in permission-language vocabulary.
+func (t ActionType) String() string {
+	switch t {
+	case ActionOutput:
+		return "OUTPUT"
+	case ActionDrop:
+		return "DROP"
+	case ActionSetField:
+		return "MODIFY"
+	case ActionFlood:
+		return "FLOOD"
+	default:
+		return fmt.Sprintf("ACTION(%d)", uint8(t))
+	}
+}
+
+// Action is one element of a flow-mod or packet-out action list.
+type Action struct {
+	Type ActionType
+	// Port is the output port for ActionOutput (may be a reserved port).
+	Port uint16
+	// Field and Value describe the rewrite for ActionSetField.
+	Field Field
+	Value uint64
+}
+
+// Output builds an output-to-port action.
+func Output(port uint16) Action { return Action{Type: ActionOutput, Port: port} }
+
+// Drop builds an explicit drop action.
+func Drop() Action { return Action{Type: ActionDrop} }
+
+// Flood builds a flood-to-all-ports action.
+func Flood() Action { return Action{Type: ActionFlood} }
+
+// SetField builds a header-rewrite action.
+func SetField(f Field, v uint64) Action { return Action{Type: ActionSetField, Field: f, Value: v} }
+
+// String renders the action for logs.
+func (a Action) String() string {
+	switch a.Type {
+	case ActionOutput:
+		switch a.Port {
+		case PortController:
+			return "output:CONTROLLER"
+		case PortFlood:
+			return "output:FLOOD"
+		case PortInPort:
+			return "output:IN_PORT"
+		default:
+			return fmt.Sprintf("output:%d", a.Port)
+		}
+	case ActionDrop:
+		return "drop"
+	case ActionFlood:
+		return "flood"
+	case ActionSetField:
+		return fmt.Sprintf("set(%s=%x)", a.Field, a.Value)
+	default:
+		return a.Type.String()
+	}
+}
+
+// ActionsString renders an action list compactly.
+func ActionsString(actions []Action) string {
+	if len(actions) == 0 {
+		return "drop"
+	}
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// CloneActions deep-copies an action list so callers can hold it across a
+// package boundary without aliasing (see "copy slices at boundaries").
+func CloneActions(actions []Action) []Action {
+	if actions == nil {
+		return nil
+	}
+	out := make([]Action, len(actions))
+	copy(out, actions)
+	return out
+}

@@ -1,0 +1,457 @@
+package of
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire framing: every message is encoded as
+//
+//	version(1) type(1) length(4, big endian, total frame) xid(4) body...
+//
+// The body layout per message type is defined by the encode/decode pairs
+// below. The codec exists so the simulator can run over a real TCP socket
+// (as the paper's CBench setup does) and not only over in-memory channels.
+
+// ErrTruncated reports a frame shorter than its declared length.
+var ErrTruncated = errors.New("of: truncated frame")
+
+// ErrBadVersion reports a frame with an unsupported protocol version.
+var ErrBadVersion = errors.New("of: unsupported protocol version")
+
+const headerLen = 10
+
+// MaxFrameLen bounds a frame so a corrupted length field cannot force an
+// unbounded allocation.
+const MaxFrameLen = 1 << 20
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) str(s string) { e.bytes([]byte(s)) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) match(m *Match) {
+	if m == nil {
+		e.u8(0)
+		return
+	}
+	fields := m.ConstrainedFields()
+	e.u8(uint8(len(fields)))
+	for _, f := range fields {
+		v, mask := m.Get(f)
+		e.u8(uint8(f))
+		e.u64(v)
+		e.u64(mask)
+	}
+}
+
+func (e *encoder) actions(actions []Action) {
+	e.u16(uint16(len(actions)))
+	for _, a := range actions {
+		e.u8(uint8(a.Type))
+		e.u16(a.Port)
+		e.u8(uint8(a.Field))
+		e.u64(a.Value)
+	}
+}
+
+func (e *encoder) packet(p *Packet) {
+	if p == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.buf = append(e.buf, p.EthSrc[:]...)
+	e.buf = append(e.buf, p.EthDst[:]...)
+	e.u16(p.EthType)
+	e.u16(p.VLAN)
+	e.u8(p.VLANPri)
+	e.u32(uint32(p.IPSrc))
+	e.u32(uint32(p.IPDst))
+	e.u8(p.IPProto)
+	e.u8(p.IPTOS)
+	e.u16(p.TPSrc)
+	e.u16(p.TPDst)
+	e.u8(p.TCPFlags)
+	e.u32(p.TCPSeq)
+	e.bytes(p.Payload)
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || int(n) > len(d.buf)-d.off {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.take(int(n)))
+	return out
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) match() *Match {
+	n := d.u8()
+	if n == 0 {
+		return NewMatch()
+	}
+	m := NewMatch()
+	for i := 0; i < int(n); i++ {
+		f := Field(d.u8())
+		v := d.u64()
+		mask := d.u64()
+		if d.err != nil {
+			return m
+		}
+		m.SetMasked(f, v, mask)
+	}
+	return m
+}
+
+func (d *decoder) actions() []Action {
+	n := d.u16()
+	if d.err != nil || int(n) > len(d.buf)-d.off {
+		d.fail()
+		return nil
+	}
+	out := make([]Action, 0, n)
+	for i := 0; i < int(n); i++ {
+		a := Action{
+			Type:  ActionType(d.u8()),
+			Port:  d.u16(),
+			Field: Field(d.u8()),
+			Value: d.u64(),
+		}
+		if d.err != nil {
+			return out
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func (d *decoder) packet() *Packet {
+	if d.u8() == 0 {
+		return nil
+	}
+	p := &Packet{}
+	copy(p.EthSrc[:], d.take(6))
+	copy(p.EthDst[:], d.take(6))
+	p.EthType = d.u16()
+	p.VLAN = d.u16()
+	p.VLANPri = d.u8()
+	p.IPSrc = IPv4(d.u32())
+	p.IPDst = IPv4(d.u32())
+	p.IPProto = d.u8()
+	p.IPTOS = d.u8()
+	p.TPSrc = d.u16()
+	p.TPDst = d.u16()
+	p.TCPFlags = d.u8()
+	p.TCPSeq = d.u32()
+	p.Payload = d.bytes()
+	return p
+}
+
+// Encode serializes a message into a self-describing frame.
+func Encode(msg Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u8(Version)
+	e.u8(uint8(msg.Type()))
+	e.u32(0) // length placeholder
+	e.u32(msg.XID())
+
+	switch m := msg.(type) {
+	case *Hello, *FeaturesRequest, *BarrierRequest, *BarrierReply:
+		// header only
+	case *EchoRequest:
+		e.bytes(m.Data)
+	case *EchoReply:
+		e.bytes(m.Data)
+	case *Error:
+		e.u16(uint16(m.Code))
+		e.str(m.Message)
+	case *FeaturesReply:
+		e.u64(uint64(m.DPID))
+		e.u16(m.NumPorts)
+		e.u16(uint16(len(m.Ports)))
+		for _, p := range m.Ports {
+			e.u16(p.Port)
+			e.str(p.Name)
+			e.bool(p.Up)
+		}
+	case *PacketIn:
+		e.u64(uint64(m.DPID))
+		e.u16(m.InPort)
+		e.u8(uint8(m.Reason))
+		e.u32(m.BufferID)
+		e.packet(m.Packet)
+	case *PacketOut:
+		e.u64(uint64(m.DPID))
+		e.u16(m.InPort)
+		e.u32(m.BufferID)
+		e.actions(m.Actions)
+		e.packet(m.Packet)
+	case *FlowMod:
+		e.u64(uint64(m.DPID))
+		e.u8(uint8(m.Command))
+		e.match(m.Match)
+		e.u16(m.Priority)
+		e.u16(m.IdleTimeout)
+		e.u16(m.HardTimeout)
+		e.u64(m.Cookie)
+		e.actions(m.Actions)
+	case *FlowRemoved:
+		e.u64(uint64(m.DPID))
+		e.match(m.Match)
+		e.u16(m.Priority)
+		e.u64(m.Cookie)
+		e.u8(uint8(m.Reason))
+		e.u64(m.Packets)
+		e.u64(m.Bytes)
+	case *PortStatus:
+		e.u64(uint64(m.DPID))
+		e.u8(uint8(m.Reason))
+		e.u16(m.Port.Port)
+		e.str(m.Port.Name)
+		e.bool(m.Port.Up)
+	case *StatsRequest:
+		e.u64(uint64(m.DPID))
+		e.u8(uint8(m.Kind))
+		e.match(m.Match)
+		e.u16(m.Port)
+	case *StatsReply:
+		e.u64(uint64(m.DPID))
+		e.u8(uint8(m.Kind))
+		e.u16(uint16(len(m.Flows)))
+		for _, f := range m.Flows {
+			e.match(f.Match)
+			e.u16(f.Priority)
+			e.u64(f.Cookie)
+			e.u64(f.Packets)
+			e.u64(f.Bytes)
+		}
+		e.u16(uint16(len(m.Ports)))
+		for _, p := range m.Ports {
+			e.u16(p.Port)
+			e.u64(p.RxPackets)
+			e.u64(p.TxPackets)
+			e.u64(p.RxBytes)
+			e.u64(p.TxBytes)
+			e.u64(p.Drops)
+		}
+		e.u32(m.Switch.FlowCount)
+		e.u64(m.Switch.PacketsTotal)
+		e.u64(m.Switch.BytesTotal)
+	default:
+		return nil, fmt.Errorf("of: encode: unsupported message type %T", msg)
+	}
+
+	binary.BigEndian.PutUint32(e.buf[2:6], uint32(len(e.buf)))
+	return e.buf, nil
+}
+
+// Decode parses one complete frame produced by Encode.
+func Decode(frame []byte) (Message, error) {
+	if len(frame) < headerLen {
+		return nil, ErrTruncated
+	}
+	if frame[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, frame[0])
+	}
+	msgType := MsgType(frame[1])
+	length := binary.BigEndian.Uint32(frame[2:6])
+	if int(length) != len(frame) {
+		return nil, fmt.Errorf("%w: declared %d, got %d", ErrTruncated, length, len(frame))
+	}
+	hdr := Header{Xid: binary.BigEndian.Uint32(frame[6:10])}
+	d := &decoder{buf: frame, off: headerLen}
+
+	var msg Message
+	switch msgType {
+	case MsgHello:
+		msg = &Hello{Header: hdr}
+	case MsgEchoRequest:
+		msg = &EchoRequest{Header: hdr, Data: d.bytes()}
+	case MsgEchoReply:
+		msg = &EchoReply{Header: hdr, Data: d.bytes()}
+	case MsgError:
+		msg = &Error{Header: hdr, Code: ErrorCode(d.u16()), Message: d.str()}
+	case MsgFeaturesRequest:
+		msg = &FeaturesRequest{Header: hdr}
+	case MsgFeaturesReply:
+		r := &FeaturesReply{Header: hdr, DPID: DPID(d.u64()), NumPorts: d.u16()}
+		n := d.u16()
+		for i := 0; i < int(n) && d.err == nil; i++ {
+			r.Ports = append(r.Ports, PortInfo{Port: d.u16(), Name: d.str(), Up: d.bool()})
+		}
+		msg = r
+	case MsgPacketIn:
+		msg = &PacketIn{
+			Header: hdr, DPID: DPID(d.u64()), InPort: d.u16(),
+			Reason: PacketInReason(d.u8()), BufferID: d.u32(), Packet: d.packet(),
+		}
+	case MsgPacketOut:
+		msg = &PacketOut{
+			Header: hdr, DPID: DPID(d.u64()), InPort: d.u16(),
+			BufferID: d.u32(), Actions: d.actions(), Packet: d.packet(),
+		}
+	case MsgFlowMod:
+		msg = &FlowMod{
+			Header: hdr, DPID: DPID(d.u64()), Command: FlowModCommand(d.u8()),
+			Match: d.match(), Priority: d.u16(), IdleTimeout: d.u16(),
+			HardTimeout: d.u16(), Cookie: d.u64(), Actions: d.actions(),
+		}
+	case MsgFlowRemoved:
+		msg = &FlowRemoved{
+			Header: hdr, DPID: DPID(d.u64()), Match: d.match(), Priority: d.u16(),
+			Cookie: d.u64(), Reason: FlowRemovedReason(d.u8()),
+			Packets: d.u64(), Bytes: d.u64(),
+		}
+	case MsgPortStatus:
+		msg = &PortStatus{
+			Header: hdr, DPID: DPID(d.u64()), Reason: PortStatusReason(d.u8()),
+			Port: PortInfo{Port: d.u16(), Name: d.str(), Up: d.bool()},
+		}
+	case MsgStatsRequest:
+		msg = &StatsRequest{
+			Header: hdr, DPID: DPID(d.u64()), Kind: StatsType(d.u8()),
+			Match: d.match(), Port: d.u16(),
+		}
+	case MsgStatsReply:
+		r := &StatsReply{Header: hdr, DPID: DPID(d.u64()), Kind: StatsType(d.u8())}
+		nf := d.u16()
+		for i := 0; i < int(nf) && d.err == nil; i++ {
+			r.Flows = append(r.Flows, FlowStatsEntry{
+				Match: d.match(), Priority: d.u16(), Cookie: d.u64(),
+				Packets: d.u64(), Bytes: d.u64(),
+			})
+		}
+		np := d.u16()
+		for i := 0; i < int(np) && d.err == nil; i++ {
+			r.Ports = append(r.Ports, PortStatsEntry{
+				Port: d.u16(), RxPackets: d.u64(), TxPackets: d.u64(),
+				RxBytes: d.u64(), TxBytes: d.u64(), Drops: d.u64(),
+			})
+		}
+		r.Switch = SwitchStats{FlowCount: d.u32(), PacketsTotal: d.u64(), BytesTotal: d.u64()}
+		msg = r
+	case MsgBarrierRequest:
+		msg = &BarrierRequest{Header: hdr}
+	case MsgBarrierReply:
+		msg = &BarrierReply{Header: hdr}
+	default:
+		return nil, fmt.Errorf("of: decode: unknown message type %d", uint8(msgType))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("decode %s: %w", msgType, d.err)
+	}
+	return msg, nil
+}
+
+// WriteMessage encodes msg and writes the frame to w.
+func WriteMessage(w io.Writer, msg Message) error {
+	frame, err := Encode(msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadMessage reads and decodes exactly one frame from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[2:6])
+	if length < headerLen || length > MaxFrameLen {
+		return nil, fmt.Errorf("of: bad frame length %d", length)
+	}
+	frame := make([]byte, length)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[headerLen:]); err != nil {
+		return nil, err
+	}
+	return Decode(frame)
+}

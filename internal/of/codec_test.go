@@ -1,0 +1,290 @@
+package of
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// sampleMessages returns one populated instance of every message type.
+func sampleMessages() []Message {
+	match := NewMatch().
+		SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 13, 0, 0)), uint64(PrefixMask(16))).
+		Set(FieldEthType, uint64(EthTypeIPv4))
+	pkt := NewTCPPacket(
+		MAC{1, 2, 3, 4, 5, 6}, MAC{7, 8, 9, 10, 11, 12},
+		IPv4FromOctets(10, 13, 1, 1), IPv4FromOctets(10, 13, 2, 2),
+		1234, 80, TCPFlagSYN,
+	)
+	pkt.Payload = []byte("GET / HTTP/1.1")
+	return []Message{
+		&Hello{Header: Header{Xid: 1}},
+		&EchoRequest{Header: Header{Xid: 2}, Data: []byte("ping")},
+		&EchoReply{Header: Header{Xid: 2}, Data: []byte("ping")},
+		&Error{Header: Header{Xid: 3}, Code: ErrPermDenied, Message: "insert_flow denied"},
+		&FeaturesRequest{Header: Header{Xid: 4}},
+		&FeaturesReply{Header: Header{Xid: 4}, DPID: 0xab, NumPorts: 2, Ports: []PortInfo{
+			{Port: 1, Name: "eth1", Up: true},
+			{Port: 2, Name: "eth2", Up: false},
+		}},
+		&PacketIn{Header: Header{Xid: 5}, DPID: 7, InPort: 3, Reason: ReasonNoMatch, BufferID: 99, Packet: pkt},
+		&PacketOut{Header: Header{Xid: 6}, DPID: 7, InPort: PortNone, BufferID: 99,
+			Actions: []Action{Output(2), SetField(FieldIPDst, 42)}, Packet: pkt},
+		&FlowMod{Header: Header{Xid: 7}, DPID: 7, Command: FlowAdd, Match: match,
+			Priority: 100, IdleTimeout: 30, HardTimeout: 300, Cookie: 0xdead,
+			Actions: []Action{Output(4)}},
+		&FlowRemoved{Header: Header{Xid: 8}, DPID: 7, Match: match, Priority: 100,
+			Cookie: 0xdead, Reason: RemovedIdleTimeout, Packets: 10, Bytes: 1000},
+		&PortStatus{Header: Header{Xid: 9}, DPID: 7, Reason: PortModified,
+			Port: PortInfo{Port: 2, Name: "eth2", Up: true}},
+		&StatsRequest{Header: Header{Xid: 10}, DPID: 7, Kind: StatsFlow, Match: match, Port: PortNone},
+		&StatsReply{Header: Header{Xid: 10}, DPID: 7, Kind: StatsFlow,
+			Flows:  []FlowStatsEntry{{Match: match, Priority: 5, Cookie: 1, Packets: 2, Bytes: 3}},
+			Ports:  []PortStatsEntry{{Port: 1, RxPackets: 4, TxPackets: 5, RxBytes: 6, TxBytes: 7, Drops: 8}},
+			Switch: SwitchStats{FlowCount: 9, PacketsTotal: 10, BytesTotal: 11},
+		},
+		&BarrierRequest{Header: Header{Xid: 11}},
+		&BarrierReply{Header: Header{Xid: 11}},
+	}
+}
+
+func messagesEquivalent(a, b Message) bool {
+	// Matches carry unexported maps; compare via Key/Equal by reflection
+	// over the rest.
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+// normalize rewrites *Match fields into their canonical Key strings so
+// DeepEqual compares semantics, not map layout.
+func normalize(m Message) interface{} {
+	switch v := m.(type) {
+	case *FlowMod:
+		c := *v
+		return struct {
+			FlowMod
+			MatchKey string
+		}{c, keyOf(v.Match)}
+	case *FlowRemoved:
+		c := *v
+		return struct {
+			FlowRemoved
+			MatchKey string
+		}{c, keyOf(v.Match)}
+	case *StatsRequest:
+		c := *v
+		return struct {
+			StatsRequest
+			MatchKey string
+		}{c, keyOf(v.Match)}
+	case *StatsReply:
+		c := *v
+		keys := make([]string, len(v.Flows))
+		for i := range v.Flows {
+			keys[i] = keyOf(v.Flows[i].Match)
+		}
+		return struct {
+			StatsReply
+			Keys []string
+		}{c, keys}
+	default:
+		return m
+	}
+}
+
+func keyOf(m *Match) string {
+	if m == nil {
+		return ""
+	}
+	return m.Key()
+}
+
+func TestCodecRoundTripAllMessages(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		t.Run(msg.Type().String(), func(t *testing.T) {
+			frame, err := Encode(msg)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := Decode(frame)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got.Type() != msg.Type() || got.XID() != msg.XID() {
+				t.Fatalf("type/xid mismatch: %v vs %v", got, msg)
+			}
+			if !messagesEquivalent(got, msg) {
+				t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, msg)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	frame, err := Encode(&FlowMod{Header: Header{Xid: 1}, Command: FlowAdd, Match: NewMatch()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(frame[:5]); err == nil {
+		t.Error("short frame accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 0x99
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	bad2 := append([]byte(nil), frame...)
+	bad2[2] = 0xff // corrupt length
+	if _, err := Decode(bad2); err == nil {
+		t.Error("bad length accepted")
+	}
+	if _, err := Decode(append([]byte(nil), frame[:len(frame)-3]...)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestDecodeFuzzNoPanics(t *testing.T) {
+	// Random mutations of valid frames must never panic; errors are fine.
+	r := rand.New(rand.NewSource(42))
+	for _, msg := range sampleMessages() {
+		frame, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			mutated := append([]byte(nil), frame...)
+			for j := 0; j < 1+r.Intn(4); j++ {
+				mutated[r.Intn(len(mutated))] ^= byte(1 << r.Intn(8))
+			}
+			_, _ = Decode(mutated) //nolint:errcheck // error or success both fine
+		}
+	}
+}
+
+func TestReadWriteMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for _, msg := range msgs {
+		if err := WriteMessage(&buf, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("stream order broken: got %v, want %v", got.Type(), want.Type())
+		}
+	}
+}
+
+func TestPipeConnExchange(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send(&Hello{Header: Header{Xid: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type() != MsgHello {
+		t.Fatalf("got %v, want HELLO", msg.Type())
+	}
+
+	if err := b.Send(&EchoReply{Header: Header{Xid: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = a.Recv(); err != nil || msg.Type() != MsgEchoReply {
+		t.Fatalf("got (%v,%v)", msg, err)
+	}
+}
+
+func TestPipeConnClose(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(&Hello{}); err != ErrClosed {
+		t.Errorf("send on closed = %v, want ErrClosed", err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Errorf("recv from closed peer = %v, want ErrClosed", err)
+	}
+	if err := b.Send(&Hello{}); err != ErrClosed {
+		t.Errorf("send to closed peer = %v, want ErrClosed", err)
+	}
+	// Double close is safe.
+	if err := a.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeDrainAfterPeerClose(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	if err := a.Send(&Hello{Header: Header{Xid: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	msg, err := b.Recv()
+	if err != nil || msg.XID() != 5 {
+		t.Fatalf("pending message lost: (%v, %v)", msg, err)
+	}
+}
+
+func TestNetConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn := NewNetConn(c)
+		defer conn.Close()
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if err := conn.Send(&EchoReply{Header: Header{Xid: msg.XID()}}); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewNetConn(c)
+	for i := uint32(1); i <= 10; i++ {
+		if err := conn.Send(&EchoRequest{Header: Header{Xid: i}, Data: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.XID() != i {
+			t.Fatalf("xid = %d, want %d", reply.XID(), i)
+		}
+	}
+	conn.Close()
+	wg.Wait()
+}

@@ -1,0 +1,321 @@
+package of
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixMask(t *testing.T) {
+	tests := []struct {
+		bits int
+		want IPv4
+	}{
+		{0, 0},
+		{8, 0xff000000},
+		{16, 0xffff0000},
+		{24, 0xffffff00},
+		{32, 0xffffffff},
+		{-3, 0},
+		{40, 0xffffffff},
+	}
+	for _, tt := range tests {
+		if got := PrefixMask(tt.bits); got != tt.want {
+			t.Errorf("PrefixMask(%d) = %x, want %x", tt.bits, got, tt.want)
+		}
+	}
+}
+
+func TestIPv4Formatting(t *testing.T) {
+	ip := IPv4FromOctets(10, 13, 0, 7)
+	if got := ip.String(); got != "10.13.0.7" {
+		t.Errorf("String() = %q, want 10.13.0.7", got)
+	}
+	if !ip.InSubnet(IPv4FromOctets(10, 13, 0, 0), PrefixMask(16)) {
+		t.Error("10.13.0.7 should be in 10.13.0.0/16")
+	}
+	if ip.InSubnet(IPv4FromOctets(10, 14, 0, 0), PrefixMask(16)) {
+		t.Error("10.13.0.7 should not be in 10.14.0.0/16")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42}
+	if got := MACFromUint64(m.Uint64()); got != m {
+		t.Errorf("round trip = %v, want %v", got, m)
+	}
+	if got := m.String(); got != "de:ad:be:ef:00:42" {
+		t.Errorf("String() = %q", got)
+	}
+	if !(MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}).IsBroadcast() {
+		t.Error("broadcast MAC not detected")
+	}
+	if m.IsBroadcast() {
+		t.Error("unicast MAC misdetected as broadcast")
+	}
+}
+
+func TestParseField(t *testing.T) {
+	tests := []struct {
+		name string
+		want Field
+		ok   bool
+	}{
+		{"IP_SRC", FieldIPSrc, true},
+		{"IP_DST", FieldIPDst, true},
+		{"TCP_SRC", FieldTPSrc, true},
+		{"NW_DST", FieldIPDst, true},
+		{"DL_TYPE", FieldEthType, true},
+		{"BOGUS", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := ParseField(tt.name)
+		if ok != tt.ok || got != tt.want {
+			t.Errorf("ParseField(%q) = (%v,%v), want (%v,%v)", tt.name, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestMatchSetGetWildcard(t *testing.T) {
+	m := NewMatch()
+	if !m.IsWildcarded(FieldIPDst) {
+		t.Fatal("new match should wildcard everything")
+	}
+	m.SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 13, 0, 0)), uint64(PrefixMask(16)))
+	v, mask := m.Get(FieldIPDst)
+	if IPv4(v) != IPv4FromOctets(10, 13, 0, 0) || IPv4(mask) != PrefixMask(16) {
+		t.Errorf("Get = %x/%x", v, mask)
+	}
+	// Values outside the mask must be canonicalized away.
+	m.SetMasked(FieldIPSrc, uint64(IPv4FromOctets(10, 13, 9, 9)), uint64(PrefixMask(16)))
+	v, _ = m.Get(FieldIPSrc)
+	if IPv4(v) != IPv4FromOctets(10, 13, 0, 0) {
+		t.Errorf("value not masked: %s", IPv4(v))
+	}
+	// Zero mask removes the constraint.
+	m.SetMasked(FieldIPSrc, 1, 0)
+	if !m.IsWildcarded(FieldIPSrc) {
+		t.Error("zero mask should wildcard the field")
+	}
+}
+
+func TestMatchMatchesPacket(t *testing.T) {
+	pkt := NewTCPPacket(
+		MAC{1}, MAC{2},
+		IPv4FromOctets(10, 13, 1, 5), IPv4FromOctets(192, 168, 0, 9),
+		43210, 80, TCPFlagSYN,
+	)
+	tests := []struct {
+		name  string
+		match func() *Match
+		want  bool
+	}{
+		{"wildcard", NewMatch, true},
+		{"dst subnet hit", func() *Match {
+			return NewMatch().SetMasked(FieldIPDst, uint64(IPv4FromOctets(192, 168, 0, 0)), uint64(PrefixMask(16)))
+		}, true},
+		{"dst subnet miss", func() *Match {
+			return NewMatch().SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 0, 0, 0)), uint64(PrefixMask(8)))
+		}, false},
+		{"port exact", func() *Match {
+			return NewMatch().Set(FieldTPDst, 80)
+		}, true},
+		{"in-port", func() *Match {
+			return NewMatch().Set(FieldInPort, 3)
+		}, true},
+		{"in-port miss", func() *Match {
+			return NewMatch().Set(FieldInPort, 4)
+		}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.match().MatchesPacket(pkt, 3); got != tt.want {
+				t.Errorf("MatchesPacket = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMatchSubsumes(t *testing.T) {
+	wide := NewMatch().SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 13, 0, 0)), uint64(PrefixMask(16)))
+	narrow := NewMatch().
+		SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 13, 7, 0)), uint64(PrefixMask(24))).
+		Set(FieldTPDst, 80)
+	if !wide.Subsumes(narrow) {
+		t.Error("/16 should subsume /24 with extra constraint")
+	}
+	if narrow.Subsumes(wide) {
+		t.Error("narrow must not subsume wide")
+	}
+	if !NewMatch().Subsumes(narrow) {
+		t.Error("wildcard subsumes everything")
+	}
+	other := NewMatch().SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 14, 0, 0)), uint64(PrefixMask(16)))
+	if wide.Subsumes(other) || other.Subsumes(wide) {
+		t.Error("disjoint subnets must not subsume each other")
+	}
+}
+
+func TestMatchOverlaps(t *testing.T) {
+	a := NewMatch().SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 13, 0, 0)), uint64(PrefixMask(16)))
+	b := NewMatch().Set(FieldTPDst, 80)
+	if !a.Overlaps(b) {
+		t.Error("constraints on different fields overlap")
+	}
+	c := NewMatch().SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 14, 0, 0)), uint64(PrefixMask(16)))
+	if a.Overlaps(c) {
+		t.Error("disjoint subnets must not overlap")
+	}
+}
+
+func TestMatchEqualCloneKey(t *testing.T) {
+	a := NewMatch().
+		SetMasked(FieldIPDst, uint64(IPv4FromOctets(10, 13, 0, 0)), uint64(PrefixMask(16))).
+		Set(FieldEthType, uint64(EthTypeIPv4))
+	b := a.Clone()
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Fatal("clone should be equal with identical key")
+	}
+	b.Set(FieldTPDst, 443)
+	if a.Equal(b) || a.Key() == b.Key() {
+		t.Error("modified clone should differ")
+	}
+	if a.IsWildcarded(FieldTPDst) != true {
+		t.Error("mutating clone must not touch original")
+	}
+}
+
+// randomMatch builds a random match for property tests.
+func randomMatch(r *rand.Rand) *Match {
+	m := NewMatch()
+	for _, f := range AllFields {
+		if r.Intn(3) == 0 {
+			bits := FieldBits(f)
+			mask := r.Uint64() & FullMask(f)
+			if r.Intn(2) == 0 { // often use prefix masks, as real rules do
+				mask = FullMask(f) << uint(r.Intn(bits)) & FullMask(f)
+			}
+			m.SetMasked(f, r.Uint64(), mask)
+		}
+	}
+	return m
+}
+
+// randomPacketFor draws a packet that satisfies m where constrained and is
+// random elsewhere.
+func randomPacketFor(m *Match, r *rand.Rand) (*Packet, uint16) {
+	p := &Packet{}
+	inPort := uint16(r.Intn(48))
+	for _, f := range AllFields {
+		v := r.Uint64() & FullMask(f)
+		if mask := m.masks[f]; mask != 0 {
+			v = (v &^ mask) | m.values[f]
+		}
+		if f == FieldInPort {
+			inPort = uint16(v)
+			continue
+		}
+		p.SetFieldValue(f, v)
+	}
+	return p, inPort
+}
+
+func TestPropertySubsumesImpliesMatch(t *testing.T) {
+	// If wide subsumes narrow, every packet satisfying narrow satisfies wide.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		wide := randomMatch(r)
+		narrow := wide.Clone()
+		// Narrow further with extra constraints.
+		extra := randomMatch(r)
+		for _, f := range extra.ConstrainedFields() {
+			ev, em := extra.Get(f)
+			nv, nm := narrow.Get(f)
+			narrow.SetMasked(f, nv|(ev&^nm), nm|em)
+		}
+		if !wide.Subsumes(narrow) {
+			// Narrowing by OR-ing masks keeps constrained bit values, so
+			// subsumption must hold.
+			t.Fatalf("iteration %d: widened match does not subsume", i)
+		}
+		pkt, inPort := randomPacketFor(narrow, r)
+		if !narrow.MatchesPacket(pkt, inPort) {
+			t.Fatalf("iteration %d: generated packet does not satisfy narrow", i)
+		}
+		if !wide.MatchesPacket(pkt, inPort) {
+			t.Fatalf("iteration %d: subsumption violated by packet %v", i, pkt)
+		}
+	}
+}
+
+func TestPropertyMatchFromPacketMatches(t *testing.T) {
+	f := func(srcIP, dstIP uint32, srcPort, dstPort uint16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pkt := NewTCPPacket(
+			MACFromUint64(r.Uint64()), MACFromUint64(r.Uint64()),
+			IPv4(srcIP), IPv4(dstIP), srcPort, dstPort, TCPFlagACK,
+		)
+		inPort := uint16(r.Intn(100))
+		return MatchFromPacket(pkt, inPort).MatchesPacket(pkt, inPort)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubsumesReflexiveTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		a := randomMatch(r)
+		if !a.Subsumes(a) {
+			t.Fatal("subsumes not reflexive")
+		}
+	}
+	// Transitivity over a chain built by repeated narrowing.
+	for i := 0; i < 500; i++ {
+		a := randomMatch(r)
+		b := a.Clone().Set(FieldEthType, uint64(EthTypeIPv4))
+		c := b.Clone().Set(FieldTPDst, uint64(r.Intn(65536)))
+		if a.Subsumes(b) && b.Subsumes(c) && !a.Subsumes(c) {
+			t.Fatal("subsumes not transitive")
+		}
+	}
+}
+
+func TestActionHelpers(t *testing.T) {
+	acts := []Action{Output(3), SetField(FieldIPDst, 42), Drop(), Flood(), Output(PortController)}
+	got := ActionsString(acts)
+	want := "output:3,set(IP_DST=2a),drop,flood,output:CONTROLLER"
+	if got != want {
+		t.Errorf("ActionsString = %q, want %q", got, want)
+	}
+	if ActionsString(nil) != "drop" {
+		t.Error("empty action list should render as drop")
+	}
+	cloned := CloneActions(acts)
+	if !reflect.DeepEqual(cloned, acts) {
+		t.Error("clone differs")
+	}
+	cloned[0].Port = 9
+	if acts[0].Port == 9 {
+		t.Error("clone aliases original")
+	}
+	if CloneActions(nil) != nil {
+		t.Error("nil clone should stay nil")
+	}
+}
+
+func TestPacketFieldRoundTrip(t *testing.T) {
+	p := &Packet{}
+	for _, f := range AllFields {
+		if f == FieldInPort {
+			continue
+		}
+		want := uint64(0xa5a5a5a5a5a5a5a5) & FullMask(f)
+		p.SetFieldValue(f, want)
+		if got := p.FieldValue(f, 0); got != want {
+			t.Errorf("field %s: got %x, want %x", f, got, want)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package of
+
+import "fmt"
+
+// MsgType discriminates controller/switch messages.
+type MsgType uint8
+
+// Message types, a subset of the OpenFlow 1.0 ofp_type enum.
+const (
+	MsgHello MsgType = iota + 1
+	MsgEchoRequest
+	MsgEchoReply
+	MsgError
+	MsgFeaturesRequest
+	MsgFeaturesReply
+	MsgPacketIn
+	MsgPacketOut
+	MsgFlowMod
+	MsgFlowRemoved
+	MsgPortStatus
+	MsgStatsRequest
+	MsgStatsReply
+	MsgBarrierRequest
+	MsgBarrierReply
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "HELLO"
+	case MsgEchoRequest:
+		return "ECHO_REQUEST"
+	case MsgEchoReply:
+		return "ECHO_REPLY"
+	case MsgError:
+		return "ERROR"
+	case MsgFeaturesRequest:
+		return "FEATURES_REQUEST"
+	case MsgFeaturesReply:
+		return "FEATURES_REPLY"
+	case MsgPacketIn:
+		return "PACKET_IN"
+	case MsgPacketOut:
+		return "PACKET_OUT"
+	case MsgFlowMod:
+		return "FLOW_MOD"
+	case MsgFlowRemoved:
+		return "FLOW_REMOVED"
+	case MsgPortStatus:
+		return "PORT_STATUS"
+	case MsgStatsRequest:
+		return "STATS_REQUEST"
+	case MsgStatsReply:
+		return "STATS_REPLY"
+	case MsgBarrierRequest:
+		return "BARRIER_REQUEST"
+	case MsgBarrierReply:
+		return "BARRIER_REPLY"
+	default:
+		return fmt.Sprintf("MSG(%d)", uint8(t))
+	}
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Type returns the wire discriminator of the message.
+	Type() MsgType
+	// XID returns the transaction id correlating requests and replies.
+	XID() uint32
+}
+
+// Header carries the fields common to all messages.
+type Header struct {
+	Xid uint32
+}
+
+// XID returns the transaction id.
+func (h Header) XID() uint32 { return h.Xid }
+
+// Hello opens a control channel.
+type Hello struct {
+	Header
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return MsgHello }
+
+// EchoRequest is a liveness probe.
+type EchoRequest struct {
+	Header
+	Data []byte
+}
+
+// Type implements Message.
+func (*EchoRequest) Type() MsgType { return MsgEchoRequest }
+
+// EchoReply answers an EchoRequest, echoing its data.
+type EchoReply struct {
+	Header
+	Data []byte
+}
+
+// Type implements Message.
+func (*EchoReply) Type() MsgType { return MsgEchoReply }
+
+// ErrorCode classifies Error messages.
+type ErrorCode uint16
+
+// Error codes surfaced by the switch simulator and the controller.
+const (
+	ErrBadRequest ErrorCode = iota + 1
+	ErrBadMatch
+	ErrBadAction
+	ErrTableFull
+	ErrPermDenied
+	ErrUnknownFlow
+)
+
+// String names the error code.
+func (c ErrorCode) String() string {
+	switch c {
+	case ErrBadRequest:
+		return "BAD_REQUEST"
+	case ErrBadMatch:
+		return "BAD_MATCH"
+	case ErrBadAction:
+		return "BAD_ACTION"
+	case ErrTableFull:
+		return "TABLE_FULL"
+	case ErrPermDenied:
+		return "PERM_DENIED"
+	case ErrUnknownFlow:
+		return "UNKNOWN_FLOW"
+	default:
+		return fmt.Sprintf("ERR(%d)", uint16(c))
+	}
+}
+
+// Error reports a failure processing an earlier message.
+type Error struct {
+	Header
+	Code    ErrorCode
+	Message string
+}
+
+// Type implements Message.
+func (*Error) Type() MsgType { return MsgError }
+
+// FeaturesRequest asks a switch for its datapath description.
+type FeaturesRequest struct {
+	Header
+}
+
+// Type implements Message.
+func (*FeaturesRequest) Type() MsgType { return MsgFeaturesRequest }
+
+// FeaturesReply describes a datapath: its DPID and physical ports.
+type FeaturesReply struct {
+	Header
+	DPID     DPID
+	NumPorts uint16
+	Ports    []PortInfo
+}
+
+// Type implements Message.
+func (*FeaturesReply) Type() MsgType { return MsgFeaturesReply }
+
+// PortInfo describes one switch port.
+type PortInfo struct {
+	Port uint16
+	Name string
+	Up   bool
+}
+
+// PacketInReason explains why a switch sent a packet to the controller.
+type PacketInReason uint8
+
+// Packet-in reasons.
+const (
+	ReasonNoMatch PacketInReason = iota + 1
+	ReasonAction
+)
+
+// PacketIn delivers a data-plane packet to the controller.
+type PacketIn struct {
+	Header
+	DPID     DPID
+	InPort   uint16
+	Reason   PacketInReason
+	BufferID uint32
+	Packet   *Packet
+}
+
+// Type implements Message.
+func (*PacketIn) Type() MsgType { return MsgPacketIn }
+
+// PacketOut injects a data-plane packet through a switch.
+type PacketOut struct {
+	Header
+	DPID     DPID
+	InPort   uint16
+	BufferID uint32
+	Actions  []Action
+	Packet   *Packet
+}
+
+// Type implements Message.
+func (*PacketOut) Type() MsgType { return MsgPacketOut }
+
+// FlowModCommand selects the flow-table operation of a FlowMod.
+type FlowModCommand uint8
+
+// Flow-mod commands, mirroring ofp_flow_mod_command.
+const (
+	FlowAdd FlowModCommand = iota + 1
+	FlowModify
+	FlowDelete
+	FlowDeleteStrict
+)
+
+// String names the command.
+func (c FlowModCommand) String() string {
+	switch c {
+	case FlowAdd:
+		return "ADD"
+	case FlowModify:
+		return "MODIFY"
+	case FlowDelete:
+		return "DELETE"
+	case FlowDeleteStrict:
+		return "DELETE_STRICT"
+	default:
+		return fmt.Sprintf("CMD(%d)", uint8(c))
+	}
+}
+
+// FlowMod installs, modifies or removes flow entries.
+type FlowMod struct {
+	Header
+	DPID        DPID
+	Command     FlowModCommand
+	Match       *Match
+	Priority    uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Cookie      uint64
+	Actions     []Action
+}
+
+// Type implements Message.
+func (*FlowMod) Type() MsgType { return MsgFlowMod }
+
+// FlowRemovedReason explains a FlowRemoved notification.
+type FlowRemovedReason uint8
+
+// Flow removal reasons.
+const (
+	RemovedIdleTimeout FlowRemovedReason = iota + 1
+	RemovedHardTimeout
+	RemovedDelete
+)
+
+// FlowRemoved notifies the controller that an entry left the flow table.
+type FlowRemoved struct {
+	Header
+	DPID     DPID
+	Match    *Match
+	Priority uint16
+	Cookie   uint64
+	Reason   FlowRemovedReason
+	Packets  uint64
+	Bytes    uint64
+}
+
+// Type implements Message.
+func (*FlowRemoved) Type() MsgType { return MsgFlowRemoved }
+
+// PortStatusReason explains a PortStatus notification.
+type PortStatusReason uint8
+
+// Port status reasons.
+const (
+	PortAdded PortStatusReason = iota + 1
+	PortDeleted
+	PortModified
+)
+
+// PortStatus notifies the controller of a port change.
+type PortStatus struct {
+	Header
+	DPID   DPID
+	Reason PortStatusReason
+	Port   PortInfo
+}
+
+// Type implements Message.
+func (*PortStatus) Type() MsgType { return MsgPortStatus }
+
+// StatsType selects the statistics family of a stats request/reply.
+type StatsType uint8
+
+// Statistics families. These correspond directly to the FLOW_LEVEL /
+// PORT_LEVEL / SWITCH_LEVEL granularities of the SDNShield statistics
+// filter.
+const (
+	StatsFlow StatsType = iota + 1
+	StatsPort
+	StatsSwitch
+)
+
+// String names the statistics family.
+func (t StatsType) String() string {
+	switch t {
+	case StatsFlow:
+		return "FLOW"
+	case StatsPort:
+		return "PORT"
+	case StatsSwitch:
+		return "SWITCH"
+	default:
+		return fmt.Sprintf("STATS(%d)", uint8(t))
+	}
+}
+
+// StatsRequest queries switch counters.
+type StatsRequest struct {
+	Header
+	DPID DPID
+	Kind StatsType
+	// Match restricts flow-stats requests; nil means all flows.
+	Match *Match
+	// Port restricts port-stats requests; PortNone means all ports.
+	Port uint16
+}
+
+// Type implements Message.
+func (*StatsRequest) Type() MsgType { return MsgStatsRequest }
+
+// FlowStatsEntry is one row of a flow-stats reply.
+type FlowStatsEntry struct {
+	Match    *Match
+	Priority uint16
+	Cookie   uint64
+	Packets  uint64
+	Bytes    uint64
+}
+
+// PortStatsEntry is one row of a port-stats reply.
+type PortStatsEntry struct {
+	Port      uint16
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	Drops     uint64
+}
+
+// SwitchStats is the switch-level aggregate of a stats reply.
+type SwitchStats struct {
+	FlowCount    uint32
+	PacketsTotal uint64
+	BytesTotal   uint64
+}
+
+// StatsReply answers a StatsRequest with the rows of the requested family.
+type StatsReply struct {
+	Header
+	DPID   DPID
+	Kind   StatsType
+	Flows  []FlowStatsEntry
+	Ports  []PortStatsEntry
+	Switch SwitchStats
+}
+
+// Type implements Message.
+func (*StatsReply) Type() MsgType { return MsgStatsReply }
+
+// BarrierRequest asks the switch to finish all preceding messages.
+type BarrierRequest struct {
+	Header
+}
+
+// Type implements Message.
+func (*BarrierRequest) Type() MsgType { return MsgBarrierRequest }
+
+// BarrierReply confirms a BarrierRequest.
+type BarrierReply struct {
+	Header
+}
+
+// Type implements Message.
+func (*BarrierReply) Type() MsgType { return MsgBarrierReply }
+
+// Compile-time interface compliance checks.
+var (
+	_ Message = (*Hello)(nil)
+	_ Message = (*EchoRequest)(nil)
+	_ Message = (*EchoReply)(nil)
+	_ Message = (*Error)(nil)
+	_ Message = (*FeaturesRequest)(nil)
+	_ Message = (*FeaturesReply)(nil)
+	_ Message = (*PacketIn)(nil)
+	_ Message = (*PacketOut)(nil)
+	_ Message = (*FlowMod)(nil)
+	_ Message = (*FlowRemoved)(nil)
+	_ Message = (*PortStatus)(nil)
+	_ Message = (*StatsRequest)(nil)
+	_ Message = (*StatsReply)(nil)
+	_ Message = (*BarrierRequest)(nil)
+	_ Message = (*BarrierReply)(nil)
+)

@@ -1,0 +1,96 @@
+package permengine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdnshield/internal/core"
+)
+
+// ActivityRecord is one logged permission decision, the raw material of
+// the forensic analysis §VII's third protection level describes.
+type ActivityRecord struct {
+	Time    time.Time
+	App     string
+	Token   core.Token
+	Allowed bool
+	Detail  string
+}
+
+// String renders the record for audit output.
+func (r ActivityRecord) String() string {
+	verdict := "ALLOW"
+	if !r.Allowed {
+		verdict = "DENY"
+	}
+	return fmt.Sprintf("%s %s app=%s token=%s %s",
+		r.Time.Format(time.RFC3339Nano), verdict, r.App, r.Token, r.Detail)
+}
+
+// ActivityLog is a bounded ring buffer of permission decisions.
+type ActivityLog struct {
+	mu    sync.Mutex
+	buf   []ActivityRecord
+	next  int
+	total uint64
+	now   func() time.Time
+}
+
+// NewActivityLog builds a log holding the most recent capacity records.
+func NewActivityLog(capacity int) *ActivityLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ActivityLog{buf: make([]ActivityRecord, 0, capacity), now: time.Now}
+}
+
+// Record appends a decision.
+func (l *ActivityLog) Record(call *core.Call, allowed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := ActivityRecord{
+		Time:    l.now(),
+		App:     call.App,
+		Token:   call.Token,
+		Allowed: allowed,
+		Detail:  call.String(),
+	}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, rec)
+	} else {
+		l.buf[l.next] = rec
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.total++
+}
+
+// Total returns how many decisions were ever recorded.
+func (l *ActivityLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Records snapshots the retained records, oldest first.
+func (l *ActivityLog) Records() []ActivityRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]ActivityRecord, 0, len(l.buf))
+	if len(l.buf) < cap(l.buf) {
+		return append(out, l.buf...)
+	}
+	out = append(out, l.buf[l.next:]...)
+	return append(out, l.buf[:l.next]...)
+}
+
+// Denials returns the retained denied-call records, oldest first.
+func (l *ActivityLog) Denials() []ActivityRecord {
+	var out []ActivityRecord
+	for _, r := range l.Records() {
+		if !r.Allowed {
+			out = append(out, r)
+		}
+	}
+	return out
+}

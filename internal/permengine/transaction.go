@@ -1,0 +1,96 @@
+package permengine
+
+import "fmt"
+
+// PlannedCall is one element of an API-call transaction: the permission
+// check input plus the effect and its inverse.
+type PlannedCall struct {
+	// Call is the permission-check view of the API call.
+	Call interface{ String() string }
+	// Check runs the permission check (typically Engine.Check bound to a
+	// *core.Call).
+	Check func() error
+	// Apply executes the call's effect.
+	Apply func() error
+	// Revert undoes Apply; may be nil for effect-free calls.
+	Revert func() error
+}
+
+// TxError reports a failed transaction: which call failed, why, and any
+// rollback failures (which leave residual state an operator must see).
+type TxError struct {
+	// Index is the position of the failing call.
+	Index int
+	// Stage is "check" or "apply".
+	Stage string
+	// Cause is the underlying failure.
+	Cause error
+	// RollbackErrors collects failures while undoing applied calls.
+	RollbackErrors []error
+}
+
+// Error implements error.
+func (e *TxError) Error() string {
+	s := fmt.Sprintf("transaction failed at call %d (%s): %v", e.Index, e.Stage, e.Cause)
+	if len(e.RollbackErrors) > 0 {
+		s += fmt.Sprintf(" (%d rollback errors)", len(e.RollbackErrors))
+	}
+	return s
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *TxError) Unwrap() error { return e.Cause }
+
+// Tx groups semantically related API calls to be issued atomically
+// (§VI-B2): the transaction executes only if every call passes permission
+// checking, and a mid-apply failure rolls back the applied prefix.
+type Tx struct {
+	calls []PlannedCall
+}
+
+// NewTx returns an empty transaction.
+func NewTx() *Tx { return &Tx{} }
+
+// Add appends a planned call.
+func (t *Tx) Add(c PlannedCall) *Tx {
+	t.calls = append(t.calls, c)
+	return t
+}
+
+// Len returns the number of planned calls.
+func (t *Tx) Len() int { return len(t.calls) }
+
+// Commit checks every call first, then applies them in order. A check
+// failure aborts before any effect; an apply failure rolls back the
+// already-applied prefix in reverse order and reports a *TxError so the
+// app learns the reason for the failed call (§VI-B2).
+func (t *Tx) Commit() error {
+	for i, c := range t.calls {
+		if c.Check == nil {
+			continue
+		}
+		if err := c.Check(); err != nil {
+			return &TxError{Index: i, Stage: "check", Cause: err}
+		}
+	}
+	applied := 0
+	for i, c := range t.calls {
+		if c.Apply == nil {
+			applied++
+			continue
+		}
+		if err := c.Apply(); err != nil {
+			txErr := &TxError{Index: i, Stage: "apply", Cause: err}
+			for j := applied - 1; j >= 0; j-- {
+				if revert := t.calls[j].Revert; revert != nil {
+					if rerr := revert(); rerr != nil {
+						txErr.RollbackErrors = append(txErr.RollbackErrors, rerr)
+					}
+				}
+			}
+			return txErr
+		}
+		applied++
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package permlang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// corpus of valid sources to mutate.
+var fuzzCorpus = []string{
+	"PERM read_flow_table LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0",
+	"PERM insert_flow LIMITING WILDCARD IP_DST 255.255.255.0",
+	"PERM insert_flow LIMITING (ACTION FORWARD AND OWN_FLOWS) OR MAX_PRIORITY 10",
+	"PERM visible_topology LIMITING VIRTUAL SINGLE_BIG_SWITCH LINK EXTERNAL_LINKS",
+	"PERM visible_topology LIMITING SWITCH {1,2} LINK {1-2}",
+	"PERM visible_topology LIMITING VIRTUAL {{1,2} AS 100, {3} AS 101}",
+	"PERM send_pkt_out LIMITING FROM_PKT_IN\nPERM read_statistics LIMITING PORT_LEVEL",
+	"PERM network_access LIMITING AdminRange",
+}
+
+// TestParseFuzzNoPanics mutates valid manifests; the parser must return
+// an error or a manifest, never panic.
+func TestParseFuzzNoPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	alphabet := []byte("PERMLIITNG(){},-<>=0123456789. ABCxyz_\n\\\"")
+	for _, src := range fuzzCorpus {
+		for i := 0; i < 500; i++ {
+			mutated := []byte(src)
+			for j := 0; j < 1+r.Intn(5); j++ {
+				switch r.Intn(3) {
+				case 0: // flip
+					mutated[r.Intn(len(mutated))] = alphabet[r.Intn(len(alphabet))]
+				case 1: // delete
+					pos := r.Intn(len(mutated))
+					mutated = append(mutated[:pos], mutated[pos+1:]...)
+					if len(mutated) == 0 {
+						mutated = []byte("P")
+					}
+				default: // insert
+					pos := r.Intn(len(mutated))
+					mutated = append(mutated[:pos],
+						append([]byte{alphabet[r.Intn(len(alphabet))]}, mutated[pos:]...)...)
+				}
+			}
+			//nolint:errcheck // error or success both acceptable
+			Parse(string(mutated))
+		}
+	}
+}
+
+// TestParsePrintFixpoint: printing a parsed manifest and reparsing yields
+// the same rendering (printer/parser fixpoint over the corpus).
+func TestParsePrintFixpoint(t *testing.T) {
+	for _, src := range fuzzCorpus {
+		if strings.Contains(src, "AdminRange") {
+			continue // macros print as bare identifiers; still covered below
+		}
+		m1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		m2, err := Parse(m1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", m1.String(), err)
+		}
+		if m1.String() != m2.String() {
+			t.Errorf("not a fixpoint:\n1: %s\n2: %s", m1, m2)
+		}
+	}
+	// Macro manifests round-trip too.
+	m1 := MustParse("PERM network_access LIMITING AdminRange")
+	m2 := MustParse(m1.String())
+	if m1.String() != m2.String() || len(m2.Macros()) != 1 {
+		t.Error("macro manifest not stable")
+	}
+}

@@ -1,0 +1,610 @@
+package permlang
+
+import (
+	"fmt"
+	"strings"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/of"
+)
+
+// Manifest is a parsed permission manifest: the ordered permission
+// requests an app ships with. Filters may contain unresolved macro stubs
+// (core.MacroRef) awaiting administrator bindings.
+type Manifest struct {
+	Permissions []core.Permission
+}
+
+// Set compiles the manifest into a permission set. Duplicate tokens widen
+// each other, as in core.Set.Grant.
+func (m *Manifest) Set() *core.Set {
+	s := core.NewSet()
+	for _, p := range m.Permissions {
+		s.Grant(p.Token, p.Filter)
+	}
+	return s
+}
+
+// Macros lists the distinct unresolved macro names, in first-use order.
+func (m *Manifest) Macros() []string {
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(e core.Expr)
+	walk = func(e core.Expr) {
+		switch v := e.(type) {
+		case *core.MacroRef:
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				out = append(out, v.Name)
+			}
+		case *core.Not:
+			walk(v.X)
+		case *core.And:
+			walk(v.L)
+			walk(v.R)
+		case *core.Or:
+			walk(v.L)
+			walk(v.R)
+		}
+	}
+	for _, p := range m.Permissions {
+		walk(p.Filter)
+	}
+	return out
+}
+
+// String renders the manifest in permission-language syntax.
+func (m *Manifest) String() string {
+	var sb strings.Builder
+	for i, p := range m.Permissions {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}
+
+// Parse parses a complete permission manifest.
+func Parse(src string) (*Manifest, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	for p.Tok().Kind != TokEOF {
+		perm, err := p.ParsePermStatement()
+		if err != nil {
+			return nil, err
+		}
+		m.Permissions = append(m.Permissions, perm)
+	}
+	return m, nil
+}
+
+// ParseFilter parses a standalone filter expression (the administrator's
+// §V-A "directly appending permission filters" customization path).
+func ParseFilter(src string) (core.Expr, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	expr, err := p.ParseFilterExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.Tok().Kind != TokEOF {
+		return nil, &SyntaxError{Line: p.Tok().Line, Col: p.Tok().Col,
+			Msg: fmt.Sprintf("unexpected trailing %s %q", p.Tok().Kind, p.Tok().Text)}
+	}
+	return expr, nil
+}
+
+// MustParse is Parse for tests and package-level examples; it panics on
+// error.
+func MustParse(src string) *Manifest {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Parser is a recursive-descent parser over the shared lexer. It is
+// exported so the policy language can embed permission expressions.
+type Parser struct {
+	lex *Lexer
+	tok Token
+}
+
+// NewParser builds a parser and primes the first token.
+func NewParser(src string) (*Parser, error) {
+	p := &Parser{lex: NewLexer(src)}
+	return p, p.next()
+}
+
+// Tok returns the current lookahead token.
+func (p *Parser) Tok() Token { return p.tok }
+
+// State is an opaque parser snapshot for limited backtracking (used by
+// the policy-language parser to disambiguate parenthesized expressions).
+type State struct {
+	lex Lexer
+	tok Token
+}
+
+// Save captures the current parser position.
+func (p *Parser) Save() State { return State{lex: *p.lex, tok: p.tok} }
+
+// Restore rewinds to a previously saved position.
+func (p *Parser) Restore(s State) {
+	*p.lex = s.lex
+	p.tok = s.tok
+}
+
+func (p *Parser) next() error {
+	tok, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+// Next advances the lookahead (exported for embedding parsers).
+func (p *Parser) Next() error { return p.next() }
+
+func (p *Parser) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: p.tok.Line, Col: p.tok.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isKeyword reports whether the lookahead is the given (case-insensitive)
+// keyword identifier.
+func (p *Parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TokIdent && strings.EqualFold(p.tok.Text, kw)
+}
+
+// AcceptKeyword consumes the keyword if present.
+func (p *Parser) AcceptKeyword(kw string) (bool, error) {
+	if !p.isKeyword(kw) {
+		return false, nil
+	}
+	return true, p.next()
+}
+
+// ExpectKeyword consumes the keyword or fails.
+func (p *Parser) ExpectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errorf("expected %s, found %s %q", kw, p.tok.Kind, p.tok.Text)
+	}
+	return p.next()
+}
+
+func (p *Parser) expect(kind TokKind) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, p.errorf("expected %s, found %s %q", kind, p.tok.Kind, p.tok.Text)
+	}
+	tok := p.tok
+	return tok, p.next()
+}
+
+// ParsePermStatement parses one "PERM token [LIMITING filter_expr]".
+func (p *Parser) ParsePermStatement() (core.Permission, error) {
+	if err := p.ExpectKeyword("PERM"); err != nil {
+		return core.Permission{}, err
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return core.Permission{}, err
+	}
+	token, ok := core.ParseToken(nameTok.Text)
+	if !ok {
+		return core.Permission{}, &SyntaxError{Line: nameTok.Line, Col: nameTok.Col,
+			Msg: fmt.Sprintf("unknown permission token %q", nameTok.Text)}
+	}
+	perm := core.Permission{Token: token}
+	limiting, err := p.AcceptKeyword("LIMITING")
+	if err != nil {
+		return core.Permission{}, err
+	}
+	if limiting {
+		filter, err := p.ParseFilterExpr()
+		if err != nil {
+			return core.Permission{}, err
+		}
+		perm.Filter = filter
+	}
+	return perm, nil
+}
+
+// ParseFilterExpr parses a filter expression with precedence
+// NOT > AND > OR.
+func (p *Parser) ParseFilterExpr() (core.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *Parser) parseOr() (core.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := p.AcceptKeyword("OR")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &core.Or{L: left, R: right}
+	}
+}
+
+func (p *Parser) parseAnd() (core.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := p.AcceptKeyword("AND")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &core.And{L: left, R: right}
+	}
+}
+
+func (p *Parser) parseUnary() (core.Expr, error) {
+	ok, err := p.AcceptKeyword("NOT")
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &core.Not{X: x}, nil
+	}
+	if p.tok.Kind == TokLParen {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.ParseFilterExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseSingleton()
+}
+
+// parseSingleton parses one singleton filter or macro reference.
+func (p *Parser) parseSingleton() (core.Expr, error) {
+	if p.tok.Kind != TokIdent {
+		return nil, p.errorf("expected a filter, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+	word := strings.ToUpper(p.tok.Text)
+
+	switch word {
+	case "OWN_FLOWS":
+		return p.leafNext(core.NewOwnerFilter(true))
+	case "ALL_FLOWS":
+		return p.leafNext(core.NewOwnerFilter(false))
+	case "FROM_PKT_IN":
+		return p.leafNext(core.NewPktOutFilter(false))
+	case "ARBITRARY":
+		return p.leafNext(core.NewPktOutFilter(true))
+	case "EVENT_INTERCEPTION":
+		return p.leafNext(core.NewCallbackFilter(core.CallbackIntercept))
+	case "MODIFY_EVENT_ORDER":
+		return p.leafNext(core.NewCallbackFilter(core.CallbackReorder))
+	case "FLOW_LEVEL":
+		return p.leafNext(core.NewStatsFilter(of.StatsFlow))
+	case "PORT_LEVEL":
+		return p.leafNext(core.NewStatsFilter(of.StatsPort))
+	case "SWITCH_LEVEL":
+		return p.leafNext(core.NewStatsFilter(of.StatsSwitch))
+	case "MAX_PRIORITY", "MIN_PRIORITY":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if n.Num > 0xffff {
+			return nil, p.errorf("priority %d out of range", n.Num)
+		}
+		if word == "MAX_PRIORITY" {
+			return core.NewLeaf(core.NewMaxPriorityFilter(uint16(n.Num))), nil
+		}
+		return core.NewLeaf(core.NewMinPriorityFilter(uint16(n.Num))), nil
+	case "MAX_RULE_COUNT":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewLeaf(core.NewTableSizeFilter(int(n.Num))), nil
+	case "ACTION", "DROP", "FORWARD", "MODIFY":
+		return p.parseActionFilter()
+	case "WILDCARD":
+		return p.parseWildcardFilter()
+	case "SWITCH":
+		return p.parsePhysTopoFilter()
+	case "VIRTUAL":
+		return p.parseVirtTopoFilter()
+	}
+
+	// A field name starts a predicate filter.
+	if field, ok := of.ParseField(p.tok.Text); ok {
+		return p.parsePredFilter(field)
+	}
+
+	// Anything else is a macro stub for the administrator to bind.
+	name := p.tok.Text
+	return &core.MacroRef{Name: name}, p.next()
+}
+
+func (p *Parser) leafNext(f core.Filter) (core.Expr, error) {
+	return core.NewLeaf(f), p.next()
+}
+
+// parseValue accepts an integer or IPv4 literal.
+func (p *Parser) parseValue() (uint64, error) {
+	if p.tok.Kind != TokInt && p.tok.Kind != TokIP {
+		return 0, p.errorf("expected a value, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+	v := p.tok.Num
+	return v, p.next()
+}
+
+func (p *Parser) parsePredFilter(field of.Field) (core.Expr, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	value, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	mask := of.FullMask(field)
+	ok, err := p.AcceptKeyword("MASK")
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		mask, err = p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.NewLeaf(core.NewPredFilter(field, value, mask)), nil
+}
+
+func (p *Parser) parseWildcardFilter() (core.Expr, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	fieldTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	field, ok := of.ParseField(fieldTok.Text)
+	if !ok {
+		return nil, &SyntaxError{Line: fieldTok.Line, Col: fieldTok.Col,
+			Msg: fmt.Sprintf("unknown match field %q", fieldTok.Text)}
+	}
+	required, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLeaf(core.NewWildcardFilter(field, required)), nil
+}
+
+func (p *Parser) parseActionFilter() (core.Expr, error) {
+	// Optional ACTION prefix (the grammar omits it; the paper's examples
+	// include it).
+	if _, err := p.AcceptKeyword("ACTION"); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokIdent {
+		return nil, p.errorf("expected DROP, FORWARD or MODIFY")
+	}
+	switch strings.ToUpper(p.tok.Text) {
+	case "DROP":
+		return p.leafNext(core.NewActionFilter(core.ActionClassDrop))
+	case "FORWARD":
+		return p.leafNext(core.NewActionFilter(core.ActionClassForward))
+	case "MODIFY":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		// Optional field restriction.
+		if p.tok.Kind == TokIdent {
+			if field, ok := of.ParseField(p.tok.Text); ok {
+				return core.NewLeaf(core.NewModifyActionFilter(field)), p.next()
+			}
+		}
+		return core.NewLeaf(core.NewModifyActionFilter(0)), nil
+	default:
+		return nil, p.errorf("expected DROP, FORWARD or MODIFY, found %q", p.tok.Text)
+	}
+}
+
+// parseIntSet parses "{1,2,3}" or a bare "1,2,3" list.
+func (p *Parser) parseIntSet() ([]uint64, error) {
+	braced := p.tok.Kind == TokLBrace
+	if braced {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokRBrace {
+			return nil, p.next() // empty set
+		}
+	}
+	var out []uint64
+	for {
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n.Num)
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if braced {
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parseLinkSet parses "{1-2, 3-4}" or a bare "1-2, 3-4" list.
+func (p *Parser) parseLinkSet() ([]core.LinkID, error) {
+	braced := p.tok.Kind == TokLBrace
+	if braced {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokRBrace {
+			return nil, p.next()
+		}
+	}
+	var out []core.LinkID
+	for {
+		a, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDash); err != nil {
+			return nil, err
+		}
+		b, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.NewLinkID(of.DPID(a.Num), of.DPID(b.Num)))
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if braced {
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *Parser) parsePhysTopoFilter() (core.Expr, error) {
+	if err := p.next(); err != nil { // consume SWITCH
+		return nil, err
+	}
+	rawSwitches, err := p.parseIntSet()
+	if err != nil {
+		return nil, err
+	}
+	switches := make([]of.DPID, len(rawSwitches))
+	for i, s := range rawSwitches {
+		switches[i] = of.DPID(s)
+	}
+	hasLinks, err := p.AcceptKeyword("LINK")
+	if err != nil {
+		return nil, err
+	}
+	if !hasLinks {
+		return core.NewLeaf(core.NewPhysTopoFilter(switches)), nil
+	}
+	links, err := p.parseLinkSet()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLeaf(core.NewPhysTopoFilterWithLinks(switches, links)), nil
+}
+
+func (p *Parser) parseVirtTopoFilter() (core.Expr, error) {
+	if err := p.next(); err != nil { // consume VIRTUAL
+		return nil, err
+	}
+	if ok, err := p.AcceptKeyword("SINGLE_BIG_SWITCH"); err != nil {
+		return nil, err
+	} else if ok {
+		// Optional "LINK EXTERNAL_LINKS": the big switch's ports are the
+		// external links, which is this implementation's only behaviour.
+		if hasLink, err := p.AcceptKeyword("LINK"); err != nil {
+			return nil, err
+		} else if hasLink {
+			if err := p.ExpectKeyword("EXTERNAL_LINKS"); err != nil {
+				return nil, err
+			}
+		}
+		return core.NewLeaf(core.NewSingleBigSwitchFilter()), nil
+	}
+
+	// Mapped form: { {1,2} AS 100, {3} AS 101 }.
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	groups := make(map[of.DPID][]of.DPID)
+	for {
+		members, err := p.parseIntSet()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.ExpectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		vid, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		ms := make([]of.DPID, len(members))
+		for i, m := range members {
+			ms[i] = of.DPID(m)
+		}
+		groups[of.DPID(vid.Num)] = ms
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	// Optional LINK clause on the virtual view.
+	if hasLink, err := p.AcceptKeyword("LINK"); err != nil {
+		return nil, err
+	} else if hasLink {
+		if _, err := p.parseLinkSet(); err != nil {
+			return nil, err
+		}
+	}
+	return core.NewLeaf(core.NewMappedTopoFilter(groups)), nil
+}

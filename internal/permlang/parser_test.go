@@ -1,0 +1,346 @@
+package permlang
+
+import (
+	"strings"
+	"testing"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/of"
+)
+
+func TestParsePaperReadFlowTableExample(t *testing.T) {
+	// §IV-B predicate filter example.
+	m, err := Parse(`PERM read_flow_table LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Permissions) != 1 {
+		t.Fatalf("got %d permissions", len(m.Permissions))
+	}
+	p := m.Permissions[0]
+	if p.Token != core.TokenReadFlowTable {
+		t.Errorf("token = %v", p.Token)
+	}
+	leaf, ok := p.Filter.(*core.Leaf)
+	if !ok {
+		t.Fatalf("filter = %T", p.Filter)
+	}
+	pred, ok := leaf.F.(*core.PredFilter)
+	if !ok {
+		t.Fatalf("singleton = %T", leaf.F)
+	}
+	if pred.Field() != of.FieldIPDst ||
+		of.IPv4(pred.Value()) != of.IPv4FromOctets(10, 13, 0, 0) ||
+		of.IPv4(pred.Mask()) != of.PrefixMask(16) {
+		t.Errorf("pred = %s", pred)
+	}
+}
+
+func TestParsePaperWildcardExample(t *testing.T) {
+	// §IV-B load balancer example.
+	m, err := Parse(`PERM insert_flow LIMITING WILDCARD IP_DST 255.255.255.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := m.Permissions[0].Filter.(*core.Leaf)
+	wc, ok := leaf.F.(*core.WildcardFilter)
+	if !ok {
+		t.Fatalf("singleton = %T", leaf.F)
+	}
+	if wc.Field() != of.FieldIPDst || of.IPv4(wc.Required()) != of.PrefixMask(24) {
+		t.Errorf("wildcard = %s", wc)
+	}
+}
+
+func TestParsePaperCompositionExample(t *testing.T) {
+	// §IV-B filter composition with line continuations.
+	src := "PERM read_flow_table LIMITING OWN_FLOWS OR \\\n" +
+		"IP_SRC 10.13.0.0 MASK 255.255.0.0 OR \\\n" +
+		"IP_DST 10.13.0.0 MASK 255.255.0.0"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Permissions[0].Filter
+	// Left-associative: (OWN OR SRC) OR DST.
+	or, ok := f.(*core.Or)
+	if !ok {
+		t.Fatalf("filter = %T", f)
+	}
+	if _, ok := or.L.(*core.Or); !ok {
+		t.Error("OR should be left-associative")
+	}
+	call := &core.Call{App: "x", Token: core.TokenReadFlowTable,
+		Match:     of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 13, 1, 1))),
+		FlowOwner: "y", HasFlowOwner: true}
+	if !f.Eval(call) {
+		t.Error("dst-subnet flow should pass the composed filter")
+	}
+}
+
+func TestParsePaperVirtualTopology(t *testing.T) {
+	m, err := Parse(`PERM visible_topology LIMITING VIRTUAL SINGLE_BIG_SWITCH LINK EXTERNAL_LINKS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := m.Permissions[0].Filter.(*core.Leaf)
+	vt, ok := leaf.F.(*core.VirtTopoFilter)
+	if !ok || vt.Mode() != core.VirtSingleBigSwitch {
+		t.Fatalf("filter = %v", leaf.F)
+	}
+
+	m, err = Parse(`PERM visible_topology LIMITING VIRTUAL {{1,2} AS 100, {3} AS 101}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt = m.Permissions[0].Filter.(*core.Leaf).F.(*core.VirtTopoFilter)
+	groups := vt.Groups()
+	if len(groups) != 2 || len(groups[100]) != 2 || groups[101][0] != 3 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestParseScenario2Manifest(t *testing.T) {
+	// §VII Scenario 2: the malicious routing app's configured permissions.
+	src := `
+PERM visible_topology
+PERM flow_event
+PERM send_pkt_out
+PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Permissions) != 4 {
+		t.Fatalf("got %d permissions", len(m.Permissions))
+	}
+	s := m.Set()
+	insert := &core.Call{App: "router", Token: core.TokenInsertFlow,
+		Match:        of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 0, 0, 1))),
+		Actions:      []of.Action{of.Output(2)},
+		HasFlowOwner: true}
+	if !s.Allows(insert) {
+		t.Error("forward rule on own flow should pass")
+	}
+	insert.FlowOwner = "firewall"
+	if s.Allows(insert) {
+		t.Error("modifying another app's flow must be denied")
+	}
+	insert.FlowOwner = ""
+	insert.Actions = []of.Action{of.Drop()}
+	if s.Allows(insert) {
+		t.Error("drop action must be denied by ACTION FORWARD")
+	}
+}
+
+func TestParseScenario1ManifestWithStubs(t *testing.T) {
+	// §VII Scenario 1: stubs LocalTopo and AdminRange await binding.
+	src := `
+PERM visible_topology LIMITING LocalTopo
+PERM read_statistics
+PERM network_access LIMITING AdminRange
+PERM insert_flow
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macros := m.Macros()
+	if len(macros) != 2 || macros[0] != "LocalTopo" || macros[1] != "AdminRange" {
+		t.Errorf("macros = %v", macros)
+	}
+	// network_access is an alias of host_network.
+	if m.Permissions[2].Token != core.TokenHostNetwork {
+		t.Errorf("alias resolution failed: %v", m.Permissions[2].Token)
+	}
+	// An unresolved stub denies.
+	s := m.Set()
+	if s.Allows(&core.Call{App: "m", Token: core.TokenHostNetwork,
+		HostIP: of.IPv4FromOctets(10, 1, 0, 3), HasHostIP: true}) {
+		t.Error("unresolved macro must deny")
+	}
+}
+
+func TestParseAllSingletonFilters(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // round-trip rendering
+	}{
+		{"PERM insert_flow LIMITING TCP_DST 80", "PERM insert_flow LIMITING TCP_DST 80"},
+		{"PERM insert_flow LIMITING ACTION DROP", "PERM insert_flow LIMITING ACTION DROP"},
+		{"PERM insert_flow LIMITING MODIFY IP_DST", "PERM insert_flow LIMITING ACTION MODIFY IP_DST"},
+		{"PERM insert_flow LIMITING ACTION MODIFY", "PERM insert_flow LIMITING ACTION MODIFY"},
+		{"PERM read_flow_table LIMITING ALL_FLOWS", "PERM read_flow_table LIMITING ALL_FLOWS"},
+		{"PERM insert_flow LIMITING MAX_PRIORITY 100", "PERM insert_flow LIMITING MAX_PRIORITY 100"},
+		{"PERM insert_flow LIMITING MIN_PRIORITY 5", "PERM insert_flow LIMITING MIN_PRIORITY 5"},
+		{"PERM insert_flow LIMITING MAX_RULE_COUNT 64", "PERM insert_flow LIMITING MAX_RULE_COUNT 64"},
+		{"PERM send_pkt_out LIMITING FROM_PKT_IN", "PERM send_pkt_out LIMITING FROM_PKT_IN"},
+		{"PERM send_pkt_out LIMITING ARBITRARY", "PERM send_pkt_out LIMITING ARBITRARY"},
+		{"PERM visible_topology LIMITING SWITCH {1,2,3}", "PERM visible_topology LIMITING SWITCH {1,2,3}"},
+		{"PERM visible_topology LIMITING SWITCH 1,2 LINK 1-2", "PERM visible_topology LIMITING SWITCH {1,2} LINK {1-2}"},
+		{"PERM pkt_in_event LIMITING EVENT_INTERCEPTION", "PERM pkt_in_event LIMITING EVENT_INTERCEPTION"},
+		{"PERM pkt_in_event LIMITING MODIFY_EVENT_ORDER", "PERM pkt_in_event LIMITING MODIFY_EVENT_ORDER"},
+		{"PERM read_statistics LIMITING PORT_LEVEL", "PERM read_statistics LIMITING PORT_LEVEL"},
+		{"PERM read_statistics LIMITING FLOW_LEVEL OR SWITCH_LEVEL", "PERM read_statistics LIMITING (FLOW_LEVEL OR SWITCH_LEVEL)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			m, err := Parse(tt.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.String(); got != tt.want {
+				t.Errorf("round trip = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseRoundTripReparse(t *testing.T) {
+	// Printing then reparsing must preserve semantics (structural
+	// equality of the filter trees).
+	srcs := []string{
+		"PERM read_flow_table LIMITING OWN_FLOWS OR IP_DST 10.13.0.0 MASK 255.255.0.0",
+		"PERM insert_flow LIMITING (ACTION FORWARD AND OWN_FLOWS) OR MAX_PRIORITY 10",
+		"PERM insert_flow LIMITING NOT (TCP_DST 22 OR TCP_DST 23)",
+		"PERM visible_topology LIMITING VIRTUAL {{1,2} AS 7} ",
+		"PERM visible_topology LIMITING SWITCH {1,2} LINK {1-2}",
+	}
+	for _, src := range srcs {
+		m1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		m2, err := Parse(m1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", m1.String(), err)
+		}
+		if len(m1.Permissions) != len(m2.Permissions) {
+			t.Fatalf("length mismatch for %q", src)
+		}
+		for i := range m1.Permissions {
+			if m1.Permissions[i].Token != m2.Permissions[i].Token ||
+				!core.ExprEqual(m1.Permissions[i].Filter, m2.Permissions[i].Filter) {
+				t.Errorf("round trip changed %q ->\n%s", src, m1)
+			}
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// AND binds tighter than OR; NOT tighter than AND.
+	m, err := Parse("PERM insert_flow LIMITING OWN_FLOWS OR ACTION FORWARD AND MAX_PRIORITY 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := m.Permissions[0].Filter.(*core.Or)
+	if !ok {
+		t.Fatalf("top = %T, want Or", m.Permissions[0].Filter)
+	}
+	if _, ok := or.R.(*core.And); !ok {
+		t.Error("right of OR should be an And")
+	}
+
+	m, err = Parse("PERM insert_flow LIMITING NOT OWN_FLOWS AND ACTION FORWARD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := m.Permissions[0].Filter.(*core.And)
+	if !ok {
+		t.Fatalf("top = %T, want And", m.Permissions[0].Filter)
+	}
+	if _, ok := and.L.(*core.Not); !ok {
+		t.Error("NOT should bind to the singleton, not the conjunction")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# the app's request
+PERM read_statistics // port granularity is enough
+PERM flow_event
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Permissions) != 2 {
+		t.Errorf("got %d permissions", len(m.Permissions))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSubstr string
+	}{
+		{"unknown token", "PERM fly_to_moon", "unknown permission token"},
+		{"missing perm", "LIMITING OWN_FLOWS", "expected PERM"},
+		{"bad filter", "PERM insert_flow LIMITING 42", "expected a filter"},
+		{"unclosed paren", "PERM insert_flow LIMITING (OWN_FLOWS", "expected ')'"},
+		{"bad mask", "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK", "expected a value"},
+		{"huge priority", "PERM insert_flow LIMITING MAX_PRIORITY 70000", "out of range"},
+		{"bad wildcard field", "PERM insert_flow LIMITING WILDCARD NOPE 3", "unknown match field"},
+		{"dangling operator", "PERM insert_flow LIMITING OWN_FLOWS AND", "expected a filter"},
+		{"bad link", "PERM visible_topology LIMITING SWITCH 1 LINK 1+2", "unexpected character"},
+		{"malformed ip", "PERM insert_flow LIMITING IP_DST 10.0.0", "malformed number"},
+		{"bad octet", "PERM insert_flow LIMITING IP_DST 910.0.0.1", "bad IPv4 octet"},
+		{"unterminated string", `PERM insert_flow LIMITING "oops`, "unterminated string"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSubstr) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSubstr)
+			}
+			var se *SyntaxError
+			if !errorsAs(err, &se) {
+				t.Errorf("error %T is not a SyntaxError", err)
+			} else if se.Line < 1 || se.Col < 1 {
+				t.Errorf("bad position %d:%d", se.Line, se.Col)
+			}
+		})
+	}
+}
+
+// errorsAs is a tiny local helper to avoid importing errors just for one
+// assertion (SyntaxError is always returned unwrapped here).
+func errorsAs(err error, target **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func TestParseDuplicateTokenWidens(t *testing.T) {
+	m, err := Parse(`
+PERM read_flow_table LIMITING OWN_FLOWS
+PERM read_flow_table LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Set()
+	if s.Len() != 1 {
+		t.Fatalf("set length = %d", s.Len())
+	}
+	call := &core.Call{App: "a", Token: core.TokenReadFlowTable,
+		Match:     of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 13, 2, 2))),
+		FlowOwner: "b", HasFlowOwner: true}
+	if !s.Allows(call) {
+		t.Error("second grant must widen the first")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("PERM bogus_token")
+}

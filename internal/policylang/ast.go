@@ -1,0 +1,260 @@
+// Package policylang implements the SDNShield security policy language
+// (Appendix B of the paper): LET bindings for permission sets, filter
+// macros and app references; mutual-exclusion constraints
+// (ASSERT EITHER … OR …); and permission-boundary assertions built from
+// comparison operators and the MEET/JOIN set operations.
+//
+// The package only parses and represents policies; evaluation against
+// concrete manifests is the reconciliation engine's job
+// (internal/reconcile).
+package policylang
+
+import (
+	"fmt"
+	"strings"
+
+	"sdnshield/internal/core"
+)
+
+// Policy is a parsed security policy: an ordered list of bindings and
+// constraints.
+type Policy struct {
+	Statements []Statement
+}
+
+// Bindings returns the LET statements in order.
+func (p *Policy) Bindings() []*LetStmt {
+	var out []*LetStmt
+	for _, s := range p.Statements {
+		if let, ok := s.(*LetStmt); ok {
+			out = append(out, let)
+		}
+	}
+	return out
+}
+
+// Constraints returns the ASSERT statements in order.
+func (p *Policy) Constraints() []Statement {
+	var out []Statement
+	for _, s := range p.Statements {
+		switch s.(type) {
+		case *AssertExclusive, *AssertBool:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// String renders the policy in policy-language syntax.
+func (p *Policy) String() string {
+	parts := make([]string, len(p.Statements))
+	for i, s := range p.Statements {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Statement is one policy statement.
+type Statement interface {
+	fmt.Stringer
+	isStmt()
+}
+
+// LetStmt binds a name to a permission expression, a filter macro, or an
+// app reference. Exactly one of Perm and Filter is set; an APP reference
+// is a PermApp inside Perm.
+type LetStmt struct {
+	Name string
+	// Perm is the bound permission expression (nil for filter bindings).
+	Perm PermExpr
+	// Filter is the bound filter macro (nil for permission bindings).
+	Filter core.Expr
+}
+
+func (*LetStmt) isStmt() {}
+
+// String implements Statement.
+func (s *LetStmt) String() string {
+	if s.Filter != nil {
+		return fmt.Sprintf("LET %s = { %s }", s.Name, s.Filter)
+	}
+	return fmt.Sprintf("LET %s = %s", s.Name, s.Perm)
+}
+
+// AssertExclusive is a mutual-exclusion constraint: no single app may
+// hold (a non-empty part of) both operand permissions.
+type AssertExclusive struct {
+	A, B PermExpr
+}
+
+func (*AssertExclusive) isStmt() {}
+
+// String implements Statement.
+func (s *AssertExclusive) String() string {
+	return fmt.Sprintf("ASSERT EITHER %s OR %s", s.A, s.B)
+}
+
+// AssertBool is a permission-boundary constraint: a boolean combination
+// of permission comparisons that must hold.
+type AssertBool struct {
+	Expr BoolExpr
+}
+
+func (*AssertBool) isStmt() {}
+
+// String implements Statement.
+func (s *AssertBool) String() string { return "ASSERT " + s.Expr.String() }
+
+// ---------------------------------------------------------------------------
+// Permission expressions
+
+// PermExpr is an expression denoting a permission set.
+type PermExpr interface {
+	fmt.Stringer
+	isPermExpr()
+}
+
+// PermLit is a literal permission block: { PERM … }.
+type PermLit struct {
+	Set *core.Set
+}
+
+func (*PermLit) isPermExpr() {}
+
+// String implements PermExpr.
+func (e *PermLit) String() string {
+	perms := e.Set.Permissions()
+	parts := make([]string, len(perms))
+	for i, p := range perms {
+		parts[i] = p.String()
+	}
+	return "{ " + strings.Join(parts, " ") + " }"
+}
+
+// PermVar references a LET-bound variable.
+type PermVar struct {
+	Name string
+}
+
+func (*PermVar) isPermExpr() {}
+
+// String implements PermExpr.
+func (e *PermVar) String() string { return e.Name }
+
+// PermApp references the permission manifest of a named app, resolved by
+// the reconciliation engine from its app registry.
+type PermApp struct {
+	AppName string
+}
+
+func (*PermApp) isPermExpr() {}
+
+// String implements PermExpr.
+func (e *PermApp) String() string { return "APP " + e.AppName }
+
+// PermMeet is the intersection (MEET) of two permission expressions.
+type PermMeet struct {
+	L, R PermExpr
+}
+
+func (*PermMeet) isPermExpr() {}
+
+// String implements PermExpr.
+func (e *PermMeet) String() string {
+	return fmt.Sprintf("(%s MEET %s)", e.L, e.R)
+}
+
+// PermJoin is the union (JOIN) of two permission expressions.
+type PermJoin struct {
+	L, R PermExpr
+}
+
+func (*PermJoin) isPermExpr() {}
+
+// String implements PermExpr.
+func (e *PermJoin) String() string {
+	return fmt.Sprintf("(%s JOIN %s)", e.L, e.R)
+}
+
+// ---------------------------------------------------------------------------
+// Boolean (assertion) expressions
+
+// CmpOp is a permission comparison operator.
+type CmpOp uint8
+
+// Comparison operators. Le is the paper's permission-boundary operator.
+const (
+	CmpLt CmpOp = iota + 1
+	CmpGt
+	CmpLe
+	CmpGe
+	CmpEq
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpLt:
+		return "<"
+	case CmpGt:
+		return ">"
+	case CmpLe:
+		return "<="
+	case CmpGe:
+		return ">="
+	case CmpEq:
+		return "="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// BoolExpr is a boolean combination of permission comparisons.
+type BoolExpr interface {
+	fmt.Stringer
+	isBoolExpr()
+}
+
+// CmpExpr compares two permission expressions.
+type CmpExpr struct {
+	L  PermExpr
+	Op CmpOp
+	R  PermExpr
+}
+
+func (*CmpExpr) isBoolExpr() {}
+
+// String implements BoolExpr.
+func (e *CmpExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R)
+}
+
+// BoolAnd conjoins two assertions.
+type BoolAnd struct {
+	L, R BoolExpr
+}
+
+func (*BoolAnd) isBoolExpr() {}
+
+// String implements BoolExpr.
+func (e *BoolAnd) String() string { return fmt.Sprintf("(%s AND %s)", e.L, e.R) }
+
+// BoolOr disjoins two assertions.
+type BoolOr struct {
+	L, R BoolExpr
+}
+
+func (*BoolOr) isBoolExpr() {}
+
+// String implements BoolExpr.
+func (e *BoolOr) String() string { return fmt.Sprintf("(%s OR %s)", e.L, e.R) }
+
+// BoolNot negates an assertion.
+type BoolNot struct {
+	X BoolExpr
+}
+
+func (*BoolNot) isBoolExpr() {}
+
+// String implements BoolExpr.
+func (e *BoolNot) String() string { return "NOT " + e.X.String() }

@@ -1,0 +1,29 @@
+package policylang
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPolicyParseFuzzNoPanics does the same for the policy language.
+func TestPolicyParseFuzzNoPanics(t *testing.T) {
+	corpus := []string{
+		"ASSERT EITHER { PERM network_access } OR { PERM send_packet_out }",
+		"LET t = { PERM read_statistics LIMITING PORT_LEVEL }\nASSERT APP m <= t",
+		"LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}",
+		"ASSERT (a MEET b) <= c AND NOT a = b",
+		"LET x = APP monitor\nASSERT x < y OR y >= x",
+	}
+	r := rand.New(rand.NewSource(7))
+	alphabet := []byte("ASERTLPM{}()<>=, \n_abc123")
+	for _, src := range corpus {
+		for i := 0; i < 500; i++ {
+			mutated := []byte(src)
+			for j := 0; j < 1+r.Intn(4); j++ {
+				mutated[r.Intn(len(mutated))] = alphabet[r.Intn(len(alphabet))]
+			}
+			//nolint:errcheck
+			Parse(string(mutated))
+		}
+	}
+}

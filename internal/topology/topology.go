@@ -1,0 +1,341 @@
+// Package topology maintains the controller's network graph: switches,
+// inter-switch links and host attachment points. It provides shortest-path
+// routing for the forwarding apps and the physical↔virtual mapping the
+// permission engine's abstract-topology filters translate through (§VI-B).
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/of"
+)
+
+// Link is a bidirectional inter-switch link with its endpoint ports.
+type Link struct {
+	A     of.DPID
+	APort uint16
+	B     of.DPID
+	BPort uint16
+}
+
+// ID returns the canonical undirected identity of the link.
+func (l Link) ID() core.LinkID { return core.NewLinkID(l.A, l.B) }
+
+// String renders the link with its ports.
+func (l Link) String() string {
+	return fmt.Sprintf("%d:%d<->%d:%d", uint64(l.A), l.APort, uint64(l.B), l.BPort)
+}
+
+// Host is a host attachment point learned from traffic or configuration.
+type Host struct {
+	MAC    of.MAC
+	IP     of.IPv4
+	Switch of.DPID
+	Port   uint16
+}
+
+// SwitchInfo describes one switch in the graph.
+type SwitchInfo struct {
+	DPID  of.DPID
+	Ports []of.PortInfo
+}
+
+// Topology is a concurrency-safe network graph.
+type Topology struct {
+	mu       sync.RWMutex
+	switches map[of.DPID]SwitchInfo
+	links    map[core.LinkID]Link
+	hosts    map[of.MAC]Host
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		switches: make(map[of.DPID]SwitchInfo),
+		links:    make(map[core.LinkID]Link),
+		hosts:    make(map[of.MAC]Host),
+	}
+}
+
+// AddSwitch registers a switch and its ports, replacing any previous
+// entry for the DPID.
+func (t *Topology) AddSwitch(dpid of.DPID, ports []of.PortInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	copied := make([]of.PortInfo, len(ports))
+	copy(copied, ports)
+	t.switches[dpid] = SwitchInfo{DPID: dpid, Ports: copied}
+}
+
+// RemoveSwitch drops a switch and every link touching it.
+func (t *Topology) RemoveSwitch(dpid of.DPID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.switches, dpid)
+	for id, l := range t.links {
+		if l.A == dpid || l.B == dpid {
+			delete(t.links, id)
+		}
+	}
+	for mac, h := range t.hosts {
+		if h.Switch == dpid {
+			delete(t.hosts, mac)
+		}
+	}
+}
+
+// HasSwitch reports whether the DPID is known.
+func (t *Topology) HasSwitch(dpid of.DPID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.switches[dpid]
+	return ok
+}
+
+// Switches returns all switches sorted by DPID.
+func (t *Topology) Switches() []SwitchInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]SwitchInfo, 0, len(t.switches))
+	for _, s := range t.switches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DPID < out[j].DPID })
+	return out
+}
+
+// SwitchIDs returns all DPIDs sorted.
+func (t *Topology) SwitchIDs() []of.DPID {
+	sws := t.Switches()
+	out := make([]of.DPID, len(sws))
+	for i, s := range sws {
+		out[i] = s.DPID
+	}
+	return out
+}
+
+// AddLink registers a bidirectional link. Both endpoints must be known
+// switches.
+func (t *Topology) AddLink(l Link) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.switches[l.A]; !ok {
+		return fmt.Errorf("topology: unknown switch %v", l.A)
+	}
+	if _, ok := t.switches[l.B]; !ok {
+		return fmt.Errorf("topology: unknown switch %v", l.B)
+	}
+	t.links[l.ID()] = l
+	return nil
+}
+
+// RemoveLink drops the link between two switches.
+func (t *Topology) RemoveLink(a, b of.DPID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.links, core.NewLinkID(a, b))
+}
+
+// Links returns all links sorted by canonical id.
+func (t *Topology) Links() []Link {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Link, 0, len(t.links))
+	for _, l := range t.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i].ID(), out[j].ID()
+		if li.A != lj.A {
+			return li.A < lj.A
+		}
+		return li.B < lj.B
+	})
+	return out
+}
+
+// LinkIDs returns the canonical ids of all links, sorted.
+func (t *Topology) LinkIDs() []core.LinkID {
+	links := t.Links()
+	out := make([]core.LinkID, len(links))
+	for i, l := range links {
+		out[i] = l.ID()
+	}
+	return out
+}
+
+// AddHost records (or refreshes) a host attachment point.
+func (t *Topology) AddHost(h Host) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hosts[h.MAC] = h
+}
+
+// HostByMAC looks a host up by MAC address.
+func (t *Topology) HostByMAC(mac of.MAC) (Host, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h, ok := t.hosts[mac]
+	return h, ok
+}
+
+// HostByIP looks a host up by IPv4 address.
+func (t *Topology) HostByIP(ip of.IPv4) (Host, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, h := range t.hosts {
+		if h.IP == ip {
+			return h, true
+		}
+	}
+	return Host{}, false
+}
+
+// Hosts returns all hosts sorted by MAC.
+func (t *Topology) Hosts() []Host {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Host, 0, len(t.hosts))
+	for _, h := range t.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MAC.Uint64() < out[j].MAC.Uint64() })
+	return out
+}
+
+// neighbor returns, for each switch, its adjacent (switch, local port)
+// pairs. Caller must hold at least the read lock.
+func (t *Topology) neighborsLocked(dpid of.DPID) []struct {
+	next of.DPID
+	port uint16
+} {
+	var out []struct {
+		next of.DPID
+		port uint16
+	}
+	for _, l := range t.links {
+		switch dpid {
+		case l.A:
+			out = append(out, struct {
+				next of.DPID
+				port uint16
+			}{l.B, l.APort})
+		case l.B:
+			out = append(out, struct {
+				next of.DPID
+				port uint16
+			}{l.A, l.BPort})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].next < out[j].next })
+	return out
+}
+
+// Hop is one step of a forwarding path: the switch and the port leading
+// toward the next hop (or the destination host for the final hop, which
+// the caller fills in).
+type Hop struct {
+	DPID    of.DPID
+	OutPort uint16
+}
+
+// ShortestPath computes a minimum-hop path of switches from src to dst
+// using BFS (ties broken deterministically by DPID). The returned hops
+// cover src..dst; the final hop's OutPort is zero and must be set by the
+// caller to the destination host's port. ok is false when dst is
+// unreachable.
+func (t *Topology) ShortestPath(src, dst of.DPID) ([]Hop, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if _, ok := t.switches[src]; !ok {
+		return nil, false
+	}
+	if _, ok := t.switches[dst]; !ok {
+		return nil, false
+	}
+	if src == dst {
+		return []Hop{{DPID: src}}, true
+	}
+	visited := map[of.DPID]crumb{src: {prev: src}}
+	queue := []of.DPID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.neighborsLocked(cur) {
+			if _, seen := visited[nb.next]; seen {
+				continue
+			}
+			visited[nb.next] = crumb{prev: cur, outPort: nb.port}
+			if nb.next == dst {
+				return t.rebuildPath(visited, src, dst), true
+			}
+			queue = append(queue, nb.next)
+		}
+	}
+	return nil, false
+}
+
+func (t *Topology) rebuildPath(visited map[of.DPID]crumb, src, dst of.DPID) []Hop {
+	var rev []Hop
+	cur := dst
+	for cur != src {
+		c := visited[cur]
+		rev = append(rev, Hop{DPID: c.prev, OutPort: c.outPort})
+		cur = c.prev
+	}
+	out := make([]Hop, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return append(out, Hop{DPID: dst})
+}
+
+// crumb is the BFS back-pointer: the previous switch and the port on it
+// leading here.
+type crumb struct {
+	prev    of.DPID
+	outPort uint16
+}
+
+// AttachPoint is a (switch, port) location in the physical network.
+type AttachPoint struct {
+	Switch of.DPID
+	Port   uint16
+}
+
+// ExternalPorts returns, per switch, the up ports not consumed by
+// inter-switch links — the host-facing ports that become the ports of a
+// virtual big switch. Sorted by (DPID, port).
+func (t *Topology) ExternalPorts() []AttachPoint {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	internal := make(map[of.DPID]map[uint16]bool)
+	mark := func(d of.DPID, p uint16) {
+		if internal[d] == nil {
+			internal[d] = make(map[uint16]bool)
+		}
+		internal[d][p] = true
+	}
+	for _, l := range t.links {
+		mark(l.A, l.APort)
+		mark(l.B, l.BPort)
+	}
+	var out []AttachPoint
+	for _, s := range t.switches {
+		for _, p := range s.Ports {
+			if p.Up && !internal[s.DPID][p.Port] {
+				out = append(out, AttachPoint{Switch: s.DPID, Port: p.Port})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Switch != out[j].Switch {
+			return out[i].Switch < out[j].Switch
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}

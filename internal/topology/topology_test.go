@@ -1,0 +1,236 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/of"
+)
+
+// buildLinear builds s1 - s2 - ... - sN, each switch with host port 1 and
+// link ports 2 (left) / 3 (right).
+func buildLinear(t *testing.T, n int) *Topology {
+	t.Helper()
+	topo := New()
+	for i := 1; i <= n; i++ {
+		topo.AddSwitch(of.DPID(i), []of.PortInfo{
+			{Port: 1, Name: "host", Up: true},
+			{Port: 2, Name: "left", Up: true},
+			{Port: 3, Name: "right", Up: true},
+		})
+	}
+	for i := 1; i < n; i++ {
+		if err := topo.AddLink(Link{A: of.DPID(i), APort: 3, B: of.DPID(i + 1), BPort: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+func TestAddRemoveSwitchesAndLinks(t *testing.T) {
+	topo := buildLinear(t, 3)
+	if len(topo.Switches()) != 3 || len(topo.Links()) != 2 {
+		t.Fatalf("got %d switches, %d links", len(topo.Switches()), len(topo.Links()))
+	}
+	if !topo.HasSwitch(2) || topo.HasSwitch(9) {
+		t.Error("HasSwitch wrong")
+	}
+	ids := topo.SwitchIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Errorf("SwitchIDs = %v", ids)
+	}
+
+	// Links to unknown switches are rejected.
+	if err := topo.AddLink(Link{A: 1, B: 99}); err == nil {
+		t.Error("link to unknown switch accepted")
+	}
+
+	topo.RemoveSwitch(2)
+	if len(topo.Links()) != 0 {
+		t.Error("removing a switch must drop its links")
+	}
+	topo.RemoveLink(1, 3) // absent: no-op
+}
+
+func TestShortestPathLinear(t *testing.T) {
+	topo := buildLinear(t, 5)
+	path, ok := topo.ShortestPath(1, 4)
+	if !ok {
+		t.Fatal("path not found")
+	}
+	want := []Hop{{DPID: 1, OutPort: 3}, {DPID: 2, OutPort: 3}, {DPID: 3, OutPort: 3}, {DPID: 4}}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("hop %d = %v, want %v", i, path[i], want[i])
+		}
+	}
+	// Reverse direction uses the left-facing ports.
+	rev, ok := topo.ShortestPath(4, 1)
+	if !ok || rev[0].OutPort != 2 {
+		t.Errorf("reverse path = %v", rev)
+	}
+	// Degenerate path.
+	self, ok := topo.ShortestPath(3, 3)
+	if !ok || len(self) != 1 || self[0].DPID != 3 {
+		t.Errorf("self path = %v", self)
+	}
+}
+
+func TestShortestPathPicksShortBranch(t *testing.T) {
+	// Diamond: 1-2-4 and 1-3-4 plus direct 1-4.
+	topo := New()
+	for i := 1; i <= 4; i++ {
+		topo.AddSwitch(of.DPID(i), []of.PortInfo{{Port: 1, Up: true}, {Port: 2, Up: true}, {Port: 3, Up: true}, {Port: 4, Up: true}})
+	}
+	mustLink := func(l Link) {
+		t.Helper()
+		if err := topo.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink(Link{A: 1, APort: 2, B: 2, BPort: 2})
+	mustLink(Link{A: 2, APort: 3, B: 4, BPort: 2})
+	mustLink(Link{A: 1, APort: 3, B: 3, BPort: 2})
+	mustLink(Link{A: 3, APort: 3, B: 4, BPort: 3})
+	mustLink(Link{A: 1, APort: 4, B: 4, BPort: 4})
+
+	path, ok := topo.ShortestPath(1, 4)
+	if !ok || len(path) != 2 {
+		t.Fatalf("expected direct 2-hop path, got %v", path)
+	}
+	if path[0].OutPort != 4 {
+		t.Errorf("direct link port = %d", path[0].OutPort)
+	}
+
+	topo.RemoveLink(1, 4)
+	path, ok = topo.ShortestPath(1, 4)
+	if !ok || len(path) != 3 {
+		t.Fatalf("expected 3-hop path, got %v", path)
+	}
+	// Deterministic tie break: neighbor 2 before 3.
+	if path[1].DPID != 2 {
+		t.Errorf("tie break should pick switch 2, got %v", path[1].DPID)
+	}
+
+	// Unreachable destination.
+	topo.AddSwitch(99, nil)
+	if _, ok := topo.ShortestPath(1, 99); ok {
+		t.Error("disconnected switch should be unreachable")
+	}
+	if _, ok := topo.ShortestPath(1, 1234); ok {
+		t.Error("unknown switch should be unreachable")
+	}
+}
+
+func TestHosts(t *testing.T) {
+	topo := buildLinear(t, 2)
+	h1 := Host{MAC: of.MAC{0, 0, 0, 0, 0, 1}, IP: of.IPv4FromOctets(10, 0, 0, 1), Switch: 1, Port: 1}
+	h2 := Host{MAC: of.MAC{0, 0, 0, 0, 0, 2}, IP: of.IPv4FromOctets(10, 0, 0, 2), Switch: 2, Port: 1}
+	topo.AddHost(h1)
+	topo.AddHost(h2)
+
+	if got, ok := topo.HostByMAC(h1.MAC); !ok || got != h1 {
+		t.Errorf("HostByMAC = %v, %v", got, ok)
+	}
+	if got, ok := topo.HostByIP(h2.IP); !ok || got != h2 {
+		t.Errorf("HostByIP = %v, %v", got, ok)
+	}
+	if _, ok := topo.HostByIP(of.IPv4FromOctets(9, 9, 9, 9)); ok {
+		t.Error("unknown IP resolved")
+	}
+	if hosts := topo.Hosts(); len(hosts) != 2 || hosts[0] != h1 {
+		t.Errorf("Hosts = %v", hosts)
+	}
+	// Moving a host refreshes its attachment.
+	h1b := h1
+	h1b.Switch, h1b.Port = 2, 1
+	topo.AddHost(h1b)
+	if got, _ := topo.HostByMAC(h1.MAC); got.Switch != 2 {
+		t.Error("host move not recorded")
+	}
+	// Removing the switch drops its hosts.
+	topo.RemoveSwitch(2)
+	if _, ok := topo.HostByMAC(h2.MAC); ok {
+		t.Error("host on removed switch should vanish")
+	}
+}
+
+func TestExternalPortsAndBigSwitchMap(t *testing.T) {
+	topo := buildLinear(t, 3)
+	// External ports: s1: 1,2 (left edge unused), s2: 1, s3: 1,3.
+	ext := topo.ExternalPorts()
+	want := []AttachPoint{{1, 1}, {1, 2}, {2, 1}, {3, 1}, {3, 3}}
+	if len(ext) != len(want) {
+		t.Fatalf("external ports = %v", ext)
+	}
+	for i := range want {
+		if ext[i] != want[i] {
+			t.Errorf("ext[%d] = %v, want %v", i, ext[i], want[i])
+		}
+	}
+
+	m := BuildBigSwitchMap(topo)
+	if m.NumPorts() != 5 {
+		t.Fatalf("NumPorts = %d", m.NumPorts())
+	}
+	ap, err := m.Physical(3)
+	if err != nil || ap != (AttachPoint{2, 1}) {
+		t.Errorf("Physical(3) = %v, %v", ap, err)
+	}
+	if _, err := m.Physical(0); err == nil {
+		t.Error("virtual port 0 must be invalid")
+	}
+	if _, err := m.Physical(6); err == nil {
+		t.Error("out-of-range virtual port must be invalid")
+	}
+	if v, ok := m.Virtual(AttachPoint{3, 1}); !ok || v != 4 {
+		t.Errorf("Virtual = %d, %v", v, ok)
+	}
+	if _, ok := m.Virtual(AttachPoint{1, 3}); ok {
+		t.Error("internal port must not map")
+	}
+	ports := m.Ports()
+	if len(ports) != 5 || ports[0].Port != 1 || !ports[0].Up {
+		t.Errorf("Ports = %v", ports)
+	}
+}
+
+func TestLinkID(t *testing.T) {
+	l := Link{A: 5, APort: 1, B: 2, BPort: 9}
+	if l.ID() != core.NewLinkID(2, 5) {
+		t.Errorf("ID = %v", l.ID())
+	}
+	if l.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestTopologyConcurrentAccess(t *testing.T) {
+	// Smoke test under the race detector: concurrent reads and writes.
+	topo := buildLinear(t, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				topo.AddHost(Host{MAC: of.MAC{byte(seed), byte(i)}, Switch: of.DPID(1 + i%8), Port: 1})
+				topo.ShortestPath(of.DPID(1+i%8), of.DPID(1+(i+3)%8))
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				topo.Switches()
+				topo.Links()
+				topo.Hosts()
+				topo.ExternalPorts()
+			}
+		}()
+	}
+	wg.Wait()
+}

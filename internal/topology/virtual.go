@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"fmt"
+
+	"sdnshield/internal/of"
+)
+
+// BigSwitchMap is the physical↔virtual translation table behind a
+// VIRTUAL SINGLE_BIG_SWITCH filter (§VI-B1): the virtual switch's ports
+// are the physical network's external (host-facing) ports, numbered
+// densely from 1 in deterministic (DPID, port) order.
+type BigSwitchMap struct {
+	// VirtualDPID is the DPID the app sees (always 0 in this
+	// implementation, matching core.VirtTopoFilter's convention).
+	VirtualDPID of.DPID
+	toPhys      []AttachPoint          // index = virtual port - 1
+	toVirt      map[AttachPoint]uint16 // physical -> virtual port
+}
+
+// BuildBigSwitchMap snapshots the topology's external ports into a
+// translation table. The map is immutable; rebuild it on topology change.
+func BuildBigSwitchMap(t *Topology) *BigSwitchMap {
+	ext := t.ExternalPorts()
+	m := &BigSwitchMap{
+		toPhys: ext,
+		toVirt: make(map[AttachPoint]uint16, len(ext)),
+	}
+	for i, ap := range ext {
+		m.toVirt[ap] = uint16(i + 1)
+	}
+	return m
+}
+
+// NumPorts returns the virtual switch's port count.
+func (m *BigSwitchMap) NumPorts() int { return len(m.toPhys) }
+
+// Physical resolves a virtual port to its physical attachment point.
+func (m *BigSwitchMap) Physical(vport uint16) (AttachPoint, error) {
+	if vport == 0 || int(vport) > len(m.toPhys) {
+		return AttachPoint{}, fmt.Errorf("topology: virtual port %d out of range 1..%d", vport, len(m.toPhys))
+	}
+	return m.toPhys[vport-1], nil
+}
+
+// Virtual resolves a physical attachment point to its virtual port.
+func (m *BigSwitchMap) Virtual(ap AttachPoint) (uint16, bool) {
+	v, ok := m.toVirt[ap]
+	return v, ok
+}
+
+// Ports lists the virtual switch's ports as PortInfo for features
+// replies on the virtual view.
+func (m *BigSwitchMap) Ports() []of.PortInfo {
+	out := make([]of.PortInfo, len(m.toPhys))
+	for i, ap := range m.toPhys {
+		out[i] = of.PortInfo{
+			Port: uint16(i + 1),
+			Name: fmt.Sprintf("v%d(s%d:p%d)", i+1, uint64(ap.Switch), ap.Port),
+			Up:   true,
+		}
+	}
+	return out
+}
