@@ -54,20 +54,21 @@ type attackEnv struct {
 	mono   *isolation.Monolith
 }
 
-func newAttackEnv(switches int) (*attackEnv, error) {
+// FaultWrap decorates a switch's controller-side connection, typically
+// with a faults.Wrap plan; nil leaves the connection clean.
+type FaultWrap func(dpid of.DPID, ctrl of.Conn) of.Conn
+
+func newAttackEnv(switches int, wrap FaultWrap) (*attackEnv, error) {
 	b, err := netsim.Linear(switches)
 	if err != nil {
 		return nil, err
 	}
 	k := controller.New(b.Topo, nil)
-	for _, sw := range b.Net.Switches() {
-		ctrlSide, swSide := of.Pipe()
-		if err := sw.Start(swSide); err != nil {
-			return nil, err
-		}
-		if _, err := k.AcceptSwitch(ctrlSide); err != nil {
-			return nil, err
-		}
+	if err := b.Wire(func(conn of.Conn) error {
+		_, err := k.AcceptSwitch(conn)
+		return err
+	}, wrap); err != nil {
+		return nil, err
 	}
 	return &attackEnv{
 		built:  b,
@@ -162,6 +163,13 @@ const attackWait = 300 * time.Millisecond
 // proof-of-concept attacks on the baseline controller and on
 // SDNShield-enabled one with reconciled Scenario 1 permissions.
 func RunEffectiveness() ([]AttackOutcome, error) {
+	return RunEffectivenessFaulty(nil)
+}
+
+// RunEffectivenessFaulty is RunEffectiveness with a fault-injection layer
+// on every switch's control connection, so the attack outcomes can be
+// validated under degraded transport too.
+func RunEffectivenessFaulty(wrap FaultWrap) ([]AttackOutcome, error) {
 	var out []AttackOutcome
 	for _, shielded := range []bool{false, true} {
 		runtime := "baseline"
@@ -169,7 +177,7 @@ func RunEffectiveness() ([]AttackOutcome, error) {
 			runtime = "sdnshield"
 		}
 		for class := 1; class <= 4; class++ {
-			outcome, err := runAttackClass(class, shielded)
+			outcome, err := runAttackClass(class, shielded, wrap)
 			if err != nil {
 				return nil, fmt.Errorf("class %d on %s: %w", class, runtime, err)
 			}
@@ -180,16 +188,16 @@ func RunEffectiveness() ([]AttackOutcome, error) {
 	return out, nil
 }
 
-func runAttackClass(class int, shielded bool) (AttackOutcome, error) {
+func runAttackClass(class int, shielded bool, wrap FaultWrap) (AttackOutcome, error) {
 	switch class {
 	case 1:
-		return runRSTInjection(shielded)
+		return runRSTInjection(shielded, wrap)
 	case 2:
-		return runLeak(shielded)
+		return runLeak(shielded, wrap)
 	case 3:
-		return runHijack(shielded)
+		return runHijack(shielded, wrap)
 	case 4:
-		return runTunnel(shielded)
+		return runTunnel(shielded, wrap)
 	default:
 		return AttackOutcome{}, fmt.Errorf("unknown attack class %d", class)
 	}
@@ -197,9 +205,9 @@ func runAttackClass(class int, shielded bool) (AttackOutcome, error) {
 
 // runRSTInjection: Class 1 — sniff packet-ins, inject TCP RSTs into HTTP
 // sessions. Success: a victim host receives a forged RST.
-func runRSTInjection(shielded bool) (AttackOutcome, error) {
+func runRSTInjection(shielded bool, wrap FaultWrap) (AttackOutcome, error) {
 	outcome := AttackOutcome{Class: 1, Attack: "intrusion to data plane (TCP RST injection)"}
-	env, err := newAttackEnv(2)
+	env, err := newAttackEnv(2, wrap)
 	if err != nil {
 		return outcome, err
 	}
@@ -233,9 +241,9 @@ func runRSTInjection(shielded bool) (AttackOutcome, error) {
 
 // runLeak: Class 2 — dump topology/config to a remote attacker. Success:
 // the attacker's drop box received data.
-func runLeak(shielded bool) (AttackOutcome, error) {
+func runLeak(shielded bool, wrap FaultWrap) (AttackOutcome, error) {
 	outcome := AttackOutcome{Class: 2, Attack: "information leakage (topology exfiltration)"}
-	env, err := newAttackEnv(3)
+	env, err := newAttackEnv(3, wrap)
 	if err != nil {
 		return outcome, err
 	}
@@ -261,9 +269,9 @@ func runLeak(shielded bool) (AttackOutcome, error) {
 
 // runHijack: Class 3 — divert h1→h2 traffic through the attacker's host
 // h3. Success: h3 observes a packet addressed to h2.
-func runHijack(shielded bool) (AttackOutcome, error) {
+func runHijack(shielded bool, wrap FaultWrap) (AttackOutcome, error) {
 	outcome := AttackOutcome{Class: 3, Attack: "rule manipulation (man-in-the-middle reroute)"}
-	env, err := newAttackEnv(3)
+	env, err := newAttackEnv(3, wrap)
 	if err != nil {
 		return outcome, err
 	}
@@ -295,9 +303,9 @@ func runHijack(shielded bool) (AttackOutcome, error) {
 
 // runTunnel: Class 4 — evade the firewall's port-22 ACL by dynamic-flow
 // tunneling. Success: h2 receives port-22 traffic despite the ACL.
-func runTunnel(shielded bool) (AttackOutcome, error) {
+func runTunnel(shielded bool, wrap FaultWrap) (AttackOutcome, error) {
 	outcome := AttackOutcome{Class: 4, Attack: "attacking other apps (dynamic-flow tunneling)"}
-	env, err := newAttackEnv(2)
+	env, err := newAttackEnv(2, wrap)
 	if err != nil {
 		return outcome, err
 	}

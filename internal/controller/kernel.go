@@ -15,6 +15,7 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -32,8 +33,11 @@ var ErrUnknownSwitch = errors.New("controller: unknown switch")
 // ErrTimeout reports a synchronous request that got no reply in time.
 var ErrTimeout = errors.New("controller: request timed out")
 
-// requestTimeout bounds synchronous switch queries.
-const requestTimeout = 5 * time.Second
+// ErrSwitchDisconnected reports an operation against a switch whose
+// session died: the connection failed, or liveness probing declared the
+// switch dead. Unlike ErrTimeout it surfaces immediately — pending
+// requests do not ride out the request timeout.
+var ErrSwitchDisconnected = errors.New("controller: switch disconnected")
 
 // recentBuffers bounds the per-switch packet-in provenance window.
 const recentBuffers = 4096
@@ -63,8 +67,14 @@ type swHandle struct {
 	// gone.
 	pendingRemovals map[string]string
 
+	// closed is shut on session teardown; every waiter on a synchronous
+	// request selects on it so disconnects surface immediately.
+	closeOnce sync.Once
+	closed    chan struct{}
+
 	done         chan struct{}
 	dispatchDone chan struct{}
+	probeDone    chan struct{} // nil when liveness probing is disabled
 }
 
 func (h *swHandle) nextXID() uint32 { return h.xid.Add(1) }
@@ -78,6 +88,10 @@ func removalKey(m *of.Match, priority uint16) string {
 type Kernel struct {
 	topo *topology.Topology
 	host *hostsim.HostOS
+	cfg  KernelConfig
+
+	jmu   sync.Mutex
+	jrand *rand.Rand // backoff jitter, seeded for reproducibility
 
 	mu       sync.RWMutex
 	switches map[of.DPID]*swHandle
@@ -94,23 +108,35 @@ type Kernel struct {
 }
 
 // New builds a kernel around a topology view and host OS. Both may be
-// nil, in which case fresh instances are created.
-func New(topo *topology.Topology, host *hostsim.HostOS) *Kernel {
+// nil, in which case fresh instances are created. An optional
+// KernelConfig tunes session resilience (request timeout, retries,
+// liveness probing); omitting it keeps the historical defaults.
+func New(topo *topology.Topology, host *hostsim.HostOS, cfg ...KernelConfig) *Kernel {
 	if topo == nil {
 		topo = topology.New()
 	}
 	if host == nil {
 		host = hostsim.NewHostOS()
 	}
+	var c KernelConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	c.fill()
 	return &Kernel{
 		topo:     topo,
 		host:     host,
+		cfg:      c,
+		jrand:    rand.New(rand.NewSource(c.Seed)),
 		switches: make(map[of.DPID]*swHandle),
 		shadow:   make(map[of.DPID]*flowtable.Table),
 		subs:     make(map[EventKind]map[int]Handler),
 		model:    make(map[string]interface{}),
 	}
 }
+
+// Config returns the kernel's resolved session configuration.
+func (k *Kernel) Config() KernelConfig { return k.cfg }
 
 // Topology exposes the kernel's topology view.
 func (k *Kernel) Topology() *topology.Topology { return k.topo }
@@ -127,23 +153,37 @@ func (k *Kernel) AcceptSwitch(conn of.Conn) (of.DPID, error) {
 	if err := conn.Send(&of.FeaturesRequest{Header: of.Header{Xid: 2}}); err != nil {
 		return 0, fmt.Errorf("features request: %w", err)
 	}
+	// The deadline must bound the Recv itself, not just the loop: a
+	// switch that goes silent mid-handshake would otherwise block
+	// AcceptSwitch forever.
 	var features *of.FeaturesReply
-	deadline := time.Now().Add(requestTimeout)
+	type recvRes struct {
+		msg of.Message
+		err error
+	}
+	recvCh := make(chan recvRes, 1)
+	recv := func() {
+		m, err := conn.Recv()
+		recvCh <- recvRes{msg: m, err: err}
+	}
+	go recv()
+	timer := time.NewTimer(k.cfg.RequestTimeout)
+	defer timer.Stop()
 	for features == nil {
-		if time.Now().After(deadline) {
+		select {
+		case <-timer.C:
+			conn.Close() // unblock the pending reader
 			return 0, ErrTimeout
-		}
-		msg, err := conn.Recv()
-		if err != nil {
-			return 0, fmt.Errorf("handshake: %w", err)
-		}
-		switch m := msg.(type) {
-		case *of.Hello:
-			// symmetric hello
-		case *of.FeaturesReply:
-			features = m
-		default:
-			// Pre-handshake noise is ignored.
+		case r := <-recvCh:
+			if r.err != nil {
+				return 0, fmt.Errorf("handshake: %w", r.err)
+			}
+			if m, ok := r.msg.(*of.FeaturesReply); ok {
+				features = m
+			} else {
+				// Symmetric hello / pre-handshake noise is ignored.
+				go recv()
+			}
 		}
 	}
 
@@ -154,6 +194,7 @@ func (k *Kernel) AcceptSwitch(conn of.Conn) (of.DPID, error) {
 		buffers:         make(map[uint32]bool),
 		pendingRemovals: make(map[string]string),
 		events:          make(chan of.Message, 4096),
+		closed:          make(chan struct{}),
 		done:            make(chan struct{}),
 		dispatchDone:    make(chan struct{}),
 	}
@@ -173,6 +214,10 @@ func (k *Kernel) AcceptSwitch(conn of.Conn) (of.DPID, error) {
 
 	go k.recvLoop(h)
 	go k.dispatchLoop(h)
+	if k.cfg.ProbeInterval > 0 {
+		h.probeDone = make(chan struct{})
+		go k.probeLoop(h)
+	}
 	return features.DPID, nil
 }
 
@@ -191,6 +236,9 @@ func (k *Kernel) Stop() {
 		h.conn.Close()
 		<-h.done
 		<-h.dispatchDone
+		if h.probeDone != nil {
+			<-h.probeDone
+		}
 	}
 }
 
@@ -210,6 +258,7 @@ func (k *Kernel) handle(dpid of.DPID) (*swHandle, error) {
 func (k *Kernel) recvLoop(h *swHandle) {
 	defer close(h.done)
 	defer close(h.events)
+	defer k.teardown(h)
 	for {
 		msg, err := h.conn.Recv()
 		if err != nil {
@@ -229,6 +278,65 @@ func (k *Kernel) recvLoop(h *swHandle) {
 		// Hand the message to the dispatcher so handlers may perform
 		// synchronous requests over this same connection.
 		h.events <- msg
+	}
+}
+
+// teardown tears a switch session down: it closes the connection, fails
+// every pending synchronous request immediately (waiters observe
+// h.closed) and, unless the kernel itself is stopping, forgets the
+// switch and emits a topology event. Idempotent — it is reached from the
+// receive loop on connection errors and from the probe loop on liveness
+// failure, possibly concurrently.
+func (k *Kernel) teardown(h *swHandle) {
+	h.closeOnce.Do(func() { close(h.closed) })
+	h.conn.Close()
+	// Drop the pending map so late replies cannot land on waiters that
+	// already returned ErrSwitchDisconnected.
+	h.mu.Lock()
+	h.pending = make(map[uint32]chan of.Message)
+	h.mu.Unlock()
+	if k.closed.Load() {
+		return
+	}
+	k.mu.Lock()
+	if k.switches[h.dpid] != h {
+		k.mu.Unlock()
+		return
+	}
+	delete(k.switches, h.dpid)
+	delete(k.shadow, h.dpid)
+	k.mu.Unlock()
+	k.topo.RemoveSwitch(h.dpid)
+	k.emit(Event{Kind: EventTopology, TopoChange: &TopoChange{What: "switch-removed", DPID: h.dpid}})
+}
+
+// probeLoop sends periodic echo requests and declares the switch dead
+// after ProbeMisses consecutive unanswered probes — the liveness
+// protocol that turns a silently wedged switch into a clean teardown.
+func (k *Kernel) probeLoop(h *swHandle) {
+	defer close(h.probeDone)
+	ticker := time.NewTicker(k.cfg.ProbeInterval)
+	defer ticker.Stop()
+	misses := 0
+	for {
+		select {
+		case <-h.closed:
+			return
+		case <-ticker.C:
+			msg := &of.EchoRequest{Header: of.Header{Xid: h.nextXID()}}
+			if _, err := k.requestOnce(h, msg, k.cfg.ProbeTimeout); err != nil {
+				if errors.Is(err, ErrSwitchDisconnected) {
+					return
+				}
+				misses++
+				if misses >= k.cfg.ProbeMisses {
+					k.teardown(h)
+					return
+				}
+			} else {
+				misses = 0
+			}
+		}
 	}
 }
 
@@ -328,25 +436,72 @@ func (k *Kernel) Unsubscribe(kind EventKind, id int) {
 	delete(k.subs[kind], id)
 }
 
-// request sends msg and blocks for the reply carrying the same xid.
+// request sends msg and blocks for the reply carrying the same xid,
+// retrying timed-out attempts with exponential backoff and jitter up to
+// MaxRetries times. Disconnects are never retried: the session is gone
+// and the caller should fail fast.
 func (k *Kernel) request(h *swHandle, msg of.Message) (of.Message, error) {
+	reply, err := k.requestOnce(h, msg, k.cfg.RequestTimeout)
+	for attempt := 1; attempt <= k.cfg.MaxRetries && errors.Is(err, ErrTimeout); attempt++ {
+		select {
+		case <-time.After(k.backoff(attempt)):
+		case <-h.closed:
+			return nil, ErrSwitchDisconnected
+		}
+		reply, err = k.requestOnce(h, msg, k.cfg.RequestTimeout)
+	}
+	return reply, err
+}
+
+// backoff computes the jittered exponential delay before retry #attempt.
+func (k *Kernel) backoff(attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := k.cfg.RetryBackoff << shift
+	if j := k.cfg.BackoffJitter; j > 0 {
+		k.jmu.Lock()
+		f := 1 + j*(2*k.jrand.Float64()-1)
+		k.jmu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// requestOnce performs one send/wait round trip. Reusing the message's
+// xid across attempts is deliberate: a late reply to an earlier attempt
+// satisfies the current one, and surplus replies are dropped by the
+// dispatcher.
+func (k *Kernel) requestOnce(h *swHandle, msg of.Message, timeout time.Duration) (of.Message, error) {
+	select {
+	case <-h.closed:
+		return nil, ErrSwitchDisconnected
+	default:
+	}
 	ch := make(chan of.Message, 1)
 	h.mu.Lock()
 	h.pending[msg.XID()] = ch
 	h.mu.Unlock()
-	if err := h.conn.Send(msg); err != nil {
+	unregister := func() {
 		h.mu.Lock()
 		delete(h.pending, msg.XID())
 		h.mu.Unlock()
-		return nil, err
 	}
+	if err := h.conn.Send(msg); err != nil {
+		unregister()
+		return nil, fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case reply := <-ch:
 		return reply, nil
-	case <-time.After(requestTimeout):
-		h.mu.Lock()
-		delete(h.pending, msg.XID())
-		h.mu.Unlock()
+	case <-h.closed:
+		unregister()
+		return nil, ErrSwitchDisconnected
+	case <-timer.C:
+		unregister()
 		return nil, ErrTimeout
 	}
 }
@@ -388,7 +543,7 @@ func (k *Kernel) InsertFlow(owner string, dpid of.DPID, spec FlowSpec) error {
 	}); err != nil {
 		return err
 	}
-	return h.conn.Send(&of.FlowMod{
+	if err := h.conn.Send(&of.FlowMod{
 		Header:      of.Header{Xid: h.nextXID()},
 		DPID:        dpid,
 		Command:     of.FlowAdd,
@@ -398,7 +553,13 @@ func (k *Kernel) InsertFlow(owner string, dpid of.DPID, spec FlowSpec) error {
 		HardTimeout: spec.HardTimeout,
 		Cookie:      spec.Cookie,
 		Actions:     spec.Actions,
-	})
+	}); err != nil {
+		// The rule never reached the switch; un-shadow it so ownership
+		// state stays truthful across the disconnect.
+		shadow.Delete(spec.Match, spec.Priority, true)
+		return fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
+	}
+	return nil
 }
 
 // ModifyFlow rewrites the actions of rules subsumed by the match.
@@ -410,15 +571,23 @@ func (k *Kernel) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, acti
 	k.mu.RLock()
 	shadow := k.shadow[dpid]
 	k.mu.RUnlock()
+	// Snapshot the affected entries so a failed send can restore them.
+	prior := shadow.Entries(match)
 	shadow.Modify(match, priority, false, actions)
-	return h.conn.Send(&of.FlowMod{
+	if err := h.conn.Send(&of.FlowMod{
 		Header:   of.Header{Xid: h.nextXID()},
 		DPID:     dpid,
 		Command:  of.FlowModify,
 		Match:    match,
 		Priority: priority,
 		Actions:  actions,
-	})
+	}); err != nil {
+		for _, e := range prior {
+			shadow.Modify(e.Match, e.Priority, true, e.Actions)
+		}
+		return fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
+	}
+	return nil
 }
 
 // DeleteFlow removes rules (non-strict semantics).
@@ -444,13 +613,26 @@ func (k *Kernel) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, stri
 	if strict {
 		cmd = of.FlowDeleteStrict
 	}
-	return h.conn.Send(&of.FlowMod{
+	if err := h.conn.Send(&of.FlowMod{
 		Header:   of.Header{Xid: h.nextXID()},
 		DPID:     dpid,
 		Command:  cmd,
 		Match:    match,
 		Priority: priority,
-	})
+	}); err != nil {
+		// The delete never reached the switch; restore the shadow so the
+		// controller's view keeps matching the data plane.
+		for _, e := range removed {
+			_ = shadow.Add(*e)
+		}
+		h.mu.Lock()
+		for _, e := range removed {
+			delete(h.pendingRemovals, removalKey(e.Match, e.Priority))
+		}
+		h.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
+	}
+	return nil
 }
 
 // Flows reads the shadow flow table (the controller's authoritative view
@@ -475,14 +657,17 @@ func (k *Kernel) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, act
 	if err != nil {
 		return err
 	}
-	return h.conn.Send(&of.PacketOut{
+	if err := h.conn.Send(&of.PacketOut{
 		Header:   of.Header{Xid: h.nextXID()},
 		DPID:     dpid,
 		InPort:   inPort,
 		BufferID: bufferID,
 		Actions:  actions,
 		Packet:   pkt,
-	})
+	}); err != nil {
+		return fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
+	}
+	return nil
 }
 
 // PacketInSeen reports whether the buffer id belongs to a recently

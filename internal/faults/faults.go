@@ -1,0 +1,350 @@
+// Package faults makes failure a first-class, testable input to the
+// SDNShield reproduction. It wraps an of.Conn with a deterministic fault
+// schedule — dropped, delayed, duplicated, corrupted frames and hard
+// disconnects — so the controller kernel's session resilience and the
+// shield's degradation paths can be exercised reproducibly in tests,
+// in internal/netsim networks and from cmd/attacksim.
+//
+// Determinism is the design center: a Plan decides the fault for the
+// n-th message crossing the wrapper in each direction, so a given plan
+// (or a given Random seed) yields the same schedule on every run,
+// independent of cross-direction timing.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnshield/internal/of"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind uint8
+
+// Fault kinds. None is the zero value: the message passes through.
+const (
+	None Kind = iota
+	// Drop silently discards the message.
+	Drop
+	// Delay holds the message back before delivering it.
+	Delay
+	// Duplicate delivers the message twice.
+	Duplicate
+	// Corrupt truncates or mangles the message before delivery.
+	Corrupt
+	// Disconnect hard-closes the connection.
+	Disconnect
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "duplicate"
+	case Corrupt:
+		return "corrupt"
+	case Disconnect:
+		return "disconnect"
+	default:
+		return "fault(?)"
+	}
+}
+
+// Direction distinguishes the two message streams crossing a wrapper.
+type Direction uint8
+
+// Directions, from the wrapper holder's point of view.
+const (
+	DirSend Direction = iota
+	DirRecv
+)
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind Kind
+	// Delay is the hold-back duration for Kind == Delay.
+	Delay time.Duration
+}
+
+// Plan decides which fault (if any) applies to the n-th message (0-based,
+// counted per direction) crossing a wrapped connection. Implementations
+// must be safe for concurrent use; decisions for a given direction are
+// always requested in message order under the wrapper's lock.
+type Plan interface {
+	Decide(dir Direction, n int, msg of.Message) Fault
+}
+
+// Script is a fully explicit plan: faults at exact per-direction message
+// indices. Unlisted indices pass through. The zero value injects nothing.
+type Script struct {
+	// Send maps send-side message indices to faults.
+	Send map[int]Fault
+	// Recv maps receive-side message indices to faults.
+	Recv map[int]Fault
+}
+
+// Decide implements Plan.
+func (s Script) Decide(dir Direction, n int, _ of.Message) Fault {
+	m := s.Send
+	if dir == DirRecv {
+		m = s.Recv
+	}
+	return m[n]
+}
+
+// RandomConfig tunes a Random plan. Probabilities are per message and
+// mutually exclusive, evaluated in the order drop, duplicate, corrupt,
+// delay; their sum should stay <= 1.
+type RandomConfig struct {
+	Drop      float64
+	Duplicate float64
+	Corrupt   float64
+	DelayProb float64
+	// MaxDelay bounds injected delays; delays are uniform in (0, MaxDelay].
+	MaxDelay time.Duration
+	// DisconnectAfter hard-closes the connection once this many messages
+	// crossed in one direction; 0 means never.
+	DisconnectAfter int
+}
+
+// Random draws per-direction fault decisions from two independent seeded
+// streams, so a given seed yields the same schedule on every run
+// regardless of how sends and receives interleave.
+type Random struct {
+	cfg RandomConfig
+	mu  [2]sync.Mutex
+	rng [2]*rand.Rand
+}
+
+// NewRandom builds a seeded random plan.
+func NewRandom(seed int64, cfg RandomConfig) *Random {
+	return &Random{
+		cfg: cfg,
+		rng: [2]*rand.Rand{
+			rand.New(rand.NewSource(seed)),
+			rand.New(rand.NewSource(seed ^ 0x1e3779b97f4a7c15)),
+		},
+	}
+}
+
+// Decide implements Plan.
+func (r *Random) Decide(dir Direction, n int, _ of.Message) Fault {
+	i := int(dir) & 1
+	r.mu[i].Lock()
+	defer r.mu[i].Unlock()
+	if r.cfg.DisconnectAfter > 0 && n >= r.cfg.DisconnectAfter {
+		return Fault{Kind: Disconnect}
+	}
+	v := r.rng[i].Float64()
+	switch {
+	case v < r.cfg.Drop:
+		return Fault{Kind: Drop}
+	case v < r.cfg.Drop+r.cfg.Duplicate:
+		return Fault{Kind: Duplicate}
+	case v < r.cfg.Drop+r.cfg.Duplicate+r.cfg.Corrupt:
+		return Fault{Kind: Corrupt}
+	case v < r.cfg.Drop+r.cfg.Duplicate+r.cfg.Corrupt+r.cfg.DelayProb:
+		d := r.cfg.MaxDelay
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		return Fault{Kind: Delay, Delay: time.Duration(r.rng[i].Int63n(int64(d))) + 1}
+	}
+	return Fault{}
+}
+
+// Stats counts the faults a wrapper injected, per kind.
+type Stats struct {
+	Dropped     uint64
+	Delayed     uint64
+	Duplicated  uint64
+	Corrupted   uint64
+	Disconnects uint64
+}
+
+// Conn wraps an of.Conn with fault injection. It satisfies the of.Conn
+// contract (one concurrent reader, any number of writers) as long as the
+// wrapped connection does.
+type Conn struct {
+	inner of.Conn
+	plan  Plan
+
+	sendMu sync.Mutex
+	sendN  int
+
+	recvMu  sync.Mutex
+	recvN   int
+	recvDup of.Message // pending duplicate to deliver before the next read
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	dropped     atomic.Uint64
+	delayed     atomic.Uint64
+	duplicated  atomic.Uint64
+	corrupted   atomic.Uint64
+	disconnects atomic.Uint64
+}
+
+var _ of.Conn = (*Conn)(nil)
+
+// Wrap layers a fault plan over a connection. A nil plan injects nothing.
+func Wrap(inner of.Conn, plan Plan) *Conn {
+	if plan == nil {
+		plan = Script{}
+	}
+	return &Conn{inner: inner, plan: plan, closed: make(chan struct{})}
+}
+
+// Stats snapshots the injected-fault counters.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		Dropped:     c.dropped.Load(),
+		Delayed:     c.delayed.Load(),
+		Duplicated:  c.duplicated.Load(),
+		Corrupted:   c.corrupted.Load(),
+		Disconnects: c.disconnects.Load(),
+	}
+}
+
+// Send implements of.Conn.
+func (c *Conn) Send(msg of.Message) error {
+	c.sendMu.Lock()
+	n := c.sendN
+	c.sendN++
+	f := c.plan.Decide(DirSend, n, msg)
+	c.sendMu.Unlock()
+	switch f.Kind {
+	case Drop:
+		c.dropped.Add(1)
+		return nil // the frame vanishes; the sender believes it left
+	case Delay:
+		c.delayed.Add(1)
+		go func() {
+			select {
+			case <-time.After(f.Delay):
+				_ = c.inner.Send(msg)
+			case <-c.closed:
+			}
+		}()
+		return nil
+	case Duplicate:
+		c.duplicated.Add(1)
+		if err := c.inner.Send(msg); err != nil {
+			return err
+		}
+		return c.inner.Send(msg)
+	case Corrupt:
+		c.corrupted.Add(1)
+		return c.inner.Send(corrupt(msg))
+	case Disconnect:
+		c.disconnects.Add(1)
+		_ = c.Close()
+		return of.ErrClosed
+	}
+	return c.inner.Send(msg)
+}
+
+// Recv implements of.Conn.
+func (c *Conn) Recv() (of.Message, error) {
+	for {
+		c.recvMu.Lock()
+		if dup := c.recvDup; dup != nil {
+			c.recvDup = nil
+			c.recvMu.Unlock()
+			return dup, nil
+		}
+		c.recvMu.Unlock()
+
+		msg, err := c.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		c.recvMu.Lock()
+		n := c.recvN
+		c.recvN++
+		f := c.plan.Decide(DirRecv, n, msg)
+		if f.Kind == Duplicate {
+			c.recvDup = msg
+		}
+		c.recvMu.Unlock()
+		switch f.Kind {
+		case Drop:
+			c.dropped.Add(1)
+			continue
+		case Delay:
+			c.delayed.Add(1)
+			select {
+			case <-time.After(f.Delay):
+			case <-c.closed:
+				return nil, of.ErrClosed
+			}
+			return msg, nil
+		case Duplicate:
+			c.duplicated.Add(1)
+			return msg, nil
+		case Corrupt:
+			c.corrupted.Add(1)
+			return corrupt(msg), nil
+		case Disconnect:
+			c.disconnects.Add(1)
+			_ = c.Close()
+			return nil, of.ErrClosed
+		}
+		return msg, nil
+	}
+}
+
+// Close implements of.Conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+// corrupt damages a message the way a mangled frame would surface after
+// decoding: payloads are truncated, stats rows lost; messages with no
+// payload to damage decode as an error frame carrying the same xid.
+func corrupt(msg of.Message) of.Message {
+	switch m := msg.(type) {
+	case *of.PacketIn:
+		cp := *m
+		if cp.Packet != nil && len(cp.Packet.Payload) > 0 {
+			cp.Packet = cp.Packet.Clone()
+			cp.Packet.Payload = cp.Packet.Payload[:len(cp.Packet.Payload)/2]
+			return &cp
+		}
+	case *of.PacketOut:
+		cp := *m
+		if cp.Packet != nil && len(cp.Packet.Payload) > 0 {
+			cp.Packet = cp.Packet.Clone()
+			cp.Packet.Payload = cp.Packet.Payload[:len(cp.Packet.Payload)/2]
+			return &cp
+		}
+	case *of.EchoRequest:
+		cp := *m
+		cp.Data = cp.Data[:len(cp.Data)/2]
+		return &cp
+	case *of.EchoReply:
+		cp := *m
+		cp.Data = cp.Data[:len(cp.Data)/2]
+		return &cp
+	case *of.StatsReply:
+		cp := *m
+		cp.Flows = cp.Flows[:len(cp.Flows)/2]
+		cp.Ports = cp.Ports[:len(cp.Ports)/2]
+		return &cp
+	}
+	return &of.Error{
+		Header:  of.Header{Xid: msg.XID()},
+		Code:    of.ErrBadRequest,
+		Message: "corrupted frame",
+	}
+}

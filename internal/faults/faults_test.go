@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sdnshield/internal/of"
+)
+
+func echo(x uint32) *of.EchoRequest {
+	return &of.EchoRequest{Header: of.Header{Xid: x}, Data: []byte{1, 2, 3, 4}}
+}
+
+// drain receives until the peer's buffer is empty, returning the xids seen.
+func drain(t *testing.T, c of.Conn, want int, timeout time.Duration) []uint32 {
+	t.Helper()
+	var got []uint32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(got) < want {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			got = append(got, msg.XID())
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatalf("drained %d of %d messages", len(got), want)
+	}
+	return got
+}
+
+func TestScriptDropAndDuplicateOnSend(t *testing.T) {
+	a, b := of.Pipe()
+	fc := Wrap(a, Script{Send: map[int]Fault{
+		1: {Kind: Drop},
+		2: {Kind: Duplicate},
+	}})
+	for x := uint32(1); x <= 3; x++ {
+		if err := fc.Send(echo(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(t, b, 3, time.Second)
+	want := []uint32{1, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	st := fc.Stats()
+	if st.Dropped != 1 || st.Duplicated != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestScriptRecvFaults(t *testing.T) {
+	a, b := of.Pipe()
+	fc := Wrap(b, Script{Recv: map[int]Fault{
+		0: {Kind: Drop},
+		2: {Kind: Duplicate},
+	}})
+	for x := uint32(1); x <= 3; x++ {
+		if err := a.Send(echo(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(t, fc, 3, time.Second)
+	want := []uint32{2, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDelayHoldsMessageBack(t *testing.T) {
+	a, b := of.Pipe()
+	fc := Wrap(a, Script{Send: map[int]Fault{0: {Kind: Delay, Delay: 30 * time.Millisecond}}})
+	start := time.Now()
+	if err := fc.Send(echo(7)); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.XID() != 7 {
+		t.Fatalf("xid = %d", msg.XID())
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("delivered after %v, want >= 30ms", elapsed)
+	}
+	if fc.Stats().Delayed != 1 {
+		t.Errorf("stats = %+v", fc.Stats())
+	}
+}
+
+func TestCorruptTruncatesAndMangles(t *testing.T) {
+	a, b := of.Pipe()
+	fc := Wrap(a, Script{Send: map[int]Fault{
+		0: {Kind: Corrupt},
+		1: {Kind: Corrupt},
+	}})
+	if err := fc.Send(echo(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Send(&of.BarrierReply{Header: of.Header{Xid: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := b.Recv()
+	er, ok := msg.(*of.EchoRequest)
+	if !ok || len(er.Data) != 2 {
+		t.Fatalf("first corrupt = %#v", msg)
+	}
+	msg, _ = b.Recv()
+	if e, ok := msg.(*of.Error); !ok || e.XID() != 9 {
+		t.Fatalf("payload-free corrupt should decode as an error frame, got %#v", msg)
+	}
+}
+
+func TestDisconnectClosesBothWays(t *testing.T) {
+	a, b := of.Pipe()
+	fc := Wrap(a, Script{Send: map[int]Fault{1: {Kind: Disconnect}}})
+	if err := fc.Send(echo(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Send(echo(2)); !errors.Is(err, of.ErrClosed) {
+		t.Fatalf("disconnect send err = %v", err)
+	}
+	if err := fc.Send(echo(3)); !errors.Is(err, of.ErrClosed) {
+		t.Fatalf("post-disconnect send err = %v", err)
+	}
+	// The peer sees the close after draining what was delivered.
+	if msg, err := b.Recv(); err != nil || msg.XID() != 1 {
+		t.Fatalf("peer recv = %v, %v", msg, err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, of.ErrClosed) {
+		t.Fatalf("peer should observe close, got %v", err)
+	}
+	if fc.Stats().Disconnects != 1 {
+		t.Errorf("stats = %+v", fc.Stats())
+	}
+}
+
+// TestRandomDeterminism: the same seed must produce the identical fault
+// schedule, message for message.
+func TestRandomDeterminism(t *testing.T) {
+	cfg := RandomConfig{Drop: 0.2, Duplicate: 0.1, Corrupt: 0.1, DelayProb: 0.2, MaxDelay: time.Millisecond}
+	run := func(seed int64) []Kind {
+		p := NewRandom(seed, cfg)
+		out := make([]Kind, 0, 200)
+		for n := 0; n < 100; n++ {
+			out = append(out, p.Decide(DirSend, n, echo(uint32(n))).Kind)
+		}
+		for n := 0; n < 100; n++ {
+			out = append(out, p.Decide(DirRecv, n, echo(uint32(n))).Kind)
+		}
+		return out
+	}
+	a, b, c := run(42), run(42), run(43)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+	// The schedule actually injects something at these rates.
+	var faultsSeen int
+	for _, k := range a {
+		if k != None {
+			faultsSeen++
+		}
+	}
+	if faultsSeen == 0 {
+		t.Error("random plan injected nothing over 200 messages")
+	}
+}
+
+func TestRandomDisconnectAfter(t *testing.T) {
+	p := NewRandom(1, RandomConfig{DisconnectAfter: 3})
+	for n := 0; n < 3; n++ {
+		if f := p.Decide(DirSend, n, echo(1)); f.Kind == Disconnect {
+			t.Fatalf("disconnected early at %d", n)
+		}
+	}
+	if f := p.Decide(DirSend, 3, echo(1)); f.Kind != Disconnect {
+		t.Fatalf("message 3 should disconnect, got %v", f.Kind)
+	}
+}

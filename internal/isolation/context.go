@@ -1,6 +1,8 @@
 package isolation
 
 import (
+	"fmt"
+
 	"sdnshield/internal/controller"
 	"sdnshield/internal/core"
 	"sdnshield/internal/flowtable"
@@ -99,6 +101,25 @@ func (a *shieldedAPI) AppName() string { return a.name }
 
 func (a *shieldedAPI) engine() *permengine.Engine { return a.shield.engine }
 
+// do routes a call through the KSD pool after the lifecycle gate: a
+// quarantined app's API handle is dead — every call fails fast without
+// consuming a deputy.
+func (a *shieldedAPI) do(fn func() error) error {
+	if a.container != nil && a.container.Health() == Quarantined {
+		return fmt.Errorf("%w: %s", ErrAppQuarantined, a.name)
+	}
+	return a.shield.do(fn)
+}
+
+// apiValue is do for calls with results.
+func apiValue[T any](a *shieldedAPI, fn func() (T, error)) (T, error) {
+	if a.container != nil && a.container.Health() == Quarantined {
+		var zero T
+		return zero, fmt.Errorf("%w: %s", ErrAppQuarantined, a.name)
+	}
+	return doValue(a.shield, fn)
+}
+
 // foreignOwner finds the owner of a foreign flow the operation would
 // affect: any rule overlapping the match whose owner differs from the
 // caller and which the new rule could shadow (equal or lower priority).
@@ -136,7 +157,7 @@ func (a *shieldedAPI) checkInsertFlow(dpid of.DPID, spec controller.FlowSpec) er
 }
 
 func (a *shieldedAPI) InsertFlow(dpid of.DPID, spec controller.FlowSpec) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		if a.virt != nil {
 			return a.virt.insertFlow(a, dpid, spec)
 		}
@@ -194,7 +215,7 @@ func (a *shieldedAPI) checkAffected(token core.Token, dpid of.DPID, match *of.Ma
 }
 
 func (a *shieldedAPI) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		if err := a.checkAffected(a.modifyToken(), dpid, match, priority, actions); err != nil {
 			return err
 		}
@@ -219,7 +240,7 @@ func (a *shieldedAPI) virtualDeleteCall(match *of.Match, priority uint16) *core.
 }
 
 func (a *shieldedAPI) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		if a.virt != nil {
 			return a.virt.deleteFlow(a, dpid, match, priority, strict)
 		}
@@ -231,7 +252,7 @@ func (a *shieldedAPI) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16,
 }
 
 func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, error) {
-	return doValue(a.shield, func() ([]*flowtable.Entry, error) {
+	return apiValue(a, func() ([]*flowtable.Entry, error) {
 		// Audit-visible check of the operation itself.
 		opCall := &core.Call{
 			App: a.name, Token: core.TokenReadFlowTable, DPID: dpid, HasDPID: true,
@@ -267,7 +288,7 @@ func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, 
 }
 
 func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		fromPktIn := pkt == nil && bufferID != 0 && a.shield.kernel.PacketInSeen(dpid, bufferID)
 		call := &core.Call{
 			App: a.name, Token: core.TokenSendPktOut, DPID: dpid, HasDPID: true,
@@ -292,7 +313,7 @@ func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16
 // Statistics
 
 func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEntry, error) {
-	return doValue(a.shield, func() ([]of.FlowStatsEntry, error) {
+	return apiValue(a, func() ([]of.FlowStatsEntry, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsFlow, Match: match,
@@ -327,7 +348,7 @@ func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEn
 }
 
 func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry, error) {
-	return doValue(a.shield, func() ([]of.PortStatsEntry, error) {
+	return apiValue(a, func() ([]of.PortStatsEntry, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsPort,
@@ -343,7 +364,7 @@ func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry,
 }
 
 func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
-	return doValue(a.shield, func() (of.SwitchStats, error) {
+	return apiValue(a, func() (of.SwitchStats, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsSwitch,
@@ -362,7 +383,7 @@ func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
 // Topology
 
 func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
-	return doValue(a.shield, func() ([]topology.SwitchInfo, error) {
+	return apiValue(a, func() ([]topology.SwitchInfo, error) {
 		all := a.shield.kernel.Topology().Switches()
 		ids := make([]of.DPID, len(all))
 		for i, s := range all {
@@ -389,7 +410,7 @@ func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
 }
 
 func (a *shieldedAPI) Links() ([]topology.Link, error) {
-	return doValue(a.shield, func() ([]topology.Link, error) {
+	return apiValue(a, func() ([]topology.Link, error) {
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
 			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology})
 		}
@@ -412,7 +433,7 @@ func (a *shieldedAPI) Links() ([]topology.Link, error) {
 }
 
 func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
-	return doValue(a.shield, func() ([]topology.Host, error) {
+	return apiValue(a, func() ([]topology.Host, error) {
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
 			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology})
 		}
@@ -433,7 +454,7 @@ func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
 }
 
 func (a *shieldedAPI) AddLink(l topology.Link) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		call := &core.Call{App: a.name, Token: core.TokenModifyTopology,
 			Switches: []of.DPID{l.A, l.B}, Links: []core.LinkID{l.ID()}}
 		if err := a.engine().Check(call); err != nil {
@@ -444,7 +465,7 @@ func (a *shieldedAPI) AddLink(l topology.Link) error {
 }
 
 func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		call := &core.Call{App: a.name, Token: core.TokenModifyTopology,
 			Switches: []of.DPID{x, y}, Links: []core.LinkID{core.NewLinkID(x, y)}}
 		if err := a.engine().Check(call); err != nil {
@@ -459,7 +480,7 @@ func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
 // Model-driven data store
 
 func (a *shieldedAPI) Publish(path string, value interface{}) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		call := &core.Call{App: a.name, Token: modelTokenFor(path, true)}
 		if err := a.engine().Check(call); err != nil {
 			return err
@@ -474,7 +495,7 @@ func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
 		v  interface{}
 		ok bool
 	}
-	res, err := doValue(a.shield, func() (result, error) {
+	res, err := apiValue(a, func() (result, error) {
 		call := &core.Call{App: a.name, Token: modelTokenFor(path, false)}
 		if err := a.engine().Check(call); err != nil {
 			return result{}, err
@@ -489,7 +510,7 @@ func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
 // Host system calls (the SecurityManager role)
 
 func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error) {
-	return doValue(a.shield, func() (*hostsim.Conn, error) {
+	return apiValue(a, func() (*hostsim.Conn, error) {
 		call := &core.Call{App: a.name, Token: core.TokenHostNetwork,
 			HostIP: ip, HostPort: port, HasHostIP: true}
 		if err := a.engine().Check(call); err != nil {
@@ -500,7 +521,7 @@ func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error
 }
 
 func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
-	return doValue(a.shield, func() ([]byte, error) {
+	return apiValue(a, func() ([]byte, error) {
 		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Path: path}
 		if err := a.engine().Check(call); err != nil {
 			return nil, err
@@ -510,7 +531,7 @@ func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
 }
 
 func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Path: path}
 		if err := a.engine().Check(call); err != nil {
 			return err
@@ -521,7 +542,7 @@ func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
 }
 
 func (a *shieldedAPI) HostExec(cmd string) error {
-	return a.shield.do(func() error {
+	return a.do(func() error {
 		call := &core.Call{App: a.name, Token: core.TokenProcessRuntime}
 		if err := a.engine().Check(call); err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdnshield/internal/controller"
 	"sdnshield/internal/core"
@@ -37,6 +38,18 @@ type Config struct {
 	// mirrors the monolithic baseline, where a slow handler naturally
 	// throttles its switch's dispatch.
 	DropOnFullQueue bool
+	// RestartBackoff is the supervisor's delay before re-initializing an
+	// app after a panic; it doubles with each consecutive failure.
+	// Default 10 ms.
+	RestartBackoff time.Duration
+	// PanicLimit quarantines an app after this many panics within
+	// PanicWindow: its handlers are unhooked, its API handle dies with
+	// ErrAppQuarantined, and the rest of the shield keeps running.
+	// Default 5.
+	PanicLimit int
+	// PanicWindow is the sliding window PanicLimit counts over. Default
+	// 30 s.
+	PanicWindow time.Duration
 }
 
 func (c *Config) fill() {
@@ -48,6 +61,15 @@ func (c *Config) fill() {
 	}
 	if c.EventWorkers <= 0 {
 		c.EventWorkers = 1
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 10 * time.Millisecond
+	}
+	if c.PanicLimit <= 0 {
+		c.PanicLimit = 5
+	}
+	if c.PanicWindow <= 0 {
+		c.PanicWindow = 30 * time.Second
 	}
 }
 
@@ -123,10 +145,23 @@ func (s *Shield) do(fn func() error) error {
 		return ErrShieldStopped
 	}
 	done, _ := s.replyPool.Get().(chan error)
-	s.reqCh <- func() { done <- fn() }
+	s.reqCh <- func() { done <- s.protect(fn) }
 	err := <-done
 	s.replyPool.Put(done)
 	return err
+}
+
+// protect shields a deputy from the closure it runs on an app's behalf: a
+// panic inside a mediated call is converted to an error for the caller
+// (and counted on the engine) instead of killing the KSD worker.
+func (s *Shield) protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.engine.CountAPIPanic()
+			err = fmt.Errorf("isolation: panic in mediated API call: %v", r)
+		}
+	}()
+	return fn()
 }
 
 // doValue is do for calls with results.
@@ -156,6 +191,7 @@ func (s *Shield) Launch(app App) error {
 	c := &Container{
 		name:     name,
 		shield:   s,
+		app:      app,
 		events:   make(chan controller.Event, s.cfg.EventQueueSize),
 		handlers: make(map[controller.EventKind][]controller.Handler),
 		kernels:  make(map[controller.EventKind]int),
@@ -166,6 +202,7 @@ func (s *Shield) Launch(app App) error {
 	s.mu.Unlock()
 
 	api := newShieldedAPI(s, c)
+	c.api = api
 	initErr := make(chan error, 1)
 	go func() {
 		initErr <- c.safeInit(app, api)
@@ -244,6 +281,8 @@ func (s *Shield) Stop() {
 type Container struct {
 	name   string
 	shield *Shield
+	app    App // retained so the supervisor can re-run Init
+	api    API
 
 	events chan controller.Event
 
@@ -255,6 +294,14 @@ type Container struct {
 	stop     chan struct{}
 	done     chan struct{}
 	workers  sync.WaitGroup
+
+	// Supervisor state: health transitions, restart counting and the
+	// sliding panic window (see supervisor.go).
+	health     atomic.Int32 // Health; zero value is Running
+	restarts   atomic.Uint64
+	supMu      sync.Mutex
+	panicTimes []time.Time
+	streak     int // consecutive failures since the last healthy run
 
 	dropped atomic.Uint64
 	panics  atomic.Uint64
@@ -273,12 +320,9 @@ func (c *Container) Panics() uint64 { return c.panics.Load() }
 func (c *Container) Stop() {
 	c.stopOnce.Do(func() {
 		close(c.stop)
+		c.health.Store(int32(Stopped))
 		// Unhook kernel subscriptions so no further events arrive.
-		c.hmu.Lock()
-		for kind, id := range c.kernels {
-			c.shield.kernel.Unsubscribe(kind, id)
-		}
-		c.hmu.Unlock()
+		c.unhookAll()
 	})
 	<-c.done
 	c.workers.Wait()
@@ -291,7 +335,13 @@ func (c *Container) extraEventLoop() {
 		case <-c.stop:
 			return
 		case ev := <-c.events:
-			c.deliver(ev)
+			if c.Health() != Running {
+				c.dropped.Add(1)
+				continue
+			}
+			if c.deliver(ev) {
+				c.onPanic()
+			}
 		}
 	}
 }
@@ -307,7 +357,10 @@ func (c *Container) safeInit(app App, api API) (err error) {
 }
 
 // eventLoop delivers queued events to the app's handlers on the
-// container goroutine, absorbing panics.
+// container goroutine, absorbing panics. A panicking handler hands the
+// container to the supervisor (restart with backoff, quarantine past the
+// panic budget); while the container is not Running, queued events drain
+// without delivery.
 func (c *Container) eventLoop() {
 	defer close(c.done)
 	for {
@@ -315,28 +368,41 @@ func (c *Container) eventLoop() {
 		case <-c.stop:
 			return
 		case ev := <-c.events:
-			c.deliver(ev)
+			if c.Health() != Running {
+				c.dropped.Add(1)
+				continue
+			}
+			if c.deliver(ev) {
+				c.onPanic()
+			}
 		}
 	}
 }
 
-func (c *Container) deliver(ev controller.Event) {
+// deliver fans one event out to the registered handlers, reporting
+// whether any of them panicked.
+func (c *Container) deliver(ev controller.Event) (panicked bool) {
 	c.hmu.Lock()
 	handlers := make([]controller.Handler, len(c.handlers[ev.Kind]))
 	copy(handlers, c.handlers[ev.Kind])
 	c.hmu.Unlock()
 	for _, fn := range handlers {
-		c.safeHandle(fn, ev)
+		if c.safeHandle(fn, ev) {
+			panicked = true
+		}
 	}
+	return panicked
 }
 
-func (c *Container) safeHandle(fn controller.Handler, ev controller.Event) {
+func (c *Container) safeHandle(fn controller.Handler, ev controller.Event) (panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.panics.Add(1)
+			panicked = true
 		}
 	}()
 	fn(ev)
+	return false
 }
 
 // subscribe wires an app handler: loading-time token check, kernel

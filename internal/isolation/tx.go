@@ -1,11 +1,21 @@
 package isolation
 
 import (
+	"errors"
+
 	"sdnshield/internal/controller"
 	"sdnshield/internal/flowtable"
 	"sdnshield/internal/of"
 	"sdnshield/internal/permengine"
 )
+
+// switchGone reports an error meaning the target switch no longer has a
+// session: its rules died with it, so there is no state left to revert.
+// Rollback treats these as success rather than failing the whole undo.
+func switchGone(err error) bool {
+	return errors.Is(err, controller.ErrUnknownSwitch) ||
+		errors.Is(err, controller.ErrSwitchDisconnected)
+}
 
 // prechecker is implemented by API variants that can check a call without
 // executing it; the transaction uses it to validate every call before the
@@ -36,7 +46,10 @@ func (t *Tx) InsertFlow(dpid of.DPID, spec controller.FlowSpec) *Tx {
 		Check: check,
 		Apply: func() error { return t.api.InsertFlow(dpid, spec) },
 		Revert: func() error {
-			return t.api.DeleteFlow(dpid, spec.Match, spec.Priority, true)
+			if err := t.api.DeleteFlow(dpid, spec.Match, spec.Priority, true); err != nil && !switchGone(err) {
+				return err
+			}
+			return nil
 		},
 	})
 	return t
@@ -72,6 +85,9 @@ func (t *Tx) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict b
 					Cookie: e.Cookie,
 				})
 				if err != nil {
+					if switchGone(err) {
+						return nil
+					}
 					return err
 				}
 			}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"sdnshield/internal/of"
 	"sdnshield/internal/topology"
@@ -14,6 +15,32 @@ type Built struct {
 	Net   *Network
 	Topo  *topology.Topology
 	Hosts []*Host
+}
+
+// Wire connects every switch in the network to a controller: each switch
+// gets an in-memory pipe, starts its control loop on one end, and hands
+// the other end to accept (typically a kernel's AcceptSwitch). wrap, when
+// non-nil, decorates the controller-side connection first — the hook
+// fault-injection harnesses (internal/faults) plug into. Switches are
+// wired in ascending DPID order so fault schedules keyed on message
+// indices are reproducible.
+func (b *Built) Wire(accept func(of.Conn) error, wrap func(of.DPID, of.Conn) of.Conn) error {
+	switches := b.Net.Switches()
+	sort.Slice(switches, func(i, j int) bool { return switches[i].DPID() < switches[j].DPID() })
+	for _, sw := range switches {
+		ctrlSide, swSide := of.Pipe()
+		if err := sw.Start(swSide); err != nil {
+			return err
+		}
+		conn := of.Conn(ctrlSide)
+		if wrap != nil {
+			conn = wrap(sw.DPID(), conn)
+		}
+		if err := accept(conn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // hostMAC derives a deterministic host MAC from an index.

@@ -130,8 +130,9 @@ type Engine struct {
 	mu   sync.RWMutex
 	apps map[string]*compiled
 
-	checks  atomic.Uint64
-	denials atomic.Uint64
+	checks    atomic.Uint64
+	denials   atomic.Uint64
+	apiPanics atomic.Uint64
 
 	log *ActivityLog
 }
@@ -254,6 +255,14 @@ func (e *Engine) logDecision(call *core.Call, allowed bool) {
 func (e *Engine) Stats() (checks, denials uint64) {
 	return e.checks.Load(), e.denials.Load()
 }
+
+// CountAPIPanic records a panic absorbed inside a mediated API call — the
+// audit trail of apps that crashed a deputy's closure rather than merely
+// being denied.
+func (e *Engine) CountAPIPanic() { e.apiPanics.Add(1) }
+
+// APIPanics reports how many mediated-call panics were absorbed.
+func (e *Engine) APIPanics() uint64 { return e.apiPanics.Load() }
 
 // Log returns the forensic activity log (nil when not configured).
 func (e *Engine) Log() *ActivityLog { return e.log }
