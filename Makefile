@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench attacksim
+.PHONY: build test race vet check bench bench-obs attacksim
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,15 @@ race:
 # race detector.
 check: vet race
 
-bench:
+bench: bench-obs
 	$(GO) test -bench=. -benchtime=100x -run=^$$ ./internal/bench/
+
+# bench-obs bounds the telemetry overhead: obs micro-benchmarks (each
+# instrument enabled vs disabled) plus the end-to-end mediated-call pair,
+# whose On/Off delta must stay within the 5% budget (DESIGN.md §10).
+bench-obs:
+	$(GO) test -bench=. -benchtime=1000000x -run=^$$ ./internal/obs/
+	$(GO) test -bench=BenchmarkMediatedCall -benchtime=1s -count=4 -run=^$$ .
 
 attacksim:
 	$(GO) run ./cmd/attacksim -v

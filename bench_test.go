@@ -12,8 +12,12 @@ import (
 	"time"
 
 	"sdnshield/internal/bench"
+	"sdnshield/internal/controller"
 	"sdnshield/internal/core"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/obs"
 	"sdnshield/internal/permengine"
+	"sdnshield/internal/permlang"
 )
 
 // BenchmarkTable1Effectiveness runs the §IX-B1 attack-coverage experiment
@@ -148,6 +152,43 @@ func BenchmarkFig8Scalability(b *testing.B) {
 		b.ReportMetric(float64(r.Latency.Median.Nanoseconds()), name)
 	}
 }
+
+// obsProbeApp is the no-op app the telemetry-overhead benchmarks launch:
+// the measured work is purely the mediated call path.
+type obsProbeApp struct{}
+
+func (obsProbeApp) Name() string                 { return "obsprobe" }
+func (obsProbeApp) Init(api isolation.API) error { return nil }
+
+// benchmarkMediatedCall times one mediated read call (app handle → KSD
+// deputy → permission check → kernel topology read) with telemetry on or
+// off. The two variants bound the instrumentation overhead on the hot
+// path; the budget is 5%.
+func benchmarkMediatedCall(b *testing.B, obsOn bool) {
+	prev := obs.SetEnabled(obsOn)
+	defer obs.SetEnabled(prev)
+	k := controller.New(nil, nil)
+	defer k.Stop()
+	shield := isolation.NewShield(k, isolation.Config{})
+	defer shield.Stop()
+	shield.SetPermissions("obsprobe", permlang.MustParse("PERM visible_topology\n").Set())
+	if err := shield.Launch(obsProbeApp{}); err != nil {
+		b.Fatal(err)
+	}
+	api, err := isolation.AttackerHandle(shield, "obsprobe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := api.Switches(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMediatedCallObsOn(b *testing.B)  { benchmarkMediatedCall(b, true) }
+func BenchmarkMediatedCallObsOff(b *testing.B) { benchmarkMediatedCall(b, false) }
 
 // BenchmarkReconcile measures one full reconciliation of the large
 // complexity manifest against a constraint-heavy policy (§IX-A: never

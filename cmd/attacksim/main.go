@@ -31,9 +31,20 @@ func run(args []string) error {
 	faultDup := fs.Float64("fault-dup", 0, "per-message duplication probability on switch connections")
 	faultDelayMS := fs.Int("fault-delay-ms", 0, "max injected per-message delay (enables delay faults at p=0.2)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault schedule (same seed, same schedule)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /traces, pprof) on this address, e.g. 127.0.0.1:9090")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopTelemetry, bound, err := bench.StartTelemetry(*telemetryAddr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
+	if bound != "" {
+		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/\n", bound)
+	}
+	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 
 	var wrap bench.FaultWrap
 	if *faultDrop > 0 || *faultDup > 0 || *faultDelayMS > 0 {

@@ -50,9 +50,20 @@ func run(args []string) error {
 	duration := fs.Duration("duration", time.Second, "flood duration per cell (fig7)")
 	appsList := fs.String("apps", "1,2,4,8,16,32", "concurrent app counts for fig8")
 	callsList := fs.String("calls", "1,4,16,64", "API calls per event for fig8")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /traces, pprof) on this address, e.g. 127.0.0.1:9090")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopTelemetry, bound, err := bench.StartTelemetry(*telemetryAddr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
+	if bound != "" {
+		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/\n", bound)
+	}
+	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 
 	switches, err := parseInts(*switchList)
 	if err != nil {

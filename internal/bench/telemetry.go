@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"fmt"
+
+	"sdnshield/internal/obs"
+)
+
+// StartTelemetry serves the obs introspection endpoint on addr ("" means
+// off). It returns a stop function (never nil) and the bound address.
+func StartTelemetry(addr string) (stop func(), bound string, err error) {
+	if addr == "" {
+		return func() {}, "", nil
+	}
+	srv, err := obs.Serve(addr, nil, nil)
+	if err != nil {
+		return nil, "", fmt.Errorf("telemetry endpoint: %w", err)
+	}
+	return func() { _ = srv.Close() }, srv.Addr(), nil
+}
+
+// TelemetrySummary renders the one-line metrics digest the CLIs print on
+// exit, pulled from the default registry.
+func TelemetrySummary() string {
+	reg := obs.Default()
+	return fmt.Sprintf(
+		"telemetry: checks=%.0f denied=%.0f mediated_calls=%.0f kernel_requests=%.0f retries=%.0f faults=%.0f app_panics=%.0f tx_rollbacks=%.0f",
+		reg.TotalOf("sdnshield_permengine_checks_total"),
+		reg.TotalOfLabeled("sdnshield_permengine_checks_total", "decision", "deny"),
+		reg.TotalOf("sdnshield_mediated_call_seconds"),
+		reg.TotalOf("sdnshield_kernel_request_seconds"),
+		reg.TotalOf("sdnshield_kernel_request_retries_total"),
+		reg.TotalOf("sdnshield_faults_injected_total"),
+		reg.TotalOf("sdnshield_app_panics_total"),
+		reg.TotalOf("sdnshield_permengine_tx_rollbacks_total"),
+	)
+}

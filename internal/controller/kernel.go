@@ -23,6 +23,7 @@ import (
 
 	"sdnshield/internal/flowtable"
 	"sdnshield/internal/hostsim"
+	"sdnshield/internal/obs"
 	"sdnshield/internal/of"
 	"sdnshield/internal/topology"
 )
@@ -212,6 +213,9 @@ func (k *Kernel) AcceptSwitch(conn of.Conn) (of.DPID, error) {
 	k.topo.AddSwitch(features.DPID, features.Ports)
 	k.emit(Event{Kind: EventTopology, TopoChange: &TopoChange{What: "switch-added", DPID: features.DPID}})
 
+	mSessionsAccepted.Inc()
+	mSwitchSessions.Add(1)
+
 	go k.recvLoop(h)
 	go k.dispatchLoop(h)
 	if k.cfg.ProbeInterval > 0 {
@@ -288,7 +292,11 @@ func (k *Kernel) recvLoop(h *swHandle) {
 // receive loop on connection errors and from the probe loop on liveness
 // failure, possibly concurrently.
 func (k *Kernel) teardown(h *swHandle) {
-	h.closeOnce.Do(func() { close(h.closed) })
+	h.closeOnce.Do(func() {
+		close(h.closed)
+		mSessionTeardowns.Inc()
+		mSwitchSessions.Add(-1)
+	})
 	h.conn.Close()
 	// Drop the pending map so late replies cannot land on waiters that
 	// already returned ErrSwitchDisconnected.
@@ -324,11 +332,13 @@ func (k *Kernel) probeLoop(h *swHandle) {
 			return
 		case <-ticker.C:
 			msg := &of.EchoRequest{Header: of.Header{Xid: h.nextXID()}}
+			mProbes.Inc()
 			if _, err := k.requestOnce(h, msg, k.cfg.ProbeTimeout); err != nil {
 				if errors.Is(err, ErrSwitchDisconnected) {
 					return
 				}
 				misses++
+				mProbeMisses.Inc()
 				if misses >= k.cfg.ProbeMisses {
 					k.teardown(h)
 					return
@@ -441,14 +451,24 @@ func (k *Kernel) Unsubscribe(kind EventKind, id int) {
 // MaxRetries times. Disconnects are never retried: the session is gone
 // and the caller should fail fast.
 func (k *Kernel) request(h *swHandle, msg of.Message) (of.Message, error) {
+	t := obs.StartTimer()
 	reply, err := k.requestOnce(h, msg, k.cfg.RequestTimeout)
 	for attempt := 1; attempt <= k.cfg.MaxRetries && errors.Is(err, ErrTimeout); attempt++ {
+		mRetries.Inc()
 		select {
 		case <-time.After(k.backoff(attempt)):
 		case <-h.closed:
+			mRequestDisconnects.Inc()
 			return nil, ErrSwitchDisconnected
 		}
 		reply, err = k.requestOnce(h, msg, k.cfg.RequestTimeout)
+	}
+	mRequestSeconds.ObserveTimer(t)
+	switch {
+	case errors.Is(err, ErrTimeout):
+		mRequestTimeouts.Inc()
+	case errors.Is(err, ErrSwitchDisconnected):
+		mRequestDisconnects.Inc()
 	}
 	return reply, err
 }
@@ -522,6 +542,8 @@ type FlowSpec struct {
 // InsertFlow installs a rule on a switch on behalf of owner, recording
 // ownership in the kernel's shadow table.
 func (k *Kernel) InsertFlow(owner string, dpid of.DPID, spec FlowSpec) error {
+	t := obs.StartTimer()
+	defer mOpInsert.ObserveTimer(t)
 	h, err := k.handle(dpid)
 	if err != nil {
 		return err
@@ -564,6 +586,8 @@ func (k *Kernel) InsertFlow(owner string, dpid of.DPID, spec FlowSpec) error {
 
 // ModifyFlow rewrites the actions of rules subsumed by the match.
 func (k *Kernel) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
+	t := obs.StartTimer()
+	defer mOpModify.ObserveTimer(t)
 	h, err := k.handle(dpid)
 	if err != nil {
 		return err
@@ -592,6 +616,8 @@ func (k *Kernel) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, acti
 
 // DeleteFlow removes rules (non-strict semantics).
 func (k *Kernel) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
+	t := obs.StartTimer()
+	defer mOpDelete.ObserveTimer(t)
 	h, err := k.handle(dpid)
 	if err != nil {
 		return err
@@ -653,6 +679,8 @@ func (k *Kernel) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, error
 // SendPacketOut injects a packet via a switch. bufferID zero means the
 // packet is supplied inline.
 func (k *Kernel) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) error {
+	t := obs.StartTimer()
+	defer mOpPacketOut.ObserveTimer(t)
 	h, err := k.handle(dpid)
 	if err != nil {
 		return err

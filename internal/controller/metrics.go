@@ -1,0 +1,37 @@
+package controller
+
+import "sdnshield/internal/obs"
+
+// Kernel instrumentation. All instruments live in the process-wide obs
+// registry: multiple kernels in one process (tests, the bench harness's
+// baseline/shielded pairs) accumulate into the same cumulative series,
+// which is the Prometheus counter model.
+var (
+	mSessionsAccepted = obs.Default().Counter("sdnshield_kernel_sessions_accepted_total",
+		"Switch sessions accepted (handshake completed).")
+	mSessionTeardowns = obs.Default().Counter("sdnshield_kernel_session_teardowns_total",
+		"Switch sessions torn down (connection error, liveness failure or shutdown).")
+	mSwitchSessions = obs.Default().Gauge("sdnshield_kernel_switch_sessions",
+		"Currently connected switch sessions.")
+	mRetries = obs.Default().Counter("sdnshield_kernel_request_retries_total",
+		"Synchronous switch requests re-issued after a timeout.")
+	mProbes = obs.Default().Counter("sdnshield_kernel_probes_total",
+		"Echo liveness probes sent.")
+	mProbeMisses = obs.Default().Counter("sdnshield_kernel_probe_misses_total",
+		"Echo liveness probes that timed out.")
+	mRequestSeconds = obs.Default().Histogram("sdnshield_kernel_request_seconds",
+		"Synchronous switch request round-trip latency (stats, barriers, echo), including retries.")
+	mRequestTimeouts = obs.Default().Counter("sdnshield_kernel_request_failures_total",
+		"Synchronous switch requests that failed.", "reason", "timeout")
+	mRequestDisconnects = obs.Default().Counter("sdnshield_kernel_request_failures_total",
+		"Synchronous switch requests that failed.", "reason", "disconnected")
+
+	mOpInsert = obs.Default().Histogram("sdnshield_kernel_op_seconds",
+		"Kernel flow/packet service latency (shadow-table update plus wire send).", "op", "insert_flow")
+	mOpModify = obs.Default().Histogram("sdnshield_kernel_op_seconds",
+		"Kernel flow/packet service latency (shadow-table update plus wire send).", "op", "modify_flow")
+	mOpDelete = obs.Default().Histogram("sdnshield_kernel_op_seconds",
+		"Kernel flow/packet service latency (shadow-table update plus wire send).", "op", "delete_flow")
+	mOpPacketOut = obs.Default().Histogram("sdnshield_kernel_op_seconds",
+		"Kernel flow/packet service latency (shadow-table update plus wire send).", "op", "packet_out")
+)

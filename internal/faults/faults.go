@@ -17,8 +17,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sdnshield/internal/obs"
 	"sdnshield/internal/of"
 )
+
+// mInjected counts injected faults by kind in the process-wide telemetry
+// registry, alongside each wrapper's own Stats. Indexed by Kind.
+var mInjected = func() [Disconnect + 1]*obs.Counter {
+	var out [Disconnect + 1]*obs.Counter
+	for k := Drop; k <= Disconnect; k++ {
+		out[k] = obs.Default().Counter("sdnshield_faults_injected_total",
+			"Faults injected into switch control connections, by kind.", "kind", k.String())
+	}
+	return out
+}()
 
 // Kind enumerates the injectable fault types.
 type Kind uint8
@@ -225,9 +237,11 @@ func (c *Conn) Send(msg of.Message) error {
 	switch f.Kind {
 	case Drop:
 		c.dropped.Add(1)
+		mInjected[Drop].Inc()
 		return nil // the frame vanishes; the sender believes it left
 	case Delay:
 		c.delayed.Add(1)
+		mInjected[Delay].Inc()
 		go func() {
 			select {
 			case <-time.After(f.Delay):
@@ -238,15 +252,18 @@ func (c *Conn) Send(msg of.Message) error {
 		return nil
 	case Duplicate:
 		c.duplicated.Add(1)
+		mInjected[Duplicate].Inc()
 		if err := c.inner.Send(msg); err != nil {
 			return err
 		}
 		return c.inner.Send(msg)
 	case Corrupt:
 		c.corrupted.Add(1)
+		mInjected[Corrupt].Inc()
 		return c.inner.Send(corrupt(msg))
 	case Disconnect:
 		c.disconnects.Add(1)
+		mInjected[Disconnect].Inc()
 		_ = c.Close()
 		return of.ErrClosed
 	}
@@ -279,9 +296,11 @@ func (c *Conn) Recv() (of.Message, error) {
 		switch f.Kind {
 		case Drop:
 			c.dropped.Add(1)
+			mInjected[Drop].Inc()
 			continue
 		case Delay:
 			c.delayed.Add(1)
+			mInjected[Delay].Inc()
 			select {
 			case <-time.After(f.Delay):
 			case <-c.closed:
@@ -290,12 +309,15 @@ func (c *Conn) Recv() (of.Message, error) {
 			return msg, nil
 		case Duplicate:
 			c.duplicated.Add(1)
+			mInjected[Duplicate].Inc()
 			return msg, nil
 		case Corrupt:
 			c.corrupted.Add(1)
+			mInjected[Corrupt].Inc()
 			return corrupt(msg), nil
 		case Disconnect:
 			c.disconnects.Add(1)
+			mInjected[Disconnect].Inc()
 			_ = c.Close()
 			return nil, of.ErrClosed
 		}

@@ -104,20 +104,22 @@ func (a *shieldedAPI) engine() *permengine.Engine { return a.shield.engine }
 // do routes a call through the KSD pool after the lifecycle gate: a
 // quarantined app's API handle is dead — every call fails fast without
 // consuming a deputy.
-func (a *shieldedAPI) do(fn func() error) error {
+func (a *shieldedAPI) do(op string, fn func() error) error {
 	if a.container != nil && a.container.Health() == Quarantined {
+		mQuarantinedCalls.Inc()
 		return fmt.Errorf("%w: %s", ErrAppQuarantined, a.name)
 	}
-	return a.shield.do(fn)
+	return a.shield.do(op, fn)
 }
 
 // apiValue is do for calls with results.
-func apiValue[T any](a *shieldedAPI, fn func() (T, error)) (T, error) {
+func apiValue[T any](a *shieldedAPI, op string, fn func() (T, error)) (T, error) {
 	if a.container != nil && a.container.Health() == Quarantined {
+		mQuarantinedCalls.Inc()
 		var zero T
 		return zero, fmt.Errorf("%w: %s", ErrAppQuarantined, a.name)
 	}
-	return doValue(a.shield, fn)
+	return doValue(a.shield, op, fn)
 }
 
 // foreignOwner finds the owner of a foreign flow the operation would
@@ -157,7 +159,7 @@ func (a *shieldedAPI) checkInsertFlow(dpid of.DPID, spec controller.FlowSpec) er
 }
 
 func (a *shieldedAPI) InsertFlow(dpid of.DPID, spec controller.FlowSpec) error {
-	return a.do(func() error {
+	return a.do("insert_flow", func() error {
 		if a.virt != nil {
 			return a.virt.insertFlow(a, dpid, spec)
 		}
@@ -215,7 +217,7 @@ func (a *shieldedAPI) checkAffected(token core.Token, dpid of.DPID, match *of.Ma
 }
 
 func (a *shieldedAPI) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
-	return a.do(func() error {
+	return a.do("modify_flow", func() error {
 		if err := a.checkAffected(a.modifyToken(), dpid, match, priority, actions); err != nil {
 			return err
 		}
@@ -240,7 +242,7 @@ func (a *shieldedAPI) virtualDeleteCall(match *of.Match, priority uint16) *core.
 }
 
 func (a *shieldedAPI) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
-	return a.do(func() error {
+	return a.do("delete_flow", func() error {
 		if a.virt != nil {
 			return a.virt.deleteFlow(a, dpid, match, priority, strict)
 		}
@@ -252,7 +254,7 @@ func (a *shieldedAPI) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16,
 }
 
 func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, error) {
-	return apiValue(a, func() ([]*flowtable.Entry, error) {
+	return apiValue(a, "flows", func() ([]*flowtable.Entry, error) {
 		// Audit-visible check of the operation itself.
 		opCall := &core.Call{
 			App: a.name, Token: core.TokenReadFlowTable, DPID: dpid, HasDPID: true,
@@ -288,7 +290,7 @@ func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, 
 }
 
 func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) error {
-	return a.do(func() error {
+	return a.do("packet_out", func() error {
 		fromPktIn := pkt == nil && bufferID != 0 && a.shield.kernel.PacketInSeen(dpid, bufferID)
 		call := &core.Call{
 			App: a.name, Token: core.TokenSendPktOut, DPID: dpid, HasDPID: true,
@@ -313,7 +315,7 @@ func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16
 // Statistics
 
 func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEntry, error) {
-	return apiValue(a, func() ([]of.FlowStatsEntry, error) {
+	return apiValue(a, "flow_stats", func() ([]of.FlowStatsEntry, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsFlow, Match: match,
@@ -348,7 +350,7 @@ func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEn
 }
 
 func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry, error) {
-	return apiValue(a, func() ([]of.PortStatsEntry, error) {
+	return apiValue(a, "port_stats", func() ([]of.PortStatsEntry, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsPort,
@@ -364,7 +366,7 @@ func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry,
 }
 
 func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
-	return apiValue(a, func() (of.SwitchStats, error) {
+	return apiValue(a, "switch_stats", func() (of.SwitchStats, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsSwitch,
@@ -383,7 +385,7 @@ func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
 // Topology
 
 func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
-	return apiValue(a, func() ([]topology.SwitchInfo, error) {
+	return apiValue(a, "switches", func() ([]topology.SwitchInfo, error) {
 		all := a.shield.kernel.Topology().Switches()
 		ids := make([]of.DPID, len(all))
 		for i, s := range all {
@@ -410,7 +412,7 @@ func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
 }
 
 func (a *shieldedAPI) Links() ([]topology.Link, error) {
-	return apiValue(a, func() ([]topology.Link, error) {
+	return apiValue(a, "links", func() ([]topology.Link, error) {
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
 			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology})
 		}
@@ -433,7 +435,7 @@ func (a *shieldedAPI) Links() ([]topology.Link, error) {
 }
 
 func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
-	return apiValue(a, func() ([]topology.Host, error) {
+	return apiValue(a, "hosts", func() ([]topology.Host, error) {
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
 			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology})
 		}
@@ -454,7 +456,7 @@ func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
 }
 
 func (a *shieldedAPI) AddLink(l topology.Link) error {
-	return a.do(func() error {
+	return a.do("add_link", func() error {
 		call := &core.Call{App: a.name, Token: core.TokenModifyTopology,
 			Switches: []of.DPID{l.A, l.B}, Links: []core.LinkID{l.ID()}}
 		if err := a.engine().Check(call); err != nil {
@@ -465,7 +467,7 @@ func (a *shieldedAPI) AddLink(l topology.Link) error {
 }
 
 func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
-	return a.do(func() error {
+	return a.do("remove_link", func() error {
 		call := &core.Call{App: a.name, Token: core.TokenModifyTopology,
 			Switches: []of.DPID{x, y}, Links: []core.LinkID{core.NewLinkID(x, y)}}
 		if err := a.engine().Check(call); err != nil {
@@ -480,7 +482,7 @@ func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
 // Model-driven data store
 
 func (a *shieldedAPI) Publish(path string, value interface{}) error {
-	return a.do(func() error {
+	return a.do("publish", func() error {
 		call := &core.Call{App: a.name, Token: modelTokenFor(path, true)}
 		if err := a.engine().Check(call); err != nil {
 			return err
@@ -495,7 +497,7 @@ func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
 		v  interface{}
 		ok bool
 	}
-	res, err := apiValue(a, func() (result, error) {
+	res, err := apiValue(a, "read_model", func() (result, error) {
 		call := &core.Call{App: a.name, Token: modelTokenFor(path, false)}
 		if err := a.engine().Check(call); err != nil {
 			return result{}, err
@@ -510,7 +512,7 @@ func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
 // Host system calls (the SecurityManager role)
 
 func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error) {
-	return apiValue(a, func() (*hostsim.Conn, error) {
+	return apiValue(a, "host_connect", func() (*hostsim.Conn, error) {
 		call := &core.Call{App: a.name, Token: core.TokenHostNetwork,
 			HostIP: ip, HostPort: port, HasHostIP: true}
 		if err := a.engine().Check(call); err != nil {
@@ -521,7 +523,7 @@ func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error
 }
 
 func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
-	return apiValue(a, func() ([]byte, error) {
+	return apiValue(a, "host_read_file", func() ([]byte, error) {
 		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Path: path}
 		if err := a.engine().Check(call); err != nil {
 			return nil, err
@@ -531,7 +533,7 @@ func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
 }
 
 func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
-	return a.do(func() error {
+	return a.do("host_write_file", func() error {
 		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Path: path}
 		if err := a.engine().Check(call); err != nil {
 			return err
@@ -542,7 +544,7 @@ func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
 }
 
 func (a *shieldedAPI) HostExec(cmd string) error {
-	return a.do(func() error {
+	return a.do("host_exec", func() error {
 		call := &core.Call{App: a.name, Token: core.TokenProcessRuntime}
 		if err := a.engine().Check(call); err != nil {
 			return err

@@ -1,0 +1,74 @@
+package isolation
+
+import "sdnshield/internal/obs"
+
+// Isolation-layer instrumentation: the KSD boundary (the inter-goroutine
+// hop whose cost the paper's end-to-end figures measure) and per-app
+// lifecycle counters.
+var (
+	mKSDHopSeconds = obs.Default().Histogram("sdnshield_ksd_hop_seconds",
+		"Time a mediated call waits between enqueue and pickup by a Kernel Service Deputy.")
+	mKSDQueueDepth = obs.Default().Gauge("sdnshield_ksd_queue_depth",
+		"Mediated calls waiting in the KSD request channel (sampled at enqueue).")
+	mQuarantinedCalls = obs.Default().Counter("sdnshield_ksd_quarantined_calls_total",
+		"Mediated calls rejected because the app is quarantined.")
+
+	// mediatedSampler picks the 1-in-N mediated calls whose latency is
+	// measured; trace sampling further decimates the sampled subset.
+	mediatedSampler obs.Sampler
+)
+
+// mediatedOps enumerates every mediated API operation so the per-op
+// latency histograms exist before the first call and the hot path reads a
+// prebuilt map instead of taking the registry lock.
+var mediatedOps = []string{
+	"insert_flow", "modify_flow", "delete_flow", "flows",
+	"packet_out",
+	"flow_stats", "port_stats", "switch_stats",
+	"switches", "links", "hosts", "add_link", "remove_link",
+	"publish", "read_model",
+	"host_connect", "host_read_file", "host_write_file", "host_exec",
+}
+
+const mediatedCallHelp = "End-to-end mediated API call latency: queue wait, permission check and kernel execution."
+
+// mMediatedCall maps op → latency histogram; read-only after init.
+var mMediatedCall = func() map[string]*obs.Histogram {
+	m := make(map[string]*obs.Histogram, len(mediatedOps))
+	for _, op := range mediatedOps {
+		m[op] = obs.Default().Histogram("sdnshield_mediated_call_seconds", mediatedCallHelp, "op", op)
+	}
+	return m
+}()
+
+// mediatedHist resolves the per-op histogram, falling back to the
+// registry for ops outside the prebuilt set.
+func mediatedHist(op string) *obs.Histogram {
+	if h, ok := mMediatedCall[op]; ok {
+		return h
+	}
+	return obs.Default().Histogram("sdnshield_mediated_call_seconds", mediatedCallHelp, "op", op)
+}
+
+// appCounters is the set of per-container lifecycle counters, created
+// once per app name at Launch and cached on the container.
+type appCounters struct {
+	panics      *obs.Counter
+	restarts    *obs.Counter
+	quarantines *obs.Counter
+	dropped     *obs.Counter
+}
+
+func newAppCounters(app string) appCounters {
+	reg := obs.Default()
+	return appCounters{
+		panics: reg.Counter("sdnshield_app_panics_total",
+			"Panics absorbed from app init and event handlers, by app.", "app", app),
+		restarts: reg.Counter("sdnshield_app_restarts_total",
+			"Supervisor re-initializations, by app.", "app", app),
+		quarantines: reg.Counter("sdnshield_app_quarantines_total",
+			"Apps quarantined after exceeding the panic budget, by app.", "app", app),
+		dropped: reg.Counter("sdnshield_app_dropped_events_total",
+			"Events dropped instead of delivered (queue overflow or unhealthy container), by app.", "app", app),
+	}
+}

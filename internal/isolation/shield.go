@@ -9,6 +9,7 @@ import (
 
 	"sdnshield/internal/controller"
 	"sdnshield/internal/core"
+	"sdnshield/internal/obs"
 	"sdnshield/internal/of"
 	"sdnshield/internal/permengine"
 )
@@ -90,6 +91,8 @@ type Shield struct {
 
 	mu         sync.Mutex
 	containers map[string]*Container
+
+	unregisterHealth func()
 }
 
 // NewShield builds the shielded runtime over a kernel. The permission
@@ -108,6 +111,7 @@ func NewShield(kernel *controller.Kernel, cfg Config) *Shield {
 		containers: make(map[string]*Container),
 	}
 	s.replyPool.New = func() interface{} { return make(chan error, 1) }
+	s.unregisterHealth = registerHealth(s)
 	for i := 0; i < cfg.KSDWorkers; i++ {
 		s.workers.Add(1)
 		go s.ksdLoop()
@@ -139,15 +143,42 @@ func (s *Shield) ksdLoop() {
 
 // do routes a closure through the KSD pool and waits for its completion —
 // the inter-thread hop whose cost the paper's end-to-end overhead
-// measurements capture.
-func (s *Shield) do(fn func() error) error {
+// measurements capture. op names the mediated operation for the per-op
+// latency histogram and the call-path trace. One sampler decision gates
+// all measurement: unsampled calls pay a single atomic add, sampled ones
+// share their timestamps between the hop histogram, the per-op histogram
+// and (for the traced subset of sampled calls) the trace spans.
+func (s *Shield) do(op string, fn func() error) error {
 	if s.stopped.Load() {
 		return ErrShieldStopped
 	}
+	var t obs.Timer
+	var tr *obs.Trace
+	if mediatedSampler.Hit() {
+		t = obs.StartTimer()
+		tr = obs.DefaultTracer().Start(op)
+		mKSDQueueDepth.Set(int64(len(s.reqCh)))
+	}
 	done, _ := s.replyPool.Get().(chan error)
-	s.reqCh <- func() { done <- s.protect(fn) }
+	s.reqCh <- func() {
+		if t.Active() {
+			hop := t.Elapsed()
+			mKSDHopSeconds.Observe(hop)
+			if tr != nil {
+				tr.AddSpan("ksd_queue", tr.Start, hop)
+			}
+		}
+		sp := tr.StartSpan("exec")
+		err := s.protect(fn)
+		sp.End()
+		done <- err
+	}
 	err := <-done
 	s.replyPool.Put(done)
+	if t.Active() {
+		mediatedHist(op).ObserveTraced(t.Elapsed(), tr)
+	}
+	tr.Finish()
 	return err
 }
 
@@ -165,9 +196,9 @@ func (s *Shield) protect(fn func() error) (err error) {
 }
 
 // doValue is do for calls with results.
-func doValue[T any](s *Shield, fn func() (T, error)) (T, error) {
+func doValue[T any](s *Shield, op string, fn func() (T, error)) (T, error) {
 	var out T
-	err := s.do(func() error {
+	err := s.do(op, func() error {
 		var err error
 		out, err = fn()
 		return err
@@ -197,6 +228,7 @@ func (s *Shield) Launch(app App) error {
 		kernels:  make(map[controller.EventKind]int),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		metrics:  newAppCounters(name),
 	}
 	s.containers[name] = c
 	s.mu.Unlock()
@@ -269,6 +301,9 @@ func (s *Shield) Stop() {
 	}
 	close(s.reqCh)
 	s.workers.Wait()
+	if s.unregisterHealth != nil {
+		s.unregisterHealth()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -301,10 +336,21 @@ type Container struct {
 	restarts   atomic.Uint64
 	supMu      sync.Mutex
 	panicTimes []time.Time
-	streak     int // consecutive failures since the last healthy run
+	streak     int    // consecutive failures since the last healthy run
+	quarReason string // why the app was quarantined; guarded by supMu
 
 	dropped atomic.Uint64
 	panics  atomic.Uint64
+
+	metrics appCounters
+}
+
+// QuarantineReason reports why the container was quarantined ("" while it
+// is not).
+func (c *Container) QuarantineReason() string {
+	c.supMu.Lock()
+	defer c.supMu.Unlock()
+	return c.quarReason
 }
 
 // Name returns the contained app's identity.
@@ -337,6 +383,7 @@ func (c *Container) extraEventLoop() {
 		case ev := <-c.events:
 			if c.Health() != Running {
 				c.dropped.Add(1)
+				c.metrics.dropped.Inc()
 				continue
 			}
 			if c.deliver(ev) {
@@ -350,6 +397,7 @@ func (c *Container) safeInit(app App, api API) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.panics.Add(1)
+			c.metrics.panics.Inc()
 			err = fmt.Errorf("app panicked during init: %v", r)
 		}
 	}()
@@ -370,6 +418,7 @@ func (c *Container) eventLoop() {
 		case ev := <-c.events:
 			if c.Health() != Running {
 				c.dropped.Add(1)
+				c.metrics.dropped.Inc()
 				continue
 			}
 			if c.deliver(ev) {
@@ -398,6 +447,7 @@ func (c *Container) safeHandle(fn controller.Handler, ev controller.Event) (pani
 	defer func() {
 		if r := recover(); r != nil {
 			c.panics.Add(1)
+			c.metrics.panics.Inc()
 			panicked = true
 		}
 	}()
@@ -432,6 +482,7 @@ func (c *Container) subscribe(kind controller.EventKind, fn controller.Handler) 
 				case <-c.stop:
 				default:
 					c.dropped.Add(1)
+					c.metrics.dropped.Inc()
 				}
 				return
 			}

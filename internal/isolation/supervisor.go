@@ -2,6 +2,7 @@ package isolation
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"sdnshield/internal/controller"
@@ -74,9 +75,15 @@ func (c *Container) onPanic() {
 // the panic budget, otherwise unhook everything, back off and re-run the
 // app's Init so it can rebuild its subscriptions from scratch.
 func (c *Container) supervise() {
+	cfg := &c.shield.cfg
 	for {
 		if c.recordStrike() {
+			c.supMu.Lock()
+			c.quarReason = fmt.Sprintf("%d panics within %v (limit %d)",
+				len(c.panicTimes), cfg.PanicWindow, cfg.PanicLimit)
+			c.supMu.Unlock()
 			c.health.Store(int32(Quarantined))
+			c.metrics.quarantines.Inc()
 			c.unhookAll()
 			return
 		}
@@ -88,6 +95,7 @@ func (c *Container) supervise() {
 			return
 		}
 		c.restarts.Add(1)
+		c.metrics.restarts.Inc()
 		err := c.safeInit(c.app, c.api)
 		select {
 		case <-c.stop:

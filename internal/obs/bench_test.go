@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The micro-benchmarks below bound the cost of each instrument in both
+// modes; `make bench` runs them next to the end-to-end mediated-call
+// benchmark at the repo root.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "h")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("counter never incremented")
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "h")
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "h")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(3 * time.Microsecond)
+		}
+	})
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "h")
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(3 * time.Microsecond)
+		}
+	})
+}
+
+func BenchmarkTimerObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "h")
+	for i := 0; i < b.N; i++ {
+		t := StartTimer()
+		h.ObserveTimer(t)
+	}
+}
+
+func BenchmarkTracerUnsampledStart(b *testing.B) {
+	tr := NewTracer(64, 1<<30) // effectively never samples
+	for i := 0; i < b.N; i++ {
+		t := tr.Start("op")
+		t.StartSpan("exec").End()
+		t.Finish()
+	}
+}

@@ -1,0 +1,423 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricKind discriminates the instrument types a family can hold.
+type MetricKind uint8
+
+// Instrument kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindGaugeFunc
+	KindHistogram
+)
+
+// String names the kind in Prometheus TYPE terms.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge, KindGaugeFunc:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels  string // canonical rendered label set, e.g. `app="fw",op="x"`
+	counter *Counter
+	gauge   *Gauge
+	gfunc   func() float64
+	hist    *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help string
+	kind       MetricKind
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string // insertion-ordered keys, sorted at exposition time
+}
+
+// Registry holds metric families and renders them. Instrument lookup is
+// cheap but not free (a read lock and a map hit), so hot paths should
+// obtain their instruments once and cache the pointers — creation is
+// idempotent, the same (name, labels) always yields the same instrument.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// def is the process-wide default registry every package-level instrument
+// lives in (the expvar model: zero wiring, one scrape surface).
+var def = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return def }
+
+// labelKey canonicalizes alternating key/value label pairs. Pairs are
+// sorted by key so label order at the call site never splits a series.
+func labelKey(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: odd label pair count")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`=`)
+		b.WriteString(strconv.Quote(p.v))
+	}
+	return b.String()
+}
+
+// getFamily returns the named family, creating it with the given kind and
+// help on first use. Re-registering under a different kind is a
+// programming error and panics.
+func (r *Registry) getFamily(name, help string, kind MetricKind) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok = r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		return f
+	}
+	f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+	r.families[name] = f
+	return f
+}
+
+// getSeries returns the family's series for the label set, creating it
+// via mk on first use.
+func (f *family) getSeries(pairs []string, mk func() *series) *series {
+	key := labelKey(pairs)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.series[key]; ok {
+		return s
+	}
+	s = mk()
+	s.labels = key
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter returns (creating on first use) the counter series for the
+// name and alternating key/value label pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.getFamily(name, help, KindCounter)
+	return f.getSeries(labels, func() *series { return &series{counter: newCounter()} }).counter
+}
+
+// Gauge returns (creating on first use) the gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.getFamily(name, help, KindGauge)
+	return f.getSeries(labels, func() *series { return &series{gauge: newGauge()} }).gauge
+}
+
+// GaugeFunc registers a gauge whose value is pulled from fn at scrape
+// time (queue depths, goroutine counts). Re-registering the same series
+// replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.getFamily(name, help, KindGaugeFunc)
+	s := f.getSeries(labels, func() *series { return &series{} })
+	f.mu.Lock()
+	s.gfunc = fn
+	f.mu.Unlock()
+}
+
+// Histogram returns (creating on first use) the latency histogram series.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	f := r.getFamily(name, help, KindHistogram)
+	return f.getSeries(labels, func() *series { return &series{hist: newHistogram()} }).hist
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+// formatLE renders a bucket bound the Prometheus way.
+func formatLE(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// joinLabels merges a series' base labels with one extra pair (le).
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	if extra == "" {
+		return base
+	}
+	return base + "," + extra
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), families and series in sorted order so scrapes
+// diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) snapshotSeries() []*series {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	return out
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	all := f.snapshotSeries()
+	if len(all) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, s := range all {
+		switch f.kind {
+		case KindCounter:
+			if err := writeSample(w, f.name, s.labels, float64(s.counter.Value())); err != nil {
+				return err
+			}
+		case KindGauge:
+			if err := writeSample(w, f.name, s.labels, float64(s.gauge.Value())); err != nil {
+				return err
+			}
+		case KindGaugeFunc:
+			fn := s.gfunc
+			v := 0.0
+			if fn != nil {
+				v = fn()
+			}
+			if err := writeSample(w, f.name, s.labels, v); err != nil {
+				return err
+			}
+		case KindHistogram:
+			snap := s.hist.Snapshot()
+			for _, b := range snap.Buckets {
+				le := joinLabels(s.labels, `le=`+strconv.Quote(formatLE(b.LE)))
+				if err := writeSample(w, f.name+"_bucket", le, float64(b.Count)); err != nil {
+					return err
+				}
+			}
+			if err := writeSample(w, f.name+"_sum", s.labels, snap.Sum); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name+"_count", s.labels, float64(snap.Count)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+// SeriesSnapshot is one series of a registry snapshot: a merged,
+// point-in-time view suitable for JSON exposition or programmatic
+// assertions in tests.
+type SeriesSnapshot struct {
+	Name      string             `json:"name"`
+	Labels    string             `json:"labels,omitempty"`
+	Kind      string             `json:"kind"`
+	Value     float64            `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot merges every instrument into a sorted, self-contained slice.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	var out []SeriesSnapshot
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		for _, s := range f.snapshotSeries() {
+			ss := SeriesSnapshot{Name: f.name, Labels: s.labels, Kind: f.kind.String()}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(s.counter.Value())
+			case KindGauge:
+				ss.Value = float64(s.gauge.Value())
+			case KindGaugeFunc:
+				if s.gfunc != nil {
+					ss.Value = s.gfunc()
+				}
+			case KindHistogram:
+				snap := s.hist.Snapshot()
+				ss.Histogram = &snap
+			}
+			out = append(out, ss)
+		}
+	}
+	return out
+}
+
+// TotalOf sums a family across all its series: counter/gauge values, or
+// observation counts for histograms. The summary lines the CLIs print on
+// exit are built from it.
+func (r *Registry) TotalOf(name string) float64 {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, s := range f.snapshotSeries() {
+		switch f.kind {
+		case KindCounter:
+			sum += float64(s.counter.Value())
+		case KindGauge:
+			sum += float64(s.gauge.Value())
+		case KindGaugeFunc:
+			if s.gfunc != nil {
+				sum += s.gfunc()
+			}
+		case KindHistogram:
+			sum += float64(s.hist.Count())
+		}
+	}
+	return sum
+}
+
+// TotalOfLabeled sums a family across the series whose label set contains
+// the given key/value pair.
+func (r *Registry) TotalOfLabeled(name, key, value string) float64 {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	want := key + "=" + strconv.Quote(value)
+	var sum float64
+	for _, s := range f.snapshotSeries() {
+		if !labelSetContains(s.labels, want) {
+			continue
+		}
+		switch f.kind {
+		case KindCounter:
+			sum += float64(s.counter.Value())
+		case KindGauge:
+			sum += float64(s.gauge.Value())
+		case KindGaugeFunc:
+			if s.gfunc != nil {
+				sum += s.gfunc()
+			}
+		case KindHistogram:
+			sum += float64(s.hist.Count())
+		}
+	}
+	return sum
+}
+
+// labelSetContains reports whether the canonical label string contains
+// the exact rendered pair (comma-delimited element match, not substring).
+func labelSetContains(labels, pair string) bool {
+	for labels != "" {
+		elem := labels
+		if i := strings.Index(labels, `",`); i >= 0 {
+			elem, labels = labels[:i+1], labels[i+2:]
+		} else {
+			labels = ""
+		}
+		if elem == pair {
+			return true
+		}
+	}
+	return false
+}

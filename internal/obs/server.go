@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Health providers
+
+// healthProviders maps a component name (e.g. "shield-1") to a callback
+// returning its health snapshot. Shields register themselves on
+// construction; the endpoint's /health handler pulls every provider at
+// request time so the view is always live.
+var (
+	healthMu        sync.Mutex
+	healthProviders = make(map[string]func() interface{})
+)
+
+// RegisterHealth installs a named live health provider and returns its
+// unregister function. Registering an existing name replaces it.
+func RegisterHealth(name string, fn func() interface{}) (unregister func()) {
+	healthMu.Lock()
+	healthProviders[name] = fn
+	healthMu.Unlock()
+	return func() {
+		healthMu.Lock()
+		delete(healthProviders, name)
+		healthMu.Unlock()
+	}
+}
+
+// healthSnapshot pulls every registered provider.
+func healthSnapshot() map[string]interface{} {
+	healthMu.Lock()
+	names := make([]string, 0, len(healthProviders))
+	fns := make(map[string]func() interface{}, len(healthProviders))
+	for n, fn := range healthProviders {
+		names = append(names, n)
+		fns[n] = fn
+	}
+	healthMu.Unlock()
+	sort.Strings(names)
+	out := make(map[string]interface{}, len(names))
+	for _, n := range names {
+		out[n] = fns[n]()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// HTTP endpoint
+
+// NewHandler builds the introspection mux over a registry and tracer
+// (either may be the process defaults):
+//
+//	/            — plain-text index of the routes below
+//	/metrics     — Prometheus text exposition
+//	/metrics.json— JSON snapshot of every series (with exemplars)
+//	/health      — per-component health (shield containers, quarantine…)
+//	/traces      — recent sampled call-path traces, newest first
+//	/debug/pprof — the standard Go profiler surface
+func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	if tracer == nil {
+		tracer = DefaultTracer()
+	}
+	reg.GaugeFunc("sdnshield_goroutines", "Live goroutines in the controller process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("sdnshield telemetry\n\n/metrics\n/metrics.json\n/health\n/traces\n/debug/pprof/\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, healthSnapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		traces := tracer.Recent()
+		if traces == nil {
+			traces = []TraceSnapshot{}
+		}
+		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (e.g. "127.0.0.1:9090";
+// port 0 picks a free port, see Addr). Pass nil reg/tracer for the
+// process defaults.
+func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(reg, tracer), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the endpoint's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer samples mediated calls and retains the resulting call-path
+// traces in a bounded ring. Sampling (1 in Every calls) keeps the
+// per-call cost of tracing at a single atomic add for the unsampled
+// majority; the ring bounds memory no matter how long the process runs.
+type Tracer struct {
+	every atomic.Int64  // sample 1 in N starts; <= 0 disables
+	n     atomic.Uint64 // start counter driving the sampling decision
+	seq   atomic.Uint64 // trace id sequence
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+}
+
+// NewTracer builds a tracer retaining the most recent capacity finished
+// traces and sampling one in every `every` starts.
+func NewTracer(capacity, every int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{ring: make([]*Trace, 0, capacity)}
+	t.every.Store(int64(every))
+	return t
+}
+
+// defTracer samples 1 in 16 mediated calls into a 256-trace ring — cheap
+// enough to leave on, frequent enough that an attacksim run populates
+// /traces.
+var defTracer = NewTracer(256, 16)
+
+// DefaultTracer returns the process-wide tracer the isolation layer
+// samples mediated calls into.
+func DefaultTracer() *Tracer { return defTracer }
+
+// SetSampling adjusts the 1-in-N sampling rate; n <= 0 disables tracing.
+func (t *Tracer) SetSampling(n int) { t.every.Store(int64(n)) }
+
+// Start begins a trace for one operation, or returns nil (a valid no-op
+// trace) when the call is not sampled. All Trace/Span methods are
+// nil-safe so call sites never branch.
+func (t *Tracer) Start(op string) *Trace {
+	if t == nil || !enabled.Load() {
+		return nil
+	}
+	every := t.every.Load()
+	if every <= 0 || t.n.Add(1)%uint64(every) != 0 {
+		return nil
+	}
+	id := t.seq.Add(1)
+	now := time.Now()
+	return &Trace{
+		tracer: t,
+		ID:     strconv.FormatUint(id, 10) + "-" + strconv.FormatInt(now.UnixNano(), 36),
+		Op:     op,
+		Start:  now,
+	}
+}
+
+// Recent returns the retained finished traces, newest first.
+func (t *Tracer) Recent() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := make([]*Trace, 0, len(t.ring))
+	// Unroll the ring newest-first: entries before next are older.
+	for i := 0; i < len(t.ring); i++ {
+		idx := t.next - 1 - i
+		if idx < 0 {
+			idx += len(t.ring)
+		}
+		traces = append(traces, t.ring[idx])
+	}
+	t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr.snapshot())
+	}
+	return out
+}
+
+// retain pushes a finished trace into the ring.
+func (t *Tracer) retain(tr *Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+		t.next = len(t.ring) % cap(t.ring)
+		return
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// SpanRecord is one finished stage of a trace, offset-based so the JSON
+// rendering is self-contained.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Offset   time.Duration `json:"offset_ns"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// TraceSnapshot is the immutable JSON view of a finished (or in-flight)
+// trace.
+type TraceSnapshot struct {
+	ID       string        `json:"id"`
+	Op       string        `json:"op"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []SpanRecord  `json:"spans"`
+}
+
+// Trace follows one mediated call across the isolation boundary. Spans
+// are stages of the call path (queue wait, permission check, kernel
+// execution, wire I/O); they may overlap and are recorded in end order.
+type Trace struct {
+	tracer *Tracer
+	ID     string
+	Op     string
+	Start  time.Time
+
+	mu       sync.Mutex
+	spans    []SpanRecord
+	duration time.Duration
+	done     bool
+}
+
+// StartSpan opens a named stage. Safe on a nil (unsampled) trace.
+func (tr *Trace) StartSpan(name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return &Span{tr: tr, name: name, start: time.Now()}
+}
+
+// AddSpan records an externally timed stage — used when the start and end
+// timestamps already exist for metric purposes, so tracing adds no clock
+// reads of its own.
+func (tr *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, SpanRecord{Name: name, Offset: start.Sub(tr.Start), Duration: d})
+	tr.mu.Unlock()
+}
+
+// Finish seals the trace and retains it in the tracer's ring.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	tr.duration = time.Since(tr.Start)
+	tr.mu.Unlock()
+	tr.tracer.retain(tr)
+}
+
+func (tr *Trace) snapshot() TraceSnapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return TraceSnapshot{
+		ID:       tr.ID,
+		Op:       tr.Op,
+		Start:    tr.Start,
+		Duration: tr.duration,
+		Spans:    append([]SpanRecord(nil), tr.spans...),
+	}
+}
+
+// Span is one in-flight stage of a trace.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+}
+
+// End closes the span, recording its offset and duration on the trace.
+// Safe on a nil span; idempotence is not required (each span ends once).
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.AddSpan(s.name, s.start, time.Since(s.start))
+	s.tr = nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSamplingAndRing(t *testing.T) {
+	tr := NewTracer(4, 2) // every 2nd call, retain 4
+	var sampled int
+	for i := 0; i < 12; i++ {
+		if s := tr.Start("op"); s != nil {
+			sampled++
+			s.StartSpan("stage").End()
+			s.Finish()
+		}
+	}
+	if sampled != 6 {
+		t.Fatalf("sampled = %d, want 6", sampled)
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d, want 4", len(recent))
+	}
+	// Newest first, ids strictly decreasing.
+	for i := 1; i < len(recent); i++ {
+		if recent[i-1].Start.Before(recent[i].Start) {
+			t.Fatalf("traces not newest-first: %v", recent)
+		}
+	}
+	if len(recent[0].Spans) != 1 || recent[0].Spans[0].Name != "stage" {
+		t.Fatalf("spans = %+v", recent[0].Spans)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	sp.End()
+	tr.AddSpan("y", time.Now(), time.Millisecond)
+	tr.Finish()
+	var tc *Tracer
+	if tc.Start("op") != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	if tc.Recent() != nil {
+		t.Fatal("nil tracer returned traces")
+	}
+}
+
+func TestTraceSpanTiming(t *testing.T) {
+	tr := NewTracer(1, 1).Start("insert_flow")
+	sp := tr.StartSpan("exec")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	tr.Finish()
+	snap := tr.snapshot()
+	if snap.Duration < 2*time.Millisecond {
+		t.Fatalf("trace duration = %v, want >= 2ms", snap.Duration)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Duration < 2*time.Millisecond {
+		t.Fatalf("span = %+v", snap.Spans)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sdnshield_demo_total", "Demo.").Add(42)
+	tracer := NewTracer(8, 1)
+	s := tracer.Start("demo")
+	s.Finish()
+	unreg := RegisterHealth("test-shield", func() interface{} {
+		return map[string]string{"state": "running"}
+	})
+	defer unreg()
+
+	h := NewHandler(reg, tracer)
+	get := func(path string) string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		return rec.Body.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, "sdnshield_demo_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, `"sdnshield_demo_total"`) {
+		t.Errorf("/metrics.json missing counter:\n%s", body)
+	}
+	if body := get("/health"); !strings.Contains(body, `"test-shield"`) || !strings.Contains(body, `"running"`) {
+		t.Errorf("/health missing provider:\n%s", body)
+	}
+	if body := get("/traces"); !strings.Contains(body, `"demo"`) {
+		t.Errorf("/traces missing trace:\n%s", body)
+	}
+	if body := get("/"); !strings.Contains(body, "/debug/pprof/") {
+		t.Errorf("index missing pprof route:\n%s", body)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("pprof index = %d", rec.Code)
+	}
+}
+
+func TestServeListensAndCloses(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry(), NewTracer(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -63,6 +63,7 @@ func (l *ActivityLog) Record(call *core.Call, allowed bool) {
 		l.next = (l.next + 1) % cap(l.buf)
 	}
 	l.total++
+	mActivityRecords.Inc()
 }
 
 // Total returns how many decisions were ever recorded.

@@ -1,0 +1,134 @@
+package permengine
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"sdnshield/internal/core"
+)
+
+// logCall builds the n-th distinguishable call for wraparound tests: the
+// app name encodes the sequence number, the decision alternates.
+func logCall(n int) (*core.Call, bool) {
+	return &core.Call{App: "app" + strconv.Itoa(n), Token: core.TokenReadFlowTable}, n%2 == 0
+}
+
+// TestActivityLogWraparoundOrdering fills a small ring far past capacity
+// and verifies Records stays oldest-first across several wrap points.
+func TestActivityLogWraparoundOrdering(t *testing.T) {
+	const capacity = 4
+	for _, total := range []int{capacity, capacity + 1, 2 * capacity, 2*capacity + 3} {
+		l := NewActivityLog(capacity)
+		base := time.Unix(1000, 0)
+		seq := 0
+		l.now = func() time.Time {
+			seq++
+			return base.Add(time.Duration(seq) * time.Second)
+		}
+		for n := 0; n < total; n++ {
+			call, allowed := logCall(n)
+			l.Record(call, allowed)
+		}
+		if got := l.Total(); got != uint64(total) {
+			t.Fatalf("total=%d: Total() = %d", total, got)
+		}
+		recs := l.Records()
+		if len(recs) != capacity {
+			t.Fatalf("total=%d: retained %d, want %d", total, len(recs), capacity)
+		}
+		for i, r := range recs {
+			n := total - capacity + i
+			wantApp := "app" + strconv.Itoa(n)
+			if r.App != wantApp {
+				t.Errorf("total=%d: recs[%d].App = %q, want %q", total, i, r.App, wantApp)
+			}
+			if r.Allowed != (n%2 == 0) {
+				t.Errorf("total=%d: recs[%d].Allowed = %v", total, i, r.Allowed)
+			}
+			if i > 0 && !recs[i-1].Time.Before(r.Time) {
+				t.Errorf("total=%d: timestamps out of order at %d", total, i)
+			}
+		}
+	}
+}
+
+// TestActivityLogDenialsAtCapacity pins Denials() filtering exactly at
+// and past the ring boundary: only retained denials survive, oldest
+// first.
+func TestActivityLogDenialsAtCapacity(t *testing.T) {
+	const capacity = 5
+	l := NewActivityLog(capacity)
+
+	// Exactly at capacity: every denial is still retained.
+	for n := 0; n < capacity; n++ {
+		call, allowed := logCall(n)
+		l.Record(call, allowed)
+	}
+	denials := l.Denials()
+	if len(denials) != 2 { // n = 1, 3
+		t.Fatalf("at capacity: %d denials, want 2", len(denials))
+	}
+	if denials[0].App != "app1" || denials[1].App != "app3" {
+		t.Errorf("at capacity: wrong denials %v", denials)
+	}
+
+	// Past capacity: eviction must drop the oldest denials too.
+	for n := capacity; n < 3*capacity; n++ {
+		call, allowed := logCall(n)
+		l.Record(call, allowed)
+	}
+	denials = l.Denials()
+	// Retained records are n = 10..14; odd n are denied: 11, 13.
+	if len(denials) != 2 {
+		t.Fatalf("past capacity: %d denials, want 2", len(denials))
+	}
+	if denials[0].App != "app11" || denials[1].App != "app13" {
+		t.Errorf("past capacity: wrong denials %v", denials)
+	}
+}
+
+// TestActivityLogConcurrentRecordRecords hammers the log from writer and
+// reader goroutines; the race detector (make check) is the real referee,
+// the invariant checks catch torn snapshots.
+func TestActivityLogConcurrentRecordRecords(t *testing.T) {
+	l := NewActivityLog(64)
+	const writers, readers, perWriter = 4, 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < perWriter; n++ {
+				call, allowed := logCall(w*perWriter + n)
+				l.Record(call, allowed)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < perWriter; n++ {
+				recs := l.Records()
+				if len(recs) > 64 {
+					t.Errorf("snapshot over capacity: %d", len(recs))
+					return
+				}
+				for _, rec := range recs {
+					if rec.App == "" {
+						t.Error("torn record in snapshot")
+						return
+					}
+				}
+				_ = l.Denials()
+				_ = l.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Total(); got != writers*perWriter {
+		t.Errorf("Total = %d, want %d", got, writers*perWriter)
+	}
+}

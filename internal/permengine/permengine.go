@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"sdnshield/internal/core"
+	"sdnshield/internal/obs"
 	"sdnshield/internal/of"
 )
 
@@ -218,8 +219,22 @@ func (e *Engine) Resolve(call *core.Call) {
 
 // Check mediates one API call: resolves stateful attributes, evaluates
 // the app's compiled permission, logs the decision, and returns a
-// *DeniedError on denial.
+// *DeniedError on denial. Decision counters are exact; check latency is
+// sampled (obs.SetLatencySampling) so the unsampled majority of calls
+// pays no clock reads.
 func (e *Engine) Check(call *core.Call) error {
+	var t obs.Timer
+	if checkSampler.Hit() {
+		t = obs.StartTimer()
+	}
+	err := e.evaluate(call)
+	mCheckSeconds.ObserveTimer(t)
+	countCheck(call.Token, err == nil)
+	return err
+}
+
+// evaluate is the uninstrumented check body.
+func (e *Engine) evaluate(call *core.Call) error {
 	e.checks.Add(1)
 	e.mu.RLock()
 	c, ok := e.apps[call.App]
@@ -259,7 +274,10 @@ func (e *Engine) Stats() (checks, denials uint64) {
 // CountAPIPanic records a panic absorbed inside a mediated API call — the
 // audit trail of apps that crashed a deputy's closure rather than merely
 // being denied.
-func (e *Engine) CountAPIPanic() { e.apiPanics.Add(1) }
+func (e *Engine) CountAPIPanic() {
+	e.apiPanics.Add(1)
+	mAPIPanics.Inc()
+}
 
 // APIPanics reports how many mediated-call panics were absorbed.
 func (e *Engine) APIPanics() uint64 { return e.apiPanics.Load() }

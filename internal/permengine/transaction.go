@@ -1,6 +1,23 @@
 package permengine
 
-import "fmt"
+import (
+	"fmt"
+
+	"sdnshield/internal/obs"
+)
+
+// Transaction instrumentation: commits by outcome, and rollbacks (the
+// degradation signal the fault-injection harness watches for).
+var (
+	mTxCommits = obs.Default().Counter("sdnshield_permengine_tx_commits_total",
+		"API-call transactions committed successfully.")
+	mTxAborts = obs.Default().Counter("sdnshield_permengine_tx_aborts_total",
+		"API-call transactions aborted at check time (no effects applied).")
+	mTxRollbacks = obs.Default().Counter("sdnshield_permengine_tx_rollbacks_total",
+		"API-call transactions rolled back after a mid-apply failure.")
+	mTxRollbackErrors = obs.Default().Counter("sdnshield_permengine_tx_rollback_errors_total",
+		"Rollback steps that themselves failed, leaving residual state.")
+)
 
 // PlannedCall is one element of an API-call transaction: the permission
 // check input plus the effect and its inverse.
@@ -70,6 +87,7 @@ func (t *Tx) Commit() error {
 			continue
 		}
 		if err := c.Check(); err != nil {
+			mTxAborts.Inc()
 			return &TxError{Index: i, Stage: "check", Cause: err}
 		}
 	}
@@ -80,10 +98,12 @@ func (t *Tx) Commit() error {
 			continue
 		}
 		if err := c.Apply(); err != nil {
+			mTxRollbacks.Inc()
 			txErr := &TxError{Index: i, Stage: "apply", Cause: err}
 			for j := applied - 1; j >= 0; j-- {
 				if revert := t.calls[j].Revert; revert != nil {
 					if rerr := revert(); rerr != nil {
+						mTxRollbackErrors.Inc()
 						txErr.RollbackErrors = append(txErr.RollbackErrors, rerr)
 					}
 				}
@@ -92,5 +112,6 @@ func (t *Tx) Commit() error {
 		}
 		applied++
 	}
+	mTxCommits.Inc()
 	return nil
 }
