@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test race vet check bench bench-obs attacksim
+.PHONY: build test race vet fmt-check check bench bench-obs bench-audit attacksim
 
 build:
 	$(GO) build ./...
@@ -11,12 +12,18 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (listing the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: static analysis plus the full suite under the
-# race detector.
-check: vet race
+# check is the CI gate: formatting, static analysis, then the full suite
+# under the race detector.
+check: fmt-check vet race
 
 bench: bench-obs
 	$(GO) test -bench=. -benchtime=100x -run=^$$ ./internal/bench/
@@ -26,7 +33,13 @@ bench: bench-obs
 # whose On/Off delta must stay within the 5% budget (DESIGN.md §10).
 bench-obs:
 	$(GO) test -bench=. -benchtime=1000000x -run=^$$ ./internal/obs/
-	$(GO) test -bench=BenchmarkMediatedCall -benchtime=1s -count=4 -run=^$$ .
+	$(GO) test -bench=BenchmarkMediatedCallObs -benchtime=1s -count=4 -run=^$$ .
+
+# bench-audit bounds the audit-pipeline overhead on the same mediated
+# call: the AuditOn/AuditOff delta must stay within the 5% budget
+# (DESIGN.md §11).
+bench-audit:
+	$(GO) test -bench=BenchmarkMediatedCallAudit -benchtime=1s -count=4 -run=^$$ .
 
 attacksim:
 	$(GO) run ./cmd/attacksim -v

@@ -16,6 +16,7 @@ import (
 	"sdnshield/internal/core"
 	"sdnshield/internal/isolation"
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/permengine"
 	"sdnshield/internal/permlang"
 )
@@ -47,6 +48,11 @@ func BenchmarkTable1Effectiveness(b *testing.B) {
 // benchmarkFig5 measures single-core permission-check cost for one
 // manifest complexity and API (the bars of Figure 5).
 func benchmarkFig5(b *testing.B, tokens, filtersPerToken int, api core.Token) {
+	// Match RunFig5: the raw check path is measured audit-off; the audit
+	// cost is budgeted on the mediated call (BenchmarkMediatedCallAudit*).
+	wasOn := audit.On()
+	audit.SetEnabled(false)
+	defer audit.SetEnabled(wasOn)
 	set := bench.BuildComplexityManifestFor(api, tokens, filtersPerToken)
 	engine := permengine.New(nil)
 	engine.SetPermissions("bench", set)
@@ -189,6 +195,39 @@ func benchmarkMediatedCall(b *testing.B, obsOn bool) {
 
 func BenchmarkMediatedCallObsOn(b *testing.B)  { benchmarkMediatedCall(b, true) }
 func BenchmarkMediatedCallObsOff(b *testing.B) { benchmarkMediatedCall(b, false) }
+
+// benchmarkMediatedCallAudit times the same mediated call with the audit
+// journal on or off (telemetry enabled in both, so the delta isolates the
+// audit pipeline: correlation-ID mint + permission-event emit). The
+// budget is 5% on the On/Off ratio.
+func benchmarkMediatedCallAudit(b *testing.B, auditOn bool) {
+	prevObs := obs.SetEnabled(true)
+	defer obs.SetEnabled(prevObs)
+	prevAudit := audit.On()
+	audit.SetEnabled(auditOn)
+	defer audit.SetEnabled(prevAudit)
+	k := controller.New(nil, nil)
+	defer k.Stop()
+	shield := isolation.NewShield(k, isolation.Config{})
+	defer shield.Stop()
+	shield.SetPermissions("obsprobe", permlang.MustParse("PERM visible_topology\n").Set())
+	if err := shield.Launch(obsProbeApp{}); err != nil {
+		b.Fatal(err)
+	}
+	api, err := isolation.AttackerHandle(shield, "obsprobe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := api.Switches(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMediatedCallAuditOn(b *testing.B)  { benchmarkMediatedCallAudit(b, true) }
+func BenchmarkMediatedCallAuditOff(b *testing.B) { benchmarkMediatedCallAudit(b, false) }
 
 // BenchmarkReconcile measures one full reconciliation of the large
 // complexity manifest against a constraint-heavy policy (§IX-A: never

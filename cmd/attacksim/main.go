@@ -31,7 +31,8 @@ func run(args []string) error {
 	faultDup := fs.Float64("fault-dup", 0, "per-message duplication probability on switch connections")
 	faultDelayMS := fs.Int("fault-delay-ms", 0, "max injected per-message delay (enables delay faults at p=0.2)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault schedule (same seed, same schedule)")
-	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /traces, pprof) on this address, e.g. 127.0.0.1:9090")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /audit, /traces, pprof) on this address, e.g. 127.0.0.1:9090")
+	auditFile := fs.String("audit-file", "", "append audit events as JSONL to this file (rotated at 64 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,6 +45,11 @@ func run(args []string) error {
 	if bound != "" {
 		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/\n", bound)
 	}
+	stopAudit, err := bench.StartAuditSink(*auditFile)
+	if err != nil {
+		return err
+	}
+	defer stopAudit()
 	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 
 	var wrap bench.FaultWrap

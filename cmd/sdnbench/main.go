@@ -50,7 +50,8 @@ func run(args []string) error {
 	duration := fs.Duration("duration", time.Second, "flood duration per cell (fig7)")
 	appsList := fs.String("apps", "1,2,4,8,16,32", "concurrent app counts for fig8")
 	callsList := fs.String("calls", "1,4,16,64", "API calls per event for fig8")
-	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /traces, pprof) on this address, e.g. 127.0.0.1:9090")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /audit, /traces, pprof) on this address, e.g. 127.0.0.1:9090")
+	auditFile := fs.String("audit-file", "", "append audit events as JSONL to this file (rotated at 64 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +64,11 @@ func run(args []string) error {
 	if bound != "" {
 		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/\n", bound)
 	}
+	stopAudit, err := bench.StartAuditSink(*auditFile)
+	if err != nil {
+		return err
+	}
+	defer stopAudit()
 	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 
 	switches, err := parseInts(*switchList)

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"sdnshield"
+	"sdnshield/internal/bench"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func run(args []string) (int, error) {
 	policyPath := fs.String("policy", "", "path to the security policy (optional)")
 	strict := fs.Bool("strict", false, "exit with status 2 on any policy violation")
 	quiet := fs.Bool("quiet", false, "print only the reconciled permissions")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /audit, pprof) on this address, e.g. 127.0.0.1:9090")
+	auditFile := fs.String("audit-file", "", "append audit events as JSONL to this file (rotated at 64 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
@@ -42,6 +45,22 @@ func run(args []string) (int, error) {
 		fs.Usage()
 		return 1, fmt.Errorf("-manifest is required")
 	}
+
+	stopTelemetry, bound, err := bench.StartTelemetry(*telemetryAddr)
+	if err != nil {
+		return 1, err
+	}
+	defer stopTelemetry()
+	if bound != "" {
+		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/\n", bound)
+	}
+	stopAudit, err := bench.StartAuditSink(*auditFile)
+	if err != nil {
+		return 1, err
+	}
+	defer stopAudit()
+	// The reconciled permissions go to stdout; the digest must not mix in.
+	defer func() { fmt.Fprintln(os.Stderr, bench.TelemetrySummary()) }()
 
 	manifestSrc, err := os.ReadFile(*manifestPath)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 )
 
 // StartTelemetry serves the obs introspection endpoint on addr ("" means
@@ -19,12 +20,33 @@ func StartTelemetry(addr string) (stop func(), bound string, err error) {
 	return func() { _ = srv.Close() }, srv.Addr(), nil
 }
 
+// StartAuditSink attaches a rotating JSONL file sink to the default audit
+// journal ("" means off). The returned stop function (never nil) flushes
+// pending events, detaches the sink and closes the file.
+func StartAuditSink(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	sink, err := audit.NewFileSink(path, 0)
+	if err != nil {
+		return nil, fmt.Errorf("audit sink: %w", err)
+	}
+	j := audit.Default()
+	j.AttachSink(sink)
+	return func() {
+		j.Flush()
+		j.DetachSink()
+		_ = sink.Close()
+	}, nil
+}
+
 // TelemetrySummary renders the one-line metrics digest the CLIs print on
-// exit, pulled from the default registry.
+// exit, pulled from the default registry and the default audit journal.
 func TelemetrySummary() string {
 	reg := obs.Default()
+	j := audit.Default()
 	return fmt.Sprintf(
-		"telemetry: checks=%.0f denied=%.0f mediated_calls=%.0f kernel_requests=%.0f retries=%.0f faults=%.0f app_panics=%.0f tx_rollbacks=%.0f",
+		"telemetry: checks=%.0f denied=%.0f mediated_calls=%.0f kernel_requests=%.0f retries=%.0f faults=%.0f app_panics=%.0f tx_rollbacks=%.0f audit_events=%d audit_drops=%d",
 		reg.TotalOf("sdnshield_permengine_checks_total"),
 		reg.TotalOfLabeled("sdnshield_permengine_checks_total", "decision", "deny"),
 		reg.TotalOf("sdnshield_mediated_call_seconds"),
@@ -33,5 +55,7 @@ func TelemetrySummary() string {
 		reg.TotalOf("sdnshield_faults_injected_total"),
 		reg.TotalOf("sdnshield_app_panics_total"),
 		reg.TotalOf("sdnshield_permengine_tx_rollbacks_total"),
+		j.Emitted(),
+		j.Drops(),
 	)
 }

@@ -24,9 +24,39 @@ import (
 	"sdnshield/internal/flowtable"
 	"sdnshield/internal/hostsim"
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/of"
 	"sdnshield/internal/topology"
 )
+
+// Origin attributes a kernel request to the mediated app call that
+// caused it: the calling app and the correlation ID minted at the
+// isolation boundary. The zero Origin means "no call provenance"
+// (kernel-internal or legacy callers).
+type Origin struct {
+	App  string
+	Corr uint64
+}
+
+// auditWire records the outcome of a wire-level send attributed to org.
+func auditWire(kind audit.Kind, org Origin, op string, dpid of.DPID, sendErr error) {
+	if !audit.On() {
+		return
+	}
+	ev := audit.Event{
+		Kind:    kind,
+		Verdict: audit.VerdictSent,
+		App:     org.App,
+		Corr:    org.Corr,
+		Op:      op,
+		DPID:    uint64(dpid),
+	}
+	if sendErr != nil {
+		ev.Verdict = audit.VerdictSendFailed
+		ev.Detail = sendErr.Error()
+	}
+	audit.Emit(ev)
+}
 
 // ErrUnknownSwitch reports an operation against an unregistered DPID.
 var ErrUnknownSwitch = errors.New("controller: unknown switch")
@@ -215,6 +245,9 @@ func (k *Kernel) AcceptSwitch(conn of.Conn) (of.DPID, error) {
 
 	mSessionsAccepted.Inc()
 	mSwitchSessions.Add(1)
+	if audit.On() {
+		audit.Emit(audit.Event{Kind: audit.KindSwitch, Verdict: audit.VerdictConnect, DPID: uint64(features.DPID)})
+	}
 
 	go k.recvLoop(h)
 	go k.dispatchLoop(h)
@@ -296,6 +329,11 @@ func (k *Kernel) teardown(h *swHandle) {
 		close(h.closed)
 		mSessionTeardowns.Inc()
 		mSwitchSessions.Add(-1)
+		// Kernel shutdown tears every session down; only organic session
+		// loss is an auditable security event.
+		if !k.closed.Load() && audit.On() {
+			audit.Emit(audit.Event{Kind: audit.KindSwitch, Verdict: audit.VerdictDisconnect, DPID: uint64(h.dpid)})
+		}
 	})
 	h.conn.Close()
 	// Drop the pending map so late replies cannot land on waiters that
@@ -467,6 +505,16 @@ func (k *Kernel) request(h *swHandle, msg of.Message) (of.Message, error) {
 	switch {
 	case errors.Is(err, ErrTimeout):
 		mRequestTimeouts.Inc()
+		// Retries are exhausted: the switch is reachable but unresponsive,
+		// which forensics should distinguish from a clean disconnect.
+		if audit.On() {
+			audit.Emit(audit.Event{
+				Kind:    audit.KindSwitch,
+				Verdict: audit.VerdictRetryExhausted,
+				DPID:    uint64(h.dpid),
+				Op:      fmt.Sprintf("%T", msg),
+			})
+		}
 	case errors.Is(err, ErrSwitchDisconnected):
 		mRequestDisconnects.Inc()
 	}
@@ -542,6 +590,14 @@ type FlowSpec struct {
 // InsertFlow installs a rule on a switch on behalf of owner, recording
 // ownership in the kernel's shadow table.
 func (k *Kernel) InsertFlow(owner string, dpid of.DPID, spec FlowSpec) error {
+	return k.InsertFlowAs(Origin{App: owner}, dpid, spec)
+}
+
+// InsertFlowAs is InsertFlow carrying full call provenance: the flow-mod
+// audit event records the app and correlation ID of the mediated call
+// that produced it.
+func (k *Kernel) InsertFlowAs(org Origin, dpid of.DPID, spec FlowSpec) error {
+	owner := org.App
 	t := obs.StartTimer()
 	defer mOpInsert.ObserveTimer(t)
 	h, err := k.handle(dpid)
@@ -579,13 +635,21 @@ func (k *Kernel) InsertFlow(owner string, dpid of.DPID, spec FlowSpec) error {
 		// The rule never reached the switch; un-shadow it so ownership
 		// state stays truthful across the disconnect.
 		shadow.Delete(spec.Match, spec.Priority, true)
+		auditWire(audit.KindFlowMod, org, "add", dpid, err)
 		return fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
 	}
+	auditWire(audit.KindFlowMod, org, "add", dpid, nil)
 	return nil
 }
 
 // ModifyFlow rewrites the actions of rules subsumed by the match.
 func (k *Kernel) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
+	return k.ModifyFlowAs(Origin{}, dpid, match, priority, actions)
+}
+
+// ModifyFlowAs is ModifyFlow carrying call provenance for the flow-mod
+// audit event.
+func (k *Kernel) ModifyFlowAs(org Origin, dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
 	t := obs.StartTimer()
 	defer mOpModify.ObserveTimer(t)
 	h, err := k.handle(dpid)
@@ -609,13 +673,21 @@ func (k *Kernel) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, acti
 		for _, e := range prior {
 			shadow.Modify(e.Match, e.Priority, true, e.Actions)
 		}
+		auditWire(audit.KindFlowMod, org, "modify", dpid, err)
 		return fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
 	}
+	auditWire(audit.KindFlowMod, org, "modify", dpid, nil)
 	return nil
 }
 
 // DeleteFlow removes rules (non-strict semantics).
 func (k *Kernel) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
+	return k.DeleteFlowAs(Origin{}, dpid, match, priority, strict)
+}
+
+// DeleteFlowAs is DeleteFlow carrying call provenance for the flow-mod
+// audit event.
+func (k *Kernel) DeleteFlowAs(org Origin, dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
 	t := obs.StartTimer()
 	defer mOpDelete.ObserveTimer(t)
 	h, err := k.handle(dpid)
@@ -656,8 +728,10 @@ func (k *Kernel) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, stri
 			delete(h.pendingRemovals, removalKey(e.Match, e.Priority))
 		}
 		h.mu.Unlock()
+		auditWire(audit.KindFlowMod, org, "delete", dpid, err)
 		return fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
 	}
+	auditWire(audit.KindFlowMod, org, "delete", dpid, nil)
 	return nil
 }
 
@@ -679,6 +753,12 @@ func (k *Kernel) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, error
 // SendPacketOut injects a packet via a switch. bufferID zero means the
 // packet is supplied inline.
 func (k *Kernel) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) error {
+	return k.SendPacketOutAs(Origin{}, dpid, bufferID, inPort, actions, pkt)
+}
+
+// SendPacketOutAs is SendPacketOut carrying call provenance for the
+// packet-out audit event.
+func (k *Kernel) SendPacketOutAs(org Origin, dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) error {
 	t := obs.StartTimer()
 	defer mOpPacketOut.ObserveTimer(t)
 	h, err := k.handle(dpid)
@@ -693,8 +773,10 @@ func (k *Kernel) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, act
 		Actions:  actions,
 		Packet:   pkt,
 	}); err != nil {
+		auditWire(audit.KindPacketOut, org, "packet_out", dpid, err)
 		return fmt.Errorf("%w: %v", ErrSwitchDisconnected, err)
 	}
+	auditWire(audit.KindPacketOut, org, "packet_out", dpid, nil)
 	return nil
 }
 

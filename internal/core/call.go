@@ -66,6 +66,10 @@ type Call struct {
 	App string
 	// Token is the permission the API call requires.
 	Token Token
+	// Corr is the correlation ID minted at the mediated-call boundary;
+	// it links this check's audit event to the switch-side effects of the
+	// same call. Zero for kernel-originated checks with no call context.
+	Corr uint64
 
 	// DPID is the target switch, when the call addresses one.
 	DPID of.DPID

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/of"
 )
 
@@ -31,6 +32,19 @@ var mInjected = func() [Disconnect + 1]*obs.Counter {
 	}
 	return out
 }()
+
+// countInject records one injected fault in the telemetry registry and
+// the forensic journal.
+func countInject(k Kind) {
+	mInjected[k].Inc()
+	if audit.On() {
+		audit.Emit(audit.Event{
+			Kind:    audit.KindFault,
+			Verdict: audit.VerdictInjected,
+			Detail:  k.String(),
+		})
+	}
+}
 
 // Kind enumerates the injectable fault types.
 type Kind uint8
@@ -237,11 +251,11 @@ func (c *Conn) Send(msg of.Message) error {
 	switch f.Kind {
 	case Drop:
 		c.dropped.Add(1)
-		mInjected[Drop].Inc()
+		countInject(Drop)
 		return nil // the frame vanishes; the sender believes it left
 	case Delay:
 		c.delayed.Add(1)
-		mInjected[Delay].Inc()
+		countInject(Delay)
 		go func() {
 			select {
 			case <-time.After(f.Delay):
@@ -252,18 +266,18 @@ func (c *Conn) Send(msg of.Message) error {
 		return nil
 	case Duplicate:
 		c.duplicated.Add(1)
-		mInjected[Duplicate].Inc()
+		countInject(Duplicate)
 		if err := c.inner.Send(msg); err != nil {
 			return err
 		}
 		return c.inner.Send(msg)
 	case Corrupt:
 		c.corrupted.Add(1)
-		mInjected[Corrupt].Inc()
+		countInject(Corrupt)
 		return c.inner.Send(corrupt(msg))
 	case Disconnect:
 		c.disconnects.Add(1)
-		mInjected[Disconnect].Inc()
+		countInject(Disconnect)
 		_ = c.Close()
 		return of.ErrClosed
 	}
@@ -296,11 +310,11 @@ func (c *Conn) Recv() (of.Message, error) {
 		switch f.Kind {
 		case Drop:
 			c.dropped.Add(1)
-			mInjected[Drop].Inc()
+			countInject(Drop)
 			continue
 		case Delay:
 			c.delayed.Add(1)
-			mInjected[Delay].Inc()
+			countInject(Delay)
 			select {
 			case <-time.After(f.Delay):
 			case <-c.closed:
@@ -309,15 +323,15 @@ func (c *Conn) Recv() (of.Message, error) {
 			return msg, nil
 		case Duplicate:
 			c.duplicated.Add(1)
-			mInjected[Duplicate].Inc()
+			countInject(Duplicate)
 			return msg, nil
 		case Corrupt:
 			c.corrupted.Add(1)
-			mInjected[Corrupt].Inc()
+			countInject(Corrupt)
 			return corrupt(msg), nil
 		case Disconnect:
 			c.disconnects.Add(1)
-			mInjected[Disconnect].Inc()
+			countInject(Disconnect)
 			_ = c.Close()
 			return nil, of.ErrClosed
 		}

@@ -7,6 +7,7 @@ import (
 	"sdnshield/internal/core"
 	"sdnshield/internal/flowtable"
 	"sdnshield/internal/hostsim"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/of"
 	"sdnshield/internal/permengine"
 	"sdnshield/internal/topology"
@@ -103,23 +104,27 @@ func (a *shieldedAPI) engine() *permengine.Engine { return a.shield.engine }
 
 // do routes a call through the KSD pool after the lifecycle gate: a
 // quarantined app's API handle is dead — every call fails fast without
-// consuming a deputy.
-func (a *shieldedAPI) do(op string, fn func() error) error {
+// consuming a deputy. It mints the call's correlation ID here, at the
+// mediated-call boundary, and hands it to fn so the permission check and
+// every switch-side effect of this one call share it.
+func (a *shieldedAPI) do(op string, fn func(corr uint64) error) error {
 	if a.container != nil && a.container.Health() == Quarantined {
 		mQuarantinedCalls.Inc()
 		return fmt.Errorf("%w: %s", ErrAppQuarantined, a.name)
 	}
-	return a.shield.do(op, fn)
+	corr := audit.NextCorr()
+	return a.shield.do(op, func() error { return fn(corr) })
 }
 
 // apiValue is do for calls with results.
-func apiValue[T any](a *shieldedAPI, op string, fn func() (T, error)) (T, error) {
+func apiValue[T any](a *shieldedAPI, op string, fn func(corr uint64) (T, error)) (T, error) {
 	if a.container != nil && a.container.Health() == Quarantined {
 		mQuarantinedCalls.Inc()
 		var zero T
 		return zero, fmt.Errorf("%w: %s", ErrAppQuarantined, a.name)
 	}
-	return doValue(a.shield, op, fn)
+	corr := audit.NextCorr()
+	return doValue(a.shield, op, func() (T, error) { return fn(corr) })
 }
 
 // foreignOwner finds the owner of a foreign flow the operation would
@@ -132,7 +137,7 @@ func (a *shieldedAPI) foreignOwner(dpid of.DPID, match *of.Match, priority uint1
 }
 
 // checkInsertFlow builds and checks the insert_flow call.
-func (a *shieldedAPI) checkInsertFlow(dpid of.DPID, spec controller.FlowSpec) error {
+func (a *shieldedAPI) checkInsertFlow(corr uint64, dpid of.DPID, spec controller.FlowSpec) error {
 	match := spec.Match
 	if match == nil {
 		match = of.NewMatch()
@@ -144,6 +149,7 @@ func (a *shieldedAPI) checkInsertFlow(dpid of.DPID, spec controller.FlowSpec) er
 	call := &core.Call{
 		App:          a.name,
 		Token:        core.TokenInsertFlow,
+		Corr:         corr,
 		DPID:         dpid,
 		HasDPID:      true,
 		Match:        match,
@@ -159,14 +165,14 @@ func (a *shieldedAPI) checkInsertFlow(dpid of.DPID, spec controller.FlowSpec) er
 }
 
 func (a *shieldedAPI) InsertFlow(dpid of.DPID, spec controller.FlowSpec) error {
-	return a.do("insert_flow", func() error {
+	return a.do("insert_flow", func(corr uint64) error {
 		if a.virt != nil {
-			return a.virt.insertFlow(a, dpid, spec)
+			return a.virt.insertFlow(a, corr, dpid, spec)
 		}
-		if err := a.checkInsertFlow(dpid, spec); err != nil {
+		if err := a.checkInsertFlow(corr, dpid, spec); err != nil {
 			return err
 		}
-		return a.shield.kernel.InsertFlow(a.name, dpid, spec)
+		return a.shield.kernel.InsertFlowAs(controller.Origin{App: a.name, Corr: corr}, dpid, spec)
 	})
 }
 
@@ -182,7 +188,7 @@ func (a *shieldedAPI) modifyToken() core.Token {
 
 // checkAffected checks token against every existing rule the match
 // subsumes, so a single call cannot touch another app's flows unnoticed.
-func (a *shieldedAPI) checkAffected(token core.Token, dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
+func (a *shieldedAPI) checkAffected(corr uint64, token core.Token, dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
 	if match == nil {
 		match = of.NewMatch()
 	}
@@ -192,7 +198,7 @@ func (a *shieldedAPI) checkAffected(token core.Token, dpid of.DPID, match *of.Ma
 	}
 	if len(entries) == 0 {
 		call := &core.Call{
-			App: a.name, Token: token, DPID: dpid, HasDPID: true,
+			App: a.name, Token: token, Corr: corr, DPID: dpid, HasDPID: true,
 			Match: match, Actions: actions,
 			Priority: priority, HasPriority: true,
 			HasFlowOwner: true,
@@ -201,7 +207,7 @@ func (a *shieldedAPI) checkAffected(token core.Token, dpid of.DPID, match *of.Ma
 	}
 	for _, e := range entries {
 		call := &core.Call{
-			App: a.name, Token: token, DPID: dpid, HasDPID: true,
+			App: a.name, Token: token, Corr: corr, DPID: dpid, HasDPID: true,
 			Match: e.Match, Actions: actions,
 			Priority: e.Priority, HasPriority: true,
 			FlowOwner: e.Owner, HasFlowOwner: true,
@@ -217,47 +223,47 @@ func (a *shieldedAPI) checkAffected(token core.Token, dpid of.DPID, match *of.Ma
 }
 
 func (a *shieldedAPI) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
-	return a.do("modify_flow", func() error {
-		if err := a.checkAffected(a.modifyToken(), dpid, match, priority, actions); err != nil {
+	return a.do("modify_flow", func(corr uint64) error {
+		if err := a.checkAffected(corr, a.modifyToken(), dpid, match, priority, actions); err != nil {
 			return err
 		}
-		return a.shield.kernel.ModifyFlow(dpid, match, priority, actions)
+		return a.shield.kernel.ModifyFlowAs(controller.Origin{App: a.name, Corr: corr}, dpid, match, priority, actions)
 	})
 }
 
-func (a *shieldedAPI) checkDeleteFlow(dpid of.DPID, match *of.Match, priority uint16) error {
-	return a.checkAffected(core.TokenDeleteFlow, dpid, match, priority, nil)
+func (a *shieldedAPI) checkDeleteFlow(corr uint64, dpid of.DPID, match *of.Match, priority uint16) error {
+	return a.checkAffected(corr, core.TokenDeleteFlow, dpid, match, priority, nil)
 }
 
 // virtualDeleteCall builds the delete_flow check for the virtual view
 // (translated deletes only ever touch the app's own physical rules).
-func (a *shieldedAPI) virtualDeleteCall(match *of.Match, priority uint16) *core.Call {
+func (a *shieldedAPI) virtualDeleteCall(corr uint64, match *of.Match, priority uint16) *core.Call {
 	if match == nil {
 		match = of.NewMatch()
 	}
 	return &core.Call{
-		App: a.name, Token: core.TokenDeleteFlow, DPID: bigSwitchDPID, HasDPID: true,
+		App: a.name, Token: core.TokenDeleteFlow, Corr: corr, DPID: bigSwitchDPID, HasDPID: true,
 		Match: match, Priority: priority, HasPriority: true, HasFlowOwner: true,
 	}
 }
 
 func (a *shieldedAPI) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
-	return a.do("delete_flow", func() error {
+	return a.do("delete_flow", func(corr uint64) error {
 		if a.virt != nil {
-			return a.virt.deleteFlow(a, dpid, match, priority, strict)
+			return a.virt.deleteFlow(a, corr, dpid, match, priority, strict)
 		}
-		if err := a.checkDeleteFlow(dpid, match, priority); err != nil {
+		if err := a.checkDeleteFlow(corr, dpid, match, priority); err != nil {
 			return err
 		}
-		return a.shield.kernel.DeleteFlow(dpid, match, priority, strict)
+		return a.shield.kernel.DeleteFlowAs(controller.Origin{App: a.name, Corr: corr}, dpid, match, priority, strict)
 	})
 }
 
 func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, error) {
-	return apiValue(a, "flows", func() ([]*flowtable.Entry, error) {
+	return apiValue(a, "flows", func(corr uint64) ([]*flowtable.Entry, error) {
 		// Audit-visible check of the operation itself.
 		opCall := &core.Call{
-			App: a.name, Token: core.TokenReadFlowTable, DPID: dpid, HasDPID: true,
+			App: a.name, Token: core.TokenReadFlowTable, Corr: corr, DPID: dpid, HasDPID: true,
 			Match: match, HasFlowOwner: true,
 		}
 		if opCall.Match == nil {
@@ -290,10 +296,10 @@ func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, 
 }
 
 func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) error {
-	return a.do("packet_out", func() error {
+	return a.do("packet_out", func(corr uint64) error {
 		fromPktIn := pkt == nil && bufferID != 0 && a.shield.kernel.PacketInSeen(dpid, bufferID)
 		call := &core.Call{
-			App: a.name, Token: core.TokenSendPktOut, DPID: dpid, HasDPID: true,
+			App: a.name, Token: core.TokenSendPktOut, Corr: corr, DPID: dpid, HasDPID: true,
 			Actions:       actions,
 			FromPktIn:     fromPktIn,
 			HasProvenance: true,
@@ -307,7 +313,7 @@ func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16
 		if err := a.engine().Check(call); err != nil {
 			return err
 		}
-		return a.shield.kernel.SendPacketOut(dpid, bufferID, inPort, actions, pkt)
+		return a.shield.kernel.SendPacketOutAs(controller.Origin{App: a.name, Corr: corr}, dpid, bufferID, inPort, actions, pkt)
 	})
 }
 
@@ -315,9 +321,9 @@ func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16
 // Statistics
 
 func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEntry, error) {
-	return apiValue(a, "flow_stats", func() ([]of.FlowStatsEntry, error) {
+	return apiValue(a, "flow_stats", func(corr uint64) ([]of.FlowStatsEntry, error) {
 		call := &core.Call{
-			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
+			App: a.name, Token: core.TokenReadStatistics, Corr: corr, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsFlow, Match: match,
 		}
 		if call.Match == nil {
@@ -350,9 +356,9 @@ func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEn
 }
 
 func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry, error) {
-	return apiValue(a, "port_stats", func() ([]of.PortStatsEntry, error) {
+	return apiValue(a, "port_stats", func(corr uint64) ([]of.PortStatsEntry, error) {
 		call := &core.Call{
-			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
+			App: a.name, Token: core.TokenReadStatistics, Corr: corr, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsPort,
 		}
 		if err := a.engine().Check(call); err != nil {
@@ -366,9 +372,9 @@ func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry,
 }
 
 func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
-	return apiValue(a, "switch_stats", func() (of.SwitchStats, error) {
+	return apiValue(a, "switch_stats", func(corr uint64) (of.SwitchStats, error) {
 		call := &core.Call{
-			App: a.name, Token: core.TokenReadStatistics, DPID: dpid, HasDPID: true,
+			App: a.name, Token: core.TokenReadStatistics, Corr: corr, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsSwitch,
 		}
 		if err := a.engine().Check(call); err != nil {
@@ -385,13 +391,13 @@ func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
 // Topology
 
 func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
-	return apiValue(a, "switches", func() ([]topology.SwitchInfo, error) {
+	return apiValue(a, "switches", func(corr uint64) ([]topology.SwitchInfo, error) {
 		all := a.shield.kernel.Topology().Switches()
 		ids := make([]of.DPID, len(all))
 		for i, s := range all {
 			ids[i] = s.DPID
 		}
-		call := &core.Call{App: a.name, Token: core.TokenVisibleTopology, Switches: ids}
+		call := &core.Call{App: a.name, Token: core.TokenVisibleTopology, Corr: corr, Switches: ids}
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
 			return nil, a.engine().Check(call)
 		}
@@ -412,9 +418,9 @@ func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
 }
 
 func (a *shieldedAPI) Links() ([]topology.Link, error) {
-	return apiValue(a, "links", func() ([]topology.Link, error) {
+	return apiValue(a, "links", func(corr uint64) ([]topology.Link, error) {
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
-			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology})
+			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology, Corr: corr})
 		}
 		if a.virt != nil {
 			return nil, nil // a single big switch has no internal links
@@ -435,9 +441,9 @@ func (a *shieldedAPI) Links() ([]topology.Link, error) {
 }
 
 func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
-	return apiValue(a, "hosts", func() ([]topology.Host, error) {
+	return apiValue(a, "hosts", func(corr uint64) ([]topology.Host, error) {
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
-			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology})
+			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology, Corr: corr})
 		}
 		if a.virt != nil {
 			return a.virt.hosts(), nil
@@ -456,8 +462,8 @@ func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
 }
 
 func (a *shieldedAPI) AddLink(l topology.Link) error {
-	return a.do("add_link", func() error {
-		call := &core.Call{App: a.name, Token: core.TokenModifyTopology,
+	return a.do("add_link", func(corr uint64) error {
+		call := &core.Call{App: a.name, Token: core.TokenModifyTopology, Corr: corr,
 			Switches: []of.DPID{l.A, l.B}, Links: []core.LinkID{l.ID()}}
 		if err := a.engine().Check(call); err != nil {
 			return err
@@ -467,8 +473,8 @@ func (a *shieldedAPI) AddLink(l topology.Link) error {
 }
 
 func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
-	return a.do("remove_link", func() error {
-		call := &core.Call{App: a.name, Token: core.TokenModifyTopology,
+	return a.do("remove_link", func(corr uint64) error {
+		call := &core.Call{App: a.name, Token: core.TokenModifyTopology, Corr: corr,
 			Switches: []of.DPID{x, y}, Links: []core.LinkID{core.NewLinkID(x, y)}}
 		if err := a.engine().Check(call); err != nil {
 			return err
@@ -482,8 +488,8 @@ func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
 // Model-driven data store
 
 func (a *shieldedAPI) Publish(path string, value interface{}) error {
-	return a.do("publish", func() error {
-		call := &core.Call{App: a.name, Token: modelTokenFor(path, true)}
+	return a.do("publish", func(corr uint64) error {
+		call := &core.Call{App: a.name, Token: modelTokenFor(path, true), Corr: corr}
 		if err := a.engine().Check(call); err != nil {
 			return err
 		}
@@ -497,8 +503,8 @@ func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
 		v  interface{}
 		ok bool
 	}
-	res, err := apiValue(a, "read_model", func() (result, error) {
-		call := &core.Call{App: a.name, Token: modelTokenFor(path, false)}
+	res, err := apiValue(a, "read_model", func(corr uint64) (result, error) {
+		call := &core.Call{App: a.name, Token: modelTokenFor(path, false), Corr: corr}
 		if err := a.engine().Check(call); err != nil {
 			return result{}, err
 		}
@@ -512,8 +518,8 @@ func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
 // Host system calls (the SecurityManager role)
 
 func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error) {
-	return apiValue(a, "host_connect", func() (*hostsim.Conn, error) {
-		call := &core.Call{App: a.name, Token: core.TokenHostNetwork,
+	return apiValue(a, "host_connect", func(corr uint64) (*hostsim.Conn, error) {
+		call := &core.Call{App: a.name, Token: core.TokenHostNetwork, Corr: corr,
 			HostIP: ip, HostPort: port, HasHostIP: true}
 		if err := a.engine().Check(call); err != nil {
 			return nil, err
@@ -523,8 +529,8 @@ func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error
 }
 
 func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
-	return apiValue(a, "host_read_file", func() ([]byte, error) {
-		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Path: path}
+	return apiValue(a, "host_read_file", func(corr uint64) ([]byte, error) {
+		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Corr: corr, Path: path}
 		if err := a.engine().Check(call); err != nil {
 			return nil, err
 		}
@@ -533,8 +539,8 @@ func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
 }
 
 func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
-	return a.do("host_write_file", func() error {
-		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Path: path}
+	return a.do("host_write_file", func(corr uint64) error {
+		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Corr: corr, Path: path}
 		if err := a.engine().Check(call); err != nil {
 			return err
 		}
@@ -544,8 +550,8 @@ func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
 }
 
 func (a *shieldedAPI) HostExec(cmd string) error {
-	return a.do("host_exec", func() error {
-		call := &core.Call{App: a.name, Token: core.TokenProcessRuntime}
+	return a.do("host_exec", func(corr uint64) error {
+		call := &core.Call{App: a.name, Token: core.TokenProcessRuntime, Corr: corr}
 		if err := a.engine().Check(call); err != nil {
 			return err
 		}

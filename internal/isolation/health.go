@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 )
 
 // AppHealthSnapshot is one container's state as reported by
@@ -17,6 +18,11 @@ type AppHealthSnapshot struct {
 	Panics           uint64 `json:"panics"`
 	DroppedEvents    uint64 `json:"dropped_events"`
 	QuarantineReason string `json:"quarantine_reason,omitempty"`
+	// DenialAnomaly is set while the denial-rate detector flags the app
+	// as misbehaving (a sustained burst of permission denials).
+	DenialAnomaly bool `json:"denial_anomaly,omitempty"`
+	// DenialRate is the detector's smoothed denials-per-window estimate.
+	DenialRate float64 `json:"denial_rate,omitempty"`
 }
 
 // HealthSnapshot is the shield-wide health view: the KSD pool plus every
@@ -29,8 +35,8 @@ type HealthSnapshot struct {
 }
 
 // HealthSnapshot aggregates per-container lifecycle state: health,
-// restart/panic/dropped-event counts and the quarantine reason. Apps are
-// sorted by name for stable output.
+// restart/panic/dropped-event counts, the quarantine reason and the
+// denial-rate anomaly verdict. Apps are sorted by name for stable output.
 func (s *Shield) HealthSnapshot() HealthSnapshot {
 	snap := HealthSnapshot{
 		Stopped:    s.stopped.Load(),
@@ -43,7 +49,9 @@ func (s *Shield) HealthSnapshot() HealthSnapshot {
 		containers = append(containers, c)
 	}
 	s.mu.Unlock()
+	det := audit.DefaultDetector()
 	for _, c := range containers {
+		anomaly := det.Lookup(c.name)
 		snap.Apps = append(snap.Apps, AppHealthSnapshot{
 			App:              c.name,
 			State:            c.Health().String(),
@@ -51,6 +59,8 @@ func (s *Shield) HealthSnapshot() HealthSnapshot {
 			Panics:           c.Panics(),
 			DroppedEvents:    c.DroppedEvents(),
 			QuarantineReason: c.QuarantineReason(),
+			DenialAnomaly:    anomaly.Flagged,
+			DenialRate:       anomaly.EWMA,
 		})
 	}
 	sort.Slice(snap.Apps, func(i, j int) bool { return snap.Apps[i].App < snap.Apps[j].App })
@@ -63,11 +73,40 @@ func (s *Shield) HealthSnapshot() HealthSnapshot {
 var shieldSeq atomic.Uint64
 
 // registerHealth publishes the shield's health snapshot on the
-// introspection endpoint; the returned function unregisters it at Stop.
+// introspection endpoint and, when the forensic activity log is enabled,
+// registers it as the /audit endpoint's synchronous fallback source; the
+// returned function unregisters both at Stop.
 func registerHealth(s *Shield) func() {
 	name := "shield"
 	if n := shieldSeq.Add(1); n > 1 {
 		name = "shield-" + strconv.FormatUint(n, 10)
 	}
-	return obs.RegisterHealth(name, func() interface{} { return s.HealthSnapshot() })
+	unregHealth := obs.RegisterHealth(name, func() interface{} { return s.HealthSnapshot() })
+	log := s.engine.Log()
+	if log == nil {
+		return unregHealth
+	}
+	unregFallback := audit.RegisterFallback(name, func(app string, deniesOnly bool) []audit.Event {
+		recs := log.SnapshotFilter(app, deniesOnly)
+		out := make([]audit.Event, 0, len(recs))
+		for _, r := range recs {
+			ev := audit.Event{
+				Kind:    audit.KindPermission,
+				Verdict: audit.VerdictAllow,
+				Time:    r.Time,
+				App:     r.App,
+				Token:   r.Token.String(),
+				Detail:  r.Detail,
+			}
+			if !r.Allowed {
+				ev.Verdict = audit.VerdictDeny
+			}
+			out = append(out, ev)
+		}
+		return out
+	})
+	return func() {
+		unregFallback()
+		unregHealth()
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"sdnshield/internal/controller"
 	"sdnshield/internal/core"
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/of"
 	"sdnshield/internal/permengine"
 )
@@ -398,6 +399,7 @@ func (c *Container) safeInit(app App, api API) (err error) {
 		if r := recover(); r != nil {
 			c.panics.Add(1)
 			c.metrics.panics.Inc()
+			auditApp(c.name, audit.VerdictPanic, fmt.Sprintf("init: %v", r))
 			err = fmt.Errorf("app panicked during init: %v", r)
 		}
 	}()
@@ -448,6 +450,7 @@ func (c *Container) safeHandle(fn controller.Handler, ev controller.Event) (pani
 		if r := recover(); r != nil {
 			c.panics.Add(1)
 			c.metrics.panics.Inc()
+			auditApp(c.name, audit.VerdictPanic, fmt.Sprintf("handler for %v: %v", ev.Kind, r))
 			panicked = true
 		}
 	}()

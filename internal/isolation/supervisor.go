@@ -6,7 +6,18 @@ import (
 	"time"
 
 	"sdnshield/internal/controller"
+	"sdnshield/internal/obs/audit"
 )
+
+// auditApp records a container lifecycle transition in the forensic
+// journal. Lifecycle events have no originating mediated call, so they
+// carry no correlation ID.
+func auditApp(app string, v audit.Verdict, detail string) {
+	if !audit.On() {
+		return
+	}
+	audit.Emit(audit.Event{Kind: audit.KindApp, Verdict: v, App: app, Detail: detail})
+}
 
 // Health is a container's lifecycle state as seen by the supervisor.
 type Health int32
@@ -81,9 +92,11 @@ func (c *Container) supervise() {
 			c.supMu.Lock()
 			c.quarReason = fmt.Sprintf("%d panics within %v (limit %d)",
 				len(c.panicTimes), cfg.PanicWindow, cfg.PanicLimit)
+			reason := c.quarReason
 			c.supMu.Unlock()
 			c.health.Store(int32(Quarantined))
 			c.metrics.quarantines.Inc()
+			auditApp(c.name, audit.VerdictQuarantine, reason)
 			c.unhookAll()
 			return
 		}
@@ -96,6 +109,8 @@ func (c *Container) supervise() {
 		}
 		c.restarts.Add(1)
 		c.metrics.restarts.Inc()
+		auditApp(c.name, audit.VerdictRestart,
+			fmt.Sprintf("restart %d after backoff", c.restarts.Load()))
 		err := c.safeInit(c.app, c.api)
 		select {
 		case <-c.stop:

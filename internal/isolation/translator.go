@@ -50,12 +50,12 @@ func (t *translator) hosts() []topology.Host {
 // insertFlow expands one virtual rule. The virtual match may pin IN_PORT
 // to a virtual port; Output actions address virtual ports; SetField
 // actions are applied at the egress switch.
-func (t *translator) insertFlow(api *shieldedAPI, dpid of.DPID, spec controller.FlowSpec) error {
+func (t *translator) insertFlow(api *shieldedAPI, corr uint64, dpid of.DPID, spec controller.FlowSpec) error {
 	if dpid != bigSwitchDPID {
 		return fmt.Errorf("isolation: app %q sees only the virtual switch %v", t.app, bigSwitchDPID)
 	}
 	// Check the virtual call itself (token + filters on the virtual view).
-	if err := api.checkInsertFlow(bigSwitchDPID, spec); err != nil {
+	if err := api.checkInsertFlow(corr, bigSwitchDPID, spec); err != nil {
 		return err
 	}
 	m := t.mapping()
@@ -95,14 +95,14 @@ func (t *translator) insertFlow(api *shieldedAPI, dpid of.DPID, spec controller.
 	}
 
 	if dropRule {
-		return t.installDropEverywhere(physMatch, ingress, spec)
+		return t.installDropEverywhere(corr, physMatch, ingress, spec)
 	}
 	for _, vport := range egress {
 		ap, err := m.Physical(vport)
 		if err != nil {
 			return err
 		}
-		if err := t.installPathRules(physMatch, ingress, ap, rewrites, spec); err != nil {
+		if err := t.installPathRules(corr, physMatch, ingress, ap, rewrites, spec); err != nil {
 			return err
 		}
 	}
@@ -111,7 +111,7 @@ func (t *translator) insertFlow(api *shieldedAPI, dpid of.DPID, spec controller.
 
 // installDropEverywhere installs a drop rule on every member switch (or
 // only the ingress switch when the virtual rule pins IN_PORT).
-func (t *translator) installDropEverywhere(match *of.Match, ingress *topology.AttachPoint, spec controller.FlowSpec) error {
+func (t *translator) installDropEverywhere(corr uint64, match *of.Match, ingress *topology.AttachPoint, spec controller.FlowSpec) error {
 	topo := t.kernel.Topology()
 	targets := topo.SwitchIDs()
 	if ingress != nil {
@@ -122,7 +122,7 @@ func (t *translator) installDropEverywhere(match *of.Match, ingress *topology.At
 		if ingress != nil {
 			phys.Set(of.FieldInPort, uint64(ingress.Port))
 		}
-		err := t.kernel.InsertFlow(t.app, dpid, controller.FlowSpec{
+		err := t.kernel.InsertFlowAs(controller.Origin{App: t.app, Corr: corr}, dpid, controller.FlowSpec{
 			Match: phys, Priority: spec.Priority,
 			Actions:     []of.Action{of.Drop()},
 			IdleTimeout: spec.IdleTimeout, HardTimeout: spec.HardTimeout,
@@ -138,7 +138,7 @@ func (t *translator) installDropEverywhere(match *of.Match, ingress *topology.At
 // installPathRules lays rules along shortest paths toward the egress
 // attachment point. With a pinned ingress only that path is installed;
 // otherwise every switch gets a rule forwarding toward the egress.
-func (t *translator) installPathRules(match *of.Match, ingress *topology.AttachPoint, egressAP topology.AttachPoint, rewrites []of.Action, spec controller.FlowSpec) error {
+func (t *translator) installPathRules(corr uint64, match *of.Match, ingress *topology.AttachPoint, egressAP topology.AttachPoint, rewrites []of.Action, spec controller.FlowSpec) error {
 	topo := t.kernel.Topology()
 	sources := topo.SwitchIDs()
 	if ingress != nil {
@@ -168,7 +168,7 @@ func (t *translator) installPathRules(match *of.Match, ingress *topology.AttachP
 			} else {
 				actions = append(actions, of.Output(hop.OutPort))
 			}
-			err := t.kernel.InsertFlow(t.app, hop.DPID, controller.FlowSpec{
+			err := t.kernel.InsertFlowAs(controller.Origin{App: t.app, Corr: corr}, hop.DPID, controller.FlowSpec{
 				Match: phys, Priority: spec.Priority, Actions: actions,
 				IdleTimeout: spec.IdleTimeout, HardTimeout: spec.HardTimeout,
 				Cookie: spec.Cookie,
@@ -183,11 +183,11 @@ func (t *translator) installPathRules(match *of.Match, ingress *topology.AttachP
 
 // deleteFlow removes the app's translated rules matching the virtual
 // match from every member switch.
-func (t *translator) deleteFlow(api *shieldedAPI, dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
+func (t *translator) deleteFlow(api *shieldedAPI, corr uint64, dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
 	if dpid != bigSwitchDPID {
 		return fmt.Errorf("isolation: app %q sees only the virtual switch %v", t.app, bigSwitchDPID)
 	}
-	call := api.virtualDeleteCall(match, priority)
+	call := api.virtualDeleteCall(corr, match, priority)
 	if err := api.engine().Check(call); err != nil {
 		return err
 	}
@@ -208,7 +208,7 @@ func (t *translator) deleteFlow(api *shieldedAPI, dpid of.DPID, match *of.Match,
 			if strict && e.Priority != priority {
 				continue
 			}
-			if err := t.kernel.DeleteFlow(sw, e.Match, e.Priority, true); err != nil {
+			if err := t.kernel.DeleteFlowAs(controller.Origin{App: t.app, Corr: corr}, sw, e.Match, e.Priority, true); err != nil {
 				return err
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"sdnshield/internal/controller"
 	"sdnshield/internal/flowtable"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/of"
 	"sdnshield/internal/permengine"
 )
@@ -22,8 +23,8 @@ func switchGone(err error) bool {
 // first effect (§VI-B2). The monolithic API has no checks, so its
 // transactions only provide atomic rollback.
 type prechecker interface {
-	checkInsertFlow(dpid of.DPID, spec controller.FlowSpec) error
-	checkDeleteFlow(dpid of.DPID, match *of.Match, priority uint16) error
+	checkInsertFlow(corr uint64, dpid of.DPID, spec controller.FlowSpec) error
+	checkDeleteFlow(corr uint64, dpid of.DPID, match *of.Match, priority uint16) error
 }
 
 // Tx is an atomic group of flow operations. Build it with the fluent
@@ -33,13 +34,27 @@ type prechecker interface {
 type Tx struct {
 	api   API
 	inner permengine.Tx
+	corr  uint64
+}
+
+// ensureOrigin mints the transaction's correlation ID on the first
+// planned call and attributes the inner transaction's commit/abort/
+// rollback audit events to the owning app. The prechecks carry the same
+// ID, so a tx abort and the denial that caused it correlate.
+func (t *Tx) ensureOrigin() uint64 {
+	if t.corr == 0 {
+		t.corr = audit.NextCorr()
+		t.inner.SetOrigin(t.api.AppName(), t.corr)
+	}
+	return t.corr
 }
 
 // InsertFlow plans a flow insertion.
 func (t *Tx) InsertFlow(dpid of.DPID, spec controller.FlowSpec) *Tx {
+	corr := t.ensureOrigin()
 	var check func() error
 	if pc, ok := t.api.(prechecker); ok {
-		check = func() error { return pc.checkInsertFlow(dpid, spec) }
+		check = func() error { return pc.checkInsertFlow(corr, dpid, spec) }
 	}
 	t.inner.Add(permengine.PlannedCall{
 		Call:  txDesc{fmt: "insert-flow"},
@@ -58,9 +73,10 @@ func (t *Tx) InsertFlow(dpid of.DPID, spec controller.FlowSpec) *Tx {
 // DeleteFlow plans a flow deletion. On rollback the removed rules (as
 // visible to the app) are reinstalled.
 func (t *Tx) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) *Tx {
+	corr := t.ensureOrigin()
 	var check func() error
 	if pc, ok := t.api.(prechecker); ok {
-		check = func() error { return pc.checkDeleteFlow(dpid, match, priority) }
+		check = func() error { return pc.checkDeleteFlow(corr, dpid, match, priority) }
 	}
 	var removed []*flowtable.Entry
 	t.inner.Add(permengine.PlannedCall{
@@ -100,6 +116,7 @@ func (t *Tx) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict b
 // SendPacketOut plans a packet injection. Packet-outs cannot be undone;
 // place them last so a rollback never needs to revert one.
 func (t *Tx) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) *Tx {
+	t.ensureOrigin()
 	t.inner.Add(permengine.PlannedCall{
 		Call:  txDesc{fmt: "packet-out"},
 		Apply: func() error { return t.api.SendPacketOut(dpid, bufferID, inPort, actions, pkt) },

@@ -1,0 +1,191 @@
+package audit
+
+import (
+	"sync"
+	"time"
+)
+
+// DetectorConfig tunes the denial-rate anomaly detector. Zero values
+// select defaults.
+type DetectorConfig struct {
+	// Window is the sliding-window width denials are bucketed into.
+	// Default 1s.
+	Window time.Duration
+	// Alpha is the EWMA smoothing factor applied when a window closes.
+	// Default 0.3.
+	Alpha float64
+	// EWMAThreshold flags an app when its smoothed denials-per-window
+	// rate reaches it. Default 50.
+	EWMAThreshold float64
+	// BurstThreshold flags an app immediately when a single window's raw
+	// denial count reaches it, before the EWMA catches up. Default 128.
+	BurstThreshold int
+	// ClearFactor unflags an app once its EWMA decays below
+	// EWMAThreshold*ClearFactor (hysteresis). Default 0.5.
+	ClearFactor float64
+}
+
+func (c *DetectorConfig) fill() {
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.EWMAThreshold <= 0 {
+		c.EWMAThreshold = 50
+	}
+	if c.BurstThreshold <= 0 {
+		c.BurstThreshold = 128
+	}
+	if c.ClearFactor <= 0 || c.ClearFactor >= 1 {
+		c.ClearFactor = 0.5
+	}
+}
+
+// appRate is one app's denial-rate state.
+type appRate struct {
+	windowStart time.Time
+	window      int // denials in the current (open) window
+	ewma        float64
+	flagged     bool
+	total       uint64
+	lastDeny    time.Time
+}
+
+// Detector watches permission-deny events and flags apps whose denial
+// rate is anomalous: either a raw burst inside one window or a sustained
+// elevated EWMA of denials-per-window. Event timestamps (not wall-clock
+// reads) drive window advancement, so replayed or test-generated
+// histories evaluate deterministically.
+type Detector struct {
+	cfg  DetectorConfig
+	mu   sync.Mutex
+	apps map[string]*appRate
+}
+
+// NewDetector builds a detector; register it with a journal via
+// j.AddConsumer(d.Observe).
+func NewDetector(cfg DetectorConfig) *Detector {
+	cfg.fill()
+	return &Detector{cfg: cfg, apps: make(map[string]*appRate)}
+}
+
+// defaultDetector feeds HealthSnapshot/health annotations for the
+// process-wide journal.
+var defaultDetector = NewDetector(DetectorConfig{})
+
+// DefaultDetector returns the detector attached to the default journal.
+func DefaultDetector() *Detector { return defaultDetector }
+
+func (d *Detector) register(j *Journal) { j.AddConsumer(d.Observe) }
+
+// Observe consumes one journal event. Only permission denials with an
+// app principal advance any state.
+func (d *Detector) Observe(ev Event) {
+	if ev.Kind != KindPermission || ev.Verdict != VerdictDeny || ev.App == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.apps[ev.App]
+	if st == nil {
+		st = &appRate{windowStart: ev.Time}
+		d.apps[ev.App] = st
+	}
+	d.advanceLocked(st, ev.Time)
+	st.window++
+	st.total++
+	st.lastDeny = ev.Time
+	if st.window >= d.cfg.BurstThreshold || st.ewma >= d.cfg.EWMAThreshold {
+		st.flagged = true
+	}
+}
+
+// advanceLocked folds every fully-elapsed window since windowStart into
+// the EWMA and applies the hysteresis clear check. A long idle gap
+// (>64 windows) resets the EWMA outright instead of folding 64+ zeros.
+func (d *Detector) advanceLocked(st *appRate, now time.Time) {
+	if st.windowStart.IsZero() {
+		st.windowStart = now
+		return
+	}
+	elapsed := now.Sub(st.windowStart)
+	if elapsed < d.cfg.Window {
+		return
+	}
+	n := int(elapsed / d.cfg.Window)
+	if n > 64 {
+		st.ewma = 0
+		st.window = 0
+		st.windowStart = now
+	} else {
+		for i := 0; i < n; i++ {
+			st.ewma = d.cfg.Alpha*float64(st.window) + (1-d.cfg.Alpha)*st.ewma
+			st.window = 0
+		}
+		st.windowStart = st.windowStart.Add(time.Duration(n) * d.cfg.Window)
+	}
+	if st.flagged && st.ewma < d.cfg.EWMAThreshold*d.cfg.ClearFactor {
+		st.flagged = false
+	}
+}
+
+// AnomalySnapshot is one app's denial-rate view.
+type AnomalySnapshot struct {
+	App          string    `json:"app"`
+	Flagged      bool      `json:"flagged"`
+	EWMA         float64   `json:"ewma"`
+	WindowDenies int       `json:"window_denies"`
+	TotalDenies  uint64    `json:"total_denies"`
+	LastDeny     time.Time `json:"last_deny,omitempty"`
+}
+
+// Lookup returns the app's current denial-rate state, advancing its
+// windows to now first (so a flag decays even with no new denials).
+// The zero snapshot is returned for unknown apps.
+func (d *Detector) Lookup(app string) AnomalySnapshot {
+	return d.SnapshotAt(app, time.Now())
+}
+
+// SnapshotAt is Lookup at an explicit instant (deterministic tests).
+func (d *Detector) SnapshotAt(app string, now time.Time) AnomalySnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.apps[app]
+	if st == nil {
+		return AnomalySnapshot{App: app}
+	}
+	d.advanceLocked(st, now)
+	return AnomalySnapshot{
+		App:          app,
+		Flagged:      st.flagged,
+		EWMA:         st.ewma,
+		WindowDenies: st.window,
+		TotalDenies:  st.total,
+		LastDeny:     st.lastDeny,
+	}
+}
+
+// Flagged lists the apps currently flagged as anomalous, advancing each
+// to now first.
+func (d *Detector) Flagged() []string {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for app, st := range d.apps {
+		d.advanceLocked(st, now)
+		if st.flagged {
+			out = append(out, app)
+		}
+	}
+	return out
+}
+
+// Reset clears all per-app state (tests).
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.apps = make(map[string]*appRate)
+}

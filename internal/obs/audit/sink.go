@@ -1,0 +1,102 @@
+package audit
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// defaultSinkMaxBytes bounds a sink file before rotation when the caller
+// passes 0.
+const defaultSinkMaxBytes = 64 << 20
+
+// FileSink appends drained events to a JSONL file with size-bounded
+// rotation: when an append would push the file past its limit, the file
+// is renamed to <path>.1 (replacing any previous rotation) and a fresh
+// file is started, so on-disk usage never exceeds ~2× the limit.
+type FileSink struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+	rotated  uint64
+}
+
+// NewFileSink opens (or creates, appending) a JSONL sink at path.
+// maxBytes ≤ 0 selects a 64 MiB default.
+func NewFileSink(path string, maxBytes int64) (*FileSink, error) {
+	if maxBytes <= 0 {
+		maxBytes = defaultSinkMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSink{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Write appends one event as a JSON line, rotating first if the line
+// would push the file past the size bound.
+func (s *FileSink) Write(ev Event) error {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return os.ErrClosed
+	}
+	if s.size > 0 && s.size+int64(len(line)) > s.maxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(line)
+	s.size += int64(n)
+	return err
+}
+
+func (s *FileSink) rotateLocked() error {
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	s.f = nil
+	if err := os.Rename(s.path, s.path+".1"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.size = 0
+	s.rotated++
+	return nil
+}
+
+// Rotations reports how many times the sink has rotated.
+func (s *FileSink) Rotations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rotated
+}
+
+// Close flushes and closes the underlying file. Writes after Close fail.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -55,6 +55,36 @@ func healthSnapshot() map[string]interface{} {
 }
 
 // ---------------------------------------------------------------------------
+// Extension handlers
+
+// extHandlers lets packages layered above obs (notably obs/audit) mount
+// extra routes on every introspection endpoint without obs importing
+// them. Handlers registered before NewHandler runs are included; the
+// index page lists their patterns.
+var (
+	extMu       sync.Mutex
+	extHandlers = make(map[string]http.Handler)
+)
+
+// RegisterHandler installs an extension route served by every handler
+// built afterwards. Registering an existing pattern replaces it.
+func RegisterHandler(pattern string, h http.Handler) {
+	extMu.Lock()
+	extHandlers[pattern] = h
+	extMu.Unlock()
+}
+
+func extensionRoutes() map[string]http.Handler {
+	extMu.Lock()
+	defer extMu.Unlock()
+	out := make(map[string]http.Handler, len(extHandlers))
+	for p, h := range extHandlers {
+		out[p] = h
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
 // HTTP endpoint
 
 // NewHandler builds the introspection mux over a registry and tracer
@@ -75,6 +105,12 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 	}
 	reg.GaugeFunc("sdnshield_goroutines", "Live goroutines in the controller process.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
+	ext := extensionRoutes()
+	extPatterns := make([]string, 0, len(ext))
+	for p := range ext {
+		extPatterns = append(extPatterns, p)
+	}
+	sort.Strings(extPatterns)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -83,7 +119,13 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("sdnshield telemetry\n\n/metrics\n/metrics.json\n/health\n/traces\n/debug/pprof/\n"))
+		for _, p := range extPatterns {
+			_, _ = w.Write([]byte(p + "\n"))
+		}
 	})
+	for _, p := range extPatterns {
+		mux.Handle(p, ext[p])
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer builds a handler over a private registry/tracer so the
+// assertions do not depend on whatever the process-wide defaults have
+// accumulated.
+func newTestServer(t *testing.T) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewHandler(reg, NewTracer(16, 1)))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func body(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// TestServerIndex pins the index page: 200 with the route listing on "/",
+// 404 on anything unrouted.
+func TestServerIndex(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp := get(t, srv.URL+"/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET / status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("index Content-Type = %q", ct)
+	}
+	idx := body(t, resp)
+	for _, route := range []string{"/metrics", "/metrics.json", "/health", "/traces", "/debug/pprof/"} {
+		if !strings.Contains(idx, route) {
+			t.Errorf("index missing route %s", route)
+		}
+	}
+	if resp := get(t, srv.URL+"/no-such-route"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /no-such-route status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerMetricsContentTypes asserts the two metrics views: Prometheus
+// text exposition format 0.0.4 versus a JSON snapshot, both carrying a
+// counter registered beforehand.
+func TestServerMetricsContentTypes(t *testing.T) {
+	srv, reg := newTestServer(t)
+	reg.Counter("sdnshield_server_test_total", "Test counter.").Add(3)
+
+	resp := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	text := body(t, resp)
+	if !strings.Contains(text, "sdnshield_server_test_total 3") {
+		t.Errorf("/metrics missing counter sample:\n%s", text)
+	}
+
+	resp = get(t, srv.URL+"/metrics.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics.json status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics.json Content-Type = %q", ct)
+	}
+	var series []SeriesSnapshot
+	if err := json.Unmarshal([]byte(body(t, resp)), &series); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	found := false
+	for _, s := range series {
+		if s.Name == "sdnshield_server_test_total" && s.Value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/metrics.json missing the registered counter: %+v", series)
+	}
+}
+
+// TestServerHealthReflectsQuarantine registers a health provider shaped
+// like a shield snapshot with one quarantined app and asserts /health
+// surfaces it (and stops doing so after unregistering).
+func TestServerHealthReflectsQuarantine(t *testing.T) {
+	srv, _ := newTestServer(t)
+	type appHealth struct {
+		App              string `json:"app"`
+		State            string `json:"state"`
+		QuarantineReason string `json:"quarantine_reason,omitempty"`
+	}
+	unregister := RegisterHealth("server-test-shield", func() interface{} {
+		return map[string]interface{}{
+			"apps": []appHealth{{
+				App:              "crashy",
+				State:            "quarantined",
+				QuarantineReason: "5 panics within 30s (limit 5)",
+			}},
+		}
+	})
+	defer unregister()
+
+	resp := get(t, srv.URL+"/health")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /health status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/health Content-Type = %q", ct)
+	}
+	var health map[string]struct {
+		Apps []appHealth `json:"apps"`
+	}
+	if err := json.Unmarshal([]byte(body(t, resp)), &health); err != nil {
+		t.Fatalf("/health is not valid JSON: %v", err)
+	}
+	shield, ok := health["server-test-shield"]
+	if !ok {
+		t.Fatalf("/health missing registered provider: %v", health)
+	}
+	if len(shield.Apps) != 1 || shield.Apps[0].App != "crashy" ||
+		shield.Apps[0].State != "quarantined" || shield.Apps[0].QuarantineReason == "" {
+		t.Errorf("/health does not reflect the quarantined app: %+v", shield.Apps)
+	}
+
+	unregister()
+	resp = get(t, srv.URL+"/health")
+	var after map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body(t, resp)), &after); err != nil {
+		t.Fatalf("/health after unregister: %v", err)
+	}
+	if _, still := after["server-test-shield"]; still {
+		t.Error("/health still lists the provider after unregister")
+	}
+}
+
+// TestServerTraces asserts /traces serves a JSON array even when empty.
+func TestServerTraces(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp := get(t, srv.URL+"/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /traces status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/traces Content-Type = %q", ct)
+	}
+	var traces []TraceSnapshot
+	if err := json.Unmarshal([]byte(body(t, resp)), &traces); err != nil {
+		t.Fatalf("/traces is not valid JSON array: %v", err)
+	}
+}
+
+// TestServerExtensionRoutes asserts routes registered via RegisterHandler
+// (the hook obs/audit mounts /audit through) are served and listed on the
+// index of handlers built afterwards.
+func TestServerExtensionRoutes(t *testing.T) {
+	RegisterHandler("/server-test-ext", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	srv, _ := newTestServer(t)
+	if resp := get(t, srv.URL+"/server-test-ext"); resp.StatusCode != http.StatusTeapot {
+		t.Errorf("extension route status = %d, want %d", resp.StatusCode, http.StatusTeapot)
+	}
+	if idx := body(t, get(t, srv.URL+"/")); !strings.Contains(idx, "/server-test-ext") {
+		t.Error("index does not list the extension route")
+	}
+}

@@ -87,11 +87,23 @@ func (l *ActivityLog) Records() []ActivityRecord {
 
 // Denials returns the retained denied-call records, oldest first.
 func (l *ActivityLog) Denials() []ActivityRecord {
+	return l.SnapshotFilter("", true)
+}
+
+// SnapshotFilter returns the retained records matching an app name
+// ("" matches all) and, optionally, only denials — oldest first. It
+// backs the /audit endpoint's fallback path when the async journal has
+// no matching history.
+func (l *ActivityLog) SnapshotFilter(app string, deniesOnly bool) []ActivityRecord {
 	var out []ActivityRecord
 	for _, r := range l.Records() {
-		if !r.Allowed {
-			out = append(out, r)
+		if app != "" && r.App != app {
+			continue
 		}
+		if deniesOnly && r.Allowed {
+			continue
+		}
+		out = append(out, r)
 	}
 	return out
 }

@@ -89,6 +89,54 @@ func TestActivityLogDenialsAtCapacity(t *testing.T) {
 	}
 }
 
+// TestActivityLogSnapshotFilter pins app/denies filtering against the
+// same wraparound behaviour Records() has: only retained records are
+// considered, and both filters compose.
+func TestActivityLogSnapshotFilter(t *testing.T) {
+	const capacity = 6
+	l := NewActivityLog(capacity)
+	// Two apps interleaved; "noisy" always denied, "good" always allowed.
+	record := func(app string, allowed bool) {
+		l.Record(&core.Call{App: app, Token: core.TokenInsertFlow}, allowed)
+	}
+	for n := 0; n < capacity; n++ {
+		record("noisy", false)
+		record("good", true)
+	}
+	// The ring wrapped (12 records into 6 slots): 3 of each app retained.
+	if got := l.SnapshotFilter("", false); len(got) != capacity {
+		t.Fatalf("unfiltered: %d records, want %d", len(got), capacity)
+	}
+	if got := l.SnapshotFilter("noisy", false); len(got) != 3 {
+		t.Fatalf("app filter: %d records, want 3", len(got))
+	}
+	if got := l.SnapshotFilter("", true); len(got) != 3 {
+		t.Fatalf("denies filter: %d records, want 3", len(got))
+	}
+	for _, r := range l.SnapshotFilter("noisy", true) {
+		if r.App != "noisy" || r.Allowed {
+			t.Fatalf("combined filter leaked record %+v", r)
+		}
+	}
+	if got := l.SnapshotFilter("good", true); len(got) != 0 {
+		t.Fatalf("good app has no denials, got %d", len(got))
+	}
+	if got := l.SnapshotFilter("absent", false); len(got) != 0 {
+		t.Fatalf("unknown app matched %d records", len(got))
+	}
+	// Wrap again with only denials: the allowed records age out and the
+	// filters must track the retained window, not history.
+	for n := 0; n < capacity; n++ {
+		record("noisy", false)
+	}
+	if got := l.SnapshotFilter("good", false); len(got) != 0 {
+		t.Fatalf("evicted app still visible: %d records", len(got))
+	}
+	if got := l.SnapshotFilter("noisy", true); len(got) != capacity {
+		t.Fatalf("after second wrap: %d denials, want %d", len(got), capacity)
+	}
+}
+
 // TestActivityLogConcurrentRecordRecords hammers the log from writer and
 // reader goroutines; the race detector (make check) is the real referee,
 // the invariant checks catch torn snapshots.

@@ -13,6 +13,7 @@ import (
 
 	"sdnshield/internal/core"
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/of"
 )
 
@@ -241,29 +242,55 @@ func (e *Engine) evaluate(call *core.Call) error {
 	e.mu.RUnlock()
 	if !ok {
 		e.denials.Add(1)
-		e.logDecision(call, false)
+		e.logDecision(call, false, "app has no permission manifest")
 		return &DeniedError{App: call.App, Token: call.Token, Detail: "app has no permission manifest"}
 	}
 	chk, granted := c.checkers[call.Token]
 	if !granted {
 		e.denials.Add(1)
-		e.logDecision(call, false)
+		e.logDecision(call, false, "token not granted")
 		return &DeniedError{App: call.App, Token: call.Token, Detail: "token not granted"}
 	}
 	e.Resolve(call)
 	if !chk(call) {
+		detail := "filter rejected call " + call.String()
+		e.logDecision(call, false, detail)
 		e.denials.Add(1)
-		e.logDecision(call, false)
-		return &DeniedError{App: call.App, Token: call.Token, Detail: "filter rejected call " + call.String()}
+		return &DeniedError{App: call.App, Token: call.Token, Detail: detail}
 	}
-	e.logDecision(call, true)
+	e.logDecision(call, true, "")
 	return nil
 }
 
-func (e *Engine) logDecision(call *core.Call, allowed bool) {
+func (e *Engine) logDecision(call *core.Call, allowed bool, detail string) {
 	if e.log != nil {
 		e.log.Record(call, allowed)
 	}
+	auditDecision(call, allowed, detail)
+}
+
+// auditDecision forwards a permission decision into the forensic journal.
+// Allowed calls carry no detail string so the hot path formats nothing;
+// denials reuse the detail already built for the DeniedError.
+func auditDecision(call *core.Call, allowed bool, detail string) {
+	if !audit.On() {
+		return
+	}
+	ev := audit.Event{
+		Kind:    audit.KindPermission,
+		Verdict: audit.VerdictAllow,
+		App:     call.App,
+		Corr:    call.Corr,
+		Token:   call.Token.String(),
+	}
+	if !allowed {
+		ev.Verdict = audit.VerdictDeny
+		ev.Detail = detail
+	}
+	if call.HasDPID {
+		ev.DPID = uint64(call.DPID)
+	}
+	audit.Emit(ev)
 }
 
 // Stats reports cumulative check and denial counts.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 )
 
 // Transaction instrumentation: commits by outcome, and rollbacks (the
@@ -63,10 +64,34 @@ func (e *TxError) Unwrap() error { return e.Cause }
 // checking, and a mid-apply failure rolls back the applied prefix.
 type Tx struct {
 	calls []PlannedCall
+	app   string
+	corr  uint64
 }
 
 // NewTx returns an empty transaction.
 func NewTx() *Tx { return &Tx{} }
+
+// SetOrigin attributes the transaction's audit events to an app and the
+// correlation ID of the mediated call that opened it.
+func (t *Tx) SetOrigin(app string, corr uint64) *Tx {
+	t.app = app
+	t.corr = corr
+	return t
+}
+
+// auditTx records a transaction outcome in the forensic journal.
+func (t *Tx) auditTx(v audit.Verdict, detail string) {
+	if !audit.On() {
+		return
+	}
+	audit.Emit(audit.Event{
+		Kind:    audit.KindTx,
+		Verdict: v,
+		App:     t.app,
+		Corr:    t.corr,
+		Detail:  detail,
+	})
+}
 
 // Add appends a planned call.
 func (t *Tx) Add(c PlannedCall) *Tx {
@@ -88,6 +113,7 @@ func (t *Tx) Commit() error {
 		}
 		if err := c.Check(); err != nil {
 			mTxAborts.Inc()
+			t.auditTx(audit.VerdictAbort, fmt.Sprintf("call %d check: %v", i, err))
 			return &TxError{Index: i, Stage: "check", Cause: err}
 		}
 	}
@@ -108,10 +134,13 @@ func (t *Tx) Commit() error {
 					}
 				}
 			}
+			t.auditTx(audit.VerdictRollback, fmt.Sprintf("call %d apply: %v (%d rollback errors)",
+				i, err, len(txErr.RollbackErrors)))
 			return txErr
 		}
 		applied++
 	}
 	mTxCommits.Inc()
+	t.auditTx(audit.VerdictCommit, fmt.Sprintf("%d calls", len(t.calls)))
 	return nil
 }

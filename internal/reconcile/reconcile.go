@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"sdnshield/internal/core"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/permlang"
 	"sdnshield/internal/policylang"
 )
@@ -269,7 +270,26 @@ func (e *Engine) Reconcile(appName string, manifest *permlang.Manifest, policy *
 
 	result.Reconciled = ev.working
 	result.Clean = len(result.Violations) == 0
+	auditReconcile(result)
 	return result, nil
+}
+
+// auditReconcile records a reconciliation verdict in the forensic journal.
+func auditReconcile(result *Result) {
+	if !audit.On() {
+		return
+	}
+	ev := audit.Event{
+		Kind:    audit.KindReconcile,
+		Verdict: audit.VerdictClean,
+		App:     result.App,
+	}
+	if !result.Clean {
+		ev.Verdict = audit.VerdictViolation
+		ev.Detail = fmt.Sprintf("%d violations; first: %s",
+			len(result.Violations), result.Violations[0].String())
+	}
+	audit.Emit(ev)
 }
 
 // checkExclusive enforces one mutual-exclusion constraint against the
