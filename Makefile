@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check check bench bench-obs bench-audit attacksim
+.PHONY: build test race vet fmt-check check bench bench-obs bench-audit attacksim fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,11 @@ bench-audit:
 
 attacksim:
 	$(GO) run ./cmd/attacksim -v
+
+# fuzz-smoke runs the native fuzz targets briefly — enough for CI to
+# catch parser panics and round-trip regressions on mutated market
+# packages without the cost of a long fuzzing campaign.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzParseManifest -fuzztime=$(FUZZTIME) ./internal/permlang/
+	$(GO) test -run=^$$ -fuzz=FuzzParsePolicy -fuzztime=$(FUZZTIME) ./internal/policylang/

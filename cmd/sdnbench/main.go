@@ -60,15 +60,18 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer stopTelemetry()
 	if bound != "" {
 		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/\n", bound)
 	}
 	stopAudit, err := bench.StartAuditSink(*auditFile)
 	if err != nil {
+		stopTelemetry()
 		return err
 	}
-	defer stopAudit()
+	// Flush the audit sink and close the telemetry server on SIGINT/
+	// SIGTERM too, so an interrupted run loses no events.
+	cancelShutdown := bench.OnShutdown(stopAudit, stopTelemetry)
+	defer cancelShutdown()
 	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 
 	switches, err := parseInts(*switchList)

@@ -9,15 +9,31 @@
 //
 // With -strict the exit code is 2 when the policy was violated (even if
 // repaired), letting deployment pipelines gate on clean manifests.
+//
+// Market mode (-market-dir) operates on an on-disk app-market store of
+// trusted vendor keys and signed release packages:
+//
+//	sdnshieldc -market-dir ./market -market-keygen acme
+//	sdnshieldc -market-dir ./market -market-sign -app monitor \
+//	    -market-vendor acme -market-version 1.2.0 -manifest monitor.perm
+//	sdnshieldc -market-dir ./market -policy site.policy
+//	sdnshieldc -market-dir ./market -policy site.policy -telemetry-addr 127.0.0.1:9090
+//
+// The last form serves the /market/* administration endpoints until
+// interrupted.
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"sdnshield"
 	"sdnshield/internal/bench"
+	"sdnshield/internal/market"
 )
 
 func main() {
@@ -32,35 +48,93 @@ func main() {
 func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("sdnshieldc", flag.ContinueOnError)
 	appName := fs.String("app", "app", "app identity the manifest belongs to")
-	manifestPath := fs.String("manifest", "", "path to the permission manifest (required)")
+	manifestPath := fs.String("manifest", "", "path to the permission manifest (required outside market mode)")
 	policyPath := fs.String("policy", "", "path to the security policy (optional)")
 	strict := fs.Bool("strict", false, "exit with status 2 on any policy violation")
 	quiet := fs.Bool("quiet", false, "print only the reconciled permissions")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /audit, pprof) on this address, e.g. 127.0.0.1:9090")
 	auditFile := fs.String("audit-file", "", "append audit events as JSONL to this file (rotated at 64 MiB)")
+	marketDir := fs.String("market-dir", "", "market mode: operate on this app-market directory (keys/ + releases/)")
+	marketKeygen := fs.String("market-keygen", "", "market mode: generate a keypair for this vendor under the market dir, print the public key, and exit")
+	marketSign := fs.Bool("market-sign", false, "market mode: package -app/-manifest as a signed release (needs -market-vendor, -market-version)")
+	marketVendor := fs.String("market-vendor", "", "vendor whose key signs the release for -market-sign")
+	marketVersion := fs.String("market-version", "", "semantic version (MAJOR.MINOR.PATCH) of the release for -market-sign")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
-	if *manifestPath == "" {
+	if *marketDir == "" && *manifestPath == "" {
 		fs.Usage()
 		return 1, fmt.Errorf("-manifest is required")
+	}
+
+	// Key generation needs no policy, telemetry or audit plumbing.
+	if *marketDir != "" && *marketKeygen != "" {
+		pub, err := market.Keygen(*marketDir, *marketKeygen)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Printf("vendor %s public key: %s\n", *marketKeygen, hex.EncodeToString(pub))
+		fmt.Printf("private key: %s\n", filepath.Join(*marketDir, "keys", *marketKeygen+".key"))
+		return 0, nil
+	}
+
+	var policySrc string
+	if *policyPath != "" {
+		raw, err := os.ReadFile(*policyPath)
+		if err != nil {
+			return 1, err
+		}
+		policySrc = string(raw)
+	}
+
+	// Market mode mounts /market/* before the telemetry server starts so
+	// the composed handler includes the routes.
+	var mkt *market.Market
+	if *marketDir != "" && !*marketSign {
+		reg := market.NewRegistry()
+		loaded, problems, err := market.LoadDir(*marketDir, reg)
+		if err != nil {
+			return 1, err
+		}
+		mkt, err = market.New(reg, nil, market.Config{PolicySrc: policySrc})
+		if err != nil {
+			return 1, err
+		}
+		defer mkt.Close()
+		market.MountHTTP(mkt)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "market: loaded %d release(s) from %s\n", loaded, *marketDir)
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "market: refused %s\n", p)
+			}
+		}
 	}
 
 	stopTelemetry, bound, err := bench.StartTelemetry(*telemetryAddr)
 	if err != nil {
 		return 1, err
 	}
-	defer stopTelemetry()
 	if bound != "" {
 		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/\n", bound)
 	}
 	stopAudit, err := bench.StartAuditSink(*auditFile)
 	if err != nil {
+		stopTelemetry()
 		return 1, err
 	}
-	defer stopAudit()
+	// Flush the audit sink and close the telemetry server on SIGINT/
+	// SIGTERM too, so an interrupted run loses no events.
+	cancelShutdown := bench.OnShutdown(stopAudit, stopTelemetry)
+	defer cancelShutdown()
 	// The reconciled permissions go to stdout; the digest must not mix in.
 	defer func() { fmt.Fprintln(os.Stderr, bench.TelemetrySummary()) }()
+
+	if *marketDir != "" {
+		if *marketSign {
+			return runMarketSign(*marketDir, *appName, *manifestPath, *marketVendor, *marketVersion)
+		}
+		return runMarketReport(mkt, *quiet, *strict, bound)
+	}
 
 	manifestSrc, err := os.ReadFile(*manifestPath)
 	if err != nil {
@@ -72,12 +146,8 @@ func run(args []string) (int, error) {
 	}
 
 	var policy *sdnshield.Policy
-	if *policyPath != "" {
-		policySrc, err := os.ReadFile(*policyPath)
-		if err != nil {
-			return 1, err
-		}
-		policy, err = sdnshield.ParsePolicy(string(policySrc))
+	if policySrc != "" {
+		policy, err = sdnshield.ParsePolicy(policySrc)
 		if err != nil {
 			return 1, fmt.Errorf("parse policy: %w", err)
 		}
@@ -106,6 +176,94 @@ func run(args []string) (int, error) {
 	fmt.Println(result.Permissions)
 
 	if *strict && !result.Clean {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// runMarketSign packages a manifest as a signed release and saves it
+// into the market directory, vetting it through a registry first so a
+// broken package is never written.
+func runMarketSign(dir, app, manifestPath, vendor, version string) (int, error) {
+	switch {
+	case manifestPath == "":
+		return 1, fmt.Errorf("-market-sign needs -manifest")
+	case vendor == "":
+		return 1, fmt.Errorf("-market-sign needs -market-vendor")
+	case version == "":
+		return 1, fmt.Errorf("-market-sign needs -market-version")
+	}
+	manifestSrc, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return 1, err
+	}
+	priv, err := market.LoadPrivateKey(filepath.Join(dir, "keys", vendor+".key"))
+	if err != nil {
+		return 1, fmt.Errorf("vendor key (run -market-keygen %s first?): %w", vendor, err)
+	}
+	pub, err := market.LoadPublicKey(filepath.Join(dir, "keys", vendor+".pub"))
+	if err != nil {
+		return 1, err
+	}
+	sr := market.Sign(market.Release{
+		Name: app, Vendor: vendor, Version: version, Manifest: string(manifestSrc),
+	}, priv)
+
+	reg := market.NewRegistry()
+	if err := reg.TrustVendor(vendor, pub); err != nil {
+		return 1, err
+	}
+	if _, err := reg.Submit(sr); err != nil {
+		return 1, fmt.Errorf("package does not vet: %w", err)
+	}
+	path, err := market.SaveRelease(dir, sr)
+	if err != nil {
+		return 1, err
+	}
+	fmt.Printf("signed release %s@%s (%s)\n%s\n", app, version, sr.Digest(), path)
+	return 0, nil
+}
+
+// runMarketReport prints every stored release's reconciliation verdict
+// and, per app, the permission diff between the two latest versions.
+// With a telemetry address bound it then serves the /market/* endpoints
+// until interrupted.
+func runMarketReport(m *market.Market, quiet, strict bool, bound string) (int, error) {
+	violated := false
+	for _, app := range m.Registry().Apps() {
+		rels := m.Registry().Releases(app)
+		for _, rel := range rels {
+			res, err := m.Evaluate(rel.Digest())
+			if err != nil {
+				return 1, err
+			}
+			if res.Verdict != market.VerdictApproved {
+				violated = true
+			}
+			fmt.Printf("%s@%s [%s] %s\n", res.App, res.Version, res.Vendor, res.Verdict)
+			if !quiet {
+				for _, v := range res.Violations {
+					fmt.Println("  -", v)
+				}
+				fmt.Println("  effective:")
+				for _, line := range strings.Split(res.Effective, "\n") {
+					fmt.Println("    " + line)
+				}
+			}
+		}
+		if !quiet && len(rels) >= 2 {
+			report, _, err := m.DiffLatest(app)
+			if err != nil {
+				return 1, err
+			}
+			fmt.Print(report)
+		}
+	}
+	if bound != "" {
+		fmt.Fprintf(os.Stderr, "serving /market endpoints on http://%s/ — interrupt to exit\n", bound)
+		select {} // OnShutdown flushes and exits on SIGINT/SIGTERM
+	}
+	if strict && violated {
 		return 2, nil
 	}
 	return 0, nil

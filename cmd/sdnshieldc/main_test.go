@@ -53,6 +53,54 @@ ASSERT EITHER { PERM network_access } OR { PERM insert_flow }
 	}
 }
 
+func TestRunMarketMode(t *testing.T) {
+	dir := t.TempDir()
+
+	// Keygen creates the vendor keypair.
+	code, err := run([]string{"-market-dir", dir, "-market-keygen", "acme"})
+	if err != nil || code != 0 {
+		t.Fatalf("keygen = (%d, %v)", code, err)
+	}
+	// A second keygen for the same vendor must refuse to overwrite.
+	if _, err := run([]string{"-market-dir", dir, "-market-keygen", "acme"}); err == nil {
+		t.Fatal("keygen overwrote an existing key")
+	}
+
+	// Sign two releases of the same app.
+	m1 := writeFile(t, "v1.perm", "PERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0")
+	code, err = run([]string{"-market-dir", dir, "-market-sign", "-app", "mon",
+		"-market-vendor", "acme", "-market-version", "1.0.0", "-manifest", m1})
+	if err != nil || code != 0 {
+		t.Fatalf("sign v1 = (%d, %v)", code, err)
+	}
+	m2 := writeFile(t, "v2.perm", "PERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0")
+	code, err = run([]string{"-market-dir", dir, "-market-sign", "-app", "mon",
+		"-market-vendor", "acme", "-market-version", "1.1.0", "-manifest", m2})
+	if err != nil || code != 0 {
+		t.Fatalf("sign v2 = (%d, %v)", code, err)
+	}
+	// Signing with an untrusted vendor fails (no key on disk).
+	if _, err := run([]string{"-market-dir", dir, "-market-sign", "-app", "mon",
+		"-market-vendor", "ghost", "-market-version", "1.0.0", "-manifest", m1}); err == nil {
+		t.Fatal("sign with a missing vendor key succeeded")
+	}
+
+	// The report mode loads, reconciles and diffs the store.
+	policy := writeFile(t, "p.policy", `
+LET Bound = { PERM read_statistics PERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0 }
+ASSERT mon <= Bound
+`)
+	code, err = run([]string{"-market-dir", dir, "-policy", policy})
+	if err != nil || code != 0 {
+		t.Fatalf("report = (%d, %v)", code, err)
+	}
+	// v1 exceeds the boundary, so -strict gates to exit 2.
+	code, err = run([]string{"-market-dir", dir, "-policy", policy, "-strict"})
+	if err != nil || code != 2 {
+		t.Fatalf("strict report = (%d, %v), want exit 2", code, err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	good := writeFile(t, "m.perm", "PERM read_statistics")
 	bad := writeFile(t, "bad.perm", "PERM levitate")

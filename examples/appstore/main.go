@@ -1,16 +1,22 @@
-// Appstore models the SDN app-market workflow of §III: several app
-// releases arrive with their shipped permission manifests; the
-// administrator's site policy is applied to each; and the reconciliation
-// engine produces a per-app review report — clean approvals, repaired
-// manifests awaiting sign-off, and the exact privileges each app will
-// run with.
+// Appstore models the SDN app-market workflow of §III end to end on the
+// internal/market subsystem: vendors sign releases with Ed25519 keys,
+// the store's provenance gate rejects tampering and unknown vendors, the
+// reconciliation engine (behind the verdict cache) produces approved /
+// repaired / rejected verdicts, repaired manifests wait for
+// administrator sign-off, and a live upgrade runs under a probation
+// window that auto-rolls back when the new release misbehaves.
 package main
 
 import (
 	"fmt"
 	"log"
+	"strings"
+	"sync"
+	"time"
 
-	"sdnshield"
+	"sdnshield/internal/core"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/market"
 )
 
 // sitePolicy is the administrator's template: a boundary for third-party
@@ -30,11 +36,11 @@ ASSERT EITHER { PERM network_access } OR { PERM insert_flow }
 var submissions = []struct {
 	name     string
 	vendor   string
+	version  string
 	manifest string
 }{
 	{
-		name:   "l2switch",
-		vendor: "OpenDaylight community",
+		name: "l2switch", vendor: "opendaylight", version: "1.0.0",
 		manifest: `
 PERM pkt_in_event
 PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
@@ -42,8 +48,7 @@ PERM send_pkt_out LIMITING FROM_PKT_IN
 `,
 	},
 	{
-		name:   "tenant-monitor",
-		vendor: "Acme NetWatch",
+		name: "tenant-monitor", vendor: "acme-netwatch", version: "1.0.0",
 		manifest: `
 PERM visible_topology LIMITING LocalTopo
 PERM read_statistics
@@ -52,8 +57,7 @@ PERM insert_flow
 `,
 	},
 	{
-		name:   "load-balancer",
-		vendor: "FlowBalance Inc",
+		name: "load-balancer", vendor: "flowbalance", version: "1.0.0",
 		manifest: `
 PERM pkt_in_event
 PERM insert_flow LIMITING WILDCARD IP_DST 255.255.255.0
@@ -61,68 +65,193 @@ PERM send_pkt_out LIMITING FROM_PKT_IN
 PERM read_statistics LIMITING PORT_LEVEL
 `,
 	},
-	{
-		name:   "telemetry-exporter",
-		vendor: "unknown",
-		manifest: `
-PERM visible_topology
-PERM read_statistics
-PERM read_payload
-PERM pkt_in_event
-PERM network_access
-PERM send_packet_out
-`,
-	},
+}
+
+// demoRuntime stands in for a live isolation.Shield: it records the
+// permission sets the market activates and serves scripted app health so
+// the probation monitor has something to watch.
+type demoRuntime struct {
+	mu     sync.Mutex
+	perms  map[string]*core.Set
+	health map[string]isolation.Health
+}
+
+func newDemoRuntime() *demoRuntime {
+	return &demoRuntime{
+		perms:  make(map[string]*core.Set),
+		health: make(map[string]isolation.Health),
+	}
+}
+
+func (d *demoRuntime) SetPermissions(app string, set *core.Set) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.perms[app] = set
+}
+
+func (d *demoRuntime) AppHealth(app string) (isolation.Health, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.health[app]
+	return h, ok
+}
+
+func (d *demoRuntime) setHealth(app string, h isolation.Health) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.health[app] = h
 }
 
 func main() {
-	policy, err := sdnshield.ParsePolicy(sitePolicy)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	approved, flagged := 0, 0
-	for _, sub := range submissions {
-		fmt.Printf("==== %s (%s) ====\n", sub.name, sub.vendor)
-		manifest, err := sdnshield.ParseManifest(sub.manifest)
-		if err != nil {
-			fmt.Println("  REJECTED: manifest does not parse:", err)
-			continue
-		}
-		result, err := sdnshield.Reconcile(sub.name, manifest, policy)
+	// --- The store: trusted vendors and their signing keys.
+	reg := market.NewRegistry()
+	keys := make(map[string]func(market.Release) *market.SignedRelease)
+	for _, vendor := range []string{"opendaylight", "acme-netwatch", "flowbalance"} {
+		pub, priv, err := market.GenerateKey()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if result.Clean {
-			approved++
-			fmt.Println("  status: APPROVED as requested")
-		} else {
-			flagged++
-			fmt.Println("  status: REPAIRED — administrator review required")
-			for _, v := range result.Violations {
-				fmt.Println("   ", v)
+		if err := reg.TrustVendor(vendor, pub); err != nil {
+			log.Fatal(err)
+		}
+		p := priv
+		keys[vendor] = func(r market.Release) *market.SignedRelease { return market.Sign(r, p) }
+	}
+
+	rt := newDemoRuntime()
+	m, err := market.New(reg, rt, market.Config{
+		PolicySrc:     sitePolicy,
+		Probation:     300 * time.Millisecond,
+		ProbationPoll: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	// --- Provenance gate: tampered and unsigned submissions never reach
+	// reconciliation.
+	fmt.Println("==== provenance gate ====")
+	tampered := keys["flowbalance"](market.Release{
+		Name: "load-balancer", Vendor: "flowbalance", Version: "0.9.0",
+		Manifest: "PERM read_statistics",
+	})
+	tampered.Manifest = "PERM read_statistics\nPERM process_runtime" // supply-chain rewrite
+	if _, err := reg.Submit(tampered); err != nil {
+		fmt.Println("  tampered package:", err)
+	}
+	_, roguePriv, _ := market.GenerateKey()
+	rogue := market.Sign(market.Release{
+		Name: "telemetry-exporter", Vendor: "unknown", Version: "1.0.0",
+		Manifest: "PERM read_payload\nPERM network_access",
+	}, roguePriv)
+	if _, err := reg.Submit(rogue); err != nil {
+		fmt.Println("  unknown vendor:  ", err)
+	}
+	fmt.Println()
+
+	// --- Install pipeline: submit, reconcile (verdict cache in front of
+	// Algorithm 1), activate or park for sign-off.
+	for _, sub := range submissions {
+		fmt.Printf("==== %s@%s (%s) ====\n", sub.name, sub.version, sub.vendor)
+		sr := keys[sub.vendor](market.Release{
+			Name: sub.name, Vendor: sub.vendor, Version: sub.version, Manifest: sub.manifest,
+		})
+		digest, err := reg.Submit(sr)
+		if err != nil {
+			fmt.Println("  REJECTED at the gate:", err)
+			continue
+		}
+		res, err := m.Install(digest)
+		if err != nil && res == nil {
+			fmt.Println("  REJECTED:", err)
+			continue
+		}
+		fmt.Printf("  verdict: %s (cache hit: %v)\n", res.Verdict, res.CacheHit)
+		for _, v := range res.Violations {
+			fmt.Println("   ", v)
+		}
+		if res.Status == market.StatusPending {
+			fmt.Println("  administrator signs off the repaired manifest…")
+			if res, err = m.Approve(sub.name); err != nil {
+				log.Fatal(err)
 			}
 		}
-		fmt.Println("  deployable permissions:")
-		for _, line := range splitLines(result.Permissions.String()) {
+		fmt.Printf("  status: %s; deployable permissions:\n", res.Status)
+		for _, line := range strings.Split(res.Effective, "\n") {
 			fmt.Println("   ", line)
 		}
 		fmt.Println()
 	}
-	fmt.Printf("summary: %d approved unchanged, %d repaired\n", approved, flagged)
+
+	// --- Verdict cache: resubmitting the same package skips Algorithm 1.
+	fmt.Println("==== verdict cache ====")
+	again := keys["opendaylight"](market.Release{
+		Name: "l2switch", Vendor: "opendaylight", Version: "1.0.0",
+		Manifest: submissions[0].manifest,
+	})
+	d, err := reg.Submit(again) // idempotent: same content address
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Evaluate(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, misses := m.Cache().Stats()
+	fmt.Printf("  re-evaluating l2switch@1.0.0: cache hit: %v (process counters: %d hits, %d misses)\n\n",
+		res.CacheHit, hits, misses)
+
+	// --- Live upgrade with probation and automatic rollback.
+	fmt.Println("==== upgrade probation ====")
+	rt.setHealth("l2switch", isolation.Running)
+	v2 := keys["opendaylight"](market.Release{
+		Name: "l2switch", Vendor: "opendaylight", Version: "2.0.0",
+		Manifest: "PERM pkt_in_event\nPERM insert_flow LIMITING ACTION FORWARD\nPERM send_pkt_out LIMITING FROM_PKT_IN",
+	})
+	d2, err := reg.Submit(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff, _, err := m.DiffLatest("l2switch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(indent(diff, "  "))
+	res, err = m.Upgrade(d2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  upgraded to 2.0.0: status %s\n", res.Status)
+	fmt.Println("  the new release starts crash-looping…")
+	rt.setHealth("l2switch", isolation.Restarting)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s, ok := m.Status("l2switch"); ok && s.Status == market.StatusActive && s.Version == "1.0.0" {
+			fmt.Printf("  rolled back automatically: active release %s, status %s\n", s.Version, s.Status)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("probation rollback did not happen")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	snaps := m.Snapshot()
+	fmt.Println("\n==== final market state ====")
+	for _, s := range snaps {
+		status := string(s.Status)
+		if status == "" {
+			status = "not installed"
+		}
+		fmt.Printf("  %-16s %-10s %s (releases: %s)\n", s.App, s.Version, status, strings.Join(s.Releases, ", "))
+	}
 }
 
-func splitLines(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			out = append(out, s[start:i])
-			start = i + 1
-		}
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
 	}
-	if start < len(s) {
-		out = append(out, s[start:])
-	}
-	return out
+	return strings.Join(lines, "\n") + "\n"
 }

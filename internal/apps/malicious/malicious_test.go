@@ -96,11 +96,21 @@ func TestRSTInjectorMechanics(t *testing.T) {
 	if attacker.Attempted() != attacker.Accepted()+attacker.Denied() {
 		t.Error("attack accounting inconsistent")
 	}
-	// Non-HTTP traffic is left alone.
+	// Non-HTTP traffic is left alone. The injector reacts to packet-ins
+	// asynchronously, so let the HTTP session's in-flight attempts drain
+	// (counter stable for one window) before sampling the baseline.
 	h1.ClearInbox()
 	before := attacker.Attempted()
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		time.Sleep(50 * time.Millisecond)
+		n := attacker.Attempted()
+		if n == before {
+			break
+		}
+		before = n
+	}
 	h1.SendTCP(h2, 50001, 9999, of.TCPFlagSYN, nil)
-	time.Sleep(50 * time.Millisecond)
+	time.Sleep(100 * time.Millisecond)
 	if attacker.Attempted() != before {
 		t.Error("injector should target only HTTP sessions")
 	}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// OnShutdown runs the given cleanups when the process receives SIGINT or
+// SIGTERM, then exits with the conventional 128+signal status. The
+// cleanups typically flush the audit JSONL sink and close the telemetry
+// server so no events are lost on an interrupted run.
+//
+// The returned cancel function detaches the handler (for the normal exit
+// path, where deferred cleanups run anyway); cleanups are guaranteed to
+// run at most once across both paths.
+func OnShutdown(cleanups ...func()) (cancel func()) {
+	var once sync.Once
+	runAll := func() {
+		once.Do(func() {
+			for _, fn := range cleanups {
+				fn()
+			}
+		})
+	}
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "\nreceived %v; flushing telemetry and audit sinks\n", sig)
+			runAll()
+			code := 128 + 15 // SIGTERM
+			if sig == syscall.SIGINT {
+				code = 128 + 2
+			}
+			os.Exit(code)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+		runAll()
+	}
+}

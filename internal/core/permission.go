@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -118,6 +119,38 @@ func (s *Set) Tokens() []Token {
 
 // Len returns the number of granted tokens.
 func (s *Set) Len() int { return len(s.order) }
+
+// SortedTokens returns the granted tokens in ascending token order —
+// a canonical ordering independent of grant history, for renderings
+// that must be stable across runs (market diffs, signed manifests).
+func (s *Set) SortedTokens() []Token {
+	out := s.Tokens()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SortedPermissions returns the grants in ascending token order.
+func (s *Set) SortedPermissions() []Permission {
+	tokens := s.SortedTokens()
+	out := make([]Permission, 0, len(tokens))
+	for _, t := range tokens {
+		out = append(out, Permission{Token: t, Filter: s.filters[t]})
+	}
+	return out
+}
+
+// SortedString renders the set as a permission manifest in canonical
+// (ascending token) order.
+func (s *Set) SortedString() string {
+	var sb strings.Builder
+	for i, p := range s.SortedPermissions() {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}
 
 // Permissions returns the grants in order.
 func (s *Set) Permissions() []Permission {

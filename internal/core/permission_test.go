@@ -213,3 +213,44 @@ func TestPermissionString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestSetSortedRenderingDeterministic(t *testing.T) {
+	// Two sets with the same grants in opposite insertion order must
+	// agree on every sorted accessor.
+	a := NewSet()
+	a.Grant(TokenReadStatistics, nil)
+	a.Grant(TokenInsertFlow, NewLeaf(NewOwnerFilter(true)))
+	a.Grant(TokenVisibleTopology, nil)
+	b := NewSet()
+	b.Grant(TokenVisibleTopology, nil)
+	b.Grant(TokenInsertFlow, NewLeaf(NewOwnerFilter(true)))
+	b.Grant(TokenReadStatistics, nil)
+
+	at, bt := a.SortedTokens(), b.SortedTokens()
+	if len(at) != len(bt) {
+		t.Fatalf("token counts differ: %v vs %v", at, bt)
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Fatalf("sorted tokens differ: %v vs %v", at, bt)
+		}
+		if i > 0 && at[i-1] >= at[i] {
+			t.Fatalf("SortedTokens not ascending: %v", at)
+		}
+	}
+	if a.SortedString() != b.SortedString() {
+		t.Fatalf("SortedString depends on grant order:\n%s\nvs\n%s",
+			a.SortedString(), b.SortedString())
+	}
+	ap := a.SortedPermissions()
+	for i := range ap {
+		if ap[i].Token != at[i] {
+			t.Fatalf("SortedPermissions order diverges from SortedTokens")
+		}
+	}
+	// The grant-ordered accessors are untouched: insertion order stays
+	// observable for callers that need history.
+	if got := a.Tokens()[0]; got != TokenReadStatistics {
+		t.Errorf("Tokens()[0] = %v, want insertion order preserved", got)
+	}
+}

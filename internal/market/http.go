@@ -1,0 +1,173 @@
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sdnshield/internal/obs"
+)
+
+// MountHTTP registers the market's administrative surface on the obs
+// introspection endpoint (obs handlers built after this call include
+// the routes):
+//
+//	GET  /market/apps            app states, releases, verdicts
+//	POST /market/install         body: signed release package JSON, or
+//	                             {"digest": "..."} for a stored release
+//	POST /market/approve         body: {"app": "..."}
+//	POST /market/upgrade         body: package JSON or {"digest": "..."}
+//	POST /market/revoke          body: {"app": "..."}
+//	GET  /market/diff?app=NAME[&from=DIGEST&to=DIGEST]
+//
+// install and upgrade accept the full package (submit + pipeline in one
+// round trip), so a vendor portal can POST the exact artifact it
+// distributes; provenance is re-checked server-side. A digest-only body
+// selects a release already in the registry (e.g. loaded from the
+// on-disk store), which is the administrator's usual path.
+func MountHTTP(m *Market) {
+	obs.RegisterHandler("/market/apps", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Snapshot())
+	}))
+	obs.RegisterHandler("/market/install", handlePackage(m, m.Install))
+	obs.RegisterHandler("/market/upgrade", handlePackage(m, m.Upgrade))
+	obs.RegisterHandler("/market/approve", handleApp(m, func(app string) (interface{}, error) {
+		return m.Approve(app)
+	}))
+	obs.RegisterHandler("/market/revoke", handleApp(m, func(app string) (interface{}, error) {
+		if err := m.Revoke(app); err != nil {
+			return nil, err
+		}
+		snap, _ := m.Status(app)
+		return snap, nil
+	}))
+	obs.RegisterHandler("/market/diff", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		app := r.URL.Query().Get("app")
+		fromS, toS := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+		var (
+			report  string
+			entries []DiffEntry
+			err     error
+		)
+		switch {
+		case fromS != "" && toS != "":
+			var from, to Digest
+			if from, err = ParseDigest(fromS); err == nil {
+				if to, err = ParseDigest(toS); err == nil {
+					report, entries, err = m.DiffReleases(from, to)
+				}
+			}
+		case app != "":
+			report, entries, err = m.DiffLatest(app)
+		default:
+			err = fmt.Errorf("market: need ?app=NAME or ?from=DIGEST&to=DIGEST")
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"report":  report,
+			"entries": entries,
+		})
+	}))
+}
+
+// handlePackage serves install/upgrade: decode a signed package, submit
+// it through the provenance gate, then run the pipeline step.
+func handlePackage(m *Market, step func(Digest) (*InstallResult, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST a signed release package"})
+			return
+		}
+		var req struct {
+			SignedRelease
+			Digest string `json:"digest"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad package JSON: " + err.Error()})
+			return
+		}
+		var digest Digest
+		if req.Digest != "" {
+			// Digest-only body: select a release already in the registry.
+			d, err := ParseDigest(req.Digest)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+				return
+			}
+			if _, err := m.Registry().Release(d); err != nil {
+				writeError(w, err)
+				return
+			}
+			digest = d
+		} else {
+			d, err := m.Registry().Submit(&req.SignedRelease)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			digest = d
+		}
+		result, err := step(digest)
+		if err != nil && result == nil {
+			writeError(w, err)
+			return
+		}
+		if err != nil {
+			// A rejected verdict still carries a useful result body.
+			writeJSON(w, http.StatusConflict, result)
+			return
+		}
+		writeJSON(w, http.StatusOK, result)
+	})
+}
+
+// handleApp serves approve/revoke: decode {"app": "..."} and apply.
+func handleApp(m *Market, step func(app string) (interface{}, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": `POST {"app": "..."}`})
+			return
+		}
+		var req struct {
+			App string `json:"app"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.App == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": `body must be {"app": "..."}`})
+			return
+		}
+		out, err := step(req.App)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownVendor), errors.Is(err, ErrBadSignature):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrUnknownRelease), errors.Is(err, ErrNotInstalled), errors.Is(err, ErrNothingPending):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDuplicateRelease), errors.Is(err, ErrAlreadyInstalled),
+		errors.Is(err, ErrNotAnUpgrade), errors.Is(err, ErrRejected):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,35 @@
+package market
+
+import "sdnshield/internal/obs"
+
+// Market instruments, in the process-wide registry so they surface on
+// /metrics next to the engine and shield series.
+var (
+	mCacheHits = obs.Default().Counter("sdnshield_market_verdict_cache_hits_total",
+		"Reconciliation verdict cache hits: installs served without re-running Algorithm 1.")
+	mCacheMisses = obs.Default().Counter("sdnshield_market_verdict_cache_misses_total",
+		"Reconciliation verdict cache misses: unique (manifest, policy) pairs reconciled.")
+	mSubmits = obs.Default().Counter("sdnshield_market_submissions_total",
+		"Release packages accepted into the registry.", "outcome", "accepted")
+	mSubmitRejects = obs.Default().Counter("sdnshield_market_submissions_total",
+		"Release packages accepted into the registry.", "outcome", "rejected")
+	mLifecycle = func() map[string]*obs.Counter {
+		ops := []string{"install", "approve", "upgrade", "revoke", "rollback", "commit"}
+		out := make(map[string]*obs.Counter, len(ops))
+		for _, op := range ops {
+			out[op] = obs.Default().Counter("sdnshield_market_lifecycle_total",
+				"Market lifecycle operations by kind.", "op", op)
+		}
+		return out
+	}()
+	gActiveApps = obs.Default().Gauge("sdnshield_market_active_apps",
+		"Apps currently running with market-managed permissions.")
+	gProbations = obs.Default().Gauge("sdnshield_market_probations",
+		"Upgrades currently inside their probation window.")
+)
+
+func countLifecycle(op string) {
+	if c, ok := mLifecycle[op]; ok {
+		c.Inc()
+	}
+}

@@ -1,0 +1,193 @@
+package market
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/permlang"
+)
+
+// Provenance errors. They are distinct sentinels so callers (and the
+// e2e suite) can assert a package was rejected for the right reason —
+// before any reconciliation ran.
+var (
+	// ErrUnknownVendor reports a package from a vendor with no trusted key.
+	ErrUnknownVendor = errors.New("market: unknown vendor (no trusted key)")
+	// ErrBadSignature reports a signature that does not verify — a forged
+	// or tampered package.
+	ErrBadSignature = errors.New("market: signature verification failed")
+	// ErrDuplicateRelease reports a (name, version) pair already stored
+	// with different content.
+	ErrDuplicateRelease = errors.New("market: release version already exists with different content")
+	// ErrUnknownRelease reports a lookup of a digest the registry has
+	// never accepted.
+	ErrUnknownRelease = errors.New("market: unknown release")
+)
+
+// Registry stores trusted vendor keys and the releases that verified
+// against them. It is the market's provenance gate: nothing enters the
+// install pipeline without a valid signature from a trusted key, and
+// every stored release is content-addressed so later tampering is
+// detectable by re-hashing.
+type Registry struct {
+	mu       sync.RWMutex
+	keys     map[string]ed25519.PublicKey
+	byDigest map[Digest]*SignedRelease
+	byApp    map[string][]*SignedRelease // sorted by semver, ascending
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		keys:     make(map[string]ed25519.PublicKey),
+		byDigest: make(map[Digest]*SignedRelease),
+		byApp:    make(map[string][]*SignedRelease),
+	}
+}
+
+// TrustVendor installs (or replaces) a vendor's public key.
+func (r *Registry) TrustVendor(vendor string, pub ed25519.PublicKey) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("market: bad public key size %d for vendor %q", len(pub), vendor)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys[vendor] = append(ed25519.PublicKey(nil), pub...)
+	return nil
+}
+
+// VendorKey returns a trusted vendor's public key.
+func (r *Registry) VendorKey(vendor string) (ed25519.PublicKey, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pub, ok := r.keys[vendor]
+	return pub, ok
+}
+
+// Vendors lists the trusted vendor names, sorted.
+func (r *Registry) Vendors() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.keys))
+	for v := range r.keys {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit verifies a signed package and stores it. The provenance gate
+// runs in order: trusted vendor key, Ed25519 signature over the
+// canonical encoding, well-formed semver, parseable manifest. Rejected
+// packages leave an audit event and never reach reconciliation.
+func (r *Registry) Submit(sr *SignedRelease) (Digest, error) {
+	digest := sr.Digest()
+	if err := r.vet(sr); err != nil {
+		mSubmitRejects.Inc()
+		if audit.On() {
+			audit.Emit(audit.Event{
+				Kind: audit.KindMarket, Verdict: audit.VerdictReject,
+				App: sr.Name, Op: "submit",
+				Detail: fmt.Sprintf("release %s@%s from %q: %v", sr.Name, sr.Version, sr.Vendor, err),
+			})
+		}
+		return digest, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byDigest[digest]; ok {
+		return digest, nil // idempotent resubmission of identical content
+	}
+	for _, prev := range r.byApp[sr.Name] {
+		if prev.Version == sr.Version {
+			return digest, fmt.Errorf("%w: %s@%s", ErrDuplicateRelease, sr.Name, sr.Version)
+		}
+	}
+	stored := *sr
+	stored.Sig = append(HexBytes(nil), sr.Sig...)
+	r.byDigest[digest] = &stored
+	releases := append(r.byApp[sr.Name], &stored)
+	sort.SliceStable(releases, func(i, j int) bool {
+		vi, _ := ParseVersion(releases[i].Version)
+		vj, _ := ParseVersion(releases[j].Version)
+		return vi.Compare(vj) < 0
+	})
+	r.byApp[sr.Name] = releases
+	mSubmits.Inc()
+	if audit.On() {
+		audit.Emit(audit.Event{
+			Kind: audit.KindMarket, Verdict: audit.VerdictInstall,
+			App: sr.Name, Op: "submit",
+			Detail: fmt.Sprintf("release %s@%s from %q accepted (digest %s)", sr.Name, sr.Version, sr.Vendor, digest),
+		})
+	}
+	return digest, nil
+}
+
+// vet runs the provenance checks without touching the store.
+func (r *Registry) vet(sr *SignedRelease) error {
+	pub, ok := r.VendorKey(sr.Vendor)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVendor, sr.Vendor)
+	}
+	if !sr.VerifySignature(pub) {
+		return ErrBadSignature
+	}
+	if _, err := ParseVersion(sr.Version); err != nil {
+		return err
+	}
+	if _, err := permlang.Parse(sr.Manifest); err != nil {
+		return fmt.Errorf("market: manifest does not parse: %w", err)
+	}
+	return nil
+}
+
+// Release returns a stored release by digest, re-verifying its content
+// address so in-memory tampering cannot survive a lookup.
+func (r *Registry) Release(d Digest) (*SignedRelease, error) {
+	r.mu.RLock()
+	sr, ok := r.byDigest[d]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRelease, d)
+	}
+	if sr.Digest() != d {
+		return nil, ErrBadSignature
+	}
+	return sr, nil
+}
+
+// Releases lists an app's stored releases in ascending version order.
+func (r *Registry) Releases(app string) []*SignedRelease {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*SignedRelease(nil), r.byApp[app]...)
+}
+
+// Latest returns an app's highest-versioned release.
+func (r *Registry) Latest(app string) (*SignedRelease, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rel := r.byApp[app]
+	if len(rel) == 0 {
+		return nil, false
+	}
+	return rel[len(rel)-1], true
+}
+
+// Apps lists the app names with at least one stored release, sorted.
+func (r *Registry) Apps() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byApp))
+	for name := range r.byApp {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,183 @@
+package market
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store layout under a market directory:
+//
+//	DIR/keys/<vendor>.pub   trusted vendor public key, hex
+//	DIR/keys/<vendor>.key   vendor private key, hex (created by Keygen;
+//	                        a controller-side store normally has none)
+//	DIR/releases/<digest>.json  signed release package
+//
+// The store is deliberately dumb — flat files, content-addressed names —
+// so packages can be shipped, diffed and inspected with standard tools,
+// and a tampered file is caught by the digest/signature re-check on
+// load.
+
+// Keygen generates a vendor keypair under dir/keys and returns the
+// public key. Existing key files are refused rather than overwritten.
+func Keygen(dir, vendor string) (ed25519.PublicKey, error) {
+	if err := validName(vendor); err != nil {
+		return nil, err
+	}
+	keyDir := filepath.Join(dir, "keys")
+	if err := os.MkdirAll(keyDir, 0o755); err != nil {
+		return nil, err
+	}
+	pubPath := filepath.Join(keyDir, vendor+".pub")
+	keyPath := filepath.Join(keyDir, vendor+".key")
+	for _, p := range []string{pubPath, keyPath} {
+		if _, err := os.Stat(p); err == nil {
+			return nil, fmt.Errorf("market: refusing to overwrite existing %s", p)
+		}
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(pubPath, []byte(hex.EncodeToString(pub)+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(keyPath, []byte(hex.EncodeToString(priv)+"\n"), 0o600); err != nil {
+		return nil, err
+	}
+	return pub, nil
+}
+
+// LoadPrivateKey reads a hex-encoded Ed25519 private key file.
+func LoadPrivateKey(path string) (ed25519.PrivateKey, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(b)))
+	if err != nil {
+		return nil, fmt.Errorf("market: bad key file %s: %w", path, err)
+	}
+	if len(raw) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("market: bad private key size %d in %s", len(raw), path)
+	}
+	return raw, nil
+}
+
+// LoadPublicKey reads a hex-encoded Ed25519 public key file.
+func LoadPublicKey(path string) (ed25519.PublicKey, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(b)))
+	if err != nil {
+		return nil, fmt.Errorf("market: bad key file %s: %w", path, err)
+	}
+	if len(raw) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("market: bad public key size %d in %s", len(raw), path)
+	}
+	return raw, nil
+}
+
+// SaveRelease writes a signed package under dir/releases, named by its
+// content address.
+func SaveRelease(dir string, sr *SignedRelease) (string, error) {
+	relDir := filepath.Join(dir, "releases")
+	if err := os.MkdirAll(relDir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(sr, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(relDir, sr.Digest().String()+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadDir populates a registry from a market directory: every key under
+// keys/ is trusted, then every package under releases/ is submitted
+// through the full provenance gate. Tampered or unverifiable packages
+// are skipped and reported in the returned problem list (the registry
+// stays usable; the administrator sees exactly what was refused).
+func LoadDir(dir string, reg *Registry) (loaded int, problems []string, err error) {
+	keyDir := filepath.Join(dir, "keys")
+	if entries, err := os.ReadDir(keyDir); err == nil {
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".pub") {
+				continue
+			}
+			vendor := strings.TrimSuffix(e.Name(), ".pub")
+			pub, err := LoadPublicKey(filepath.Join(keyDir, e.Name()))
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("key %s: %v", e.Name(), err))
+				continue
+			}
+			if err := reg.TrustVendor(vendor, pub); err != nil {
+				problems = append(problems, fmt.Sprintf("key %s: %v", e.Name(), err))
+			}
+		}
+	}
+
+	relDir := filepath.Join(dir, "releases")
+	entries, err := os.ReadDir(relDir)
+	if os.IsNotExist(err) {
+		return loaded, problems, nil
+	}
+	if err != nil {
+		return loaded, problems, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(relDir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("release %s: %v", e.Name(), err))
+			continue
+		}
+		var sr SignedRelease
+		if err := json.Unmarshal(data, &sr); err != nil {
+			problems = append(problems, fmt.Sprintf("release %s: %v", e.Name(), err))
+			continue
+		}
+		// The filename is the claimed content address; a file whose
+		// content hashes differently was renamed or edited.
+		want := strings.TrimSuffix(e.Name(), ".json")
+		if got := sr.Digest().String(); got != want {
+			problems = append(problems, fmt.Sprintf("release %s: content digest %s does not match filename", e.Name(), got))
+			continue
+		}
+		if _, err := reg.Submit(&sr); err != nil {
+			problems = append(problems, fmt.Sprintf("release %s: %v", e.Name(), err))
+			continue
+		}
+		loaded++
+	}
+	return loaded, problems, nil
+}
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("market: empty name")
+	}
+	for _, r := range name {
+		if !(r == '-' || r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return fmt.Errorf("market: name %q contains %q; use [A-Za-z0-9._-]", name, r)
+		}
+	}
+	if strings.HasPrefix(name, ".") {
+		return fmt.Errorf("market: name %q may not start with a dot", name)
+	}
+	return nil
+}

@@ -47,6 +47,9 @@ const (
 	KindReconcile Kind = "reconcile"
 	// KindFault is an injected fault from the fault-injection harness.
 	KindFault Kind = "fault"
+	// KindMarket is an app-market lifecycle event (submit/install/
+	// approve/upgrade/revoke/rollback); Op names the operation.
+	KindMarket Kind = "market"
 )
 
 // Verdict is the outcome an event records.
@@ -74,6 +77,16 @@ const (
 	VerdictClean          Verdict = "clean"
 	VerdictViolation      Verdict = "violation"
 	VerdictInjected       Verdict = "injected"
+
+	// Market lifecycle verdicts: install/upgrade/approve/revoke record a
+	// completed lifecycle transition; reject records a package or verdict
+	// refusal; rollback (shared with tx events) records a probation
+	// failure reverting to the previous release's permissions.
+	VerdictInstall Verdict = "install"
+	VerdictUpgrade Verdict = "upgrade"
+	VerdictApprove Verdict = "approve"
+	VerdictRevoke  Verdict = "revoke"
+	VerdictReject  Verdict = "reject"
 )
 
 // Event is one structured audit record. Seq and Time are stamped by the

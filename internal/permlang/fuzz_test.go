@@ -74,3 +74,42 @@ func TestParsePrintFixpoint(t *testing.T) {
 		t.Error("macro manifest not stable")
 	}
 }
+
+// FuzzParseManifest is the native fuzz target behind `make fuzz-smoke`.
+// The seeds extend fuzzCorpus with the manifests the app-market ships in
+// signed release packages (examples/appstore and the market tests), so
+// coverage-guided mutation starts from what a hostile vendor would
+// actually upload. The contract under fuzz: the parser never panics, and
+// anything it accepts survives a render → reparse round trip.
+func FuzzParseManifest(f *testing.F) {
+	marketCorpus := []string{
+		// l2switch@1.0.0 — the canonical learning-switch release.
+		"PERM pkt_in_event\nPERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS\nPERM send_pkt_out LIMITING FROM_PKT_IN\n",
+		// tenant-monitor@1.0.0 — stub macros plus an admin IP range.
+		"PERM visible_topology LIMITING LocalTopo\nPERM read_statistics\nPERM network_access LIMITING AdminRange\nPERM insert_flow\n",
+		// load-balancer@1.0.0 — wildcard flows, port-level statistics.
+		"PERM pkt_in_event\nPERM insert_flow LIMITING WILDCARD IP_DST 255.255.255.0\nPERM send_pkt_out LIMITING FROM_PKT_IN\nPERM read_statistics LIMITING PORT_LEVEL\n",
+		// The repaired-boundary shape the market e2e test exercises.
+		"PERM pkt_in_event\nPERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0\n",
+		// Degenerate but legal inputs.
+		"",
+		"# only a comment\n",
+	}
+	for _, s := range append(append([]string(nil), fuzzCorpus...), marketCorpus...) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := m.String()
+		m2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering does not reparse: %v\nsource: %q\nrendered: %q", err, src, rendered)
+		}
+		if rendered != m2.String() {
+			t.Fatalf("render/reparse not a fixpoint\nsource: %q\n1: %q\n2: %q", src, rendered, m2.String())
+		}
+	})
+}

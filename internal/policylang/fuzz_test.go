@@ -27,3 +27,37 @@ func TestPolicyParseFuzzNoPanics(t *testing.T) {
 		}
 	}
 }
+
+// FuzzParsePolicy is the native fuzz target behind `make fuzz-smoke`,
+// seeded with the site policies the app-market subsystem reconciles
+// against (examples/appstore, the market tests, and the boolean-assertion
+// shapes the repair engine handles). The parser must never panic; what it
+// accepts it must accept again after a resolve-free reparse of the same
+// source.
+func FuzzParsePolicy(f *testing.F) {
+	seeds := []string{
+		// The appstore site policy: stub bindings + mutual exclusions.
+		"LET LocalTopo = {SWITCH 1,2,3,4}\nLET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}\nASSERT EITHER { PERM network_access } OR { PERM send_packet_out }\nASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n",
+		// The market-test boundary policy (bare app var <= binding).
+		"LET Bound = { PERM read_statistics PERM visible_topology PERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0 }\nASSERT EITHER { PERM network_access } OR { PERM process_runtime }\nASSERT mon <= Bound\n",
+		// Boolean combinations the repair path distinguishes.
+		"LET A = { PERM read_statistics }\nLET B = { PERM visible_topology }\nASSERT (monitor <= A) AND ((A <= B) OR (monitor <= B))\n",
+		"LET Bound = { PERM read_statistics }\nASSERT NOT (NOT (monitor <= Bound))\n",
+		"ASSERT (a MEET b) <= c AND NOT a = b",
+		"LET x = APP monitor\nASSERT x < y OR y >= x",
+		// Degenerate but legal inputs.
+		"",
+		"# only a comment\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if _, err := Parse(src); err != nil {
+			return
+		}
+		if _, err := Parse(src); err != nil {
+			t.Fatalf("accepted source rejected on reparse: %v\nsource: %q", err, src)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package reconcile
+
+import (
+	"testing"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/permlang"
+	"sdnshield/internal/policylang"
+)
+
+// repairEnv reconciles a manifest against a policy and returns the result
+// plus the boundary set named bindingName, resolved independently so the
+// tests can use Algorithm 1 (Set.Includes) as the repair oracle.
+func repairEnv(t *testing.T, manifestSrc, policySrc, boundarySrc string) (*Result, *core.Set) {
+	t.Helper()
+	manifest := permlang.MustParse(manifestSrc)
+	policy := policylang.MustParse(policySrc)
+	res, err := New().Reconcile("monitor", manifest, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := permlang.MustParse(boundarySrc).Set()
+	return res, boundary
+}
+
+// assertWithinBoundary checks repaired <= boundary with Algorithm 1.
+func assertWithinBoundary(t *testing.T, boundary, repaired *core.Set) {
+	t.Helper()
+	ok, err := boundary.Includes(repaired)
+	if err != nil {
+		t.Fatalf("inclusion oracle failed: %v", err)
+	}
+	if !ok {
+		t.Fatalf("repaired set exceeds the boundary:\nrepaired:\n%s\nboundary:\n%s",
+			repaired, boundary)
+	}
+}
+
+const mixedBoundarySrc = `
+PERM read_statistics LIMITING PORT_LEVEL
+PERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0
+PERM visible_topology
+`
+
+// TestRepairUnderMixedAndOr: a violated boundary conjoined with a
+// satisfied side condition still repairs by MEET, and the repaired set
+// passes the Algorithm 1 inclusion oracle.
+func TestRepairUnderMixedAndOr(t *testing.T) {
+	res, boundary := repairEnv(t, `
+PERM read_statistics
+PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0
+PERM visible_topology
+`, `
+LET Bound = {`+mixedBoundarySrc+`}
+LET Wide = { PERM read_statistics PERM insert_flow PERM visible_topology PERM pkt_in_event }
+# The OR side condition holds (Bound <= Wide), the AND'ed boundary fails:
+# exactly one repairable conjunct, so the MEET repair applies.
+ASSERT (monitor <= Bound) AND ((Bound <= Wide) OR (monitor <= Wide))
+`, mixedBoundarySrc)
+
+	if res.Clean {
+		t.Fatal("over-broad manifest must violate")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == ViolationBoundary && v.Repair != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no repaired boundary violation: %v", res.Violations)
+	}
+	assertWithinBoundary(t, boundary, res.Reconciled)
+	// Repair only narrows: requested includes repaired.
+	ok, err := res.Requested.Includes(res.Reconciled)
+	if err != nil || !ok {
+		t.Fatalf("repair widened the request: (%v, %v)", ok, err)
+	}
+	// And it kept what was already inside the boundary.
+	if !res.Reconciled.Has(core.TokenVisibleTopology) {
+		t.Error("in-boundary grant lost during repair")
+	}
+}
+
+// TestOrOfBoundariesCleanWhenEitherHolds: a disjunction of boundaries is
+// satisfied by the second disjunct, so nothing repairs.
+func TestOrOfBoundariesCleanWhenEitherHolds(t *testing.T) {
+	res, _ := repairEnv(t, `
+PERM read_statistics LIMITING PORT_LEVEL
+`, `
+LET Tight = { PERM visible_topology }
+LET Loose = { PERM read_statistics }
+ASSERT (monitor <= Tight) OR (monitor <= Loose)
+`, "PERM read_statistics")
+	if !res.Clean {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	eq, err := res.Reconciled.Equal(res.Requested)
+	if err != nil || !eq {
+		t.Fatalf("clean reconciliation must not rewrite the set: (%v, %v)", eq, err)
+	}
+}
+
+// TestOrOfBoundariesUnrepairable: when neither disjunct holds there is no
+// canonical boundary to MEET with — the violation is reported but the
+// working set is left alone for the administrator.
+func TestOrOfBoundariesUnrepairable(t *testing.T) {
+	res, _ := repairEnv(t, `
+PERM process_runtime
+`, `
+LET A = { PERM visible_topology }
+LET B = { PERM read_statistics }
+ASSERT (monitor <= A) OR (monitor <= B)
+`, "PERM visible_topology")
+	if res.Clean {
+		t.Fatal("violation expected")
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Kind != ViolationBoundary {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if res.Violations[0].Repair != "" {
+		t.Errorf("OR violation offered a repair: %q", res.Violations[0].Repair)
+	}
+	eq, err := res.Reconciled.Equal(res.Requested)
+	if err != nil || !eq {
+		t.Fatalf("unrepairable violation must not mutate the set: (%v, %v)", eq, err)
+	}
+}
+
+// TestNestedNotAssertions: double negation preserves the boundary's truth
+// value; single negation inverts it. NOT discards the repair direction
+// (the engine cannot know what "not exceeding" should MEET with), so the
+// violation reports unrepaired.
+func TestNestedNotAssertions(t *testing.T) {
+	// NOT (NOT (monitor <= Bound)) with a conforming app: clean.
+	res, _ := repairEnv(t, `
+PERM read_statistics LIMITING PORT_LEVEL
+`, `
+LET Bound = { PERM read_statistics }
+ASSERT NOT (NOT (monitor <= Bound))
+`, "PERM read_statistics")
+	if !res.Clean {
+		t.Fatalf("double negation of a satisfied boundary must be clean: %v", res.Violations)
+	}
+
+	// NOT (NOT (monitor <= Bound)) with an over-broad app: violated,
+	// and the NOT wrapper suppresses the MEET repair.
+	res, _ = repairEnv(t, `
+PERM read_statistics
+PERM process_runtime
+`, `
+LET Bound = { PERM read_statistics }
+ASSERT NOT (NOT (monitor <= Bound))
+`, "PERM read_statistics")
+	if res.Clean {
+		t.Fatal("double-negated violated boundary must still violate")
+	}
+	if res.Violations[0].Repair != "" {
+		t.Errorf("NOT-wrapped violation offered a repair: %q", res.Violations[0].Repair)
+	}
+	eq, err := res.Reconciled.Equal(res.Requested)
+	if err != nil || !eq {
+		t.Fatalf("NOT-wrapped violation must not mutate the set: (%v, %v)", eq, err)
+	}
+
+	// Single NOT: the app must NOT fit inside Forbidden; holding extra
+	// permissions satisfies it.
+	res, _ = repairEnv(t, `
+PERM read_statistics
+PERM visible_topology
+`, `
+LET Forbidden = { PERM read_statistics }
+ASSERT NOT (monitor <= Forbidden)
+`, "PERM read_statistics")
+	if !res.Clean {
+		t.Fatalf("negated non-inclusion must be clean: %v", res.Violations)
+	}
+}
+
+// TestAndOfTwoFailedBoundaries: with both conjuncts violated there is no
+// single canonical repair, so the engine reports without rewriting.
+func TestAndOfTwoFailedBoundaries(t *testing.T) {
+	res, _ := repairEnv(t, `
+PERM process_runtime
+PERM file_system
+`, `
+LET A = { PERM read_statistics }
+LET B = { PERM visible_topology }
+ASSERT (monitor <= A) AND (monitor <= B)
+`, "PERM read_statistics")
+	if res.Clean {
+		t.Fatal("violation expected")
+	}
+	if res.Violations[0].Repair != "" {
+		t.Errorf("double failure offered a repair: %q", res.Violations[0].Repair)
+	}
+	eq, err := res.Reconciled.Equal(res.Requested)
+	if err != nil || !eq {
+		t.Fatalf("set mutated without a repair: (%v, %v)", eq, err)
+	}
+}
+
+// TestRepairFixpoint: feeding the repaired set back through the same
+// policy reconciles clean — the MEET really landed inside the boundary.
+func TestRepairFixpoint(t *testing.T) {
+	policySrc := `
+LET Bound = {` + mixedBoundarySrc + `}
+ASSERT (monitor <= Bound) AND ((Bound <= Bound) OR (monitor <= Bound))
+`
+	res, boundary := repairEnv(t, `
+PERM read_statistics
+PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0
+PERM visible_topology
+PERM pkt_in_event
+`, policySrc, mixedBoundarySrc)
+	if res.Clean {
+		t.Fatal("violation expected")
+	}
+	assertWithinBoundary(t, boundary, res.Reconciled)
+
+	res2, err := New().Reconcile("monitor", setToManifest(res.Reconciled), policylang.MustParse(policySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Clean {
+		t.Errorf("repaired set still violates on the second pass: %v", res2.Violations)
+	}
+}

@@ -150,9 +150,10 @@ type Permissions struct {
 // String renders the set as a permission manifest.
 func (p *Permissions) String() string { return p.set.String() }
 
-// Tokens lists the granted permission tokens.
+// Tokens lists the granted permission tokens in canonical (sorted)
+// order, independent of the grant sequence that built the set.
 func (p *Permissions) Tokens() []string {
-	tokens := p.set.Tokens()
+	tokens := p.set.SortedTokens()
 	out := make([]string, len(tokens))
 	for i, t := range tokens {
 		out[i] = t.String()

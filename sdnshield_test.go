@@ -229,3 +229,25 @@ func TestFacadeRestrictAndRevoke(t *testing.T) {
 		t.Error("unknown token revoke accepted")
 	}
 }
+
+func TestPermissionsTokensDeterministic(t *testing.T) {
+	// Two manifests listing the same permissions in different order must
+	// expose identical token listings.
+	srcA := "PERM read_statistics\nPERM insert_flow\nPERM visible_topology"
+	srcB := "PERM visible_topology\nPERM insert_flow\nPERM read_statistics"
+	var listings [][]string
+	for _, src := range []string{srcA, srcB} {
+		m, err := ParseManifest(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Reconcile("app", m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		listings = append(listings, res.Permissions.Tokens())
+	}
+	if strings.Join(listings[0], ",") != strings.Join(listings[1], ",") {
+		t.Fatalf("Tokens() depends on manifest order: %v vs %v", listings[0], listings[1])
+	}
+}
