@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check check bench bench-obs bench-audit attacksim fuzz-smoke
+.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder attacksim fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ bench-obs:
 # (DESIGN.md §11).
 bench-audit:
 	$(GO) test -bench=BenchmarkMediatedCallAudit -benchtime=1s -count=4 -run=^$$ .
+
+# bench-recorder enforces the flight recorder's 5% budget: the guard
+# runs RecorderOn/RecorderOff pairs and fails when the median ratio
+# exceeds 1.05 (DESIGN.md §13). SHORT=1 drops to 3 pairs for CI.
+bench-recorder:
+	SDNSHIELD_RECORDER_GUARD=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestRecorderOverheadBudget -v .
 
 attacksim:
 	$(GO) run ./cmd/attacksim -v

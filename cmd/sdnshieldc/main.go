@@ -54,6 +54,7 @@ func run(args []string) (int, error) {
 	quiet := fs.Bool("quiet", false, "print only the reconciled permissions")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /audit, pprof) on this address, e.g. 127.0.0.1:9090")
 	auditFile := fs.String("audit-file", "", "append audit events as JSONL to this file (rotated at 64 MiB)")
+	bundleDir := fs.String("bundle-dir", "", "write diagnostic bundles (anomaly/quota/quarantine captures) to this directory as <id>.json")
 	marketDir := fs.String("market-dir", "", "market mode: operate on this app-market directory (keys/ + releases/)")
 	marketKeygen := fs.String("market-keygen", "", "market mode: generate a keypair for this vendor under the market dir, print the public key, and exit")
 	marketSign := fs.Bool("market-sign", false, "market mode: package -app/-manifest as a signed release (needs -market-vendor, -market-version)")
@@ -122,9 +123,15 @@ func run(args []string) (int, error) {
 		stopTelemetry()
 		return 1, err
 	}
+	stopBundles, err := bench.StartBundleDir(*bundleDir)
+	if err != nil {
+		stopAudit()
+		stopTelemetry()
+		return 1, err
+	}
 	// Flush the audit sink and close the telemetry server on SIGINT/
 	// SIGTERM too, so an interrupted run loses no events.
-	cancelShutdown := bench.OnShutdown(stopAudit, stopTelemetry)
+	cancelShutdown := bench.OnShutdown(stopBundles, stopAudit, stopTelemetry)
 	defer cancelShutdown()
 	// The reconciled permissions go to stdout; the digest must not mix in.
 	defer func() { fmt.Fprintln(os.Stderr, bench.TelemetrySummary()) }()

@@ -5,6 +5,7 @@ import (
 
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/recorder"
 )
 
 // StartTelemetry serves the obs introspection endpoint on addr ("" means
@@ -38,6 +39,20 @@ func StartAuditSink(path string) (stop func(), err error) {
 		j.DetachSink()
 		_ = sink.Close()
 	}, nil
+}
+
+// StartBundleDir points the default diagnostic bundler at dir ("" means
+// off): every anomaly, quota-breach, quarantine or manual capture is
+// written there as <id>.json. The returned stop function (never nil)
+// detaches the directory so later captures stay in memory only.
+func StartBundleDir(dir string) (stop func(), err error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	if err := recorder.SetBundleDir(dir); err != nil {
+		return nil, err
+	}
+	return func() { _ = recorder.SetBundleDir("") }, nil
 }
 
 // TelemetrySummary renders the one-line metrics digest the CLIs print on

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Budget is a per-app soft resource quota declared in a release manifest
+// (BUDGET statements). It bounds what a sandboxed app may consume, not
+// what it may do — the complement of the permission set. Zero fields are
+// unlimited; a zero Budget imposes no quotas at all. Budgets are
+// enforced by the isolation layer's resource accounting as soft quotas:
+// a breach emits an audit event (and can, configurably, escalate to
+// quarantine) rather than failing the call.
+type Budget struct {
+	// CPUMillisPerSec caps mediated-call CPU time, in milliseconds of
+	// execution per second of wall clock.
+	CPUMillisPerSec int64 `json:"cpu_ms_per_sec,omitempty"`
+	// AllocKBPerSec caps the app's estimated heap allocation rate, in
+	// KiB per second.
+	AllocKBPerSec int64 `json:"alloc_kb_per_sec,omitempty"`
+	// MaxGoroutines caps the app's live goroutine count (its event
+	// handler plus any goroutines it spawns through the sandbox).
+	MaxGoroutines int64 `json:"max_goroutines,omitempty"`
+	// MaxDropsPerSec caps the rate of events dropped from the app's
+	// queue — sustained drops mean the app cannot keep up with its
+	// event stream.
+	MaxDropsPerSec int64 `json:"max_drops_per_sec,omitempty"`
+}
+
+// IsZero reports whether the budget imposes no quota at all.
+func (b Budget) IsZero() bool { return b == Budget{} }
+
+// budgetKeys maps manifest BUDGET keys to Budget fields, in canonical
+// rendering order. The keys are part of the permission-language surface
+// and must stay stable.
+var budgetKeys = []struct {
+	Key string
+	Get func(*Budget) *int64
+}{
+	{"CPU_MS_PER_SEC", func(b *Budget) *int64 { return &b.CPUMillisPerSec }},
+	{"ALLOC_KB_PER_SEC", func(b *Budget) *int64 { return &b.AllocKBPerSec }},
+	{"MAX_GOROUTINES", func(b *Budget) *int64 { return &b.MaxGoroutines }},
+	{"MAX_DROPS_PER_SEC", func(b *Budget) *int64 { return &b.MaxDropsPerSec }},
+}
+
+// SetBudgetKey sets one budget field by its manifest key, returning
+// false for an unknown key. Keys are case-insensitive.
+func (b *Budget) SetBudgetKey(key string, v int64) bool {
+	for _, bk := range budgetKeys {
+		if strings.EqualFold(key, bk.Key) {
+			*bk.Get(b) = v
+			return true
+		}
+	}
+	return false
+}
+
+// BudgetKeys lists the valid manifest BUDGET keys in canonical order.
+func BudgetKeys() []string {
+	out := make([]string, len(budgetKeys))
+	for i, bk := range budgetKeys {
+		out[i] = bk.Key
+	}
+	return out
+}
+
+// String renders the budget as manifest BUDGET statements, one per
+// non-zero field, in canonical key order ("" for a zero budget).
+func (b Budget) String() string {
+	var sb strings.Builder
+	for _, bk := range budgetKeys {
+		v := *bk.Get(&b)
+		if v == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "BUDGET %s %d", bk.Key, v)
+	}
+	return sb.String()
+}

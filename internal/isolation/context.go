@@ -107,24 +107,24 @@ func (a *shieldedAPI) engine() *permengine.Engine { return a.shield.engine }
 // consuming a deputy. It mints the call's correlation ID here, at the
 // mediated-call boundary, and hands it to fn so the permission check and
 // every switch-side effect of this one call share it.
-func (a *shieldedAPI) do(op string, fn func(corr uint64) error) error {
+func (a *shieldedAPI) do(op *mediatedOp, fn func(corr uint64) error) error {
 	if a.container != nil && a.container.Health() == Quarantined {
 		mQuarantinedCalls.Inc()
 		return fmt.Errorf("%w: %s", ErrAppQuarantined, a.name)
 	}
 	corr := audit.NextCorr()
-	return a.shield.do(op, func() error { return fn(corr) })
+	return a.shield.do(a.container, op, corr, func() error { return fn(corr) })
 }
 
 // apiValue is do for calls with results.
-func apiValue[T any](a *shieldedAPI, op string, fn func(corr uint64) (T, error)) (T, error) {
+func apiValue[T any](a *shieldedAPI, op *mediatedOp, fn func(corr uint64) (T, error)) (T, error) {
 	if a.container != nil && a.container.Health() == Quarantined {
 		mQuarantinedCalls.Inc()
 		var zero T
 		return zero, fmt.Errorf("%w: %s", ErrAppQuarantined, a.name)
 	}
 	corr := audit.NextCorr()
-	return doValue(a.shield, op, func() (T, error) { return fn(corr) })
+	return doValue(a.shield, a.container, op, corr, func() (T, error) { return fn(corr) })
 }
 
 // foreignOwner finds the owner of a foreign flow the operation would
@@ -165,7 +165,7 @@ func (a *shieldedAPI) checkInsertFlow(corr uint64, dpid of.DPID, spec controller
 }
 
 func (a *shieldedAPI) InsertFlow(dpid of.DPID, spec controller.FlowSpec) error {
-	return a.do("insert_flow", func(corr uint64) error {
+	return a.do(opInsertFlow, func(corr uint64) error {
 		if a.virt != nil {
 			return a.virt.insertFlow(a, corr, dpid, spec)
 		}
@@ -223,7 +223,7 @@ func (a *shieldedAPI) checkAffected(corr uint64, token core.Token, dpid of.DPID,
 }
 
 func (a *shieldedAPI) ModifyFlow(dpid of.DPID, match *of.Match, priority uint16, actions []of.Action) error {
-	return a.do("modify_flow", func(corr uint64) error {
+	return a.do(opModifyFlow, func(corr uint64) error {
 		if err := a.checkAffected(corr, a.modifyToken(), dpid, match, priority, actions); err != nil {
 			return err
 		}
@@ -248,7 +248,7 @@ func (a *shieldedAPI) virtualDeleteCall(corr uint64, match *of.Match, priority u
 }
 
 func (a *shieldedAPI) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16, strict bool) error {
-	return a.do("delete_flow", func(corr uint64) error {
+	return a.do(opDeleteFlow, func(corr uint64) error {
 		if a.virt != nil {
 			return a.virt.deleteFlow(a, corr, dpid, match, priority, strict)
 		}
@@ -260,7 +260,7 @@ func (a *shieldedAPI) DeleteFlow(dpid of.DPID, match *of.Match, priority uint16,
 }
 
 func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, error) {
-	return apiValue(a, "flows", func(corr uint64) ([]*flowtable.Entry, error) {
+	return apiValue(a, opFlows, func(corr uint64) ([]*flowtable.Entry, error) {
 		// Audit-visible check of the operation itself.
 		opCall := &core.Call{
 			App: a.name, Token: core.TokenReadFlowTable, Corr: corr, DPID: dpid, HasDPID: true,
@@ -296,7 +296,7 @@ func (a *shieldedAPI) Flows(dpid of.DPID, match *of.Match) ([]*flowtable.Entry, 
 }
 
 func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16, actions []of.Action, pkt *of.Packet) error {
-	return a.do("packet_out", func(corr uint64) error {
+	return a.do(opPacketOut, func(corr uint64) error {
 		fromPktIn := pkt == nil && bufferID != 0 && a.shield.kernel.PacketInSeen(dpid, bufferID)
 		call := &core.Call{
 			App: a.name, Token: core.TokenSendPktOut, Corr: corr, DPID: dpid, HasDPID: true,
@@ -321,7 +321,7 @@ func (a *shieldedAPI) SendPacketOut(dpid of.DPID, bufferID uint32, inPort uint16
 // Statistics
 
 func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEntry, error) {
-	return apiValue(a, "flow_stats", func(corr uint64) ([]of.FlowStatsEntry, error) {
+	return apiValue(a, opFlowStats, func(corr uint64) ([]of.FlowStatsEntry, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, Corr: corr, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsFlow, Match: match,
@@ -356,7 +356,7 @@ func (a *shieldedAPI) FlowStats(dpid of.DPID, match *of.Match) ([]of.FlowStatsEn
 }
 
 func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry, error) {
-	return apiValue(a, "port_stats", func(corr uint64) ([]of.PortStatsEntry, error) {
+	return apiValue(a, opPortStats, func(corr uint64) ([]of.PortStatsEntry, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, Corr: corr, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsPort,
@@ -372,7 +372,7 @@ func (a *shieldedAPI) PortStats(dpid of.DPID, port uint16) ([]of.PortStatsEntry,
 }
 
 func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
-	return apiValue(a, "switch_stats", func(corr uint64) (of.SwitchStats, error) {
+	return apiValue(a, opSwitchStats, func(corr uint64) (of.SwitchStats, error) {
 		call := &core.Call{
 			App: a.name, Token: core.TokenReadStatistics, Corr: corr, DPID: dpid, HasDPID: true,
 			StatsLevel: of.StatsSwitch,
@@ -391,7 +391,7 @@ func (a *shieldedAPI) SwitchStats(dpid of.DPID) (of.SwitchStats, error) {
 // Topology
 
 func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
-	return apiValue(a, "switches", func(corr uint64) ([]topology.SwitchInfo, error) {
+	return apiValue(a, opSwitches, func(corr uint64) ([]topology.SwitchInfo, error) {
 		all := a.shield.kernel.Topology().Switches()
 		ids := make([]of.DPID, len(all))
 		for i, s := range all {
@@ -418,7 +418,7 @@ func (a *shieldedAPI) Switches() ([]topology.SwitchInfo, error) {
 }
 
 func (a *shieldedAPI) Links() ([]topology.Link, error) {
-	return apiValue(a, "links", func(corr uint64) ([]topology.Link, error) {
+	return apiValue(a, opLinks, func(corr uint64) ([]topology.Link, error) {
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
 			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology, Corr: corr})
 		}
@@ -441,7 +441,7 @@ func (a *shieldedAPI) Links() ([]topology.Link, error) {
 }
 
 func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
-	return apiValue(a, "hosts", func(corr uint64) ([]topology.Host, error) {
+	return apiValue(a, opHosts, func(corr uint64) ([]topology.Host, error) {
 		if !a.engine().HasToken(a.name, core.TokenVisibleTopology) {
 			return nil, a.engine().Check(&core.Call{App: a.name, Token: core.TokenVisibleTopology, Corr: corr})
 		}
@@ -462,7 +462,7 @@ func (a *shieldedAPI) Hosts() ([]topology.Host, error) {
 }
 
 func (a *shieldedAPI) AddLink(l topology.Link) error {
-	return a.do("add_link", func(corr uint64) error {
+	return a.do(opAddLink, func(corr uint64) error {
 		call := &core.Call{App: a.name, Token: core.TokenModifyTopology, Corr: corr,
 			Switches: []of.DPID{l.A, l.B}, Links: []core.LinkID{l.ID()}}
 		if err := a.engine().Check(call); err != nil {
@@ -473,7 +473,7 @@ func (a *shieldedAPI) AddLink(l topology.Link) error {
 }
 
 func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
-	return a.do("remove_link", func(corr uint64) error {
+	return a.do(opRemoveLink, func(corr uint64) error {
 		call := &core.Call{App: a.name, Token: core.TokenModifyTopology, Corr: corr,
 			Switches: []of.DPID{x, y}, Links: []core.LinkID{core.NewLinkID(x, y)}}
 		if err := a.engine().Check(call); err != nil {
@@ -488,7 +488,7 @@ func (a *shieldedAPI) RemoveLink(x, y of.DPID) error {
 // Model-driven data store
 
 func (a *shieldedAPI) Publish(path string, value interface{}) error {
-	return a.do("publish", func(corr uint64) error {
+	return a.do(opPublish, func(corr uint64) error {
 		call := &core.Call{App: a.name, Token: modelTokenFor(path, true), Corr: corr}
 		if err := a.engine().Check(call); err != nil {
 			return err
@@ -503,7 +503,7 @@ func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
 		v  interface{}
 		ok bool
 	}
-	res, err := apiValue(a, "read_model", func(corr uint64) (result, error) {
+	res, err := apiValue(a, opReadModel, func(corr uint64) (result, error) {
 		call := &core.Call{App: a.name, Token: modelTokenFor(path, false), Corr: corr}
 		if err := a.engine().Check(call); err != nil {
 			return result{}, err
@@ -518,7 +518,7 @@ func (a *shieldedAPI) ReadModel(path string) (interface{}, bool, error) {
 // Host system calls (the SecurityManager role)
 
 func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error) {
-	return apiValue(a, "host_connect", func(corr uint64) (*hostsim.Conn, error) {
+	return apiValue(a, opHostConnect, func(corr uint64) (*hostsim.Conn, error) {
 		call := &core.Call{App: a.name, Token: core.TokenHostNetwork, Corr: corr,
 			HostIP: ip, HostPort: port, HasHostIP: true}
 		if err := a.engine().Check(call); err != nil {
@@ -529,7 +529,7 @@ func (a *shieldedAPI) HostConnect(ip of.IPv4, port uint16) (*hostsim.Conn, error
 }
 
 func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
-	return apiValue(a, "host_read_file", func(corr uint64) ([]byte, error) {
+	return apiValue(a, opHostReadFile, func(corr uint64) ([]byte, error) {
 		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Corr: corr, Path: path}
 		if err := a.engine().Check(call); err != nil {
 			return nil, err
@@ -539,7 +539,7 @@ func (a *shieldedAPI) HostReadFile(path string) ([]byte, error) {
 }
 
 func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
-	return a.do("host_write_file", func(corr uint64) error {
+	return a.do(opHostWriteFile, func(corr uint64) error {
 		call := &core.Call{App: a.name, Token: core.TokenFileSystem, Corr: corr, Path: path}
 		if err := a.engine().Check(call); err != nil {
 			return err
@@ -550,7 +550,7 @@ func (a *shieldedAPI) HostWriteFile(path string, data []byte) error {
 }
 
 func (a *shieldedAPI) HostExec(cmd string) error {
-	return a.do("host_exec", func(corr uint64) error {
+	return a.do(opHostExec, func(corr uint64) error {
 		call := &core.Call{App: a.name, Token: core.TokenProcessRuntime, Corr: corr}
 		if err := a.engine().Check(call); err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/recorder"
 )
 
 // AppHealthSnapshot is one container's state as reported by
@@ -23,6 +24,8 @@ type AppHealthSnapshot struct {
 	DenialAnomaly bool `json:"denial_anomaly,omitempty"`
 	// DenialRate is the detector's smoothed denials-per-window estimate.
 	DenialRate float64 `json:"denial_rate,omitempty"`
+	// Usage is the app's live resource accounting (resources.go).
+	Usage ResourceUsage `json:"usage"`
 }
 
 // HealthSnapshot is the shield-wide health view: the KSD pool plus every
@@ -61,6 +64,7 @@ func (s *Shield) HealthSnapshot() HealthSnapshot {
 			QuarantineReason: c.QuarantineReason(),
 			DenialAnomaly:    anomaly.Flagged,
 			DenialRate:       anomaly.EWMA,
+			Usage:            c.usage(),
 		})
 	}
 	sort.Slice(snap.Apps, func(i, j int) bool { return snap.Apps[i].App < snap.Apps[j].App })
@@ -82,9 +86,14 @@ func registerHealth(s *Shield) func() {
 		name = "shield-" + strconv.FormatUint(n, 10)
 	}
 	unregHealth := obs.RegisterHealth(name, func() interface{} { return s.HealthSnapshot() })
+	unregUsage := recorder.RegisterUsage(name, func() interface{} { return s.UsageSnapshot() })
+	unregister := func() {
+		unregUsage()
+		unregHealth()
+	}
 	log := s.engine.Log()
 	if log == nil {
-		return unregHealth
+		return unregister
 	}
 	unregFallback := audit.RegisterFallback(name, func(app string, deniesOnly bool) []audit.Event {
 		recs := log.SnapshotFilter(app, deniesOnly)
@@ -107,6 +116,6 @@ func registerHealth(s *Shield) func() {
 	})
 	return func() {
 		unregFallback()
-		unregHealth()
+		unregister()
 	}
 }

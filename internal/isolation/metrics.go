@@ -1,6 +1,9 @@
 package isolation
 
-import "sdnshield/internal/obs"
+import (
+	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/recorder"
+)
 
 // Isolation-layer instrumentation: the KSD boundary (the inter-goroutine
 // hop whose cost the paper's end-to-end figures measure) and per-app
@@ -18,37 +21,52 @@ var (
 	mediatedSampler obs.Sampler
 )
 
-// mediatedOps enumerates every mediated API operation so the per-op
-// latency histograms exist before the first call and the hot path reads a
-// prebuilt map instead of taking the registry lock.
-var mediatedOps = []string{
-	"insert_flow", "modify_flow", "delete_flow", "flows",
-	"packet_out",
-	"flow_stats", "port_stats", "switch_stats",
-	"switches", "links", "hosts", "add_link", "remove_link",
-	"publish", "read_model",
-	"host_connect", "host_read_file", "host_write_file", "host_exec",
-}
-
 const mediatedCallHelp = "End-to-end mediated API call latency: queue wait, permission check and kernel execution."
 
-// mMediatedCall maps op → latency histogram; read-only after init.
-var mMediatedCall = func() map[string]*obs.Histogram {
-	m := make(map[string]*obs.Histogram, len(mediatedOps))
-	for _, op := range mediatedOps {
-		m[op] = obs.Default().Histogram("sdnshield_mediated_call_seconds", mediatedCallHelp, "op", op)
-	}
-	return m
-}()
-
-// mediatedHist resolves the per-op histogram, falling back to the
-// registry for ops outside the prebuilt set.
-func mediatedHist(op string) *obs.Histogram {
-	if h, ok := mMediatedCall[op]; ok {
-		return h
-	}
-	return obs.Default().Histogram("sdnshield_mediated_call_seconds", mediatedCallHelp, "op", op)
+// mediatedOp is one mediated API operation's precomputed hot-path
+// state: its name, its per-op latency histogram and its interned
+// flight-recorder symbol. The API wrappers in context.go reference
+// package-level descriptors, so neither the deputy's post-reply frame
+// append nor the caller's latency observation does a map lookup.
+type mediatedOp struct {
+	name string
+	hist *obs.Histogram
+	sym  recorder.Sym
 }
+
+// newMediatedOp resolves an op's histogram and symbol once. Package
+// init builds the descriptor for every mediated API operation; tests
+// may mint ad-hoc ops the same way.
+func newMediatedOp(name string) *mediatedOp {
+	return &mediatedOp{
+		name: name,
+		hist: obs.Default().Histogram("sdnshield_mediated_call_seconds", mediatedCallHelp, "op", name),
+		sym:  recorder.Intern(name),
+	}
+}
+
+// Per-op descriptors for the mediated API surface.
+var (
+	opInsertFlow    = newMediatedOp("insert_flow")
+	opModifyFlow    = newMediatedOp("modify_flow")
+	opDeleteFlow    = newMediatedOp("delete_flow")
+	opFlows         = newMediatedOp("flows")
+	opPacketOut     = newMediatedOp("packet_out")
+	opFlowStats     = newMediatedOp("flow_stats")
+	opPortStats     = newMediatedOp("port_stats")
+	opSwitchStats   = newMediatedOp("switch_stats")
+	opSwitches      = newMediatedOp("switches")
+	opLinks         = newMediatedOp("links")
+	opHosts         = newMediatedOp("hosts")
+	opAddLink       = newMediatedOp("add_link")
+	opRemoveLink    = newMediatedOp("remove_link")
+	opPublish       = newMediatedOp("publish")
+	opReadModel     = newMediatedOp("read_model")
+	opHostConnect   = newMediatedOp("host_connect")
+	opHostReadFile  = newMediatedOp("host_read_file")
+	opHostWriteFile = newMediatedOp("host_write_file")
+	opHostExec      = newMediatedOp("host_exec")
+)
 
 // appCounters is the set of per-container lifecycle counters, created
 // once per app name at Launch and cached on the container.
@@ -57,6 +75,31 @@ type appCounters struct {
 	restarts    *obs.Counter
 	quarantines *obs.Counter
 	dropped     *obs.Counter
+}
+
+// registerAppGauges publishes a launched container's resource
+// accounting as pull-at-scrape gauges. Relaunching a name rebinds the
+// series to the new container.
+func registerAppGauges(c *Container) {
+	reg := obs.Default()
+	reg.GaugeFunc("sdnshield_app_cpu_seconds_total",
+		"Cumulative mediated-call execution time charged to the app, by app.",
+		func() float64 { return float64(c.res.cpuNanos.Load()) / 1e9 }, "app", c.name)
+	reg.GaugeFunc("sdnshield_app_ksd_wait_seconds_total",
+		"Cumulative KSD queue residency of the app's mediated calls, by app.",
+		func() float64 { return float64(c.res.waitNanos.Load()) / 1e9 }, "app", c.name)
+	reg.GaugeFunc("sdnshield_app_alloc_bytes_estimate",
+		"Sampled estimate of heap bytes allocated during the app's mediated calls, by app.",
+		func() float64 { return float64(c.res.allocBytes.Load()) }, "app", c.name)
+	reg.GaugeFunc("sdnshield_app_goroutines",
+		"Container-owned goroutines plus mediated calls in flight, by app.",
+		func() float64 { return float64(c.res.goroutines.Load()) }, "app", c.name)
+	reg.GaugeFunc("sdnshield_app_mediated_calls_total",
+		"Mediated API calls issued by the app, by app.",
+		func() float64 { return float64(c.res.calls.Load()) }, "app", c.name)
+	reg.GaugeFunc("sdnshield_app_quota_breaches_total",
+		"Soft resource-quota breaches detected by the sweep, by app.",
+		func() float64 { return float64(c.res.breaches.Load()) }, "app", c.name)
 }
 
 func newAppCounters(app string) appCounters {

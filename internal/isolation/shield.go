@@ -11,6 +11,7 @@ import (
 	"sdnshield/internal/core"
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/recorder"
 	"sdnshield/internal/of"
 	"sdnshield/internal/permengine"
 )
@@ -52,6 +53,16 @@ type Config struct {
 	// PanicWindow is the sliding window PanicLimit counts over. Default
 	// 30 s.
 	PanicWindow time.Duration
+	// QuotaCheckInterval is how often the shield sweeps per-app resource
+	// usage against manifest budgets (resources.go). Default 1 s;
+	// negative disables the background sweep (CheckQuotas can still be
+	// called directly).
+	QuotaCheckInterval time.Duration
+	// QuotaEscalateAfter quarantines an app whose budget is breached on
+	// this many consecutive sweeps. Zero (the default) never escalates:
+	// breaches stay soft — audit events, recorder frames and diagnostic
+	// bundles only.
+	QuotaEscalateAfter int
 }
 
 func (c *Config) fill() {
@@ -73,6 +84,9 @@ func (c *Config) fill() {
 	if c.PanicWindow <= 0 {
 		c.PanicWindow = 30 * time.Second
 	}
+	if c.QuotaCheckInterval == 0 {
+		c.QuotaCheckInterval = time.Second
+	}
 }
 
 // ErrShieldStopped reports API use after shutdown.
@@ -92,6 +106,12 @@ type Shield struct {
 
 	mu         sync.Mutex
 	containers map[string]*Container
+	// pendingBudgets holds quotas set before the app launched; guarded
+	// by mu.
+	pendingBudgets map[string]core.Budget
+
+	quotaStop chan struct{}
+	quotaWG   sync.WaitGroup
 
 	unregisterHealth func()
 }
@@ -105,17 +125,23 @@ func NewShield(kernel *controller.Kernel, cfg Config) *Shield {
 		opts = append(opts, permengine.WithActivityLog(cfg.ActivityLogSize))
 	}
 	s := &Shield{
-		kernel:     kernel,
-		engine:     permengine.New(kernel, opts...),
-		cfg:        cfg,
-		reqCh:      make(chan func(), 256),
-		containers: make(map[string]*Container),
+		kernel:         kernel,
+		engine:         permengine.New(kernel, opts...),
+		cfg:            cfg,
+		reqCh:          make(chan func(), 256),
+		containers:     make(map[string]*Container),
+		pendingBudgets: make(map[string]core.Budget),
 	}
 	s.replyPool.New = func() interface{} { return make(chan error, 1) }
 	s.unregisterHealth = registerHealth(s)
 	for i := 0; i < cfg.KSDWorkers; i++ {
 		s.workers.Add(1)
 		go s.ksdLoop()
+	}
+	if cfg.QuotaCheckInterval > 0 {
+		s.quotaStop = make(chan struct{})
+		s.quotaWG.Add(1)
+		go s.quotaLoop(cfg.QuotaCheckInterval)
 	}
 	return s
 }
@@ -146,38 +172,115 @@ func (s *Shield) ksdLoop() {
 // the inter-thread hop whose cost the paper's end-to-end overhead
 // measurements capture. op names the mediated operation for the per-op
 // latency histogram and the call-path trace. One sampler decision gates
-// all measurement: unsampled calls pay a single atomic add, sampled ones
-// share their timestamps between the hop histogram, the per-op histogram
-// and (for the traced subset of sampled calls) the trace spans.
-func (s *Shield) do(op string, fn func() error) error {
+// the aggregate measurement: unsampled calls pay a single atomic add,
+// sampled ones share their timestamps between the hop histogram, the
+// per-op histogram and (for the traced subset) the trace spans.
+//
+// c is the calling app's container; corr is the call's correlation ID.
+// Durations and queue residency ride the same sampler decision:
+// time.Now() costs tens of nanoseconds — two on-path reads alone would
+// blow the recorder's 5% budget against a microsecond call — so the
+// unsampled majority pays no clock read, and the resource accounting
+// scales sampled measurements back to full rate by the sampling
+// period. When the flight recorder is on, every call still leaves a
+// frame (app, op, outcome, correlation ID, completion timestamp); the
+// timestamp is read after the reply is sent, and the sampled subset's
+// frames additionally carry execution time and queue residency.
+func (s *Shield) do(c *Container, op *mediatedOp, corr uint64, fn func() error) error {
 	if s.stopped.Load() {
 		return ErrShieldStopped
 	}
 	var t obs.Timer
 	var tr *obs.Trace
+	var enq time.Time
+	var weight int64
 	if mediatedSampler.Hit() {
 		t = obs.StartTimer()
-		tr = obs.DefaultTracer().Start(op)
+		tr = obs.DefaultTracer().Start(op.name)
 		mKSDQueueDepth.Set(int64(len(s.reqCh)))
+		enq = time.Now()
+		if weight = int64(obs.LatencySampling()); weight < 1 {
+			weight = 1
+		}
+	}
+	rec := recorder.On()
+	if c != nil {
+		c.res.calls.Add(1)
+		c.res.goroutines.Add(1)
+		defer c.res.goroutines.Add(-1)
 	}
 	done, _ := s.replyPool.Get().(chan error)
 	s.reqCh <- func() {
-		if t.Active() {
-			hop := t.Elapsed()
-			mKSDHopSeconds.Observe(hop)
+		var pickup time.Time
+		var wait time.Duration
+		if !enq.IsZero() {
+			pickup = time.Now()
+			wait = pickup.Sub(enq)
+			mKSDHopSeconds.Observe(wait)
 			if tr != nil {
-				tr.AddSpan("ksd_queue", tr.Start, hop)
+				tr.AddSpan("ksd_queue", tr.Start, wait)
 			}
 		}
 		sp := tr.StartSpan("exec")
+		sampleAlloc := c != nil && c.res.sampleAlloc()
+		var allocBefore int64
+		if sampleAlloc {
+			allocBefore = heapAllocBytes()
+		}
 		err := s.protect(fn)
 		sp.End()
 		done <- err
+		// Accounting and frame recording happen after the reply: the
+		// deputy does the bookkeeping — clock reads included — off the
+		// caller's critical path. exec therefore includes the reply
+		// handoff: tens of nanoseconds against microsecond calls, a fair
+		// trade for keeping the measured path clock-free.
+		var exec time.Duration
+		if !pickup.IsZero() {
+			exec = time.Since(pickup)
+		}
+		if sampleAlloc {
+			if delta := heapAllocBytes() - allocBefore; delta > 0 {
+				c.res.allocBytes.Add(delta * allocSamplePeriod)
+			}
+		}
+		if c == nil {
+			return
+		}
+		if !pickup.IsZero() {
+			c.res.account(exec, wait, weight)
+		}
+		if rec {
+			code := recorder.CodeOK
+			if err != nil {
+				code = recorder.CodeError
+				var denied *permengine.DeniedError
+				if errors.As(err, &denied) {
+					code = recorder.CodeDenied
+				}
+			}
+			// Unsampled frames carry TS 0: Record stamps them with the
+			// last measured timestamp instead of a fresh clock read.
+			var ts int64
+			if !pickup.IsZero() {
+				ts = pickup.Add(exec).UnixNano()
+			}
+			recorder.Record(recorder.Frame{
+				TS:   ts,
+				Kind: recorder.KindMediatedCall,
+				Code: code,
+				App:  c.sym,
+				Op:   op.sym,
+				Corr: corr,
+				Dur:  int64(exec),
+				Arg:  int64(wait),
+			})
+		}
 	}
 	err := <-done
 	s.replyPool.Put(done)
 	if t.Active() {
-		mediatedHist(op).ObserveTraced(t.Elapsed(), tr)
+		op.hist.ObserveTraced(t.Elapsed(), tr)
 	}
 	tr.Finish()
 	return err
@@ -197,9 +300,9 @@ func (s *Shield) protect(fn func() error) (err error) {
 }
 
 // doValue is do for calls with results.
-func doValue[T any](s *Shield, op string, fn func() (T, error)) (T, error) {
+func doValue[T any](s *Shield, c *Container, op *mediatedOp, corr uint64, fn func() (T, error)) (T, error) {
 	var out T
-	err := s.do(op, func() error {
+	err := s.do(c, op, corr, func() error {
 		var err error
 		out, err = fn()
 		return err
@@ -224,6 +327,7 @@ func (s *Shield) Launch(app App) error {
 		name:     name,
 		shield:   s,
 		app:      app,
+		sym:      recorder.Intern(name),
 		events:   make(chan controller.Event, s.cfg.EventQueueSize),
 		handlers: make(map[controller.EventKind][]controller.Handler),
 		kernels:  make(map[controller.EventKind]int),
@@ -231,8 +335,13 @@ func (s *Shield) Launch(app App) error {
 		done:     make(chan struct{}),
 		metrics:  newAppCounters(name),
 	}
+	if b, ok := s.pendingBudgets[name]; ok {
+		c.res.setBudget(b)
+		delete(s.pendingBudgets, name)
+	}
 	s.containers[name] = c
 	s.mu.Unlock()
+	registerAppGauges(c)
 
 	api := newShieldedAPI(s, c)
 	c.api = api
@@ -297,6 +406,10 @@ func (s *Shield) Stop() {
 	}
 	s.containers = make(map[string]*Container)
 	s.mu.Unlock()
+	if s.quotaStop != nil {
+		close(s.quotaStop)
+		s.quotaWG.Wait()
+	}
 	for _, c := range containers {
 		c.Stop()
 	}
@@ -319,6 +432,8 @@ type Container struct {
 	shield *Shield
 	app    App // retained so the supervisor can re-run Init
 	api    API
+	// sym is the app name interned once for the flight recorder.
+	sym recorder.Sym
 
 	events chan controller.Event
 
@@ -344,6 +459,9 @@ type Container struct {
 	panics  atomic.Uint64
 
 	metrics appCounters
+	// res is the container's live resource accounting and soft quota
+	// (resources.go).
+	res resourceState
 }
 
 // QuarantineReason reports why the container was quarantined ("" while it
@@ -377,6 +495,8 @@ func (c *Container) Stop() {
 
 // extraEventLoop is one app-spawned worker draining the same queue.
 func (c *Container) extraEventLoop() {
+	c.res.goroutines.Add(1)
+	defer c.res.goroutines.Add(-1)
 	for {
 		select {
 		case <-c.stop:
@@ -413,6 +533,8 @@ func (c *Container) safeInit(app App, api API) (err error) {
 // without delivery.
 func (c *Container) eventLoop() {
 	defer close(c.done)
+	c.res.goroutines.Add(1)
+	defer c.res.goroutines.Add(-1)
 	for {
 		select {
 		case <-c.stop:

@@ -22,6 +22,15 @@ type Runtime interface {
 	AppHealth(app string) (isolation.Health, bool)
 }
 
+// BudgetRuntime is optionally implemented by runtimes that enforce
+// manifest resource budgets (BUDGET statements) as per-app soft
+// quotas. *isolation.Shield implements it; activation, rollback and
+// revocation thread the active release's budget through it whenever
+// the configured Runtime supports it.
+type BudgetRuntime interface {
+	SetBudget(app string, b core.Budget)
+}
+
 // Config tunes a Market.
 type Config struct {
 	// PolicySrc is the administrator's site security policy source. Its
@@ -80,6 +89,9 @@ type releaseRef struct {
 	vendor    string
 	verdict   Verdict
 	effective *core.Set
+	// budget is the release's declared resource quota (BUDGET
+	// statements in the manifest); zero when the manifest declares none.
+	budget core.Budget
 }
 
 // appState is the market's view of one installed app.
@@ -412,6 +424,7 @@ func (m *Market) Revoke(app string) error {
 
 	if m.runtime != nil {
 		m.runtime.SetPermissions(app, core.NewSet())
+		m.pushBudget(app, core.Budget{})
 	}
 	countLifecycle("revoke")
 	gActiveApps.Add(-1)
@@ -428,6 +441,17 @@ func (m *Market) setPending(sr *SignedRelease, cv *CachedVerdict, corr uint64) {
 	st.corr = corr
 	if st.active == nil {
 		st.status = StatusPending
+	}
+}
+
+// pushBudget threads a release's declared resource budget into the
+// runtime when it supports quotas. A zero budget clears any quota.
+func (m *Market) pushBudget(app string, b core.Budget) {
+	if m.runtime == nil {
+		return
+	}
+	if br, ok := m.runtime.(BudgetRuntime); ok {
+		br.SetBudget(app, b)
 	}
 }
 
@@ -469,6 +493,7 @@ func (m *Market) activate(app string, ref *releaseRef, corr uint64, probated boo
 
 	if m.runtime != nil {
 		m.runtime.SetPermissions(app, ref.effective.Clone())
+		m.pushBudget(app, ref.budget)
 	}
 	if stop != nil {
 		m.wg.Add(1)
@@ -544,6 +569,7 @@ func (m *Market) rollback(app string, ref *releaseRef, stop chan struct{}, corr 
 
 	if m.runtime != nil {
 		m.runtime.SetPermissions(app, prev.effective.Clone())
+		m.pushBudget(app, prev.budget)
 	}
 	gProbations.Add(-1)
 	countLifecycle("rollback")
@@ -726,11 +752,21 @@ func (m *Market) DiffLatest(app string) (string, []DiffEntry, error) {
 }
 
 func refOf(sr *SignedRelease, cv *CachedVerdict) *releaseRef {
-	return &releaseRef{
+	ref := &releaseRef{
 		digest:    sr.Digest(),
 		version:   sr.Version,
 		vendor:    sr.Vendor,
 		verdict:   cv.Verdict,
 		effective: cv.Effective(),
 	}
+	// The budget rides in the manifest source (so it is covered by the
+	// release signature and the verdict-cache digest) but is not part of
+	// the reconciled permission set; re-parse it here. A release that
+	// reached refOf already parsed during reconciliation, so errors only
+	// occur on cache hits of since-corrupted sources — treated as "no
+	// budget".
+	if man, err := permlang.Parse(sr.Manifest); err == nil {
+		ref.budget = man.Budget
+	}
+	return ref
 }

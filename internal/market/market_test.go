@@ -353,3 +353,106 @@ func TestSnapshotListsRegistryAndInstalled(t *testing.T) {
 		t.Fatalf("b-app should be uninstalled, got %q", snaps[1].Status)
 	}
 }
+
+// budgetFakeRuntime extends fakeRuntime with quota support, exercising
+// the optional BudgetRuntime interface the way *isolation.Shield does.
+type budgetFakeRuntime struct {
+	fakeRuntime
+	budgets map[string]core.Budget
+}
+
+var _ BudgetRuntime = (*budgetFakeRuntime)(nil)
+var _ BudgetRuntime = (*isolation.Shield)(nil)
+
+func newBudgetFakeRuntime() *budgetFakeRuntime {
+	return &budgetFakeRuntime{
+		fakeRuntime: *newFakeRuntime(),
+		budgets:     make(map[string]core.Budget),
+	}
+}
+
+func (f *budgetFakeRuntime) SetBudget(app string, b core.Budget) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budgets[app] = b
+}
+
+func (f *budgetFakeRuntime) budgetOf(app string) core.Budget {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.budgets[app]
+}
+
+func TestBudgetThreadsThroughLifecycle(t *testing.T) {
+	reg, sign := newTestRegistry(t)
+	rt := newBudgetFakeRuntime()
+	m, err := New(reg, rt, Config{
+		Probation:     80 * time.Millisecond,
+		ProbationPoll: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	submit := func(r Release) Digest {
+		d, err := reg.Submit(sign(r))
+		if err != nil {
+			t.Fatalf("submit %s@%s: %v", r.Name, r.Version, err)
+		}
+		return d
+	}
+
+	// Install pushes the manifest's BUDGET statements as the quota.
+	d1 := submit(Release{Name: "mon", Vendor: "acme", Version: "1.0.0",
+		Manifest: "PERM read_statistics\nBUDGET CPU_MS_PER_SEC 250\nBUDGET MAX_GOROUTINES 4"})
+	if _, err := m.Install(d1); err != nil {
+		t.Fatal(err)
+	}
+	want1 := core.Budget{CPUMillisPerSec: 250, MaxGoroutines: 4}
+	if got := rt.budgetOf("mon"); got != want1 {
+		t.Fatalf("installed budget = %+v, want %+v", got, want1)
+	}
+
+	// A probated upgrade activates the new release's budget; rollback
+	// restores the previous one.
+	rt.setHealth("mon", isolation.Running)
+	d2 := submit(Release{Name: "mon", Vendor: "acme", Version: "2.0.0",
+		Manifest: "PERM read_statistics\nBUDGET CPU_MS_PER_SEC 900"})
+	if _, err := m.Upgrade(d2); err != nil {
+		t.Fatal(err)
+	}
+	want2 := core.Budget{CPUMillisPerSec: 900}
+	if got := rt.budgetOf("mon"); got != want2 {
+		t.Fatalf("upgraded budget = %+v, want %+v", got, want2)
+	}
+	rt.setHealth("mon", isolation.Restarting)
+	waitCond(t, "rollback", func() bool {
+		s, _ := m.Status("mon")
+		return s.Status == StatusActive && s.Version == "1.0.0"
+	})
+	if got := rt.budgetOf("mon"); got != want1 {
+		t.Fatalf("rolled-back budget = %+v, want %+v", got, want1)
+	}
+
+	// Revoke clears the quota along with the permissions.
+	if err := m.Revoke("mon"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.budgetOf("mon"); !got.IsZero() {
+		t.Fatalf("post-revoke budget = %+v, want zero", got)
+	}
+}
+
+func TestBudgetlessRuntimeIgnoresBudgets(t *testing.T) {
+	// A Runtime without SetBudget must keep working: the budget is
+	// simply not threaded.
+	m, rt, submit := marketEnv(t, "")
+	d := submit(Release{Name: "mon", Vendor: "acme", Version: "1.0.0",
+		Manifest: "PERM read_statistics\nBUDGET CPU_MS_PER_SEC 250"})
+	if _, err := m.Install(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.permsOf("mon"); got == nil || !got.Has(core.TokenReadStatistics) {
+		t.Fatalf("permissions = %v", got)
+	}
+}

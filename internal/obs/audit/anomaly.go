@@ -59,9 +59,10 @@ type appRate struct {
 // reads) drive window advancement, so replayed or test-generated
 // histories evaluate deterministically.
 type Detector struct {
-	cfg  DetectorConfig
-	mu   sync.Mutex
-	apps map[string]*appRate
+	cfg    DetectorConfig
+	mu     sync.Mutex
+	apps   map[string]*appRate
+	onFlag func(app string, snap AnomalySnapshot)
 }
 
 // NewDetector builds a detector; register it with a journal via
@@ -80,14 +81,29 @@ func DefaultDetector() *Detector { return defaultDetector }
 
 func (d *Detector) register(j *Journal) { j.AddConsumer(d.Observe) }
 
+// SetOnFlag installs a callback fired each time an app's flagged state
+// transitions from clear to flagged, with the snapshot that tripped it.
+// The callback runs on the journal drain goroutine, outside the
+// detector lock — it may call back into the detector, but must not
+// block (the flight recorder uses it to trigger diagnostic bundles).
+// Passing nil removes the callback.
+func (d *Detector) SetOnFlag(fn func(app string, snap AnomalySnapshot)) {
+	d.mu.Lock()
+	d.onFlag = fn
+	d.mu.Unlock()
+}
+
 // Observe consumes one journal event. Only permission denials with an
 // app principal advance any state.
 func (d *Detector) Observe(ev Event) {
 	if ev.Kind != KindPermission || ev.Verdict != VerdictDeny || ev.App == "" {
 		return
 	}
+	var (
+		fire func(string, AnomalySnapshot)
+		snap AnomalySnapshot
+	)
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	st := d.apps[ev.App]
 	if st == nil {
 		st = &appRate{windowStart: ev.Time}
@@ -98,7 +114,16 @@ func (d *Detector) Observe(ev Event) {
 	st.total++
 	st.lastDeny = ev.Time
 	if st.window >= d.cfg.BurstThreshold || st.ewma >= d.cfg.EWMAThreshold {
-		st.flagged = true
+		if !st.flagged {
+			st.flagged = true
+			if d.onFlag != nil {
+				fire, snap = d.onFlag, snapshotOf(ev.App, st)
+			}
+		}
+	}
+	d.mu.Unlock()
+	if fire != nil {
+		fire(ev.App, snap)
 	}
 }
 
@@ -157,6 +182,11 @@ func (d *Detector) SnapshotAt(app string, now time.Time) AnomalySnapshot {
 		return AnomalySnapshot{App: app}
 	}
 	d.advanceLocked(st, now)
+	return snapshotOf(app, st)
+}
+
+// snapshotOf renders one app's state (caller holds d.mu).
+func snapshotOf(app string, st *appRate) AnomalySnapshot {
 	return AnomalySnapshot{
 		App:          app,
 		Flagged:      st.flagged,

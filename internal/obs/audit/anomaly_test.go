@@ -102,3 +102,34 @@ func TestDetectorLongGapResets(t *testing.T) {
 		t.Fatalf("long gap should reset rate state: %+v", snap)
 	}
 }
+
+func TestDetectorOnFlagFiresOncePerTransition(t *testing.T) {
+	d := NewDetector(DetectorConfig{})
+	var fired []AnomalySnapshot
+	d.SetOnFlag(func(app string, snap AnomalySnapshot) {
+		if app != "noisy" {
+			t.Errorf("flagged app %q", app)
+		}
+		fired = append(fired, snap)
+	})
+	t0 := time.Unix(1000, 0)
+	// Burst past the threshold, then keep denying: one transition, one
+	// callback.
+	for i := 0; i < 200; i++ {
+		d.Observe(deny("noisy", t0.Add(time.Duration(i)*time.Millisecond)))
+	}
+	if len(fired) != 1 {
+		t.Fatalf("onFlag fired %d times, want 1", len(fired))
+	}
+	if !fired[0].Flagged || fired[0].TotalDenies != 128 {
+		t.Fatalf("flag snapshot = %+v", fired[0])
+	}
+	// Decay until the flag clears, then trip it again: second callback.
+	d.SnapshotAt("noisy", t0.Add(30*time.Second))
+	for i := 0; i < 200; i++ {
+		d.Observe(deny("noisy", t0.Add(31*time.Second).Add(time.Duration(i)*time.Millisecond)))
+	}
+	if len(fired) != 2 {
+		t.Fatalf("onFlag fired %d times after re-trip, want 2", len(fired))
+	}
+}

@@ -50,6 +50,9 @@ const (
 	// KindMarket is an app-market lifecycle event (submit/install/
 	// approve/upgrade/revoke/rollback); Op names the operation.
 	KindMarket Kind = "market"
+	// KindResource is a per-app resource-accounting event (soft quota
+	// breach); Op names the breached budget dimension.
+	KindResource Kind = "resource"
 )
 
 // Verdict is the outcome an event records.
@@ -87,6 +90,10 @@ const (
 	VerdictApprove Verdict = "approve"
 	VerdictRevoke  Verdict = "revoke"
 	VerdictReject  Verdict = "reject"
+
+	// VerdictBreach records a soft resource-quota breach (resource
+	// events): the app exceeded a budget its manifest declared.
+	VerdictBreach Verdict = "quota_breach"
 )
 
 // Event is one structured audit record. Seq and Time are stamped by the

@@ -70,3 +70,18 @@ func BenchmarkTracerUnsampledStart(b *testing.B) {
 		t.Finish()
 	}
 }
+
+// BenchmarkHistogramObserveTraced is the satellite guard for the
+// exemplar hot path: a traced observation inside the exemplar refresh
+// window must cost one atomic load and a time comparison over a plain
+// Observe — no allocation, no clock read.
+func BenchmarkHistogramObserveTraced(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "h")
+	tr := &Trace{ID: "bench-1", Op: "op", Start: time.Now()}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.ObserveTraced(3*time.Microsecond, tr)
+		}
+	})
+}

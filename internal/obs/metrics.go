@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"sync/atomic"
 	"time"
@@ -97,12 +98,19 @@ var defBoundsNanos = func() []int64 {
 
 // Exemplar links a histogram bucket to a concrete trace that landed in
 // it, so a slow bucket on the dashboard leads straight to the call-path
-// breakdown that produced it.
+// breakdown that produced it. Time is the trace's start timestamp — the
+// hot path never reads the clock just to stamp an exemplar.
 type Exemplar struct {
 	TraceID string        `json:"trace_id"`
 	Value   time.Duration `json:"value"`
 	Time    time.Time     `json:"time"`
 }
+
+// exemplarMinAge rate-limits exemplar replacement per bucket. Exemplars
+// exist for a human reading a scrape, so refreshing more than a few
+// times a second is waste: inside the window a traced observation costs
+// one atomic load and a time comparison — no allocation, no clock read.
+const exemplarMinAge = 250 * time.Millisecond
 
 // hshard is one stripe of a histogram: per-bucket counts plus the sum of
 // observed nanoseconds.
@@ -147,17 +155,13 @@ func (h *Histogram) bucketIndex(ns int64) int {
 
 // Observe records one latency.
 func (h *Histogram) Observe(d time.Duration) {
-	h.observe(d, "")
+	h.observe(d, nil)
 }
 
 // ObserveTraced records one latency and, when the observation belongs to
 // a sampled trace, publishes the trace id as the bucket's exemplar.
 func (h *Histogram) ObserveTraced(d time.Duration, tr *Trace) {
-	if tr == nil {
-		h.observe(d, "")
-		return
-	}
-	h.observe(d, tr.ID)
+	h.observe(d, tr)
 }
 
 // ObserveTimer records the elapsed time of an active timer; inactive
@@ -166,10 +170,10 @@ func (h *Histogram) ObserveTimer(t Timer) {
 	if h == nil || t.start.IsZero() {
 		return
 	}
-	h.observe(time.Since(t.start), "")
+	h.observe(time.Since(t.start), nil)
 }
 
-func (h *Histogram) observe(d time.Duration, traceID string) {
+func (h *Histogram) observe(d time.Duration, tr *Trace) {
 	if h == nil || !enabled.Load() {
 		return
 	}
@@ -181,9 +185,23 @@ func (h *Histogram) observe(d time.Duration, traceID string) {
 	sh := &h.shards[shardIndex()]
 	sh.counts[idx].Add(1)
 	sh.sumNanos.Add(ns)
-	if traceID != "" {
-		h.exemplars[idx].Store(&Exemplar{TraceID: traceID, Value: d, Time: time.Now()})
+	if tr != nil {
+		h.updateExemplar(idx, d, tr)
 	}
+}
+
+// updateExemplar publishes tr as bucket idx's exemplar unless the
+// current exemplar is still fresh. The timestamp is the trace's start
+// time, already captured when the trace was sampled, so the steady
+// state inside exemplarMinAge does no allocation and no clock read.
+// The CompareAndSwap means a lost race simply keeps the racer's equally
+// fresh exemplar.
+func (h *Histogram) updateExemplar(idx int, d time.Duration, tr *Trace) {
+	cur := h.exemplars[idx].Load()
+	if cur != nil && tr.Start.Sub(cur.Time) < exemplarMinAge {
+		return
+	}
+	h.exemplars[idx].CompareAndSwap(cur, &Exemplar{TraceID: tr.ID, Value: d, Time: tr.Start})
 }
 
 // HistogramBucket is one merged bucket of a histogram snapshot.
@@ -196,6 +214,46 @@ type HistogramBucket struct {
 	// Exemplar, when present, names a sampled trace that landed in this
 	// bucket (non-cumulative).
 	Exemplar *Exemplar `json:"exemplar,omitempty"`
+}
+
+// MarshalJSON renders the overflow bucket's bound as the string "+Inf"
+// (the Prometheus text convention): encoding/json rejects non-finite
+// numbers, and diagnostic bundles serialize snapshots as JSON.
+func (b HistogramBucket) MarshalJSON() ([]byte, error) {
+	type bucket struct {
+		LE       interface{} `json:"le"`
+		Count    uint64      `json:"count"`
+		Exemplar *Exemplar   `json:"exemplar,omitempty"`
+	}
+	out := bucket{LE: b.LE, Count: b.Count, Exemplar: b.Exemplar}
+	if math.IsInf(b.LE, 0) || math.IsNaN(b.LE) {
+		out.LE = "+Inf"
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string.
+func (b *HistogramBucket) UnmarshalJSON(data []byte) error {
+	var in struct {
+		LE       json.RawMessage `json:"le"`
+		Count    uint64          `json:"count"`
+		Exemplar *Exemplar       `json:"exemplar,omitempty"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	b.Count, b.Exemplar = in.Count, in.Exemplar
+	var f float64
+	if err := json.Unmarshal(in.LE, &f); err == nil {
+		b.LE = f
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(in.LE, &s); err != nil {
+		return err
+	}
+	b.LE = math.Inf(1)
+	return nil
 }
 
 // HistogramSnapshot is a merged, point-in-time view of a histogram.

@@ -138,6 +138,11 @@ func SetLatencySampling(n int) int {
 	return int(latEvery.Swap(int64(n)))
 }
 
+// LatencySampling returns the current 1-in-N latency sampling rate.
+// Accounting built on sampled measurements scales them back to full
+// rate with it.
+func LatencySampling() int { return int(latEvery.Load()) }
+
 // Sampler is a per-call-site tick counter deciding which calls get their
 // latency measured. The zero value is ready to use.
 type Sampler struct{ n atomic.Uint64 }

@@ -229,3 +229,50 @@ func TestMetricKindMismatchPanics(t *testing.T) {
 	}()
 	r.Gauge("dual", "h")
 }
+
+func TestExemplarPublishAndRefreshGate(t *testing.T) {
+	h := NewRegistry().Histogram("exemplar_seconds", "h")
+	base := time.Now()
+	tr1 := &Trace{ID: "tr-1", Op: "op", Start: base}
+	h.ObserveTraced(2*time.Microsecond, tr1)
+
+	bucketExemplar := func() *Exemplar {
+		for _, b := range h.Snapshot().Buckets {
+			if b.Exemplar != nil {
+				return b.Exemplar
+			}
+		}
+		return nil
+	}
+	ex := bucketExemplar()
+	if ex == nil || ex.TraceID != "tr-1" {
+		t.Fatalf("exemplar = %+v, want trace tr-1", ex)
+	}
+	if !ex.Time.Equal(base) {
+		t.Errorf("exemplar time = %v, want the trace start %v", ex.Time, base)
+	}
+
+	// A trace starting inside the refresh window must not replace it.
+	h.ObserveTraced(2*time.Microsecond, &Trace{ID: "tr-2", Op: "op", Start: base.Add(exemplarMinAge / 2)})
+	if ex = bucketExemplar(); ex == nil || ex.TraceID != "tr-1" {
+		t.Fatalf("fresh exemplar was replaced: %+v", ex)
+	}
+
+	// One starting after the window replaces it.
+	h.ObserveTraced(2*time.Microsecond, &Trace{ID: "tr-3", Op: "op", Start: base.Add(2 * exemplarMinAge)})
+	if ex = bucketExemplar(); ex == nil || ex.TraceID != "tr-3" {
+		t.Fatalf("stale exemplar not replaced: %+v", ex)
+	}
+}
+
+func TestExemplarSteadyStateDoesNotAllocate(t *testing.T) {
+	h := NewRegistry().Histogram("exemplar_alloc_seconds", "h")
+	tr := &Trace{ID: "tr-alloc", Op: "op", Start: time.Now()}
+	h.ObserveTraced(2*time.Microsecond, tr) // prime the exemplar
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveTraced(2*time.Microsecond, tr)
+	})
+	if allocs != 0 {
+		t.Fatalf("traced observation allocates %v per call in steady state", allocs)
+	}
+}

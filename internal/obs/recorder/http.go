@@ -1,0 +1,64 @@
+package recorder
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"sdnshield/internal/obs"
+)
+
+// HTTP surface, mounted on every obs introspection endpoint:
+//
+//	/apps         — per-app resource usage from every registered
+//	                provider (live, one JSON object per shield)
+//	/debug/bundle — retained diagnostic bundles: list, fetch by ?id=,
+//	                capture on demand with ?capture=1 (optionally
+//	                ?app=, ?corr=, ?detail=)
+
+func serveApps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, usageSnapshots())
+}
+
+func serveBundle(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("capture") != "" || r.Method == http.MethodPost {
+		var corr uint64
+		if c := q.Get("corr"); c != "" {
+			v, err := strconv.ParseUint(c, 10, 64)
+			if err != nil {
+				http.Error(w, "bad corr: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			corr = v
+		}
+		bundle := defBundler.Capture(TriggerManual, q.Get("app"), corr, q.Get("detail"))
+		writeJSON(w, bundle)
+		return
+	}
+	if id := q.Get("id"); id != "" {
+		bundle := defBundler.Get(id)
+		if bundle == nil {
+			http.Error(w, "no such bundle (evicted or never captured)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, bundle)
+		return
+	}
+	writeJSON(w, struct {
+		Bundles     []BundleInfo `json:"bundles"`
+		WriteErrors uint64       `json:"write_errors,omitempty"`
+	}{defBundler.Recent(), defBundler.WriteErrors()})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func init() {
+	obs.RegisterHandler("/apps", http.HandlerFunc(serveApps))
+	obs.RegisterHandler("/debug/bundle", http.HandlerFunc(serveBundle))
+}

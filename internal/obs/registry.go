@@ -334,7 +334,11 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 				ss.Value = float64(s.gauge.Value())
 			case KindGaugeFunc:
 				if s.gfunc != nil {
-					ss.Value = s.gfunc()
+					// Non-finite pulls (an empty quantile, a division by
+					// zero) would make the whole snapshot unmarshalable.
+					if v := s.gfunc(); !math.IsInf(v, 0) && !math.IsNaN(v) {
+						ss.Value = v
+					}
 				}
 			case KindHistogram:
 				snap := s.hist.Snapshot()

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Process-level Go runtime gauges. /metrics should answer "is the
+// controller process itself healthy" — heap size, GC pressure,
+// goroutine population, scheduler latency — not just the app-layer
+// series, so a scrape during an incident separates "an app is abusing
+// the KSD" from "the runtime is drowning".
+//
+// runtime/metrics reads are cheap but not free, and one scrape hits
+// several gauges, so a shared sampler reads the whole sample set at
+// most once per runtimeRefresh and the gauges serve derived values
+// from that read.
+
+// runtimeRefresh bounds how often the runtime/metrics samples are
+// re-read; scrapes inside the window share one read.
+const runtimeRefresh = time.Second
+
+// Metric names read from the runtime. Unknown names degrade to
+// KindBad samples, which derive() skips — a missing metric on an
+// older runtime yields an absent gauge, never a panic.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmAllocBytes = "/gc/heap/allocs:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []metrics.Sample
+	vals    map[string]float64
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	names := []string{rmGoroutines, rmHeapBytes, rmAllocBytes, rmGCCycles, rmGCPauses, rmSchedLat}
+	rs := &runtimeSampler{
+		samples: make([]metrics.Sample, len(names)),
+		vals:    make(map[string]float64),
+	}
+	for i, n := range names {
+		rs.samples[i].Name = n
+	}
+	return rs
+}
+
+// value returns one derived gauge, refreshing the shared sample set
+// when it is stale.
+func (rs *runtimeSampler) value(key string) float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if now := time.Now(); now.Sub(rs.last) >= runtimeRefresh {
+		rs.last = now
+		metrics.Read(rs.samples)
+		rs.derive()
+	}
+	return rs.vals[key]
+}
+
+// derive folds the raw samples into the exported gauge values.
+func (rs *runtimeSampler) derive() {
+	for i := range rs.samples {
+		s := &rs.samples[i]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			rs.vals[s.Name] = float64(s.Value.Uint64())
+		case metrics.KindFloat64:
+			rs.vals[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			switch s.Name {
+			case rmGCPauses:
+				rs.vals[s.Name] = histApproxSum(h)
+			case rmSchedLat:
+				rs.vals[s.Name+"/p50"] = histQuantile(h, 0.50)
+				rs.vals[s.Name+"/p99"] = histQuantile(h, 0.99)
+			}
+		}
+	}
+}
+
+// histApproxSum estimates the sum of a runtime histogram's
+// observations as Σ count × bucket midpoint (the runtime exposes
+// bucketed pauses, not an exact total; midpoints bound the error by
+// the bucket width).
+func histApproxSum(h *metrics.Float64Histogram) float64 {
+	var sum float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := finiteMid(lo, hi)
+		sum += float64(n) * mid
+	}
+	return sum
+}
+
+// histQuantile returns the q-quantile of a runtime histogram (bucket
+// upper bound of the bucket containing the quantile), 0 for an empty
+// histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(total))
+	var cum uint64
+	for i, n := range h.Counts {
+		cum += n
+		if cum > want {
+			return finiteMid(h.Buckets[i], h.Buckets[i+1])
+		}
+	}
+	return finiteMid(h.Buckets[len(h.Buckets)-2], h.Buckets[len(h.Buckets)-1])
+}
+
+// finiteMid is the midpoint of a bucket with ±Inf edges clamped to the
+// finite side.
+func finiteMid(lo, hi float64) float64 {
+	inf := func(f float64) bool { return f > 1e300 || f < -1e300 }
+	switch {
+	case inf(lo) && inf(hi):
+		return 0
+	case inf(lo):
+		return hi
+	case inf(hi):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+// RegisterRuntimeMetrics installs the Go runtime gauges into a
+// registry. The default registry gets them at package init, so every
+// /metrics scrape includes process health with zero wiring; custom
+// registries opt in explicitly.
+func RegisterRuntimeMetrics(reg *Registry) {
+	rs := newRuntimeSampler()
+	g := func(name, help, key string, labels ...string) {
+		reg.GaugeFunc(name, help, func() float64 { return rs.value(key) }, labels...)
+	}
+	g("sdnshield_runtime_goroutines", "Live goroutines (runtime/metrics).", rmGoroutines)
+	g("sdnshield_runtime_heap_bytes", "Bytes of live heap objects.", rmHeapBytes)
+	g("sdnshield_runtime_alloc_bytes_total", "Cumulative bytes allocated on the heap.", rmAllocBytes)
+	g("sdnshield_runtime_gc_cycles_total", "Completed GC cycles.", rmGCCycles)
+	g("sdnshield_runtime_gc_pause_seconds_total", "Approximate cumulative stop-the-world GC pause time.", rmGCPauses)
+	g("sdnshield_runtime_sched_latency_seconds", "Goroutine scheduling latency (median).", rmSchedLat+"/p50", "quantile", "0.5")
+	g("sdnshield_runtime_sched_latency_seconds", "Goroutine scheduling latency (median).", rmSchedLat+"/p99", "quantile", "0.99")
+}
+
+func init() { RegisterRuntimeMetrics(def) }

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeGaugesReportProcessHealth(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	runtime.GC() // ensure at least one GC cycle has stats
+
+	vals := make(map[string]float64)
+	for _, s := range reg.Snapshot() {
+		vals[s.Name+"{"+s.Labels+"}"] = s.Value
+	}
+	if v := vals[`sdnshield_runtime_goroutines{}`]; v < 1 {
+		t.Errorf("goroutines gauge = %v, want >= 1", v)
+	}
+	if v := vals[`sdnshield_runtime_heap_bytes{}`]; v <= 0 {
+		t.Errorf("heap bytes gauge = %v, want > 0", v)
+	}
+	if v := vals[`sdnshield_runtime_alloc_bytes_total{}`]; v <= 0 {
+		t.Errorf("alloc bytes gauge = %v, want > 0", v)
+	}
+	if v := vals[`sdnshield_runtime_gc_cycles_total{}`]; v < 1 {
+		t.Errorf("gc cycles gauge = %v, want >= 1", v)
+	}
+	if _, ok := vals[`sdnshield_runtime_sched_latency_seconds{quantile="0.5"}`]; !ok {
+		t.Error("sched latency p50 series missing")
+	}
+	if _, ok := vals[`sdnshield_runtime_sched_latency_seconds{quantile="0.99"}`]; !ok {
+		t.Error("sched latency p99 series missing")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sdnshield_runtime_goroutines",
+		"sdnshield_runtime_heap_bytes",
+		"sdnshield_runtime_gc_pause_seconds_total",
+		`sdnshield_runtime_sched_latency_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestRuntimeGaugesInDefaultRegistry(t *testing.T) {
+	found := false
+	for _, s := range Default().Snapshot() {
+		if s.Name == "sdnshield_runtime_heap_bytes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("default registry lacks runtime gauges")
+	}
+}
+
+func TestHistQuantileAndApproxSum(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{math.Inf(-1), 0.001, 0.002, math.Inf(1)},
+	}
+	if q := histQuantile(h, 0.5); q != 0.0015 {
+		t.Errorf("p50 = %v, want 0.0015", q)
+	}
+	// p99 lands in the overflow bucket, clamped to its finite edge.
+	if q := histQuantile(h, 0.99); q != 0.002 {
+		t.Errorf("p99 = %v, want 0.002", q)
+	}
+	want := 10*0.001 + 80*0.0015 + 10*0.002
+	if s := histApproxSum(h); math.Abs(s-want) > 1e-12 {
+		t.Errorf("approx sum = %v, want %v", s, want)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if q := histQuantile(empty, 0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v", q)
+	}
+}

@@ -36,6 +36,10 @@ func RegisterHealth(name string, fn func() interface{}) (unregister func()) {
 	}
 }
 
+// HealthSnapshots pulls every registered health provider — the same
+// live view /health serves — for embedding in diagnostic bundles.
+func HealthSnapshots() map[string]interface{} { return healthSnapshot() }
+
 // healthSnapshot pulls every registered provider.
 func healthSnapshot() map[string]interface{} {
 	healthMu.Lock()

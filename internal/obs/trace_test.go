@@ -3,6 +3,7 @@ package obs
 import (
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -117,5 +118,93 @@ func TestServeListensAndCloses(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTracerConcurrentStartSnapshot hammers Tracer.Start/span/Finish
+// from many goroutines while concurrently snapshotting the ring and
+// serving /traces. Under -race this flushes out torn spans; the
+// assertions check no snapshot ever exposes a half-written trace.
+func TestTracerConcurrentStartSnapshot(t *testing.T) {
+	tr := NewTracer(64, 1) // sample everything: maximum ring churn
+	const workers = 8
+	const perWorker = 400
+	h := NewHandler(NewRegistry(), tr)
+
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	// Snapshot readers racing the writers, both directly and through
+	// the HTTP surface.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, snap := range tr.Recent() {
+					checkTraceSnapshot(t, snap)
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+				if rec.Code != 200 {
+					t.Errorf("/traces status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				trace := tr.Start("op")
+				sp := trace.StartSpan("ksd_queue")
+				sp.End()
+				trace.AddSpan("exec", time.Now(), time.Microsecond)
+				trace.Finish()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	recent := tr.Recent()
+	if len(recent) != 64 {
+		t.Fatalf("ring holds %d traces, want full 64", len(recent))
+	}
+	seen := make(map[string]bool, len(recent))
+	for _, snap := range recent {
+		checkTraceSnapshot(t, snap)
+		if seen[snap.ID] {
+			t.Fatalf("duplicate trace id %s in ring", snap.ID)
+		}
+		seen[snap.ID] = true
+	}
+}
+
+// checkTraceSnapshot asserts one snapshot is internally consistent —
+// no torn reads: every span fully named with sane timings, trace
+// fields all present.
+func checkTraceSnapshot(t *testing.T, snap TraceSnapshot) {
+	t.Helper()
+	if snap.ID == "" || snap.Op != "op" || snap.Start.IsZero() {
+		t.Errorf("torn trace: %+v", snap)
+	}
+	if len(snap.Spans) > 2 {
+		t.Errorf("trace %s has %d spans, want <= 2", snap.ID, len(snap.Spans))
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name != "ksd_queue" && sp.Name != "exec" {
+			t.Errorf("trace %s has torn span name %q", snap.ID, sp.Name)
+		}
+		if sp.Duration < 0 {
+			t.Errorf("trace %s span %s duration %v", snap.ID, sp.Name, sp.Duration)
+		}
 	}
 }

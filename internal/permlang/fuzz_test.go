@@ -16,6 +16,7 @@ var fuzzCorpus = []string{
 	"PERM visible_topology LIMITING VIRTUAL {{1,2} AS 100, {3} AS 101}",
 	"PERM send_pkt_out LIMITING FROM_PKT_IN\nPERM read_statistics LIMITING PORT_LEVEL",
 	"PERM network_access LIMITING AdminRange",
+	"PERM pkt_in_event\nBUDGET CPU_MS_PER_SEC 250\nBUDGET MAX_GOROUTINES 4",
 }
 
 // TestParseFuzzNoPanics mutates valid manifests; the parser must return

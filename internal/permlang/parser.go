@@ -2,6 +2,7 @@ package permlang
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"sdnshield/internal/core"
@@ -9,10 +10,14 @@ import (
 )
 
 // Manifest is a parsed permission manifest: the ordered permission
-// requests an app ships with. Filters may contain unresolved macro stubs
-// (core.MacroRef) awaiting administrator bindings.
+// requests an app ships with, plus any declared resource budget.
+// Filters may contain unresolved macro stubs (core.MacroRef) awaiting
+// administrator bindings.
 type Manifest struct {
 	Permissions []core.Permission
+	// Budget holds the manifest's BUDGET declarations (soft resource
+	// quotas enforced by the isolation layer); zero means none.
+	Budget core.Budget
 }
 
 // Set compiles the manifest into a permission set. Duplicate tokens widen
@@ -53,7 +58,9 @@ func (m *Manifest) Macros() []string {
 	return out
 }
 
-// String renders the manifest in permission-language syntax.
+// String renders the manifest in permission-language syntax: the
+// permission statements in order, then the BUDGET statements in
+// canonical key order (so print∘parse is a fixpoint).
 func (m *Manifest) String() string {
 	var sb strings.Builder
 	for i, p := range m.Permissions {
@@ -61,6 +68,12 @@ func (m *Manifest) String() string {
 			sb.WriteString("\n")
 		}
 		sb.WriteString(p.String())
+	}
+	if bs := m.Budget.String(); bs != "" {
+		if sb.Len() > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(bs)
 	}
 	return sb.String()
 }
@@ -73,6 +86,12 @@ func Parse(src string) (*Manifest, error) {
 	}
 	m := &Manifest{}
 	for p.Tok().Kind != TokEOF {
+		if p.isKeyword("BUDGET") {
+			if err := p.parseBudgetStatement(&m.Budget); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		perm, err := p.ParsePermStatement()
 		if err != nil {
 			return nil, err
@@ -80,6 +99,31 @@ func Parse(src string) (*Manifest, error) {
 		m.Permissions = append(m.Permissions, perm)
 	}
 	return m, nil
+}
+
+// parseBudgetStatement parses one "BUDGET key value" declaration. A key
+// repeated later in the manifest overwrites the earlier value.
+func (p *Parser) parseBudgetStatement(b *core.Budget) error {
+	if err := p.ExpectKeyword("BUDGET"); err != nil {
+		return err
+	}
+	keyTok, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	valTok, err := p.expect(TokInt)
+	if err != nil {
+		return err
+	}
+	if valTok.Num > math.MaxInt64 {
+		return &SyntaxError{Line: valTok.Line, Col: valTok.Col,
+			Msg: fmt.Sprintf("budget value %d out of range", valTok.Num)}
+	}
+	if !b.SetBudgetKey(keyTok.Text, int64(valTok.Num)) {
+		return &SyntaxError{Line: keyTok.Line, Col: keyTok.Col,
+			Msg: fmt.Sprintf("unknown budget key %q (valid: %s)", keyTok.Text, strings.Join(core.BudgetKeys(), ", "))}
+	}
+	return nil
 }
 
 // ParseFilter parses a standalone filter expression (the administrator's

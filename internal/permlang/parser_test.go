@@ -344,3 +344,61 @@ func TestMustParsePanics(t *testing.T) {
 	}()
 	MustParse("PERM bogus_token")
 }
+
+func TestParseBudgetStatements(t *testing.T) {
+	m, err := Parse(`
+PERM pkt_in_event
+BUDGET MAX_GOROUTINES 4
+PERM insert_flow LIMITING OWN_FLOWS
+BUDGET CPU_MS_PER_SEC 250
+BUDGET ALLOC_KB_PER_SEC 1024
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Permissions) != 2 {
+		t.Fatalf("got %d permissions", len(m.Permissions))
+	}
+	want := core.Budget{CPUMillisPerSec: 250, AllocKBPerSec: 1024, MaxGoroutines: 4}
+	if m.Budget != want {
+		t.Fatalf("budget = %+v, want %+v", m.Budget, want)
+	}
+	// Rendering is canonical: permissions first, budget keys in fixed order.
+	rendered := m.String()
+	wantRender := "PERM pkt_in_event\n" +
+		"PERM insert_flow LIMITING OWN_FLOWS\n" +
+		"BUDGET CPU_MS_PER_SEC 250\n" +
+		"BUDGET ALLOC_KB_PER_SEC 1024\n" +
+		"BUDGET MAX_GOROUTINES 4"
+	if rendered != wantRender {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", rendered, wantRender)
+	}
+	m2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if m2.Budget != want || m2.String() != rendered {
+		t.Error("budget rendering is not a parse/print fixpoint")
+	}
+}
+
+func TestParseBudgetRepeatedKeyLastWins(t *testing.T) {
+	m, err := Parse("BUDGET MAX_DROPS_PER_SEC 10\nBUDGET MAX_DROPS_PER_SEC 99\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Budget.MaxDropsPerSec != 99 {
+		t.Fatalf("MaxDropsPerSec = %d, want 99", m.Budget.MaxDropsPerSec)
+	}
+}
+
+func TestParseBudgetUnknownKey(t *testing.T) {
+	_, err := Parse("BUDGET MAX_SOCKETS 5\n")
+	var se *SyntaxError
+	if err == nil || !errorsAs(err, &se) {
+		t.Fatalf("err = %v, want SyntaxError", err)
+	}
+	if !strings.Contains(se.Msg, "unknown budget key") {
+		t.Errorf("msg = %q", se.Msg)
+	}
+}
