@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder attacksim fuzz-smoke
+.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder bench-market attacksim fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ bench-audit:
 bench-recorder:
 	SDNSHIELD_RECORDER_GUARD=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestRecorderOverheadBudget -v .
 
+# bench-market measures the app-market pipeline — installs/sec with a
+# cold vs warm verdict cache (the warm rate must hold ≥1000/s) and the
+# job spine's throughput/latency — and writes BENCH_market.json.
+# SHORT=1 shrinks the workload for CI.
+bench-market:
+	SDNSHIELD_MARKET_BENCH=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestMarketBenchTrajectory -v ./internal/bench/
+
 attacksim:
 	$(GO) run ./cmd/attacksim -v
 
@@ -57,3 +64,4 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParseManifest -fuzztime=$(FUZZTIME) ./internal/permlang/
 	$(GO) test -run=^$$ -fuzz=FuzzParsePolicy -fuzztime=$(FUZZTIME) ./internal/policylang/
+	$(GO) test -run=^$$ -fuzz=FuzzJobDecode -fuzztime=$(FUZZTIME) ./internal/jobs/

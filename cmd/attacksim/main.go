@@ -14,6 +14,7 @@ import (
 
 	"sdnshield/internal/bench"
 	"sdnshield/internal/faults"
+	"sdnshield/internal/jobs"
 	"sdnshield/internal/of"
 )
 
@@ -58,7 +59,7 @@ func run(args []string) error {
 	}
 	// Flush the audit sink and close the telemetry server on SIGINT/
 	// SIGTERM too, so an interrupted run loses no events.
-	cancelShutdown := bench.OnShutdown(stopBundles, stopAudit, stopTelemetry)
+	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopAudit, stopTelemetry)
 	defer cancelShutdown()
 	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 

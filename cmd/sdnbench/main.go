@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sdnshield/internal/bench"
+	"sdnshield/internal/jobs"
 )
 
 func main() {
@@ -77,7 +78,7 @@ func run(args []string) error {
 	}
 	// Flush the audit sink and close the telemetry server on SIGINT/
 	// SIGTERM too, so an interrupted run loses no events.
-	cancelShutdown := bench.OnShutdown(stopBundles, stopAudit, stopTelemetry)
+	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopAudit, stopTelemetry)
 	defer cancelShutdown()
 	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 

@@ -20,7 +20,22 @@
 //	sdnshieldc -market-dir ./market -policy site.policy -telemetry-addr 127.0.0.1:9090
 //
 // The last form serves the /market/* administration endpoints until
-// interrupted.
+// interrupted. With -market-jobs the install/upgrade/recompute
+// endpoints enqueue onto a durable job queue and answer 202 Accepted;
+// poll /market/jobs/<id> for the verdict:
+//
+//	sdnshieldc -market-dir ./market -policy site.policy \
+//	    -market-jobs ./market/jobs -market-node store-a \
+//	    -telemetry-addr 127.0.0.1:9090
+//
+// Follower mode replicates another market's release log (re-verifying
+// every signature locally before admission) into this node's store:
+//
+//	sdnshieldc -market-dir ./replica -policy site.policy \
+//	    -market-follow http://127.0.0.1:9090 -telemetry-addr 127.0.0.1:9091
+//
+// With -market-sync-mode federate the follower keeps its own vendor
+// trust anchors instead of importing the upstream's keys.
 package main
 
 import (
@@ -30,9 +45,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"sdnshield"
 	"sdnshield/internal/bench"
+	"sdnshield/internal/jobs"
 	"sdnshield/internal/market"
 )
 
@@ -60,6 +77,12 @@ func run(args []string) (int, error) {
 	marketSign := fs.Bool("market-sign", false, "market mode: package -app/-manifest as a signed release (needs -market-vendor, -market-version)")
 	marketVendor := fs.String("market-vendor", "", "vendor whose key signs the release for -market-sign")
 	marketVersion := fs.String("market-version", "", "semantic version (MAJOR.MINOR.PATCH) of the release for -market-sign")
+	marketJobs := fs.String("market-jobs", "", "market serve mode: durable job-queue directory; install/upgrade/recompute enqueue and answer 202 (\"mem\" for a non-durable queue)")
+	marketWorkers := fs.Int("market-workers", 4, "market serve mode: workers per job queue")
+	marketNode := fs.String("market-node", "", "market serve mode: arm a leader lease under this node name (replication feed guard)")
+	marketFollow := fs.String("market-follow", "", "market follower mode: pull releases from this upstream base URL into the market dir")
+	marketSyncMode := fs.String("market-sync-mode", "replica", "follower mode: replica (ship the release log, import upstream keys) or federate (digest anti-entropy, locally provisioned keys)")
+	marketSyncInterval := fs.Duration("market-sync-interval", 2*time.Second, "follower mode: upstream poll cadence")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
@@ -91,6 +114,7 @@ func run(args []string) (int, error) {
 	// Market mode mounts /market/* before the telemetry server starts so
 	// the composed handler includes the routes.
 	var mkt *market.Market
+	var syncer *market.Syncer
 	if *marketDir != "" && !*marketSign {
 		reg := market.NewRegistry()
 		loaded, problems, err := market.LoadDir(*marketDir, reg)
@@ -102,6 +126,32 @@ func run(args []string) (int, error) {
 			return 1, err
 		}
 		defer mkt.Close()
+		if *marketNode != "" {
+			mkt.SetLeaderLease(market.NewLeaderLease(*marketNode, 10*time.Second))
+		}
+		if *marketJobs != "" {
+			jobDir := *marketJobs
+			if jobDir == "mem" {
+				jobDir = ""
+			}
+			jm, err := jobs.Open(jobs.Config{Dir: jobDir})
+			if err != nil {
+				return 1, fmt.Errorf("job queue: %w", err)
+			}
+			mkt.AttachJobs(jm, *marketWorkers)
+		}
+		if *marketFollow != "" {
+			syncer = market.NewSyncer(reg, market.SyncConfig{
+				Upstream: *marketFollow,
+				Mode:     market.SyncMode(*marketSyncMode),
+				Interval: *marketSyncInterval,
+				Dir:      *marketDir,
+				// Replicas share their leader's trust domain; federation
+				// trusts only locally provisioned keys.
+				TrustUpstreamKeys: market.SyncMode(*marketSyncMode) == market.SyncReplica,
+			})
+			market.MountSyncHTTP(syncer)
+		}
 		market.MountHTTP(mkt)
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "market: loaded %d release(s) from %s\n", loaded, *marketDir)
@@ -130,15 +180,32 @@ func run(args []string) (int, error) {
 		return 1, err
 	}
 	// Flush the audit sink and close the telemetry server on SIGINT/
-	// SIGTERM too, so an interrupted run loses no events.
-	cancelShutdown := bench.OnShutdown(stopBundles, stopAudit, stopTelemetry)
+	// SIGTERM too, so an interrupted run loses no events. Job queues
+	// drain first: in-flight installs finish and the WAL is fsynced
+	// before the audit trail is sealed.
+	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopAudit, stopTelemetry)
 	defer cancelShutdown()
+	defer jobs.DrainAll()
 	// The reconciled permissions go to stdout; the digest must not mix in.
 	defer func() { fmt.Fprintln(os.Stderr, bench.TelemetrySummary()) }()
 
 	if *marketDir != "" {
 		if *marketSign {
 			return runMarketSign(*marketDir, *appName, *manifestPath, *marketVendor, *marketVersion)
+		}
+		if syncer != nil {
+			if bound != "" {
+				// Serving: poll the upstream in the background for as long
+				// as the /market endpoints are up.
+				syncer.Start()
+				defer syncer.Stop()
+			} else if n, err := syncer.SyncOnce(); err != nil {
+				return 1, fmt.Errorf("sync from %s: %w", *marketFollow, err)
+			} else if !*quiet {
+				st := syncer.Stats()
+				fmt.Fprintf(os.Stderr, "market: pulled %d release(s) from %s (last seq %d, in sync: %v)\n",
+					n, *marketFollow, st.LastSeq, st.InSync)
+			}
 		}
 		return runMarketReport(mkt, *quiet, *strict, bound)
 	}

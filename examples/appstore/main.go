@@ -4,19 +4,25 @@
 // reconciliation engine (behind the verdict cache) produces approved /
 // repaired / rejected verdicts, repaired manifests wait for
 // administrator sign-off, and a live upgrade runs under a probation
-// window that auto-rolls back when the new release misbehaves.
+// window that auto-rolls back when the new release misbehaves. The
+// finale attaches the async job spine (installs ride a durable queue
+// and answer with a pollable job ID) and stands up a replica plus a
+// federated downstream store, each re-verifying every release locally.
 package main
 
 import (
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"time"
 
 	"sdnshield/internal/core"
 	"sdnshield/internal/isolation"
+	"sdnshield/internal/jobs"
 	"sdnshield/internal/market"
+	"sdnshield/internal/obs"
 )
 
 // sitePolicy is the administrator's template: a boundary for third-party
@@ -236,6 +242,78 @@ func main() {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+
+	// --- Async job spine: installs ride a durable queue and answer with
+	// a job ID instead of blocking the caller.
+	fmt.Println("\n==== async job spine ====")
+	jm, err := jobs.Open(jobs.Config{}) // in-memory for the demo; pass Dir for a WAL
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer jm.Close()
+	m.AttachJobs(jm, 2)
+	auditor := keys["acme-netwatch"](market.Release{
+		Name: "flow-auditor", Vendor: "acme-netwatch", Version: "1.0.0",
+		Manifest: "PERM read_statistics\nPERM visible_topology LIMITING LocalTopo",
+	})
+	da, err := reg.Submit(auditor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobID, err := m.SubmitJob(market.QueueInstall, market.JobRequest{Digest: da.String()}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  enqueued install of flow-auditor@1.0.0 as job %d\n", jobID)
+	for {
+		snap, ok := jm.Status(jobID)
+		if !ok {
+			log.Fatal("job vanished")
+		}
+		if snap.State == jobs.StateDone || snap.State == jobs.StateDead {
+			fmt.Printf("  job %d: %s after %d attempt(s)\n", jobID, snap.State, snap.Attempts)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s, ok := m.Status("flow-auditor"); ok {
+		fmt.Printf("  flow-auditor is %s at %s\n", s.Status, s.Version)
+	}
+
+	// --- Replication and federation: a replica ships the leader's
+	// release log wholesale; a federated downstream pulls by digest
+	// anti-entropy but admits only vendors it provisioned itself. Both
+	// re-verify every signature locally — the wire carries only claims.
+	fmt.Println("\n==== replication & federation ====")
+	market.MountHTTP(m)
+	leader := httptest.NewServer(obs.NewHandler(obs.Default(), nil))
+	defer leader.Close()
+
+	replica := market.NewRegistry()
+	rep := market.NewSyncer(replica, market.SyncConfig{
+		Upstream: leader.URL, Mode: market.SyncReplica, TrustUpstreamKeys: true,
+	})
+	if _, err := rep.SyncOnce(); err != nil {
+		log.Fatal(err)
+	}
+	rs := rep.Stats()
+	fmt.Printf("  replica:    admitted %d release(s), in sync: %v (root %.12s…)\n",
+		rs.Admitted, replica.RootDigest() == reg.RootDigest(), replica.RootDigest())
+
+	downstream := market.NewRegistry()
+	odlKey, _ := reg.VendorKey("opendaylight")
+	if err := downstream.TrustVendor("opendaylight", odlKey); err != nil {
+		log.Fatal(err)
+	}
+	fed := market.NewSyncer(downstream, market.SyncConfig{
+		Upstream: leader.URL, Mode: market.SyncFederate, // keeps its own trust anchors
+	})
+	if _, err := fed.SyncOnce(); err != nil {
+		log.Fatal(err)
+	}
+	fs := fed.Stats()
+	fmt.Printf("  federation: admitted %d, rejected %d (only opendaylight is trusted downstream)\n",
+		fs.Admitted, fs.Rejected)
 
 	snaps := m.Snapshot()
 	fmt.Println("\n==== final market state ====")

@@ -1,0 +1,173 @@
+// Market-throughput benchmark: installs/sec through the full
+// provenance-and-reconciliation pipeline cold (every verdict computed)
+// versus warm (shared verdict cache, every verdict a hit), plus the job
+// spine's enqueue-to-done throughput and latency distribution. `make
+// bench-market` runs the guard and writes BENCH_market.json.
+package bench
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/isolation"
+	"sdnshield/internal/jobs"
+	"sdnshield/internal/market"
+)
+
+// marketBenchPolicy approves the bench manifest cleanly: no app-named
+// asserts, so every generated app evaluates against the same bounds.
+const marketBenchPolicy = `
+LET Bound = { PERM read_statistics PERM visible_topology PERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0 }
+ASSERT EITHER { PERM network_access } OR { PERM process_runtime }
+`
+
+const marketBenchManifest = "PERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0"
+
+// nullRuntime satisfies market.Runtime with no enforcement backend, so
+// the bench measures the market pipeline, not a fake switch fabric.
+type nullRuntime struct{}
+
+func (nullRuntime) SetPermissions(string, *core.Set)          {}
+func (nullRuntime) AppHealth(string) (isolation.Health, bool) { return 0, false }
+
+// MarketBenchResult is the BENCH_market.json document.
+type MarketBenchResult struct {
+	Releases           int     `json:"releases"`
+	ColdInstallsPerSec float64 `json:"cold_installs_per_sec"`
+	WarmInstallsPerSec float64 `json:"warm_installs_per_sec"`
+	WarmSpeedup        float64 `json:"warm_speedup"`
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+
+	Jobs                  int     `json:"jobs"`
+	QueueJobsPerSec       float64 `json:"queue_jobs_per_sec"`
+	QueueLatencyP50Micros float64 `json:"queue_latency_p50_micros"`
+	QueueLatencyP95Micros float64 `json:"queue_latency_p95_micros"`
+	QueueLatencyP99Micros float64 `json:"queue_latency_p99_micros"`
+}
+
+// RunMarketBench measures the market install pipeline and the job
+// spine. releases signed packages are vetted into a registry; the cold
+// pass installs them all with an empty verdict cache, the warm pass
+// repeats against the same (now-populated) shared cache with a fresh
+// Market. jobsN jobs then flow through a durable WAL-backed queue in
+// jobDir ("" for in-memory), each performing a warm-cache Evaluate —
+// the recompute job's steady-state shape.
+func RunMarketBench(releases, jobsN int, jobDir string) (*MarketBenchResult, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	reg := market.NewRegistry()
+	if err := reg.TrustVendor("acme", pub); err != nil {
+		return nil, err
+	}
+	digests := make([]market.Digest, 0, releases)
+	for i := 0; i < releases; i++ {
+		sr := market.Sign(market.Release{
+			Name:     fmt.Sprintf("app%04d", i),
+			Vendor:   "acme",
+			Version:  "1.0.0",
+			Manifest: marketBenchManifest,
+		}, priv)
+		d, err := reg.Submit(sr)
+		if err != nil {
+			return nil, fmt.Errorf("seed release %d: %w", i, err)
+		}
+		digests = append(digests, d)
+	}
+
+	cache := market.NewVerdictCache()
+	res := &MarketBenchResult{Releases: releases, Jobs: jobsN}
+
+	installAll := func() (float64, error) {
+		m, err := market.New(reg, nullRuntime{}, market.Config{
+			PolicySrc: marketBenchPolicy, Cache: cache,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer m.Close()
+		start := time.Now()
+		for _, d := range digests {
+			r, err := m.Install(d)
+			if err != nil {
+				return 0, err
+			}
+			if r.Verdict != market.VerdictApproved {
+				return 0, fmt.Errorf("bench release %s not approved: %s", d, r.Verdict)
+			}
+		}
+		return float64(releases) / time.Since(start).Seconds(), nil
+	}
+	if res.ColdInstallsPerSec, err = installAll(); err != nil {
+		return nil, fmt.Errorf("cold pass: %w", err)
+	}
+	if res.WarmInstallsPerSec, err = installAll(); err != nil {
+		return nil, fmt.Errorf("warm pass: %w", err)
+	}
+	if res.ColdInstallsPerSec > 0 {
+		res.WarmSpeedup = res.WarmInstallsPerSec / res.ColdInstallsPerSec
+	}
+	res.CacheHits, res.CacheMisses = cache.Stats()
+
+	// Job spine: enqueue-to-done latency through the durable queue, with
+	// the handler doing a warm-cache Evaluate per job.
+	m, err := market.New(reg, nullRuntime{}, market.Config{
+		PolicySrc: marketBenchPolicy, Cache: cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	jm, err := jobs.Open(jobs.Config{Dir: jobDir, MaxDepth: jobsN + 1})
+	if err != nil {
+		return nil, err
+	}
+	defer jm.Close()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	jm.Handle("bench.evaluate", 4, func(j jobs.Snapshot) ([]byte, error) {
+		defer wg.Done()
+		lat := time.Since(j.EnqueuedAt)
+		if _, err := m.Evaluate(digests[int(j.ID)%len(digests)]); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		latencies = append(latencies, lat)
+		mu.Unlock()
+		return nil, nil
+	})
+	wg.Add(jobsN)
+	start := time.Now()
+	for i := 0; i < jobsN; i++ {
+		if _, err := jm.Enqueue("bench.evaluate", []byte(`{}`)); err != nil {
+			return nil, err
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	res.QueueJobsPerSec = float64(jobsN) / elapsed
+
+	sort.Slice(latencies, func(i, k int) bool { return latencies[i] < latencies[k] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Microsecond)
+	}
+	res.QueueLatencyP50Micros = pct(0.50)
+	res.QueueLatencyP95Micros = pct(0.95)
+	res.QueueLatencyP99Micros = pct(0.99)
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package jobs
+
+import (
+	"sync"
+
+	"sdnshield/internal/obs"
+)
+
+// queueMetrics is one queue's instrument bundle in the process-wide
+// registry, created once per queue name and cached (instrument lookup
+// is a lock + map hit; the worker loop must not pay it per job).
+type queueMetrics struct {
+	enqueued  *obs.Counter
+	completed *obs.Counter
+	retries   *obs.Counter
+	deadC     *obs.Counter
+	rejected  *obs.Counter
+	pending   *obs.Gauge
+	inflight  *obs.Gauge
+	exec      *obs.Histogram
+	wait      *obs.Histogram
+}
+
+var (
+	metricsMu sync.Mutex
+	metricsBy = make(map[string]*queueMetrics)
+)
+
+func metricsFor(queue string) *queueMetrics {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	if m, ok := metricsBy[queue]; ok {
+		return m
+	}
+	reg := obs.Default()
+	m := &queueMetrics{
+		enqueued: reg.Counter("sdnshield_jobs_enqueued_total",
+			"Jobs admitted to a queue.", "queue", queue),
+		completed: reg.Counter("sdnshield_jobs_completed_total",
+			"Jobs acked after a successful attempt.", "queue", queue),
+		retries: reg.Counter("sdnshield_jobs_retries_total",
+			"Failed attempts that were rescheduled with backoff.", "queue", queue),
+		deadC: reg.Counter("sdnshield_jobs_dead_total",
+			"Jobs dead-lettered after exhausting attempts or a permanent error.", "queue", queue),
+		rejected: reg.Counter("sdnshield_jobs_rejected_total",
+			"Enqueues refused at the admission bound (backpressure).", "queue", queue),
+		pending: reg.Gauge("sdnshield_jobs_pending",
+			"Jobs waiting in a queue's backlog.", "queue", queue),
+		inflight: reg.Gauge("sdnshield_jobs_inflight",
+			"Jobs currently executing on a queue's workers.", "queue", queue),
+		exec: reg.Histogram("sdnshield_jobs_exec_seconds",
+			"Handler execution latency per attempt.", "queue", queue),
+		wait: reg.Histogram("sdnshield_jobs_wait_seconds",
+			"Queue residency: enqueue to attempt start.", "queue", queue),
+	}
+	metricsBy[queue] = m
+	return m
+}

@@ -1,0 +1,294 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The queue's durability layer is a single append-only write-ahead log
+// under DIR/queue.wal. Every state transition a crash must not lose is
+// one framed record:
+//
+//	enqueue  — the job exists (payload, queue, attempt budget)
+//	fail     — an attempt failed; the attempt counter advanced
+//	ack      — the job completed; its result is retained
+//	dead     — the job exhausted its attempts (dead-letter)
+//
+// A job whose last record is enqueue or fail is live: replay returns it
+// to its queue's pending list, which is exactly the at-least-once
+// guarantee — a worker that dies mid-job never wrote the ack, so the
+// job runs again. Records are length-prefixed and CRC-guarded; replay
+// stops at the first torn record (a crash mid-append) and the file is
+// truncated back to the last whole record.
+
+// walMagic is the file header; a version bump changes the trailing byte.
+const walMagic = "sdnjobswal1\n"
+
+// walOp discriminates record types.
+type walOp uint8
+
+// Record opcodes.
+const (
+	opEnqueue walOp = 1
+	opAck     walOp = 2
+	opFail    walOp = 3
+	opDead    walOp = 4
+)
+
+// walRecord is one WAL entry. Which fields are meaningful depends on the
+// op: enqueue carries queue/payload/corr/maxAttempts, fail carries
+// attempts/errMsg, ack carries result, dead carries attempts/errMsg.
+type walRecord struct {
+	op          walOp
+	id          uint64
+	queue       string
+	payload     []byte
+	corr        uint64
+	maxAttempts uint32
+	attempts    uint32
+	errMsg      string
+	result      []byte
+	ts          int64 // unix nanos at append time
+}
+
+// errBadRecord reports a record body that does not decode.
+var errBadRecord = errors.New("jobs: bad WAL record")
+
+// maxFieldLen bounds every variable-length field so a corrupt length
+// prefix cannot ask the decoder for gigabytes.
+const maxFieldLen = 16 << 20
+
+// encodeRecord renders the record body (unframed). The layout is
+// versioned by walMagic: op byte, then uvarint-framed fields in fixed
+// order.
+func encodeRecord(r *walRecord) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 32+len(r.queue)+len(r.payload)+len(r.errMsg)+len(r.result))
+	buf = append(buf, byte(r.op))
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	putBytes := func(b []byte) {
+		putUvarint(uint64(len(b)))
+		buf = append(buf, b...)
+	}
+	putUvarint(r.id)
+	putBytes([]byte(r.queue))
+	putBytes(r.payload)
+	putUvarint(r.corr)
+	putUvarint(uint64(r.maxAttempts))
+	putUvarint(uint64(r.attempts))
+	putBytes([]byte(r.errMsg))
+	putBytes(r.result)
+	n := binary.PutVarint(tmp[:], r.ts)
+	buf = append(buf, tmp[:n]...)
+	return buf
+}
+
+// decodeRecord parses a record body produced by encodeRecord. It must
+// never panic on arbitrary input (FuzzJobDecode enforces this) and must
+// round-trip: decodeRecord(encodeRecord(r)) == r.
+func decodeRecord(b []byte) (*walRecord, error) {
+	if len(b) < 1 {
+		return nil, errBadRecord
+	}
+	r := &walRecord{op: walOp(b[0])}
+	if r.op < opEnqueue || r.op > opDead {
+		return nil, fmt.Errorf("%w: unknown op %d", errBadRecord, r.op)
+	}
+	b = b[1:]
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, errBadRecord
+		}
+		b = b[n:]
+		return v, nil
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxFieldLen || n > uint64(len(b)) {
+			return nil, errBadRecord
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, nil
+	}
+	var err error
+	if r.id, err = readUvarint(); err != nil {
+		return nil, err
+	}
+	q, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	r.queue = string(q)
+	if r.payload, err = readBytes(); err != nil {
+		return nil, err
+	}
+	if len(r.payload) == 0 {
+		r.payload = nil
+	}
+	if r.corr, err = readUvarint(); err != nil {
+		return nil, err
+	}
+	ma, err := readUvarint()
+	if err != nil || ma > math.MaxUint32 {
+		return nil, errBadRecord
+	}
+	r.maxAttempts = uint32(ma)
+	at, err := readUvarint()
+	if err != nil || at > math.MaxUint32 {
+		return nil, errBadRecord
+	}
+	r.attempts = uint32(at)
+	e, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	r.errMsg = string(e)
+	if r.result, err = readBytes(); err != nil {
+		return nil, err
+	}
+	if len(r.result) == 0 {
+		r.result = nil
+	}
+	ts, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, errBadRecord
+	}
+	r.ts = ts
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errBadRecord, len(b)-n)
+	}
+	return r, nil
+}
+
+// wal is the open log file with a buffered writer; appends are framed
+// (u32le length, u32le CRC-32, body) and group-committed by the
+// manager's flusher.
+type wal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// walPath returns the log path under a queue directory.
+func walPath(dir string) string { return filepath.Join(dir, "queue.wal") }
+
+// newBufWriter sizes the WAL's buffered writer consistently across the
+// append and compaction paths.
+func newBufWriter(f *os.File) *bufio.Writer { return bufio.NewWriterSize(f, 64<<10) }
+
+// openWAL opens (creating if needed) the log for appending, writing the
+// header on a fresh file.
+func openWAL(dir string) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(walPath(dir), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	w := &wal{f: f, w: newBufWriter(f)}
+	if st.Size() == 0 {
+		if _, err := w.w.WriteString(walMagic); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// append frames and buffers one record; the caller decides when to
+// flush/sync (group commit).
+func (w *wal) append(r *walRecord) error {
+	body := encodeRecord(r)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(body)
+	return err
+}
+
+// sync flushes the buffer and fsyncs the file.
+func (w *wal) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// close syncs and closes the file.
+func (w *wal) close() error {
+	serr := w.sync()
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// replayWAL reads every whole record from a log file, returning the
+// records in append order and the offset of the first torn/corrupt
+// frame (== file size when the log is clean). A missing file replays
+// empty.
+func replayWAL(dir string) (recs []*walRecord, goodOffset int64, err error) {
+	f, err := os.Open(walPath(dir))
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != walMagic {
+		// Unrecognized header: treat as empty (the manager rewrites it).
+		return nil, 0, nil
+	}
+	goodOffset = int64(len(walMagic))
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return recs, goodOffset, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFieldLen {
+			return recs, goodOffset, nil
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return recs, goodOffset, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return recs, goodOffset, nil // corrupt frame
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return recs, goodOffset, nil
+		}
+		recs = append(recs, rec)
+		goodOffset += int64(len(hdr)) + int64(n)
+	}
+}

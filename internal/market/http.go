@@ -1,13 +1,23 @@
 package market
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 
+	"sdnshield/internal/jobs"
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
 )
+
+// ErrBadRequest classifies malformed client input (unparseable digests,
+// missing query parameters) so writeError maps it to 400 instead of a
+// bare 500.
+var ErrBadRequest = errors.New("market: bad request")
 
 // MountHTTP registers the market's administrative surface on the obs
 // introspection endpoint (obs handlers built after this call include
@@ -19,19 +29,32 @@ import (
 //	POST /market/approve         body: {"app": "..."}
 //	POST /market/upgrade         body: package JSON or {"digest": "..."}
 //	POST /market/revoke          body: {"app": "..."}
+//	POST /market/recompute       body: {"app": "..."} ("" sweeps all)
 //	GET  /market/diff?app=NAME[&from=DIGEST&to=DIGEST]
+//	GET  /market/jobs            queue stats + recent jobs
+//	GET  /market/jobs/<id>       one job's state, result, error
+//	GET  /market/log?after=N     release log suffix (replication feed)
+//	GET  /market/release?digest=D  one signed package by content address
+//	GET  /market/keys            trusted vendor keys, hex
+//	GET  /market/digests         sorted digest set + root (anti-entropy)
+//	GET  /market/lease           leader lease view (renews; 404 if none)
 //
 // install and upgrade accept the full package (submit + pipeline in one
 // round trip), so a vendor portal can POST the exact artifact it
 // distributes; provenance is re-checked server-side. A digest-only body
 // selects a release already in the registry (e.g. loaded from the
 // on-disk store), which is the administrator's usual path.
+//
+// With a job manager attached (AttachJobs), install/upgrade/recompute
+// stop running the pipeline inline: they enqueue durably and answer 202
+// Accepted with the job ID to poll at /market/jobs/<id>. A full queue
+// answers 429. Without a manager the old synchronous behavior stands.
 func MountHTTP(m *Market) {
 	obs.RegisterHandler("/market/apps", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Snapshot())
 	}))
-	obs.RegisterHandler("/market/install", handlePackage(m, m.Install))
-	obs.RegisterHandler("/market/upgrade", handlePackage(m, m.Upgrade))
+	obs.RegisterHandler("/market/install", handlePackage(m, m.Install, QueueInstall))
+	obs.RegisterHandler("/market/upgrade", handlePackage(m, m.Upgrade, QueueUpgrade))
 	obs.RegisterHandler("/market/approve", handleApp(m, func(app string) (interface{}, error) {
 		return m.Approve(app)
 	}))
@@ -42,41 +65,40 @@ func MountHTTP(m *Market) {
 		snap, _ := m.Status(app)
 		return snap, nil
 	}))
-	obs.RegisterHandler("/market/diff", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		app := r.URL.Query().Get("app")
-		fromS, toS := r.URL.Query().Get("from"), r.URL.Query().Get("to")
-		var (
-			report  string
-			entries []DiffEntry
-			err     error
-		)
-		switch {
-		case fromS != "" && toS != "":
-			var from, to Digest
-			if from, err = ParseDigest(fromS); err == nil {
-				if to, err = ParseDigest(toS); err == nil {
-					report, entries, err = m.DiffReleases(from, to)
-				}
-			}
-		case app != "":
-			report, entries, err = m.DiffLatest(app)
-		default:
-			err = fmt.Errorf("market: need ?app=NAME or ?from=DIGEST&to=DIGEST")
-		}
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"report":  report,
-			"entries": entries,
-		})
+	obs.RegisterHandler("/market/recompute", handleRecompute(m))
+	obs.RegisterHandler("/market/diff", handleDiff(m))
+	obs.RegisterHandler("/market/jobs", handleJobsIndex(m))
+	obs.RegisterHandler("/market/jobs/", handleJobByID(m))
+	obs.RegisterHandler("/market/log", handleLog(m))
+	obs.RegisterHandler("/market/release", handleRelease(m))
+	obs.RegisterHandler("/market/keys", handleKeys(m))
+	obs.RegisterHandler("/market/digests", handleDigests(m))
+	obs.RegisterHandler("/market/lease", handleLease(m))
+}
+
+// MountSyncHTTP registers a follower's sync introspection:
+//
+//	GET /market/sync    cumulative pull/reject/round counters
+func MountSyncHTTP(s *Syncer) {
+	obs.RegisterHandler("/market/sync", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
 	}))
 }
 
+// jobAccepted is the 202 body for an enqueued pipeline run.
+type jobAccepted struct {
+	JobID  uint64 `json:"job_id"`
+	Queue  string `json:"queue"`
+	Digest string `json:"digest,omitempty"`
+	App    string `json:"app,omitempty"`
+	Corr   uint64 `json:"corr"`
+	Poll   string `json:"poll"`
+}
+
 // handlePackage serves install/upgrade: decode a signed package, submit
-// it through the provenance gate, then run the pipeline step.
-func handlePackage(m *Market, step func(Digest) (*InstallResult, error)) http.Handler {
+// it through the provenance gate, then run the pipeline step — inline,
+// or as an enqueued job when a manager is attached.
+func handlePackage(m *Market, step func(Digest) (*InstallResult, error), queue string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
@@ -111,6 +133,19 @@ func handlePackage(m *Market, step func(Digest) (*InstallResult, error)) http.Ha
 				return
 			}
 			digest = d
+		}
+		if m.Jobs() != nil {
+			corr := audit.NextCorr()
+			id, err := m.SubmitJob(queue, JobRequest{Digest: digest.String()}, corr)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, jobAccepted{
+				JobID: id, Queue: queue, Digest: digest.String(), Corr: corr,
+				Poll: fmt.Sprintf("/market/jobs/%d", id),
+			})
+			return
 		}
 		result, err := step(digest)
 		if err != nil && result == nil {
@@ -150,16 +185,254 @@ func handleApp(m *Market, step func(app string) (interface{}, error)) http.Handl
 	})
 }
 
+// handleRecompute serves verdict recomputation: enqueued when the job
+// spine is attached, inline otherwise. The app field is optional; empty
+// sweeps every stored release.
+func handleRecompute(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": `POST {"app": "..."} ("" for all)`})
+			return
+		}
+		var req struct {
+			App string `json:"app"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request JSON: " + err.Error()})
+			return
+		}
+		if m.Jobs() != nil {
+			corr := audit.NextCorr()
+			id, err := m.SubmitJob(QueueRecompute, JobRequest{App: req.App}, corr)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, jobAccepted{
+				JobID: id, Queue: QueueRecompute, App: req.App, Corr: corr,
+				Poll: fmt.Sprintf("/market/jobs/%d", id),
+			})
+			return
+		}
+		n, err := m.Recompute(req.App)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"recomputed": n})
+	})
+}
+
+func handleDiff(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		app := r.URL.Query().Get("app")
+		fromS, toS := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+		var (
+			report  string
+			entries []DiffEntry
+			err     error
+		)
+		switch {
+		case fromS != "" && toS != "":
+			var from, to Digest
+			if from, err = ParseDigest(fromS); err == nil {
+				if to, err = ParseDigest(toS); err == nil {
+					report, entries, err = m.DiffReleases(from, to)
+				} else {
+					err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+				}
+			} else {
+				err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+		case app != "":
+			report, entries, err = m.DiffLatest(app)
+		default:
+			err = fmt.Errorf("%w: need ?app=NAME or ?from=DIGEST&to=DIGEST", ErrBadRequest)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"report":  report,
+			"entries": entries,
+		})
+	})
+}
+
+// handleJobsIndex serves the queue dashboard: per-queue stats plus the
+// most recent jobs.
+func handleJobsIndex(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		jm := m.Jobs()
+		if jm == nil {
+			writeError(w, ErrNoJobs)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"queues": jm.Stats(),
+			"recent": jm.Recent(50),
+		})
+	})
+}
+
+// handleJobByID serves GET /market/jobs/<id> (poll) and POST
+// /market/jobs/<id>/requeue (resurrect a dead-letter job).
+func handleJobByID(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		jm := m.Jobs()
+		if jm == nil {
+			writeError(w, ErrNoJobs)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/market/jobs/")
+		idS, action, _ := strings.Cut(rest, "/")
+		id, err := strconv.ParseUint(idS, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad job ID %q", idS)})
+			return
+		}
+		switch {
+		case action == "" && r.Method == http.MethodGet:
+			snap, ok := jm.Status(id)
+			if !ok {
+				writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown job %d (completed jobs are retained up to a bound)", id)})
+				return
+			}
+			writeJSON(w, http.StatusOK, snap)
+		case action == "requeue" && r.Method == http.MethodPost:
+			if err := jm.Requeue(id); err != nil {
+				writeError(w, err)
+				return
+			}
+			snap, _ := jm.Status(id)
+			writeJSON(w, http.StatusOK, snap)
+		default:
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET /market/jobs/<id> or POST /market/jobs/<id>/requeue"})
+		}
+	})
+}
+
+// handleLog serves the release-log suffix after ?after=N — the
+// replication feed. Serving it renews the leader lease.
+func handleLog(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var after uint64
+		if s := r.URL.Query().Get("after"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad after=%q", s)})
+				return
+			}
+			after = v
+		}
+		max := 0
+		if s := r.URL.Query().Get("max"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad max=%q", s)})
+				return
+			}
+			max = v
+		}
+		if l := m.Lease(); l != nil {
+			l.Renew()
+		}
+		entries := m.Registry().LogAfter(after, max)
+		if entries == nil {
+			entries = []LogEntry{}
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"last_seq": m.Registry().LastSeq(),
+			"entries":  entries,
+		})
+	})
+}
+
+// handleRelease serves one signed package by content address.
+func handleRelease(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dS := r.URL.Query().Get("digest")
+		if dS == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "need ?digest=DIGEST"})
+			return
+		}
+		d, err := ParseDigest(dS)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		sr, err := m.Registry().Release(d)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sr)
+	})
+}
+
+// handleKeys serves the trusted vendor key set, hex-encoded — what a
+// replica imports with TrustUpstreamKeys.
+func handleKeys(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reg := m.Registry()
+		out := make(map[string]string)
+		for _, v := range reg.Vendors() {
+			if pub, ok := reg.VendorKey(v); ok {
+				out[v] = hex.EncodeToString(pub)
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+}
+
+// handleDigests serves the sorted digest set and its root — one GET
+// tells a federating peer whether anything diverged.
+func handleDigests(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reg := m.Registry()
+		digests := reg.Digests()
+		if digests == nil {
+			digests = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"root":    reg.RootDigest(),
+			"digests": digests,
+		})
+	})
+}
+
+// handleLease serves (and renews) the leader lease; a market without
+// one answers 404 so followers know the feed is unguarded.
+func handleLease(m *Market) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		l := m.Lease()
+		if l == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no leader lease configured"})
+			return
+		}
+		writeJSON(w, http.StatusOK, l.Renew())
+	})
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrUnknownVendor), errors.Is(err, ErrBadSignature):
 		status = http.StatusForbidden
-	case errors.Is(err, ErrUnknownRelease), errors.Is(err, ErrNotInstalled), errors.Is(err, ErrNothingPending):
+	case errors.Is(err, ErrUnknownRelease), errors.Is(err, ErrNotInstalled),
+		errors.Is(err, ErrNothingPending), errors.Is(err, jobs.ErrUnknownJob):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrDuplicateRelease), errors.Is(err, ErrAlreadyInstalled),
 		errors.Is(err, ErrNotAnUpgrade), errors.Is(err, ErrRejected):
 		status = http.StatusConflict
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, jobs.ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrNoJobs), errors.Is(err, jobs.ErrClosed):
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -8,6 +8,7 @@ import (
 
 	"sdnshield/internal/core"
 	"sdnshield/internal/isolation"
+	"sdnshield/internal/jobs"
 	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/permlang"
 	"sdnshield/internal/policylang"
@@ -44,6 +45,11 @@ type Config struct {
 	// ProbationPoll is the health-probe interval inside the window.
 	// Default Probation/20 (min 1ms).
 	ProbationPoll time.Duration
+	// Cache, when non-nil, is a shared verdict cache. Several markets
+	// (leader and followers, or a bench's cold/warm pair) can point at
+	// one cache so a verdict computed anywhere is a hit everywhere the
+	// policy digest matches. Nil builds a private cache.
+	Cache *VerdictCache
 }
 
 // Lifecycle errors.
@@ -122,10 +128,12 @@ type Market struct {
 	engine       *reconcile.Engine
 	cache        *VerdictCache
 
-	mu     sync.Mutex
-	apps   map[string]*appState
-	wg     sync.WaitGroup
-	closed bool
+	mu      sync.Mutex
+	apps    map[string]*appState
+	wg      sync.WaitGroup
+	closed  bool
+	jobsMgr *jobs.Manager
+	lease   *LeaderLease
 }
 
 // New builds a market over a registry and a shielded runtime. runtime
@@ -142,12 +150,16 @@ func New(reg *Registry, runtime Runtime, cfg Config) (*Market, error) {
 			cfg.ProbationPoll = time.Millisecond
 		}
 	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewVerdictCache()
+	}
 	m := &Market{
 		reg:          reg,
 		runtime:      runtime,
 		cfg:          cfg,
 		engine:       reconcile.New(),
-		cache:        NewVerdictCache(),
+		cache:        cache,
 		policyDigest: PolicyDigest(cfg.PolicySrc),
 		apps:         make(map[string]*appState),
 	}
@@ -263,6 +275,37 @@ func (m *Market) Evaluate(d Digest) (*InstallResult, error) {
 		return nil, err
 	}
 	return m.buildResult(sr, cv, hit, 0), nil
+}
+
+// Recompute re-runs reconciliation for every stored release of app (all
+// apps when "") with the verdict cache bypassed on the way in and
+// refreshed on the way out — the recovery path after an engine fix or a
+// cache wipe, run as a market.recompute job so a registry-wide sweep
+// never blocks an HTTP request. Returns how many verdicts were rebuilt.
+func (m *Market) Recompute(app string) (int, error) {
+	apps := []string{app}
+	if app == "" {
+		apps = m.reg.Apps()
+	}
+	n := 0
+	for _, a := range apps {
+		for _, sr := range m.reg.Releases(a) {
+			manifest, err := permlang.Parse(sr.Manifest)
+			if err != nil {
+				return n, fmt.Errorf("market: manifest of %s@%s does not parse: %w", sr.Name, sr.Version, err)
+			}
+			res, err := m.engine.Reconcile(sr.Name, manifest, m.policy)
+			if err != nil {
+				return n, err
+			}
+			m.cache.Put(sr.Digest(), m.policyDigest, classifyVerdict(res), res.Violations, res.Reconciled, res.Requested)
+			n++
+		}
+	}
+	if app != "" && n == 0 {
+		return 0, fmt.Errorf("%w: app %q has no stored releases", ErrUnknownRelease, app)
+	}
+	return n, nil
 }
 
 // Install runs the install pipeline for a stored release: provenance
@@ -727,7 +770,7 @@ func (m *Market) DiffReleases(from, to Digest) (string, []DiffEntry, error) {
 		return "", nil, err
 	}
 	if fromRel.Name != toRel.Name {
-		return "", nil, fmt.Errorf("market: diff across different apps (%s vs %s)", fromRel.Name, toRel.Name)
+		return "", nil, fmt.Errorf("%w: diff across different apps (%s vs %s)", ErrBadRequest, fromRel.Name, toRel.Name)
 	}
 	fromCV, _, err := m.reconcileRelease(fromRel)
 	if err != nil {
@@ -745,8 +788,11 @@ func (m *Market) DiffReleases(from, to Digest) (string, []DiffEntry, error) {
 // the "what changed since the release I'm running" admin view.
 func (m *Market) DiffLatest(app string) (string, []DiffEntry, error) {
 	rels := m.reg.Releases(app)
+	if len(rels) == 0 {
+		return "", nil, fmt.Errorf("%w: app %q has no stored releases", ErrUnknownRelease, app)
+	}
 	if len(rels) < 2 {
-		return "", nil, fmt.Errorf("market: app %q has %d release(s); need two to diff", app, len(rels))
+		return "", nil, fmt.Errorf("%w: app %q has one release; need two to diff", ErrBadRequest, app)
 	}
 	return m.DiffReleases(rels[len(rels)-2].Digest(), rels[len(rels)-1].Digest())
 }

@@ -2,6 +2,8 @@ package market
 
 import (
 	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -38,6 +40,21 @@ type Registry struct {
 	keys     map[string]ed25519.PublicKey
 	byDigest map[Digest]*SignedRelease
 	byApp    map[string][]*SignedRelease // sorted by semver, ascending
+	// log is the append-only release log: one entry per accepted
+	// release, in admission order. Followers replicate by shipping the
+	// suffix after their last applied sequence number.
+	log []LogEntry
+}
+
+// LogEntry is one release-log record: the replication unit the leader
+// ships to followers. The digest is the content address — the follower
+// fetches and re-verifies the full package, so the log itself carries
+// no trust.
+type LogEntry struct {
+	Seq     uint64 `json:"seq"`
+	Digest  string `json:"digest"`
+	App     string `json:"app"`
+	Version string `json:"version"`
 }
 
 // NewRegistry builds an empty registry.
@@ -118,6 +135,9 @@ func (r *Registry) Submit(sr *SignedRelease) (Digest, error) {
 		return vi.Compare(vj) < 0
 	})
 	r.byApp[sr.Name] = releases
+	r.log = append(r.log, LogEntry{
+		Seq: uint64(len(r.log)) + 1, Digest: digest.String(), App: sr.Name, Version: sr.Version,
+	})
 	mSubmits.Inc()
 	if audit.On() {
 		audit.Emit(audit.Event{
@@ -178,6 +198,55 @@ func (r *Registry) Latest(app string) (*SignedRelease, bool) {
 		return nil, false
 	}
 	return rel[len(rel)-1], true
+}
+
+// LogAfter returns up to max release-log entries with Seq > seq (max <=
+// 0 means all). The log is append-only, so repeated calls with the last
+// returned Seq stream the registry's admission history exactly once.
+func (r *Registry) LogAfter(seq uint64, max int) []LogEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if seq >= uint64(len(r.log)) {
+		return nil
+	}
+	tail := r.log[seq:]
+	if max > 0 && len(tail) > max {
+		tail = tail[:max]
+	}
+	return append([]LogEntry(nil), tail...)
+}
+
+// LastSeq returns the newest release-log sequence number (0 when empty).
+func (r *Registry) LastSeq() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return uint64(len(r.log))
+}
+
+// Digests lists every stored release's content address, sorted — the
+// anti-entropy comparison set.
+func (r *Registry) Digests() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byDigest))
+	for d := range r.byDigest {
+		out = append(out, d.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RootDigest hashes the sorted digest set into one comparison value:
+// two registries with equal roots hold identical release sets, so an
+// anti-entropy sweep is one GET when nothing diverged.
+func (r *Registry) RootDigest() string {
+	h := sha256.New()
+	h.Write([]byte("sdnshield-registry-root-v1"))
+	for _, d := range r.Digests() {
+		h.Write([]byte{0})
+		h.Write([]byte(d))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Apps lists the app names with at least one stored release, sorted.

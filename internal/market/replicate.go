@@ -1,0 +1,499 @@
+package market
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
+)
+
+// Replication and federation ride the same trust model as the local
+// store: the wire carries only claims (log entries, digests, signed
+// packages) and every pulled release re-runs the full provenance gate —
+// vendor key lookup, Ed25519 signature, content-address re-hash —
+// against the *local* key set before admission. A compromised upstream
+// can therefore withhold releases but cannot inject one, and in
+// federate mode it cannot even choose the trusted vendors.
+
+// Replication instruments.
+var (
+	mSyncRounds = obs.Default().Counter("sdnshield_market_sync_rounds_total",
+		"Replication/federation sync rounds completed (with or without new releases).")
+	mSyncPulls = obs.Default().Counter("sdnshield_market_sync_releases_total",
+		"Releases pulled from upstream registries by admission outcome.", "outcome", "admitted")
+	mSyncRejects = obs.Default().Counter("sdnshield_market_sync_releases_total",
+		"Releases pulled from upstream registries by admission outcome.", "outcome", "rejected")
+	mSyncErrors = obs.Default().Counter("sdnshield_market_sync_errors_total",
+		"Sync rounds aborted by transport or protocol errors.")
+	gSyncLag = obs.Default().Gauge("sdnshield_market_sync_lag",
+		"Release-log entries the follower has not yet applied (replica mode).")
+)
+
+// ---------------------------------------------------------------------------
+// Leader lease
+
+// LeaderLease is the single-writer guard on a registry's release log: a
+// named holder with a monotonically increasing epoch and a TTL. The
+// serving market renews it on every replication read; followers record
+// the epoch they last saw and refuse a regression (a stale leader
+// re-appearing after a new one took over). The lease is advisory — it
+// does not elect — but it makes split-brain *visible* and stops a
+// follower from silently mixing two leaders' logs.
+type LeaderLease struct {
+	mu     sync.Mutex
+	holder string
+	epoch  uint64
+	ttl    time.Duration
+	expiry time.Time
+}
+
+// LeaseView is a lease's externally visible state — the /market/lease
+// body.
+type LeaseView struct {
+	Holder    string    `json:"holder"`
+	Epoch     uint64    `json:"epoch"`
+	ExpiresAt time.Time `json:"expires_at"`
+	TTLMillis int64     `json:"ttl_ms"`
+	Expired   bool      `json:"expired"`
+}
+
+// NewLeaderLease builds a lease held by node (epoch 1). TTL <= 0
+// defaults to 10s.
+func NewLeaderLease(node string, ttl time.Duration) *LeaderLease {
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	return &LeaderLease{holder: node, epoch: 1, ttl: ttl, expiry: time.Now().Add(ttl)}
+}
+
+// Renew extends the lease and returns the fresh view. An expired lease
+// renews under a bumped epoch — the "same leader, but followers must
+// notice the gap" signal.
+func (l *LeaderLease) Renew() LeaseView {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	if now.After(l.expiry) {
+		l.epoch++
+	}
+	l.expiry = now.Add(l.ttl)
+	return l.viewLocked(now)
+}
+
+// Acquire transfers the lease to node, succeeding only when the lease
+// is expired or node already holds it. A takeover bumps the epoch.
+func (l *LeaderLease) Acquire(node string) (LeaseView, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	if node != l.holder && now.Before(l.expiry) {
+		return l.viewLocked(now), false
+	}
+	if node != l.holder || now.After(l.expiry) {
+		l.epoch++
+	}
+	l.holder = node
+	l.expiry = now.Add(l.ttl)
+	return l.viewLocked(now), true
+}
+
+// View returns the lease state without renewing.
+func (l *LeaderLease) View() LeaseView {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.viewLocked(time.Now())
+}
+
+func (l *LeaderLease) viewLocked(now time.Time) LeaseView {
+	return LeaseView{
+		Holder: l.holder, Epoch: l.epoch, ExpiresAt: l.expiry,
+		TTLMillis: l.ttl.Milliseconds(), Expired: now.After(l.expiry),
+	}
+}
+
+// SetLeaderLease arms the market's leader lease; /market/lease renews
+// and serves it, and replication reads renew it implicitly.
+func (m *Market) SetLeaderLease(l *LeaderLease) {
+	m.mu.Lock()
+	m.lease = l
+	m.mu.Unlock()
+}
+
+// Lease returns the market's leader lease (nil when not a leader).
+func (m *Market) Lease() *LeaderLease {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lease
+}
+
+// ---------------------------------------------------------------------------
+// Syncer
+
+// SyncMode selects how a Syncer tracks its upstream.
+type SyncMode string
+
+const (
+	// SyncReplica follows the upstream's release log by sequence number —
+	// an ordered, restartable mirror of one leader.
+	SyncReplica SyncMode = "replica"
+	// SyncFederate runs digest-set anti-entropy against an upstream
+	// registry: compare root digests, fetch whatever is missing. Order
+	// does not matter and several upstreams can feed one registry.
+	SyncFederate SyncMode = "federate"
+)
+
+// SyncConfig tunes a Syncer.
+type SyncConfig struct {
+	// Upstream is the upstream market's introspection base URL (the obs
+	// endpoint MountHTTP registered on), e.g. "http://leader:9090".
+	Upstream string
+	// Mode defaults to SyncReplica.
+	Mode SyncMode
+	// Interval is the Run loop's poll cadence. Default 2s.
+	Interval time.Duration
+	// Dir, when set, persists every admitted release via SaveRelease so
+	// the follower survives restarts from its own store.
+	Dir string
+	// TrustUpstreamKeys imports the upstream's vendor key set each round
+	// before admission. Right for a replica (same trust domain as its
+	// leader); wrong for federation, where the local operator provisions
+	// which vendors to trust and everything else is rejected.
+	TrustUpstreamKeys bool
+	// Client defaults to a 10s-timeout http.Client.
+	Client *http.Client
+}
+
+// SyncStats is a Syncer's cumulative view for introspection.
+type SyncStats struct {
+	Mode     SyncMode `json:"mode"`
+	Upstream string   `json:"upstream"`
+	Rounds   uint64   `json:"rounds"`
+	Admitted uint64   `json:"admitted"`
+	Rejected uint64   `json:"rejected"`
+	Errors   uint64   `json:"errors"`
+	LastSeq  uint64   `json:"last_seq,omitempty"`
+	// LastEpoch is the upstream lease epoch last observed (0 before the
+	// first round or when the upstream runs without a lease).
+	LastEpoch uint64 `json:"last_epoch,omitempty"`
+	// InSync reports whether the last round ended with nothing missing.
+	InSync  bool   `json:"in_sync"`
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// Syncer pulls releases from an upstream registry into a local one,
+// re-verifying each through the local provenance gate.
+type Syncer struct {
+	reg *Registry
+	cfg SyncConfig
+
+	mu    sync.Mutex
+	stats SyncStats
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSyncer builds a syncer feeding reg from cfg.Upstream.
+func NewSyncer(reg *Registry, cfg SyncConfig) *Syncer {
+	if cfg.Mode == "" {
+		cfg.Mode = SyncReplica
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Syncer{
+		reg:   reg,
+		cfg:   cfg,
+		stats: SyncStats{Mode: cfg.Mode, Upstream: cfg.Upstream},
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Stats returns the syncer's cumulative counters.
+func (s *Syncer) Stats() SyncStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Start runs SyncOnce on the configured interval until Stop.
+func (s *Syncer) Start() {
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.cfg.Interval)
+		defer t.Stop()
+		for {
+			_, _ = s.SyncOnce()
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Stop ends the Run loop and waits for the in-flight round.
+func (s *Syncer) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// SyncOnce runs one sync round and reports how many releases were
+// admitted. Per-release verification failures are counted, audited and
+// skipped — one poisoned package must not stall the stream — while
+// transport and protocol failures abort the round.
+func (s *Syncer) SyncOnce() (admitted int, err error) {
+	corr := audit.NextCorr()
+	defer func() {
+		s.mu.Lock()
+		s.stats.Rounds++
+		if err != nil {
+			s.stats.Errors++
+			s.stats.LastErr = err.Error()
+			mSyncErrors.Inc()
+		} else {
+			s.stats.LastErr = ""
+		}
+		s.mu.Unlock()
+		mSyncRounds.Inc()
+	}()
+
+	if err := s.checkLease(corr); err != nil {
+		return 0, err
+	}
+	if s.cfg.TrustUpstreamKeys {
+		if err := s.pullKeys(); err != nil {
+			return 0, err
+		}
+	}
+	if s.cfg.Mode == SyncFederate {
+		return s.syncFederate(corr)
+	}
+	return s.syncReplica(corr)
+}
+
+// checkLease reads the upstream lease and refuses an epoch regression.
+// An upstream without a lease (404) syncs unguarded.
+func (s *Syncer) checkLease(corr uint64) error {
+	var view LeaseView
+	status, err := s.getJSON("/market/lease", nil, &view)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusNotFound {
+		return nil
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("market: upstream lease returned %d", status)
+	}
+	s.mu.Lock()
+	last := s.stats.LastEpoch
+	if view.Epoch >= last {
+		s.stats.LastEpoch = view.Epoch
+	}
+	s.mu.Unlock()
+	if view.Epoch < last {
+		err := fmt.Errorf("market: upstream lease epoch regressed (%d < %d): refusing stale leader %q", view.Epoch, last, view.Holder)
+		if audit.On() {
+			audit.Emit(audit.Event{
+				Kind: audit.KindFederation, Verdict: audit.VerdictReject,
+				Op: string(s.cfg.Mode), Corr: corr, Detail: err.Error(),
+			})
+		}
+		return err
+	}
+	return nil
+}
+
+// pullKeys imports the upstream's trusted vendor key set.
+func (s *Syncer) pullKeys() error {
+	var keys map[string]string
+	status, err := s.getJSON("/market/keys", nil, &keys)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("market: upstream keys returned %d", status)
+	}
+	for vendor, hexKey := range keys {
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil {
+			return fmt.Errorf("market: upstream key for %q: %w", vendor, err)
+		}
+		if err := s.reg.TrustVendor(vendor, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncReplica ships the upstream release log from the last applied
+// sequence number.
+func (s *Syncer) syncReplica(corr uint64) (int, error) {
+	s.mu.Lock()
+	after := s.stats.LastSeq
+	s.mu.Unlock()
+	var resp struct {
+		LastSeq uint64     `json:"last_seq"`
+		Entries []LogEntry `json:"entries"`
+	}
+	status, err := s.getJSON("/market/log", url.Values{"after": {fmt.Sprint(after)}}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("market: upstream log returned %d", status)
+	}
+	gSyncLag.Set(int64(len(resp.Entries)))
+	admitted := 0
+	for _, e := range resp.Entries {
+		if s.admit(e.Digest, corr) {
+			admitted++
+		}
+		// The sequence advances even over a rejected entry: replaying a
+		// package that failed local verification cannot succeed later, and
+		// stalling the log on it would halt replication of everything
+		// after. The rejection stays in the audit journal and counters.
+		s.mu.Lock()
+		s.stats.LastSeq = e.Seq
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.stats.Admitted += uint64(admitted)
+	s.stats.InSync = s.stats.LastSeq >= resp.LastSeq
+	s.mu.Unlock()
+	gSyncLag.Set(0)
+	return admitted, nil
+}
+
+// syncFederate runs one digest-set anti-entropy round.
+func (s *Syncer) syncFederate(corr uint64) (int, error) {
+	var resp struct {
+		Root    string   `json:"root"`
+		Digests []string `json:"digests"`
+	}
+	status, err := s.getJSON("/market/digests", nil, &resp)
+	if err != nil {
+		return 0, err
+	}
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("market: upstream digests returned %d", status)
+	}
+	if resp.Root == s.reg.RootDigest() {
+		s.mu.Lock()
+		s.stats.InSync = true
+		s.mu.Unlock()
+		return 0, nil
+	}
+	local := make(map[string]bool)
+	for _, d := range s.reg.Digests() {
+		local[d] = true
+	}
+	admitted := 0
+	for _, d := range resp.Digests {
+		if local[d] {
+			continue
+		}
+		if s.admit(d, corr) {
+			admitted++
+		}
+	}
+	s.mu.Lock()
+	s.stats.Admitted += uint64(admitted)
+	// Equal roots only when every upstream release verified locally; a
+	// federation boundary that rejects some vendors stays intentionally
+	// divergent.
+	s.stats.InSync = resp.Root == s.reg.RootDigest()
+	s.mu.Unlock()
+	return admitted, nil
+}
+
+// admit fetches one release by digest and pushes it through the local
+// provenance gate: the claimed content address must match the fetched
+// body's hash, then Submit re-checks vendor trust, signature, semver
+// and manifest. Reports whether the release entered the registry.
+func (s *Syncer) admit(digest string, corr uint64) bool {
+	if _, err := ParseDigest(digest); err != nil {
+		s.reject(digest, corr, err)
+		return false
+	}
+	var sr SignedRelease
+	status, err := s.getJSON("/market/release", url.Values{"digest": {digest}}, &sr)
+	if err != nil || status != http.StatusOK {
+		if err == nil {
+			err = fmt.Errorf("market: upstream release fetch returned %d", status)
+		}
+		s.reject(digest, corr, err)
+		return false
+	}
+	if got := sr.Digest().String(); got != digest {
+		s.reject(digest, corr, fmt.Errorf("market: upstream body hashes to %s, not the claimed digest — tampered in transit or at rest", got))
+		return false
+	}
+	if _, err := s.reg.Submit(&sr); err != nil {
+		s.reject(digest, corr, err)
+		return false
+	}
+	if s.cfg.Dir != "" {
+		if _, err := SaveRelease(s.cfg.Dir, &sr); err != nil {
+			// Admission already happened; persistence failure degrades
+			// restart durability, not correctness.
+			s.reject(digest, corr, fmt.Errorf("market: persist failed: %w", err))
+		}
+	}
+	mSyncPulls.Inc()
+	if audit.On() {
+		audit.Emit(audit.Event{
+			Kind: audit.KindFederation, Verdict: audit.VerdictPull,
+			App: sr.Name, Op: string(s.cfg.Mode), Corr: corr,
+			Detail: fmt.Sprintf("release %s@%s (digest %s) admitted from %s", sr.Name, sr.Version, digest, s.cfg.Upstream),
+		})
+	}
+	return true
+}
+
+// reject counts and audits one refused upstream release.
+func (s *Syncer) reject(digest string, corr uint64, err error) {
+	s.mu.Lock()
+	s.stats.Rejected++
+	s.mu.Unlock()
+	mSyncRejects.Inc()
+	if audit.On() {
+		audit.Emit(audit.Event{
+			Kind: audit.KindFederation, Verdict: audit.VerdictReject,
+			Op: string(s.cfg.Mode), Corr: corr,
+			Detail: fmt.Sprintf("release %s from %s refused: %v", digest, s.cfg.Upstream, err),
+		})
+	}
+}
+
+// getJSON GETs path on the upstream and decodes the body into out when
+// the status is 200. Non-2xx statuses are returned for the caller to
+// interpret; only transport errors error.
+func (s *Syncer) getJSON(path string, q url.Values, out interface{}) (int, error) {
+	u := s.cfg.Upstream + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := s.cfg.Client.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}

@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"sdnshield/internal/obs/audit"
 )
 
 // Store layout under a market directory:
@@ -107,8 +109,19 @@ func SaveRelease(dir string, sr *SignedRelease) (string, error) {
 // keys/ is trusted, then every package under releases/ is submitted
 // through the full provenance gate. Tampered or unverifiable packages
 // are skipped and reported in the returned problem list (the registry
-// stays usable; the administrator sees exactly what was refused).
+// stays usable; the administrator sees exactly what was refused), and
+// each skip lands in the audit journal so on-disk corruption is
+// attributable after the fact, not just at boot.
 func LoadDir(dir string, reg *Registry) (loaded int, problems []string, err error) {
+	skip := func(what string, err error) {
+		problems = append(problems, fmt.Sprintf("%s: %v", what, err))
+		if audit.On() {
+			audit.Emit(audit.Event{
+				Kind: audit.KindMarket, Verdict: audit.VerdictReject, Op: "load",
+				Detail: fmt.Sprintf("store %s: skipped %s: %v", dir, what, err),
+			})
+		}
+	}
 	keyDir := filepath.Join(dir, "keys")
 	if entries, err := os.ReadDir(keyDir); err == nil {
 		for _, e := range entries {
@@ -118,11 +131,11 @@ func LoadDir(dir string, reg *Registry) (loaded int, problems []string, err erro
 			vendor := strings.TrimSuffix(e.Name(), ".pub")
 			pub, err := LoadPublicKey(filepath.Join(keyDir, e.Name()))
 			if err != nil {
-				problems = append(problems, fmt.Sprintf("key %s: %v", e.Name(), err))
+				skip("key "+e.Name(), err)
 				continue
 			}
 			if err := reg.TrustVendor(vendor, pub); err != nil {
-				problems = append(problems, fmt.Sprintf("key %s: %v", e.Name(), err))
+				skip("key "+e.Name(), err)
 			}
 		}
 	}
@@ -142,23 +155,23 @@ func LoadDir(dir string, reg *Registry) (loaded int, problems []string, err erro
 		path := filepath.Join(relDir, e.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
-			problems = append(problems, fmt.Sprintf("release %s: %v", e.Name(), err))
+			skip("release "+e.Name(), err)
 			continue
 		}
 		var sr SignedRelease
 		if err := json.Unmarshal(data, &sr); err != nil {
-			problems = append(problems, fmt.Sprintf("release %s: %v", e.Name(), err))
+			skip("release "+e.Name(), err)
 			continue
 		}
 		// The filename is the claimed content address; a file whose
 		// content hashes differently was renamed or edited.
 		want := strings.TrimSuffix(e.Name(), ".json")
 		if got := sr.Digest().String(); got != want {
-			problems = append(problems, fmt.Sprintf("release %s: content digest %s does not match filename", e.Name(), got))
+			skip("release "+e.Name(), fmt.Errorf("content digest %s does not match filename", got))
 			continue
 		}
 		if _, err := reg.Submit(&sr); err != nil {
-			problems = append(problems, fmt.Sprintf("release %s: %v", e.Name(), err))
+			skip("release "+e.Name(), err)
 			continue
 		}
 		loaded++

@@ -1,0 +1,136 @@
+package market
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdnshield/internal/obs/audit"
+)
+
+// seedStore writes a valid store (one key, one good release) plus
+// whatever corruption the case adds, then loads it.
+func seedStore(t *testing.T) (dir string, goodDigest string) {
+	t.Helper()
+	dir = t.TempDir()
+	if _, err := Keygen(dir, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	priv, err := LoadPrivateKey(filepath.Join(dir, "keys", "acme.key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := Sign(Release{Name: "mon", Vendor: "acme", Version: "1.0.0", Manifest: "PERM read_statistics"}, priv)
+	if _, err := SaveRelease(dir, sr); err != nil {
+		t.Fatal(err)
+	}
+	return dir, sr.Digest().String()
+}
+
+// TestLoadDirSkipsCorruption proves load-time resilience: every
+// corruption is skipped with a problem entry and an audit event, never
+// an abort, and the valid release always survives.
+func TestLoadDirSkipsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		// corrupt mutates the store and returns a substring the problem
+		// report must contain.
+		corrupt func(t *testing.T, dir string) string
+	}{
+		{
+			name: "truncated release file",
+			corrupt: func(t *testing.T, dir string) string {
+				// A digest-named file holding half a JSON document — a crash
+				// mid-write or a torn copy.
+				p := filepath.Join(dir, "releases", strings.Repeat("ab", 32)+".json")
+				if err := os.WriteFile(p, []byte(`{"name":"mon","vendor":"ac`), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return "unexpected end of JSON"
+			},
+		},
+		{
+			name: "digest mismatch",
+			corrupt: func(t *testing.T, dir string) string {
+				// A well-formed package renamed to the wrong content address —
+				// tampering, or an overwrite with a different release.
+				priv, err := LoadPrivateKey(filepath.Join(dir, "keys", "acme.key"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				other := Sign(Release{Name: "tap", Vendor: "acme", Version: "9.9.9", Manifest: "PERM read_statistics"}, priv)
+				data, _ := json.Marshal(other)
+				p := filepath.Join(dir, "releases", strings.Repeat("cd", 32)+".json")
+				if err := os.WriteFile(p, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return "does not match filename"
+			},
+		},
+		{
+			name: "orphaned key",
+			corrupt: func(t *testing.T, dir string) string {
+				// A .pub file whose content is not a key at all.
+				p := filepath.Join(dir, "keys", "ghost.pub")
+				if err := os.WriteFile(p, []byte("not-hex-at-all\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return "key ghost.pub"
+			},
+		},
+		{
+			name: "release signed by untrusted vendor",
+			corrupt: func(t *testing.T, dir string) string {
+				_, priv := genKey(t)
+				sr := Sign(Release{Name: "tap", Vendor: "nobody", Version: "1.0.0", Manifest: "PERM read_statistics"}, priv)
+				if _, err := SaveRelease(dir, sr); err != nil {
+					t.Fatal(err)
+				}
+				return "unknown vendor"
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, goodDigest := seedStore(t)
+			wantSubstr := tc.corrupt(t, dir)
+
+			var afterSeq uint64
+			if evs := audit.Default().Query(audit.Filter{}); len(evs) > 0 {
+				afterSeq = evs[len(evs)-1].Seq
+			}
+			reg := NewRegistry()
+			loaded, problems, err := LoadDir(dir, reg)
+			if err != nil {
+				t.Fatalf("LoadDir aborted: %v", err)
+			}
+			if loaded != 1 {
+				t.Fatalf("loaded %d, want the 1 valid release", loaded)
+			}
+			if len(problems) != 1 || !strings.Contains(problems[0], wantSubstr) {
+				t.Fatalf("problems = %v, want one containing %q", problems, wantSubstr)
+			}
+			d, err := ParseDigest(goodDigest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reg.Release(d); err != nil {
+				t.Fatalf("valid release lost: %v", err)
+			}
+			// The skip landed in the audit journal.
+			waitCond(t, "load-skip audit event", func() bool {
+				evs := audit.Default().Query(audit.Filter{
+					Kind: audit.KindMarket, Verdict: audit.VerdictReject, AfterSeq: afterSeq,
+				})
+				for _, ev := range evs {
+					if ev.Op == "load" && strings.Contains(ev.Detail, wantSubstr) {
+						return true
+					}
+				}
+				return false
+			})
+		})
+	}
+}

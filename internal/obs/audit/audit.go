@@ -53,6 +53,13 @@ const (
 	// KindResource is a per-app resource-accounting event (soft quota
 	// breach); Op names the breached budget dimension.
 	KindResource Kind = "resource"
+	// KindJob is a durable job-queue lifecycle event (enqueue/done/
+	// retry/dead); Op names the queue.
+	KindJob Kind = "job"
+	// KindFederation is a market replication/federation transfer event:
+	// a release pulled from an upstream registry and re-verified (or
+	// rejected) locally; Op names the sync mode.
+	KindFederation Kind = "federation"
 )
 
 // Verdict is the outcome an event records.
@@ -94,6 +101,18 @@ const (
 	// VerdictBreach records a soft resource-quota breach (resource
 	// events): the app exceeded a budget its manifest declared.
 	VerdictBreach Verdict = "quota_breach"
+
+	// Job lifecycle verdicts: a job was admitted, acked, rescheduled
+	// after a failed attempt, or dead-lettered.
+	VerdictEnqueue Verdict = "enqueue"
+	VerdictDone    Verdict = "done"
+	VerdictRetry   Verdict = "retry"
+	VerdictDead    Verdict = "dead"
+
+	// VerdictPull records a release admitted from an upstream registry
+	// after local re-verification (federation events; rejections use
+	// VerdictReject).
+	VerdictPull Verdict = "pull"
 )
 
 // Event is one structured audit record. Seq and Time are stamped by the
