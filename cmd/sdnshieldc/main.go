@@ -127,7 +127,12 @@ func run(args []string) (int, error) {
 		}
 		defer mkt.Close()
 		if *marketNode != "" {
-			mkt.SetLeaderLease(market.NewLeaderLease(*marketNode, 10*time.Second))
+			lease := market.NewLeaderLease(*marketNode, 10*time.Second)
+			mkt.SetLeaderLease(lease)
+			// The leader keeps its own lease alive; replication reads are
+			// side-effect free, so the lease dies with this process.
+			stopHeartbeat := lease.Heartbeat()
+			defer stopHeartbeat()
 		}
 		if *marketJobs != "" {
 			jobDir := *marketJobs

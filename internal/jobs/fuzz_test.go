@@ -15,6 +15,7 @@ func FuzzJobDecode(f *testing.F) {
 		{op: opAck, id: 2, result: []byte(`{"ok":true}`), ts: 42},
 		{op: opFail, id: 3, attempts: 2, errMsg: "transient", ts: -9},
 		{op: opDead, id: 4, attempts: 5, errMsg: "exhausted", ts: 0},
+		{op: opMeta, id: 1 << 32},
 	}
 	for _, r := range seeds {
 		f.Add(encodeRecord(r))

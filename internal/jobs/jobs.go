@@ -266,7 +266,7 @@ func Open(cfg Config) (*Manager, error) {
 // history. Completed/dead jobs from the old log stay pollable in this
 // process but are not carried into the compacted file.
 func (m *Manager) replay() error {
-	recs, _, err := replayWAL(m.cfg.Dir)
+	recs, goodOffset, err := replayWAL(m.cfg.Dir)
 	if err != nil {
 		return err
 	}
@@ -276,8 +276,14 @@ func (m *Manager) replay() error {
 		return os.RemoveAll(walPath(m.cfg.Dir))
 	}
 	var order []uint64
+	metaRecs := 0
 	for _, r := range recs {
 		switch r.op {
+		case opMeta:
+			metaRecs++
+			if r.id >= m.nextID {
+				m.nextID = r.id + 1
+			}
 		case opEnqueue:
 			j, ok := m.jobs[r.id]
 			if !ok {
@@ -334,14 +340,23 @@ func (m *Manager) replay() error {
 	// Compact: the settled records are replayed into memory; rewrite the
 	// file with only the live backlog so the log cannot grow without
 	// bound across restarts.
-	if live < len(m.jobs) || len(recs) > len(m.jobs) {
+	if live < len(m.jobs) || len(recs)-metaRecs > len(m.jobs) {
 		return m.rewriteCompact()
+	}
+	// No rewrite: the file is about to be reopened O_APPEND, so a torn
+	// tail must go now — otherwise fresh records would land after the
+	// corrupt bytes and the next replay, stopping at the tear, would
+	// silently drop everything appended beyond it.
+	if st, err := os.Stat(walPath(m.cfg.Dir)); err == nil && st.Size() > goodOffset {
+		if err := os.Truncate(walPath(m.cfg.Dir), goodOffset); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// rewriteCompact writes a fresh WAL holding one enqueue record per live
-// job and atomically replaces the old log.
+// rewriteCompact writes a fresh WAL holding the ID high-water mark and
+// one enqueue record per live job, and atomically replaces the old log.
 func (m *Manager) rewriteCompact() error {
 	tmpDir := m.cfg.Dir
 	tmp, err := os.CreateTemp(tmpDir, "queue.wal.compact-*")
@@ -354,6 +369,15 @@ func (m *Manager) rewriteCompact() error {
 	if _, err := w.w.WriteString(walMagic); err != nil {
 		_ = tmp.Close()
 		return err
+	}
+	if m.nextID > 1 {
+		// Settled jobs' enqueue records are dropped below; without the
+		// high-water mark a restart would re-issue their IDs and clients
+		// polling an old /market/jobs/<id> URL would see a stranger's job.
+		if err := w.append(&walRecord{op: opMeta, id: m.nextID - 1}); err != nil {
+			_ = tmp.Close()
+			return err
+		}
 	}
 	for _, q := range m.queues {
 		for _, j := range q.pending {

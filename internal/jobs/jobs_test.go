@@ -302,8 +302,103 @@ func TestCompactionShrinksWAL(t *testing.T) {
 	if after.Size() >= before.Size() {
 		t.Fatalf("compaction did not shrink WAL: %d -> %d", before.Size(), after.Size())
 	}
-	if after.Size() != int64(len(walMagic)) {
-		t.Fatalf("compacted WAL should hold only the header, got %d bytes", after.Size())
+	// Only the header and the tiny ID high-water meta record survive.
+	if after.Size() > int64(len(walMagic))+64 {
+		t.Fatalf("compacted WAL should hold only header+meta, got %d bytes", after.Size())
+	}
+}
+
+// TestIDsMonotonicAcrossRestarts: compaction drops settled jobs, but
+// their IDs must never be re-issued — a client polling an old
+// /market/jobs/<id> URL must not observe a different job under it.
+func TestIDsMonotonicAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := Open(Config{Dir: dir, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Handle("m", 1, func(j Snapshot) ([]byte, error) { return nil, nil })
+	var last uint64
+	for i := 0; i < 3; i++ {
+		if last, err = m1.Enqueue("m", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all done", func() bool { return m1.Stats()[0].Done == 3 })
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First reopen compacts the settled history away; a second reopen
+	// sees only the meta record. Both must keep issuing fresh IDs.
+	for i := 0; i < 2; i++ {
+		m, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := m.Enqueue("m", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id <= last {
+			t.Fatalf("reopen %d re-issued ID %d (last was %d)", i, id, last)
+		}
+		last = id
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTornTailThenAppendSurvivesRestart: a torn tail must be truncated
+// at replay, not just skipped — otherwise records appended after it
+// (O_APPEND lands them beyond the corrupt bytes) are lost on the next
+// restart, silently breaking at-least-once.
+func TestTornTailThenAppendSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := m1.Enqueue("t", []byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(walPath(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	// The restart tolerates the tear and keeps accepting enqueues.
+	m2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := m2.Enqueue("t", []byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both the pre-tear and post-tear jobs replay on the next restart.
+	m3 := openTest(t, dir)
+	for _, tc := range []struct {
+		id      uint64
+		payload string
+	}{{id1, "first"}, {id2, "second"}} {
+		s, ok := m3.Status(tc.id)
+		if !ok || s.State != StatePending || string(s.Payload) != tc.payload {
+			t.Fatalf("job %d after torn-tail restart = %+v ok=%v", tc.id, s, ok)
+		}
 	}
 }
 
@@ -378,6 +473,7 @@ func TestWALRecordRoundTrip(t *testing.T) {
 		{op: opFail, id: 2, attempts: 3, errMsg: "boom", ts: -1},
 		{op: opAck, id: 1 << 60, result: []byte(`{"a":1}`), ts: time.Now().UnixNano()},
 		{op: opDead, id: 7, attempts: 5, errMsg: "gone", ts: 0},
+		{op: opMeta, id: 1 << 40},
 	}
 	for _, r := range recs {
 		got, err := decodeRecord(encodeRecord(r))

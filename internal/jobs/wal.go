@@ -20,6 +20,9 @@ import (
 //	fail     — an attempt failed; the attempt counter advanced
 //	ack      — the job completed; its result is retained
 //	dead     — the job exhausted its attempts (dead-letter)
+//	meta     — the ID high-water mark; compaction drops settled jobs'
+//	           enqueue records, so this keeps issued IDs monotonic
+//	           across restarts
 //
 // A job whose last record is enqueue or fail is live: replay returns it
 // to its queue's pending list, which is exactly the at-least-once
@@ -40,11 +43,13 @@ const (
 	opAck     walOp = 2
 	opFail    walOp = 3
 	opDead    walOp = 4
+	opMeta    walOp = 5
 )
 
 // walRecord is one WAL entry. Which fields are meaningful depends on the
 // op: enqueue carries queue/payload/corr/maxAttempts, fail carries
-// attempts/errMsg, ack carries result, dead carries attempts/errMsg.
+// attempts/errMsg, ack carries result, dead carries attempts/errMsg,
+// meta carries only id (the highest job ID ever issued).
 type walRecord struct {
 	op          walOp
 	id          uint64
@@ -101,7 +106,7 @@ func decodeRecord(b []byte) (*walRecord, error) {
 		return nil, errBadRecord
 	}
 	r := &walRecord{op: walOp(b[0])}
-	if r.op < opEnqueue || r.op > opDead {
+	if r.op < opEnqueue || r.op > opMeta {
 		return nil, fmt.Errorf("%w: unknown op %d", errBadRecord, r.op)
 	}
 	b = b[1:]

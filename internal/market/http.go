@@ -37,7 +37,7 @@ var ErrBadRequest = errors.New("market: bad request")
 //	GET  /market/release?digest=D  one signed package by content address
 //	GET  /market/keys            trusted vendor keys, hex
 //	GET  /market/digests         sorted digest set + root (anti-entropy)
-//	GET  /market/lease           leader lease view (renews; 404 if none)
+//	GET  /market/lease           leader lease view (404 if none)
 //
 // install and upgrade accept the full package (submit + pipeline in one
 // round trip), so a vendor portal can POST the exact artifact it
@@ -315,7 +315,8 @@ func handleJobByID(m *Market) http.Handler {
 }
 
 // handleLog serves the release-log suffix after ?after=N — the
-// replication feed. Serving it renews the leader lease.
+// replication feed. Side-effect free: serving reads must not renew the
+// lease, or any poller would keep a dead leader's lease alive forever.
 func handleLog(m *Market) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var after uint64
@@ -335,9 +336,6 @@ func handleLog(m *Market) http.Handler {
 				return
 			}
 			max = v
-		}
-		if l := m.Lease(); l != nil {
-			l.Renew()
 		}
 		entries := m.Registry().LogAfter(after, max)
 		if entries == nil {
@@ -403,8 +401,9 @@ func handleDigests(m *Market) http.Handler {
 	})
 }
 
-// handleLease serves (and renews) the leader lease; a market without
-// one answers 404 so followers know the feed is unguarded.
+// handleLease serves the leader lease view without renewing it (renewal
+// is the leader's own heartbeat, not a read side effect); a market
+// without one answers 404 so followers know the feed is unguarded.
 func handleLease(m *Market) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		l := m.Lease()
@@ -412,7 +411,7 @@ func handleLease(m *Market) http.Handler {
 			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no leader lease configured"})
 			return
 		}
-		writeJSON(w, http.StatusOK, l.Renew())
+		writeJSON(w, http.StatusOK, l.View())
 	})
 }
 

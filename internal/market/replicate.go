@@ -40,11 +40,13 @@ var (
 
 // LeaderLease is the single-writer guard on a registry's release log: a
 // named holder with a monotonically increasing epoch and a TTL. The
-// serving market renews it on every replication read; followers record
-// the epoch they last saw and refuse a regression (a stale leader
-// re-appearing after a new one took over). The lease is advisory — it
-// does not elect — but it makes split-brain *visible* and stops a
-// follower from silently mixing two leaders' logs.
+// leader renews it from its own Heartbeat — never from serving reads,
+// so a polling follower cannot keep a dead leader's lease alive —
+// while followers record the epoch they last saw and refuse a
+// regression (a stale leader re-appearing after a new one took over).
+// The lease is advisory — it does not elect — but it makes split-brain
+// *visible* and stops a follower from silently mixing two leaders'
+// logs.
 type LeaderLease struct {
 	mu     sync.Mutex
 	holder string
@@ -110,6 +112,40 @@ func (l *LeaderLease) View() LeaseView {
 	return l.viewLocked(time.Now())
 }
 
+// Heartbeat renews the lease on a ticker (a third of the TTL) until the
+// returned stop function is called — the leader's liveness signal. Only
+// the process that *is* the leader runs it; reads never renew, so when
+// the leader dies its lease expires on schedule and a successor's
+// Acquire goes through no matter how many followers keep polling.
+func (l *LeaderLease) Heartbeat() (stop func()) {
+	l.mu.Lock()
+	interval := l.ttl / 3
+	l.mu.Unlock()
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ch := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ch:
+				return
+			case <-t.C:
+				l.Renew()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(ch) })
+		<-done
+	}
+}
+
 func (l *LeaderLease) viewLocked(now time.Time) LeaseView {
 	return LeaseView{
 		Holder: l.holder, Epoch: l.epoch, ExpiresAt: l.expiry,
@@ -117,8 +153,10 @@ func (l *LeaderLease) viewLocked(now time.Time) LeaseView {
 	}
 }
 
-// SetLeaderLease arms the market's leader lease; /market/lease renews
-// and serves it, and replication reads renew it implicitly.
+// SetLeaderLease arms the market's leader lease. /market/lease and
+// /market/log serve its state without side effects; keeping it fresh is
+// the leader's own job via LeaderLease.Heartbeat (or explicit Renew
+// calls on its write path).
 func (m *Market) SetLeaderLease(l *LeaderLease) {
 	m.mu.Lock()
 	m.lease = l
@@ -449,8 +487,16 @@ func (s *Syncer) admit(digest string, corr uint64) bool {
 	if s.cfg.Dir != "" {
 		if _, err := SaveRelease(s.cfg.Dir, &sr); err != nil {
 			// Admission already happened; persistence failure degrades
-			// restart durability, not correctness.
-			s.reject(digest, corr, fmt.Errorf("market: persist failed: %w", err))
+			// restart durability, not correctness — audit it distinctly
+			// instead of counting one release as both admitted and
+			// rejected.
+			if audit.On() {
+				audit.Emit(audit.Event{
+					Kind: audit.KindFederation, Verdict: audit.VerdictPersistFailed,
+					App: sr.Name, Op: string(s.cfg.Mode), Corr: corr,
+					Detail: fmt.Sprintf("release %s admitted but not persisted to %s: %v", digest, s.cfg.Dir, err),
+				})
+			}
 		}
 	}
 	mSyncPulls.Inc()

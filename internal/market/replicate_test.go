@@ -43,6 +43,71 @@ func TestLeaderLeaseEpochs(t *testing.T) {
 	}
 }
 
+// TestHeartbeatKeepsLeaseAlive: the leader's heartbeat renews inside
+// the TTL; stopping it lets the lease expire on schedule.
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	l := NewLeaderLease("node-a", 60*time.Millisecond)
+	stop := l.Heartbeat()
+	time.Sleep(150 * time.Millisecond)
+	if v := l.View(); v.Expired || v.Epoch != 1 {
+		t.Fatalf("heartbeated lease = %+v, want live at epoch 1", v)
+	}
+	stop()
+	time.Sleep(80 * time.Millisecond)
+	if v := l.View(); !v.Expired {
+		t.Fatalf("lease after heartbeat stop = %+v, want expired", v)
+	}
+}
+
+// TestReadsDoNotRenewLease: polling /market/lease and /market/log must
+// not keep the lease fresh — otherwise a follower (or any monitoring
+// probe) pins a dead leader's lease forever and a successor can never
+// acquire it.
+func TestReadsDoNotRenewLease(t *testing.T) {
+	reg, sign := newTestRegistry(t)
+	m, err := New(reg, newFakeRuntime(), Config{PolicySrc: testPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	if _, err := reg.Submit(sign(Release{Name: "mon", Vendor: "acme", Version: "1.0.0", Manifest: "PERM read_statistics"})); err != nil {
+		t.Fatal(err)
+	}
+	lease := NewLeaderLease("old-leader", 50*time.Millisecond)
+	m.SetLeaderLease(lease) // no heartbeat: the "leader" is effectively dead
+	MountHTTP(m)
+	srv := httptest.NewServer(obs.NewHandler(obs.Default(), nil))
+	t.Cleanup(srv.Close)
+
+	// Poll well past the TTL; each read must leave the expiry untouched.
+	deadline := time.Now().Add(120 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, path := range []string{"/market/lease", "/market/log?after=0"} {
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var view LeaseView
+	resp, err := http.Get(srv.URL + "/market/lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !view.Expired {
+		t.Fatalf("lease still live after polling past TTL: %+v", view)
+	}
+	if v, ok := lease.Acquire("new-leader"); !ok {
+		t.Fatalf("takeover of an expired, polled lease failed: %+v", v)
+	}
+}
+
 // leaderEnv builds a market with releases, a lease, and a live httptest
 // server over its mounted routes.
 func leaderEnv(t *testing.T) (*Market, *httptest.Server, func(r Release) *SignedRelease) {
@@ -236,6 +301,51 @@ func TestTamperedUpstreamRejected(t *testing.T) {
 	if corr == 0 {
 		t.Fatal("federation reject event carries no correlation ID")
 	}
+}
+
+// TestPersistFailureStillAdmits: a release that enters the registry but
+// cannot be written to the follower store is admitted exactly once in
+// the stats — not double-counted as rejected — with a distinct
+// persist_failed audit event.
+func TestPersistFailureStillAdmits(t *testing.T) {
+	m, srv, sign := leaderEnv(t)
+	if _, err := m.Registry().Submit(sign(Release{Name: "mon", Vendor: "acme", Version: "1.0.0", Manifest: "PERM read_statistics"})); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dir is a plain file, so SaveRelease's MkdirAll fails every time.
+	notADir := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var afterSeq uint64
+	if evs := audit.Default().Query(audit.Filter{}); len(evs) > 0 {
+		afterSeq = evs[len(evs)-1].Seq
+	}
+	follower := NewRegistry()
+	s := NewSyncer(follower, SyncConfig{
+		Upstream: srv.URL, Mode: SyncReplica, Dir: notADir, TrustUpstreamKeys: true,
+	})
+	n, err := s.SyncOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("admitted %d, want 1", n)
+	}
+	st := s.Stats()
+	if st.Admitted != 1 || st.Rejected != 0 {
+		t.Fatalf("stats = %+v, want admitted 1 / rejected 0", st)
+	}
+	if len(follower.Digests()) != 1 {
+		t.Fatal("release did not enter the follower registry")
+	}
+	waitCond(t, "persist_failed audit event", func() bool {
+		evs := audit.Default().Query(audit.Filter{
+			Kind: audit.KindFederation, Verdict: audit.VerdictPersistFailed, AfterSeq: afterSeq,
+		})
+		return len(evs) == 1
+	})
 }
 
 func TestSyncerRefusesLeaseEpochRegression(t *testing.T) {

@@ -111,8 +111,11 @@ const (
 
 	// VerdictPull records a release admitted from an upstream registry
 	// after local re-verification (federation events; rejections use
-	// VerdictReject).
-	VerdictPull Verdict = "pull"
+	// VerdictReject). VerdictPersistFailed records a release that was
+	// admitted to the registry but could not be written to the local
+	// store — restart durability degraded, admission unaffected.
+	VerdictPull          Verdict = "pull"
+	VerdictPersistFailed Verdict = "persist_failed"
 )
 
 // Event is one structured audit record. Seq and Time are stamped by the
