@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder bench-market attacksim fuzz-smoke
+.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder bench-market bench-trace attacksim fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ bench-recorder:
 # SHORT=1 shrinks the workload for CI.
 bench-market:
 	SDNSHIELD_MARKET_BENCH=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestMarketBenchTrajectory -v ./internal/bench/
+
+# bench-trace enforces the span layer's 5% budget on the mediated-call
+# hot path: the guard runs SpanOn/SpanOff chunk pairs and fails when
+# the median ratio exceeds 1.05 (DESIGN.md §15). The span throughput
+# and per-stage install breakdown (BENCH_trace.json) ride bench-market.
+# SHORT=1 drops to 5 rounds for CI.
+bench-trace:
+	SDNSHIELD_SPAN_GUARD=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestSpanOverheadBudget -v .
 
 attacksim:
 	$(GO) run ./cmd/attacksim -v

@@ -21,6 +21,7 @@ import (
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/obs/recorder"
+	"sdnshield/internal/obs/span"
 	"sdnshield/internal/permengine"
 	"sdnshield/internal/permlang"
 )
@@ -359,6 +360,123 @@ func TestRecorderOverheadBudget(t *testing.T) {
 	t.Logf("mediated call: median recorder overhead %+.2f%% across %d chunk pairs", overhead*100, len(ratios))
 	if overhead > 0.05 {
 		t.Fatalf("recorder overhead %.2f%% exceeds the 5%% budget (median of %d chunk-pair ratios)", overhead*100, len(ratios))
+	}
+}
+
+// benchmarkMediatedCallSpan times the same mediated call with the span
+// layer on or off (telemetry on, audit and recorder off in both, so the
+// delta isolates causal tracing). The unsampled majority of calls never
+// reaches span code — their whole tracing cost is the measurement
+// sampler's one atomic add, which both variants pay — and the traced
+// subset's RecordTrace conversion is amortized across the sampling
+// period. The budget is 5% on the On/Off ratio; `make bench-trace`
+// enforces it.
+func benchmarkMediatedCallSpan(b *testing.B, spanOn bool) {
+	call, cleanup := setupSpanBench(b, spanOn)
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := call(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// setupSpanBench prepares one span measurement: telemetry on, audit and
+// recorder off, span layer as requested, probe app launched.
+func setupSpanBench(tb testing.TB, spanOn bool) (call func() error, cleanup func()) {
+	prevObs := obs.SetEnabled(true)
+	prevAudit := audit.On()
+	audit.SetEnabled(false)
+	prevRec := recorder.SetEnabled(false)
+	prevSpan := span.SetEnabled(spanOn)
+	k := controller.New(nil, nil)
+	shield := isolation.NewShield(k, isolation.Config{})
+	shield.SetPermissions("obsprobe", permlang.MustParse("PERM visible_topology\n").Set())
+	if err := shield.Launch(obsProbeApp{}); err != nil {
+		tb.Fatal(err)
+	}
+	api, err := isolation.AttackerHandle(shield, "obsprobe")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	call = func() error {
+		_, err := api.Switches()
+		return err
+	}
+	cleanup = func() {
+		shield.Stop()
+		k.Stop()
+		span.SetEnabled(prevSpan)
+		recorder.SetEnabled(prevRec)
+		audit.SetEnabled(prevAudit)
+		obs.SetEnabled(prevObs)
+	}
+	return call, cleanup
+}
+
+func BenchmarkMediatedCallSpanOn(b *testing.B)  { benchmarkMediatedCallSpan(b, true) }
+func BenchmarkMediatedCallSpanOff(b *testing.B) { benchmarkMediatedCallSpan(b, false) }
+
+// TestSpanOverheadBudget enforces the ≤5% span-layer budget on the
+// mediated-call hot path, with the same de-biasing as the recorder
+// guard: one shield instance, interleaved ~10ms chunks, median ratio
+// across rounds. Runs only under SDNSHIELD_SPAN_GUARD=1 (as `make
+// bench-trace` does); plain `go test ./...` skips it.
+func TestSpanOverheadBudget(t *testing.T) {
+	if os.Getenv("SDNSHIELD_SPAN_GUARD") != "1" {
+		t.Skip("set SDNSHIELD_SPAN_GUARD=1 to run the span overhead guard")
+	}
+	rounds, chunks, chunkIters := 7, 60, 10_000
+	if testing.Short() {
+		rounds = 5
+	}
+	call, cleanup := setupSpanBench(t, false)
+	defer cleanup()
+	runChunk := func() time.Duration {
+		start := time.Now()
+		for i := 0; i < chunkIters; i++ {
+			if err := call(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < chunkIters; i++ { // warmup
+		if err := call(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	timeChunk := func(spanOn bool) time.Duration {
+		span.SetEnabled(spanOn)
+		return runChunk()
+	}
+	ratios := make([]float64, 0, rounds*chunks/2)
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		var offNs, onNs int64
+		for c := 0; c < chunks/2; c++ {
+			var off, on time.Duration
+			if r%2 == 0 {
+				off = timeChunk(false)
+				on = timeChunk(true)
+			} else {
+				on = timeChunk(true)
+				off = timeChunk(false)
+			}
+			offNs += off.Nanoseconds()
+			onNs += on.Nanoseconds()
+			ratios = append(ratios, float64(on)/float64(off))
+		}
+		perOp := float64(chunks/2) * float64(chunkIters)
+		t.Logf("round %d: span off %.0f ns/op, on %.0f ns/op (%+.2f%%)",
+			r, float64(offNs)/perOp, float64(onNs)/perOp, (float64(onNs)/float64(offNs)-1)*100)
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2] - 1
+	t.Logf("mediated call: median span overhead %+.2f%% across %d chunk pairs", overhead*100, len(ratios))
+	if overhead > 0.05 {
+		t.Fatalf("span overhead %.2f%% exceeds the 5%% budget (median of %d chunk-pair ratios)", overhead*100, len(ratios))
 	}
 }
 

@@ -53,6 +53,8 @@ func run(args []string) error {
 	callsList := fs.String("calls", "1,4,16,64", "API calls per event for fig8")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /audit, /traces, pprof) on this address, e.g. 127.0.0.1:9090")
 	auditFile := fs.String("audit-file", "", "append audit events as JSONL to this file (rotated at 64 MiB)")
+	traceFile := fs.String("trace-file", "", "append finished trace spans as JSONL to this file (rotated at 64 MiB)")
+	sloOn := fs.Bool("slo", false, "evaluate the built-in SLOs and serve them at /slo")
 	bundleDir := fs.String("bundle-dir", "", "write diagnostic bundles (anomaly/quota/quarantine captures) to this directory as <id>.json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,15 +72,24 @@ func run(args []string) error {
 		stopTelemetry()
 		return err
 	}
+	stopTrace, err := bench.StartTraceSink(*traceFile)
+	if err != nil {
+		stopAudit()
+		stopTelemetry()
+		return err
+	}
+	stopSLO := bench.StartSLO(*sloOn)
 	stopBundles, err := bench.StartBundleDir(*bundleDir)
 	if err != nil {
+		stopSLO()
+		stopTrace()
 		stopAudit()
 		stopTelemetry()
 		return err
 	}
 	// Flush the audit sink and close the telemetry server on SIGINT/
 	// SIGTERM too, so an interrupted run loses no events.
-	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopAudit, stopTelemetry)
+	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopSLO, stopTrace, stopAudit, stopTelemetry)
 	defer cancelShutdown()
 	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 

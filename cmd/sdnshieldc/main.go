@@ -51,6 +51,7 @@ import (
 	"sdnshield/internal/bench"
 	"sdnshield/internal/jobs"
 	"sdnshield/internal/market"
+	"sdnshield/internal/obs/span"
 )
 
 func main() {
@@ -71,6 +72,8 @@ func run(args []string) (int, error) {
 	quiet := fs.Bool("quiet", false, "print only the reconciled permissions")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve the telemetry endpoint (/metrics, /health, /audit, pprof) on this address, e.g. 127.0.0.1:9090")
 	auditFile := fs.String("audit-file", "", "append audit events as JSONL to this file (rotated at 64 MiB)")
+	traceFile := fs.String("trace-file", "", "append finished trace spans as JSONL to this file (rotated at 64 MiB)")
+	sloOn := fs.Bool("slo", false, "evaluate the built-in SLOs (install latency, queue wait, mediated calls, cache hits, dead letters) and serve them at /slo")
 	bundleDir := fs.String("bundle-dir", "", "write diagnostic bundles (anomaly/quota/quarantine captures) to this directory as <id>.json")
 	marketDir := fs.String("market-dir", "", "market mode: operate on this app-market directory (keys/ + releases/)")
 	marketKeygen := fs.String("market-keygen", "", "market mode: generate a keypair for this vendor under the market dir, print the public key, and exit")
@@ -178,8 +181,20 @@ func run(args []string) (int, error) {
 		stopTelemetry()
 		return 1, err
 	}
+	if *marketNode != "" {
+		span.SetNode(*marketNode)
+	}
+	stopTrace, err := bench.StartTraceSink(*traceFile)
+	if err != nil {
+		stopAudit()
+		stopTelemetry()
+		return 1, err
+	}
+	stopSLO := bench.StartSLO(*sloOn)
 	stopBundles, err := bench.StartBundleDir(*bundleDir)
 	if err != nil {
+		stopSLO()
+		stopTrace()
 		stopAudit()
 		stopTelemetry()
 		return 1, err
@@ -188,7 +203,7 @@ func run(args []string) (int, error) {
 	// SIGTERM too, so an interrupted run loses no events. Job queues
 	// drain first: in-flight installs finish and the WAL is fsynced
 	// before the audit trail is sealed.
-	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopAudit, stopTelemetry)
+	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopSLO, stopTrace, stopAudit, stopTelemetry)
 	defer cancelShutdown()
 	defer jobs.DrainAll()
 	// The reconciled permissions go to stdout; the digest must not mix in.

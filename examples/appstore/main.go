@@ -23,6 +23,8 @@ import (
 	"sdnshield/internal/jobs"
 	"sdnshield/internal/market"
 	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/span"
 )
 
 // sitePolicy is the administrator's template: a boundary for third-party
@@ -256,15 +258,17 @@ func main() {
 		Name: "flow-auditor", Vendor: "acme-netwatch", Version: "1.0.0",
 		Manifest: "PERM read_statistics\nPERM visible_topology LIMITING LocalTopo",
 	})
-	da, err := reg.Submit(auditor)
+	corr := audit.NextCorr()
+	da, err := reg.SubmitTraced(auditor, corr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	jobID, err := m.SubmitJob(market.QueueInstall, market.JobRequest{Digest: da.String()}, 0)
+	root := span.Root(corr, "demo:install")
+	jobID, err := m.SubmitJob(market.QueueInstall, market.JobRequest{Digest: da.String()}, corr, root.Context())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  enqueued install of flow-auditor@1.0.0 as job %d\n", jobID)
+	fmt.Printf("  enqueued install of flow-auditor@1.0.0 as job %d (trace /trace/%d)\n", jobID, corr)
 	for {
 		snap, ok := jm.Status(jobID)
 		if !ok {
@@ -276,9 +280,12 @@ func main() {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	root.End()
 	if s, ok := m.Status("flow-auditor"); ok {
 		fmt.Printf("  flow-auditor is %s at %s\n", s.Status, s.Version)
 	}
+	fmt.Printf("  trace %d retained %d spans (enqueue, queue wait, pipeline stages)\n",
+		corr, len(span.DefaultCollector().Trace(corr)))
 
 	// --- Replication and federation: a replica ships the leader's
 	// release log wholesale; a federated downstream pulls by digest

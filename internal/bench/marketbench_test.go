@@ -47,4 +47,34 @@ func TestMarketBenchTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+
+	// Span-layer companion: ingest throughput plus the per-stage install
+	// latency breakdown recovered from collected spans.
+	installsN := 200
+	if testing.Short() {
+		installsN = 50
+	}
+	tr, err := RunTraceBench(installsN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trace: %.1f spans/install, %.0f span ops/s, %d stages, %d dropped",
+		tr.SpansPerInstall, tr.SpanOpsPerSec, len(tr.Stages), tr.DroppedSpans)
+	if tr.SpansPerInstall < 3 {
+		t.Fatalf("traced installs retained %.1f spans each, want >= 3 (root + verify + activate)", tr.SpansPerInstall)
+	}
+	for _, stage := range []string{"verify", "activate", "reconcile"} {
+		if tr.Stages[stage].Count == 0 {
+			t.Fatalf("stage %q missing from the trace breakdown: %+v", stage, tr.Stages)
+		}
+	}
+	tdata, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tout := filepath.Join("..", "..", "BENCH_trace.json")
+	if err := os.WriteFile(tout, append(tdata, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", tout)
 }

@@ -2,10 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/obs/recorder"
+	"sdnshield/internal/obs/span"
 )
 
 // StartTelemetry serves the obs introspection endpoint on addr ("" means
@@ -53,6 +55,100 @@ func StartBundleDir(dir string) (stop func(), err error) {
 		return nil, err
 	}
 	return func() { _ = recorder.SetBundleDir("") }, nil
+}
+
+// StartTraceSink attaches a rotating JSONL file sink to the default span
+// collector ("" means off), so every finished span lands on disk
+// alongside the audit journal. The returned stop function (never nil)
+// detaches the sink and closes the file.
+func StartTraceSink(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	sink, err := span.NewFileSink(path, 0)
+	if err != nil {
+		return nil, fmt.Errorf("trace sink: %w", err)
+	}
+	c := span.DefaultCollector()
+	c.SetSink(sink)
+	return func() {
+		c.SetSink(nil)
+		_ = sink.Close()
+	}, nil
+}
+
+// StartSLO arms the default SLO engine over the five core objectives —
+// install latency, job queue wait, mediated-call latency, verdict-cache
+// hit ratio and job dead-letter rate — and starts its evaluation loop.
+// A breach (both burn windows past threshold) emits a KindSLO audit
+// event and captures a diagnostic bundle; recovery emits the matching
+// audit event. The returned stop function (never nil) halts the loop
+// and clears /slo.
+func StartSLO(enable bool) (stop func()) {
+	if !enable {
+		return func() {}
+	}
+	reg := obs.Default()
+	eng := obs.NewEngine(obs.EngineConfig{},
+		obs.LatencyObjective("market_install_p99",
+			"99% of install/upgrade pipelines finish within 250ms.",
+			reg, "sdnshield_market_install_seconds", 250*time.Millisecond, 0.99),
+		obs.LatencyObjective("job_queue_wait_p95",
+			"95% of jobs start executing within 500ms of enqueue.",
+			reg, "sdnshield_jobs_wait_seconds", 500*time.Millisecond, 0.95),
+		obs.LatencyObjective("mediated_call_p99",
+			"99% of mediated API calls finish within 1ms.",
+			reg, "sdnshield_mediated_call_seconds", time.Millisecond, 0.99),
+		obs.Objective{
+			Name:        "verdict_cache_hit_ratio",
+			Description: "At least 80% of reconciliations are served from the verdict cache.",
+			Target:      0.80,
+			Good:        func() float64 { return reg.TotalOf("sdnshield_market_verdict_cache_hits_total") },
+			Total: func() float64 {
+				return reg.TotalOf("sdnshield_market_verdict_cache_hits_total") +
+					reg.TotalOf("sdnshield_market_verdict_cache_misses_total")
+			},
+		},
+		obs.Objective{
+			Name:        "job_dead_letter_rate",
+			Description: "At least 99% of settled jobs complete instead of dead-lettering.",
+			Target:      0.99,
+			Good:        func() float64 { return reg.TotalOf("sdnshield_jobs_completed_total") },
+			Total: func() float64 {
+				return reg.TotalOf("sdnshield_jobs_completed_total") +
+					reg.TotalOf("sdnshield_jobs_dead_total")
+			},
+		},
+	)
+	eng.SetOnBreach(func(st obs.ObjectiveStatus) {
+		corr := audit.NextCorr()
+		detail := fmt.Sprintf("%s: fast burn %.2f, slow burn %.2f, compliance %.4f against target %.4f",
+			st.Name, st.FastBurn, st.SlowBurn, st.Compliance, st.Target)
+		if audit.On() {
+			audit.Emit(audit.Event{
+				Kind: audit.KindSLO, Verdict: audit.VerdictSLOBreach,
+				Op: st.Name, Corr: corr, Detail: detail,
+			})
+		}
+		recorder.Capture(recorder.TriggerSLO, "", corr, detail)
+	})
+	eng.SetOnRecover(func(st obs.ObjectiveStatus) {
+		if audit.On() {
+			audit.Emit(audit.Event{
+				Kind: audit.KindSLO, Verdict: audit.VerdictSLORecover,
+				Op: st.Name, Corr: audit.NextCorr(),
+				Detail: fmt.Sprintf("%s: error budget out of fast burn (slow burn %.2f)", st.Name, st.SlowBurn),
+			})
+		}
+	})
+	obs.SetDefaultSLO(eng)
+	eng.Start()
+	return func() {
+		eng.Stop()
+		if obs.DefaultSLO() == eng {
+			obs.SetDefaultSLO(nil)
+		}
+	}
 }
 
 // TelemetrySummary renders the one-line metrics digest the CLIs print on

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/span"
+)
+
+// TestStartSLOServesObjectives: the CLI-facing SLO wiring installs the
+// default engine with the five shipped objectives, and /slo serves them.
+func TestStartSLOServesObjectives(t *testing.T) {
+	stop := StartSLO(true)
+	defer stop()
+	srv := httptest.NewServer(obs.NewHandler(obs.Default(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Enabled    bool                  `json:"enabled"`
+		Objectives []obs.ObjectiveStatus `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Enabled {
+		t.Fatal("/slo reports disabled while the engine is running")
+	}
+	names := make(map[string]bool)
+	for _, o := range got.Objectives {
+		names[o.Name] = true
+	}
+	for _, want := range []string{
+		"market_install_p99", "job_queue_wait_p95", "mediated_call_p99",
+		"verdict_cache_hit_ratio", "job_dead_letter_rate",
+	} {
+		if !names[want] {
+			t.Errorf("/slo missing objective %q (have %v)", want, names)
+		}
+	}
+	if len(got.Objectives) < 5 {
+		t.Fatalf("/slo serves %d objectives, want >= 5", len(got.Objectives))
+	}
+
+	stop() // idempotent with the deferred call
+	if obs.DefaultSLO() != nil {
+		t.Fatal("stop left the default SLO engine installed")
+	}
+}
+
+func TestStartSLODisabledIsNoop(t *testing.T) {
+	stop := StartSLO(false)
+	stop()
+	if obs.DefaultSLO() != nil {
+		t.Fatal("StartSLO(false) installed an engine")
+	}
+}
+
+// TestStartTraceSink wires the default collector to a JSONL file the
+// way the CLIs' -trace-file flag does, and checks spans reach disk.
+func TestStartTraceSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	stop, err := StartTraceSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := span.Root(7_331_001, "sink:e2e")
+	sp.Annotate("exported")
+	sp.End()
+	stop()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	found := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec span.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("sink line not JSONL: %v", err)
+		}
+		if rec.TraceID == 7_331_001 && rec.Name == "sink:e2e" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("root span never reached the trace sink file")
+	}
+
+	// "" means off, with a non-nil stop.
+	noop, err := StartTraceSink("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop()
+}

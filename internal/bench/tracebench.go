@@ -1,0 +1,130 @@
+// Trace benchmark: span-layer ingest throughput plus the per-stage
+// install latency breakdown recovered from collected spans — the same
+// records /trace/<id> serves, so the benchmark doubles as a check that
+// traced installs actually decompose into their pipeline stages. `make
+// bench-market` writes the result to BENCH_trace.json.
+package bench
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sdnshield/internal/market"
+	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/span"
+)
+
+// StageStat is one pipeline stage's latency distribution across the
+// traced installs.
+type StageStat struct {
+	Count     int     `json:"count"`
+	P50Micros float64 `json:"p50_micros"`
+	P95Micros float64 `json:"p95_micros"`
+}
+
+// TraceBenchResult is the BENCH_trace.json document.
+type TraceBenchResult struct {
+	Installs        int     `json:"installs"`
+	SpansPerInstall float64 `json:"spans_per_install"`
+	// SpanOpsPerSec is raw Root+End throughput into the bounded default
+	// collector — the ceiling on how many spans the process can retain
+	// per second, far above any real operation rate.
+	SpanOpsPerSec float64              `json:"span_ops_per_sec"`
+	Stages        map[string]StageStat `json:"stage_micros"`
+	DroppedSpans  uint64               `json:"dropped_spans"`
+}
+
+// RunTraceBench drives installs traced releases through the market
+// pipeline, then reconstructs the per-stage latency breakdown from the
+// default span collector. The first install reconciles cold; the rest
+// hit the shared verdict cache, so the stage map shows verify/activate
+// on every install, parse/reconcile once, and cache_hit on the warm
+// majority.
+func RunTraceBench(installs int) (*TraceBenchResult, error) {
+	prevSpan := span.SetEnabled(true)
+	defer span.SetEnabled(prevSpan)
+
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	reg := market.NewRegistry()
+	if err := reg.TrustVendor("acme", pub); err != nil {
+		return nil, err
+	}
+	digests := make([]market.Digest, 0, installs)
+	for i := 0; i < installs; i++ {
+		sr := market.Sign(market.Release{
+			Name:     fmt.Sprintf("traced%04d", i),
+			Vendor:   "acme",
+			Version:  "1.0.0",
+			Manifest: marketBenchManifest,
+		}, priv)
+		d, err := reg.Submit(sr)
+		if err != nil {
+			return nil, fmt.Errorf("seed release %d: %w", i, err)
+		}
+		digests = append(digests, d)
+	}
+	m, err := market.New(reg, nullRuntime{}, market.Config{
+		PolicySrc: marketBenchPolicy, Cache: market.NewVerdictCache(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+
+	corrs := make([]uint64, 0, installs)
+	for _, d := range digests {
+		ot := market.OpTrace{Corr: audit.NextCorr()}
+		r, err := m.InstallTraced(d, ot)
+		if err != nil {
+			return nil, err
+		}
+		if r.Verdict != market.VerdictApproved {
+			return nil, fmt.Errorf("bench release %s not approved: %s", d, r.Verdict)
+		}
+		corrs = append(corrs, ot.Corr)
+	}
+
+	res := &TraceBenchResult{Installs: installs, Stages: make(map[string]StageStat)}
+	col := span.DefaultCollector()
+	durations := make(map[string][]time.Duration)
+	totalSpans := 0
+	for _, corr := range corrs {
+		spans := col.Trace(corr)
+		totalSpans += len(spans)
+		for _, sp := range spans {
+			if stage, ok := strings.CutPrefix(sp.Name, "stage:"); ok {
+				durations[stage] = append(durations[stage], sp.Duration)
+			}
+		}
+	}
+	if installs > 0 {
+		res.SpansPerInstall = float64(totalSpans) / float64(installs)
+	}
+	for stage, ds := range durations {
+		sort.Slice(ds, func(i, k int) bool { return ds[i] < ds[k] })
+		pct := func(p float64) float64 {
+			return float64(ds[int(p*float64(len(ds)-1))]) / float64(time.Microsecond)
+		}
+		res.Stages[stage] = StageStat{Count: len(ds), P50Micros: pct(0.50), P95Micros: pct(0.95)}
+	}
+
+	// Raw ingest throughput: Root+End pairs rotated across enough trace
+	// IDs that no single trace hits the per-trace span bound.
+	const spanOps = 100_000
+	base := uint64(1) << 40
+	start := time.Now()
+	for i := 0; i < spanOps; i++ {
+		sp := span.Root(base+uint64(i%512), "bench:span")
+		sp.End()
+	}
+	res.SpanOpsPerSec = float64(spanOps) / time.Since(start).Seconds()
+	res.DroppedSpans = col.Dropped()
+	return res, nil
+}

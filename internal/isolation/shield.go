@@ -12,6 +12,7 @@ import (
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/obs/recorder"
+	"sdnshield/internal/obs/span"
 	"sdnshield/internal/of"
 	"sdnshield/internal/permengine"
 )
@@ -197,6 +198,7 @@ func (s *Shield) do(c *Container, op *mediatedOp, corr uint64, fn func() error) 
 	if mediatedSampler.Hit() {
 		t = obs.StartTimer()
 		tr = obs.DefaultTracer().Start(op.name)
+		tr.SetCorr(corr)
 		mKSDQueueDepth.Set(int64(len(s.reqCh)))
 		enq = time.Now()
 		if weight = int64(obs.LatencySampling()); weight < 1 {
@@ -283,6 +285,14 @@ func (s *Shield) do(c *Container, op *mediatedOp, corr uint64, fn func() error) 
 		op.hist.ObserveTraced(t.Elapsed(), tr)
 	}
 	tr.Finish()
+	// The traced subset (already sampled twice: the measurement sampler
+	// above, then the tracer's own rate) additionally lands in the span
+	// layer under the call's corr, unifying mediated-call traces with the
+	// operation traces at /trace/<corr>. Unsampled calls never reach this
+	// branch — their only tracing cost is the sampler's atomic add.
+	if tr != nil {
+		span.RecordTrace(corr, tr.Snapshot())
+	}
 	return err
 }
 

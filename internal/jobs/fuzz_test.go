@@ -16,6 +16,12 @@ func FuzzJobDecode(f *testing.F) {
 		{op: opFail, id: 3, attempts: 2, errMsg: "transient", ts: -9},
 		{op: opDead, id: 4, attempts: 5, errMsg: "exhausted", ts: 0},
 		{op: opMeta, id: 1 << 32},
+		// Span-annotated records: the optional trace suffix (traceID,
+		// spanID, parent after ts) must round-trip, partially-zero
+		// contexts included, or restarted workers lose their trace.
+		{op: opEnqueue, id: 5, queue: "market.install", payload: []byte(`{"digest":"cd"}`), corr: 7, maxAttempts: 5, ts: 1700000001, traceID: 7, spanID: 19, spanParent: 11},
+		{op: opEnqueue, id: 6, queue: "market.upgrade", payload: []byte(`{"digest":"ef"}`), corr: 9, maxAttempts: 3, ts: 1700000002, traceID: 9, spanID: 1},
+		{op: opEnqueue, id: 7, queue: "market.recompute", ts: 5, spanID: 1 << 40, spanParent: 1},
 	}
 	for _, r := range seeds {
 		f.Add(encodeRecord(r))
@@ -35,7 +41,8 @@ func FuzzJobDecode(f *testing.F) {
 		}
 		if r2.op != r.op || r2.id != r.id || r2.queue != r.queue || r2.ts != r.ts ||
 			r2.corr != r.corr || r2.maxAttempts != r.maxAttempts || r2.attempts != r.attempts ||
-			r2.errMsg != r.errMsg || !bytes.Equal(r2.payload, r.payload) || !bytes.Equal(r2.result, r.result) {
+			r2.errMsg != r.errMsg || !bytes.Equal(r2.payload, r.payload) || !bytes.Equal(r2.result, r.result) ||
+			r2.traceID != r.traceID || r2.spanID != r.spanID || r2.spanParent != r.spanParent {
 			t.Fatalf("round trip drifted: %+v != %+v", r2, r)
 		}
 	})

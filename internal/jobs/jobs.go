@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/span"
 )
 
 // State is a job's lifecycle state.
@@ -122,6 +123,7 @@ type job struct {
 	queue       string
 	payload     []byte
 	corr        uint64
+	trace       span.Context // span context of the enqueuing operation
 	maxAttempts int
 	attempts    int
 	state       State
@@ -135,18 +137,23 @@ type job struct {
 // Snapshot is a job's externally visible state — the /market/jobs/<id>
 // body.
 type Snapshot struct {
-	ID          uint64    `json:"id"`
-	Queue       string    `json:"queue"`
-	State       State     `json:"state"`
-	Attempts    int       `json:"attempts"`
-	MaxAttempts int       `json:"max_attempts"`
-	Corr        uint64    `json:"corr,omitempty"`
-	Error       string    `json:"error,omitempty"`
-	Payload     []byte    `json:"-"`
-	Result      []byte    `json:"-"`
-	EnqueuedAt  time.Time `json:"enqueued_at"`
-	StartedAt   time.Time `json:"started_at,omitempty"`
-	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	ID          uint64 `json:"id"`
+	Queue       string `json:"queue"`
+	State       State  `json:"state"`
+	Attempts    int    `json:"attempts"`
+	MaxAttempts int    `json:"max_attempts"`
+	Corr        uint64 `json:"corr,omitempty"`
+	// Trace is the span context the job carries: the handler's side of
+	// trace propagation. Workers run the handler under a child span of
+	// it, so the operation's trace continues across the queue hop — and,
+	// because the context is WAL-persisted, across a restart.
+	Trace      span.Context `json:"trace"`
+	Error      string       `json:"error,omitempty"`
+	Payload    []byte       `json:"-"`
+	Result     []byte       `json:"-"`
+	EnqueuedAt time.Time    `json:"enqueued_at"`
+	StartedAt  time.Time    `json:"started_at,omitempty"`
+	FinishedAt time.Time    `json:"finished_at,omitempty"`
 }
 
 // MarshalJSON renders Payload/Result inline when they are valid JSON
@@ -294,6 +301,7 @@ func (m *Manager) replay() error {
 			j.queue = r.queue
 			j.payload = r.payload
 			j.corr = r.corr
+			j.trace = span.Context{TraceID: r.traceID, SpanID: r.spanID, Parent: r.spanParent}
 			j.maxAttempts = int(r.maxAttempts)
 			j.attempts = int(r.attempts)
 			j.state = StatePending
@@ -397,7 +405,8 @@ func enqueueRecord(j *job) *walRecord {
 	return &walRecord{
 		op: opEnqueue, id: j.id, queue: j.queue, payload: j.payload,
 		corr: j.corr, maxAttempts: uint32(j.maxAttempts), attempts: uint32(j.attempts),
-		ts: j.enqueuedAt.UnixNano(),
+		ts:      j.enqueuedAt.UnixNano(),
+		traceID: j.trace.TraceID, spanID: j.trace.SpanID, spanParent: j.trace.Parent,
 	}
 }
 
@@ -444,6 +453,12 @@ type Option func(*job)
 // WithCorr stamps the job with an audit correlation ID so every event
 // the job's execution emits ties back to the submitting request.
 func WithCorr(corr uint64) Option { return func(j *job) { j.corr = corr } }
+
+// WithTrace stamps the job with the enqueuing operation's span context,
+// persisted in the WAL so the trace survives a restart: the worker (in
+// this process or the next one) runs the handler under a child span of
+// it.
+func WithTrace(ctx span.Context) Option { return func(j *job) { j.trace = ctx } }
 
 // WithMaxAttempts overrides the manager's default attempt budget.
 func WithMaxAttempts(n int) Option {
@@ -497,6 +512,7 @@ func (m *Manager) Enqueue(queueName string, payload []byte, opts ...Option) (uin
 	q.cond.Signal()
 	m.mu.Unlock()
 
+	span.Add(j.trace, "job:enqueue:"+queueName, j.enqueuedAt, time.Since(j.enqueuedAt))
 	if audit.On() {
 		audit.Emit(audit.Event{
 			Kind: audit.KindJob, Verdict: audit.VerdictEnqueue, Op: queueName, Corr: j.corr,
@@ -555,8 +571,19 @@ func (m *Manager) worker(q *queue) {
 		fn := q.handler
 		m.mu.Unlock()
 
-		q.met.wait.Observe(snap.StartedAt.Sub(snap.EnqueuedAt))
+		wait := snap.StartedAt.Sub(snap.EnqueuedAt)
+		q.met.wait.Observe(wait)
+		// Continue the enqueuing operation's trace: the queue wait as an
+		// externally timed span (no extra clock reads), then the handler
+		// under an exec child — whose context the snapshot carries so the
+		// handler's own spans nest under the execution, not the enqueue.
+		span.Add(snap.Trace, "job:queue_wait", snap.EnqueuedAt, wait)
+		execSp := span.Start(snap.Trace, "job:exec:"+q.name)
+		if c := execSp.Context(); c.Valid() {
+			snap.Trace = c
+		}
 		res, err := runHandler(fn, snap)
+		execSp.End()
 		q.met.exec.Observe(time.Since(snap.StartedAt))
 		m.settle(q, j, res, err)
 	}
@@ -574,16 +601,18 @@ func runHandler(fn Handler, s Snapshot) (res []byte, err error) {
 }
 
 // settle records an attempt's outcome: ack, schedule a retry, or
-// dead-letter. A killed manager (crash simulation) records nothing —
-// exactly what a real crash would do, leaving the WAL to replay the job.
+// dead-letter. A killed manager (crash simulation) records no state or
+// WAL transition — exactly what a real crash would do, leaving the WAL
+// to replay the job — but the inflight gauge still settles, since the
+// worker goroutine really has stopped working on the job.
 func (m *Manager) settle(q *queue, j *job, res []byte, err error) {
 	m.mu.Lock()
+	q.inflight--
+	q.met.inflight.Add(-1)
 	if m.killed {
 		m.mu.Unlock()
 		return
 	}
-	q.inflight--
-	q.met.inflight.Add(-1)
 	now := time.Now()
 	switch {
 	case err == nil:
@@ -697,7 +726,7 @@ func (m *Manager) retainLocked(j *job) {
 func snapshotOf(j *job) Snapshot {
 	return Snapshot{
 		ID: j.id, Queue: j.queue, State: j.state,
-		Attempts: j.attempts, MaxAttempts: j.maxAttempts, Corr: j.corr,
+		Attempts: j.attempts, MaxAttempts: j.maxAttempts, Corr: j.corr, Trace: j.trace,
 		Error:      j.lastErr,
 		Payload:    append([]byte(nil), j.payload...),
 		Result:     append([]byte(nil), j.result...),
@@ -825,6 +854,11 @@ func (m *Manager) Close() error {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// This manager's contribution to the process-global queue gauges
+	// ends here: the backlog it still holds is durable in the WAL, not
+	// pending in any live queue. Without this, every drained manager
+	// leaks its residue into the shared gauges forever.
+	m.zeroGaugesLocked()
 	var err error
 	if m.wal != nil {
 		err = m.wal.close()
@@ -834,6 +868,19 @@ func (m *Manager) Close() error {
 	delete(openManagers, m)
 	openMu.Unlock()
 	return err
+}
+
+// zeroGaugesLocked subtracts this manager's remaining backlog from the
+// shared pending gauge. Caller holds m.mu and must guarantee it runs at
+// most once per manager (Close and Kill each gate on closing/killed).
+// Inflight needs no correction here: every popped job's settle
+// decrements the inflight gauge even under Kill.
+func (m *Manager) zeroGaugesLocked() {
+	for _, q := range m.queues {
+		if n := len(q.pending); n > 0 {
+			q.met.pending.Add(int64(-n))
+		}
+	}
 }
 
 // Kill simulates a crash for fault testing: workers stop without acking
@@ -848,6 +895,7 @@ func (m *Manager) Kill() {
 		return
 	}
 	m.killed = true
+	m.zeroGaugesLocked()
 	for _, q := range m.queues {
 		q.cond.Broadcast()
 	}

@@ -1,0 +1,150 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"sdnshield/internal/obs"
+	"sdnshield/internal/obs/span"
+)
+
+// TestTraceSurvivesWALReplay: a job enqueued with a span context keeps
+// that context across a manager restart — the WAL record carries the
+// trace, so a worker in the next process still executes under the
+// submitting operation's trace.
+func TestTraceSurvivesWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := span.Context{TraceID: 991_177, SpanID: 42, Parent: 7}
+	// No handler registered: the job stays pending in the WAL.
+	id, err := m1.Enqueue("replay-trace", []byte(`{"n":1}`), WithCorr(orig.TraceID), WithTrace(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := openTest(t, dir)
+	snap, ok := m2.Status(id)
+	if !ok || snap.State != StatePending {
+		t.Fatalf("replayed job = (%+v, %v), want pending", snap, ok)
+	}
+	if snap.Trace != orig {
+		t.Fatalf("replayed trace = %+v, want %+v", snap.Trace, orig)
+	}
+	if snap.Corr != orig.TraceID {
+		t.Fatalf("replayed corr = %d, want %d", snap.Corr, orig.TraceID)
+	}
+
+	// The worker hands the handler an exec child of the persisted
+	// context: same trace, parented to the enqueue-side span.
+	got := make(chan span.Context, 1)
+	m2.Handle("replay-trace", 1, func(j Snapshot) ([]byte, error) {
+		got <- j.Trace
+		return nil, nil
+	})
+	waitFor(t, "replayed job done", func() bool {
+		s, ok := m2.Status(id)
+		return ok && s.State == StateDone
+	})
+	hc := <-got
+	if hc.TraceID != orig.TraceID {
+		t.Fatalf("handler trace ID = %d, want %d", hc.TraceID, orig.TraceID)
+	}
+	if hc.Parent != orig.SpanID {
+		t.Fatalf("handler span parent = %d, want the persisted enqueue span %d", hc.Parent, orig.SpanID)
+	}
+}
+
+// TestTraceAbsentStaysUntraced: jobs enqueued without WithTrace replay
+// with a zero context — the WAL's legacy record shape decodes as "not
+// traced", never as a phantom trace.
+func TestTraceAbsentStaysUntraced(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m1.Enqueue("replay-untraced", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := openTest(t, dir)
+	snap, ok := m2.Status(id)
+	if !ok || snap.Trace.Valid() {
+		t.Fatalf("untraced job replayed as %+v (ok=%v), want zero context", snap.Trace, ok)
+	}
+}
+
+// TestDrainAllZeroesQueueGauges is the gauge-drift regression test: a
+// drained manager must give back its contribution to the process-global
+// pending/inflight gauges, whether the backlog was waiting or running.
+func TestDrainAllZeroesQueueGauges(t *testing.T) {
+	reg := obs.Default()
+	const qPend, qBusy = "gauge-drift-pending", "gauge-drift-busy"
+	pending := func(q string) float64 { return reg.TotalOfLabeled("sdnshield_jobs_pending", "queue", q) }
+	inflight := func(q string) float64 { return reg.TotalOfLabeled("sdnshield_jobs_inflight", "queue", q) }
+
+	m := openTest(t, t.TempDir())
+	// Five jobs with no handler: a pure pending backlog.
+	for i := 0; i < 5; i++ {
+		if _, err := m.Enqueue(qPend, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One job held inflight by a blocking handler.
+	release := make(chan struct{})
+	m.Handle(qBusy, 1, func(Snapshot) ([]byte, error) { <-release; return nil, nil })
+	if _, err := m.Enqueue(qBusy, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "busy job inflight", func() bool { return inflight(qBusy) == 1 })
+	if got := pending(qPend); got != 5 {
+		t.Fatalf("pending gauge before drain = %v, want 5", got)
+	}
+
+	// DrainAll blocks on the inflight job; let it finish mid-drain.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	DrainAll()
+
+	if got := pending(qPend); got != 0 {
+		t.Fatalf("pending gauge after drain = %v, want 0 (drained backlog leaked)", got)
+	}
+	if got := inflight(qBusy); got != 0 {
+		t.Fatalf("inflight gauge after drain = %v, want 0", got)
+	}
+	if got := pending(qBusy); got != 0 {
+		t.Fatalf("busy queue pending gauge after drain = %v, want 0", got)
+	}
+}
+
+// TestKillZeroesQueueGauges: the crash path gives the gauges back too —
+// a killed manager's backlog is the next Open's problem, not a phantom
+// queue depth on the dashboard.
+func TestKillZeroesQueueGauges(t *testing.T) {
+	reg := obs.Default()
+	const q = "gauge-drift-kill"
+	m := openTest(t, t.TempDir())
+	for i := 0; i < 3; i++ {
+		if _, err := m.Enqueue(q, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.TotalOfLabeled("sdnshield_jobs_pending", "queue", q); got != 3 {
+		t.Fatalf("pending gauge before kill = %v, want 3", got)
+	}
+	m.Kill()
+	if got := reg.TotalOfLabeled("sdnshield_jobs_pending", "queue", q); got != 0 {
+		t.Fatalf("pending gauge after kill = %v, want 0", got)
+	}
+}

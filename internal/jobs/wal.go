@@ -61,6 +61,15 @@ type walRecord struct {
 	errMsg      string
 	result      []byte
 	ts          int64 // unix nanos at append time
+
+	// Span context of the operation that enqueued the job, so a worker
+	// restarted from disk continues the original trace. The fields ride
+	// as an optional suffix after ts: records written before tracing
+	// existed (or for untraced jobs) omit them and decode as zero, which
+	// keeps the WAL readable in both directions without a magic bump.
+	traceID    uint64
+	spanID     uint64
+	spanParent uint64
 }
 
 // errBadRecord reports a record body that does not decode.
@@ -95,6 +104,13 @@ func encodeRecord(r *walRecord) []byte {
 	putBytes(r.result)
 	n := binary.PutVarint(tmp[:], r.ts)
 	buf = append(buf, tmp[:n]...)
+	// Optional trace suffix: written only when a context exists, so
+	// untraced records stay byte-identical to the pre-trace format.
+	if r.traceID != 0 || r.spanID != 0 || r.spanParent != 0 {
+		putUvarint(r.traceID)
+		putUvarint(r.spanID)
+		putUvarint(r.spanParent)
+	}
 	return buf
 }
 
@@ -174,8 +190,21 @@ func decodeRecord(b []byte) (*walRecord, error) {
 		return nil, errBadRecord
 	}
 	r.ts = ts
-	if len(b) != n {
-		return nil, fmt.Errorf("%w: %d trailing bytes", errBadRecord, len(b)-n)
+	b = b[n:]
+	if len(b) == 0 {
+		return r, nil // pre-trace record: context decodes as zero
+	}
+	if r.traceID, err = readUvarint(); err != nil {
+		return nil, err
+	}
+	if r.spanID, err = readUvarint(); err != nil {
+		return nil, err
+	}
+	if r.spanParent, err = readUvarint(); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errBadRecord, len(b))
 	}
 	return r, nil
 }

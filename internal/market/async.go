@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"sdnshield/internal/jobs"
+	"sdnshield/internal/obs/span"
 )
 
 // Market queue names on the job spine. One queue per pipeline step so
@@ -42,8 +43,8 @@ func (m *Market) AttachJobs(jm *jobs.Manager, workers int) {
 	m.mu.Lock()
 	m.jobsMgr = jm
 	m.mu.Unlock()
-	jm.Handle(QueueInstall, workers, m.pipelineHandler(m.Install))
-	jm.Handle(QueueUpgrade, workers, m.pipelineHandler(m.Upgrade))
+	jm.Handle(QueueInstall, workers, m.pipelineHandler(m.InstallTraced))
+	jm.Handle(QueueUpgrade, workers, m.pipelineHandler(m.UpgradeTraced))
 	jm.Handle(QueueRecompute, workers, m.recomputeHandler)
 }
 
@@ -56,8 +57,10 @@ func (m *Market) Jobs() *jobs.Manager {
 
 // SubmitJob enqueues one market job, durably, and returns its ID for
 // polling at /market/jobs/<id>. corr ties the job's audit trail back to
-// the submitting request.
-func (m *Market) SubmitJob(queue string, req JobRequest, corr uint64) (uint64, error) {
+// the submitting request; sc (may be zero) is the span context the
+// worker-side execution continues under — persisted with the job, so
+// the trace survives a WAL replay.
+func (m *Market) SubmitJob(queue string, req JobRequest, corr uint64, sc span.Context) (uint64, error) {
 	jm := m.Jobs()
 	if jm == nil {
 		return 0, ErrNoJobs
@@ -66,15 +69,17 @@ func (m *Market) SubmitJob(queue string, req JobRequest, corr uint64) (uint64, e
 	if err != nil {
 		return 0, err
 	}
-	return jm.Enqueue(queue, payload, jobs.WithCorr(corr))
+	return jm.Enqueue(queue, payload, jobs.WithCorr(corr), jobs.WithTrace(sc))
 }
 
 // pipelineHandler adapts an install/upgrade step into a job handler:
-// decode the request, run the pipeline, retain the InstallResult as the
-// job's pollable result. Deterministic refusals (unknown release,
-// rejection, version gate) dead-letter immediately; anything else burns
-// an attempt and retries.
-func (m *Market) pipelineHandler(step func(Digest) (*InstallResult, error)) jobs.Handler {
+// decode the request, run the pipeline under the job's operation
+// identity (the corr and span context it was enqueued with, by this
+// process or a predecessor whose WAL we replayed), retain the
+// InstallResult as the job's pollable result. Deterministic refusals
+// (unknown release, rejection, version gate) dead-letter immediately;
+// anything else burns an attempt and retries.
+func (m *Market) pipelineHandler(step func(Digest, OpTrace) (*InstallResult, error)) jobs.Handler {
 	return func(j jobs.Snapshot) ([]byte, error) {
 		var req JobRequest
 		if err := json.Unmarshal(j.Payload, &req); err != nil {
@@ -84,7 +89,7 @@ func (m *Market) pipelineHandler(step func(Digest) (*InstallResult, error)) jobs
 		if err != nil {
 			return nil, jobs.Permanent(err)
 		}
-		res, err := step(d)
+		res, err := step(d, OpTrace{Corr: j.Corr, Span: j.Trace})
 		if err != nil {
 			return nil, classifyJobErr(err)
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sdnshield/internal/jobs"
+	"sdnshield/internal/obs/span"
 )
 
 // asyncEnv wires a market onto a job spine with fast retry timings.
@@ -65,7 +66,7 @@ func TestJobInstallRunsPipeline(t *testing.T) {
 	d := submit(Release{Name: "mon", Vendor: "acme", Version: "1.0.0",
 		Manifest: "PERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0"})
 
-	id, err := m.SubmitJob(QueueInstall, JobRequest{Digest: d.String()}, 0)
+	id, err := m.SubmitJob(QueueInstall, JobRequest{Digest: d.String()}, 0, span.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestJobRejectedDeadLettersWithReason(t *testing.T) {
 	d := submit(Release{Name: "mon", Vendor: "acme", Version: "1.0.0",
 		Manifest: "PERM process_runtime"})
 
-	id, err := m.SubmitJob(QueueInstall, JobRequest{Digest: d.String()}, 0)
+	id, err := m.SubmitJob(QueueInstall, JobRequest{Digest: d.String()}, 0, span.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestJobRejectedDeadLettersWithReason(t *testing.T) {
 
 func TestJobUnknownDigestDeadLettersImmediately(t *testing.T) {
 	m, jm, _, _ := asyncEnv(t, "")
-	id, err := m.SubmitJob(QueueInstall, JobRequest{Digest: PolicyDigest("nope").String()}, 0)
+	id, err := m.SubmitJob(QueueInstall, JobRequest{Digest: PolicyDigest("nope").String()}, 0, span.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestJobRecomputeSweepsRegistry(t *testing.T) {
 	submit(Release{Name: "mon", Vendor: "acme", Version: "1.1.0", Manifest: "PERM read_statistics"})
 	submit(Release{Name: "probe", Vendor: "acme", Version: "2.0.0", Manifest: "PERM read_statistics"})
 
-	id, err := m.SubmitJob(QueueRecompute, JobRequest{}, 0)
+	id, err := m.SubmitJob(QueueRecompute, JobRequest{}, 0, span.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestJobRecomputeSweepsRegistry(t *testing.T) {
 func TestSubmitJobWithoutManager(t *testing.T) {
 	m, _, submit := marketEnv(t, "")
 	d := submit(Release{Name: "mon", Vendor: "acme", Version: "1.0.0", Manifest: "PERM read_statistics"})
-	if _, err := m.SubmitJob(QueueInstall, JobRequest{Digest: d.String()}, 0); !errors.Is(err, ErrNoJobs) {
+	if _, err := m.SubmitJob(QueueInstall, JobRequest{Digest: d.String()}, 0, span.Context{}); !errors.Is(err, ErrNoJobs) {
 		t.Fatalf("err = %v, want ErrNoJobs", err)
 	}
 }

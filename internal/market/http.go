@@ -12,6 +12,7 @@ import (
 	"sdnshield/internal/jobs"
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/span"
 )
 
 // ErrBadRequest classifies malformed client input (unparseable digests,
@@ -53,8 +54,8 @@ func MountHTTP(m *Market) {
 	obs.RegisterHandler("/market/apps", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Snapshot())
 	}))
-	obs.RegisterHandler("/market/install", handlePackage(m, m.Install, QueueInstall))
-	obs.RegisterHandler("/market/upgrade", handlePackage(m, m.Upgrade, QueueUpgrade))
+	obs.RegisterHandler("/market/install", handlePackage(m, m.InstallTraced, QueueInstall))
+	obs.RegisterHandler("/market/upgrade", handlePackage(m, m.UpgradeTraced, QueueUpgrade))
 	obs.RegisterHandler("/market/approve", handleApp(m, func(app string) (interface{}, error) {
 		return m.Approve(app)
 	}))
@@ -93,12 +94,43 @@ type jobAccepted struct {
 	App    string `json:"app,omitempty"`
 	Corr   uint64 `json:"corr"`
 	Poll   string `json:"poll"`
+	Trace  string `json:"trace,omitempty"`
 }
+
+// traceFrom establishes the operation identity of one ingress request.
+// An X-Sdnshield-Trace header continues the caller's trace — corr is
+// the caller's trace ID and the ingress span nests under the caller's
+// span — otherwise a fresh corr is minted here and a root span opened.
+// sc is what everything downstream (submit audit events, job payloads,
+// pipeline stages) nests under; done seals the ingress span when the
+// response is written.
+func traceFrom(r *http.Request, op string) (corr uint64, sc span.Context, done func()) {
+	if pc, ok := span.Parse(r.Header.Get(span.Header)); ok {
+		sp := span.Start(pc, op)
+		if c := sp.Context(); c.Valid() {
+			return pc.TraceID, c, sp.End
+		}
+		return pc.TraceID, pc, func() {}
+	}
+	corr = audit.NextCorr()
+	root := span.Root(corr, op)
+	if c := root.Context(); c.Valid() {
+		return corr, c, root.End
+	}
+	return corr, span.Context{}, func() {}
+}
+
+// tracePath renders the /trace link for a corr so 202 bodies can point
+// the poller at the operation's trace directly.
+func tracePath(corr uint64) string { return fmt.Sprintf("/trace/%d", corr) }
 
 // handlePackage serves install/upgrade: decode a signed package, submit
 // it through the provenance gate, then run the pipeline step — inline,
-// or as an enqueued job when a manager is attached.
-func handlePackage(m *Market, step func(Digest) (*InstallResult, error), queue string) http.Handler {
+// or as an enqueued job when a manager is attached. The whole request
+// runs under one trace: submission audit events, the enqueue, the
+// worker-side pipeline and activation all carry the corr minted (or
+// continued) here.
+func handlePackage(m *Market, step func(Digest, OpTrace) (*InstallResult, error), queue string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
@@ -113,6 +145,8 @@ func handlePackage(m *Market, step func(Digest) (*InstallResult, error), queue s
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad package JSON: " + err.Error()})
 			return
 		}
+		corr, sc, done := traceFrom(r, "http:"+queue)
+		defer done()
 		var digest Digest
 		if req.Digest != "" {
 			// Digest-only body: select a release already in the registry.
@@ -127,7 +161,7 @@ func handlePackage(m *Market, step func(Digest) (*InstallResult, error), queue s
 			}
 			digest = d
 		} else {
-			d, err := m.Registry().Submit(&req.SignedRelease)
+			d, err := m.Registry().SubmitTraced(&req.SignedRelease, corr)
 			if err != nil {
 				writeError(w, err)
 				return
@@ -135,19 +169,18 @@ func handlePackage(m *Market, step func(Digest) (*InstallResult, error), queue s
 			digest = d
 		}
 		if m.Jobs() != nil {
-			corr := audit.NextCorr()
-			id, err := m.SubmitJob(queue, JobRequest{Digest: digest.String()}, corr)
+			id, err := m.SubmitJob(queue, JobRequest{Digest: digest.String()}, corr, sc)
 			if err != nil {
 				writeError(w, err)
 				return
 			}
 			writeJSON(w, http.StatusAccepted, jobAccepted{
 				JobID: id, Queue: queue, Digest: digest.String(), Corr: corr,
-				Poll: fmt.Sprintf("/market/jobs/%d", id),
+				Poll: fmt.Sprintf("/market/jobs/%d", id), Trace: tracePath(corr),
 			})
 			return
 		}
-		result, err := step(digest)
+		result, err := step(digest, OpTrace{Corr: corr, Span: sc})
 		if err != nil && result == nil {
 			writeError(w, err)
 			return
@@ -203,15 +236,16 @@ func handleRecompute(m *Market) http.Handler {
 			return
 		}
 		if m.Jobs() != nil {
-			corr := audit.NextCorr()
-			id, err := m.SubmitJob(QueueRecompute, JobRequest{App: req.App}, corr)
+			corr, sc, done := traceFrom(r, "http:"+QueueRecompute)
+			defer done()
+			id, err := m.SubmitJob(QueueRecompute, JobRequest{App: req.App}, corr, sc)
 			if err != nil {
 				writeError(w, err)
 				return
 			}
 			writeJSON(w, http.StatusAccepted, jobAccepted{
 				JobID: id, Queue: QueueRecompute, App: req.App, Corr: corr,
-				Poll: fmt.Sprintf("/market/jobs/%d", id),
+				Poll: fmt.Sprintf("/market/jobs/%d", id), Trace: tracePath(corr),
 			})
 			return
 		}
@@ -319,6 +353,12 @@ func handleJobByID(m *Market) http.Handler {
 // lease, or any poller would keep a dead leader's lease alive forever.
 func handleLog(m *Market) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A syncing follower sends its trace context; record the serve
+		// side so a cross-node pull shows up on both nodes' collectors.
+		if pc, ok := span.Parse(r.Header.Get(span.Header)); ok {
+			sp := span.Start(pc, "serve:log")
+			defer sp.End()
+		}
 		var after uint64
 		if s := r.URL.Query().Get("after"); s != "" {
 			v, err := strconv.ParseUint(s, 10, 64)
@@ -351,6 +391,10 @@ func handleLog(m *Market) http.Handler {
 // handleRelease serves one signed package by content address.
 func handleRelease(m *Market) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if pc, ok := span.Parse(r.Header.Get(span.Header)); ok {
+			sp := span.Start(pc, "serve:release")
+			defer sp.End()
+		}
 		dS := r.URL.Query().Get("digest")
 		if dS == "" {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "need ?digest=DIGEST"})

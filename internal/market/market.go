@@ -10,10 +10,35 @@ import (
 	"sdnshield/internal/isolation"
 	"sdnshield/internal/jobs"
 	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/span"
 	"sdnshield/internal/permlang"
 	"sdnshield/internal/policylang"
 	"sdnshield/internal/reconcile"
 )
+
+// OpTrace is the identity of the operation driving a pipeline run: the
+// audit correlation ID and the span context its stages nest under. The
+// zero OpTrace means "standalone call" — the pipeline mints a fresh
+// corr and opens its own root span, so direct API callers and the
+// HTTP/job paths produce the same shaped trace.
+type OpTrace struct {
+	Corr uint64
+	Span span.Context
+}
+
+// fill resolves a zero OpTrace into a live identity for the named
+// operation; the returned finish seals the root span it opened, if any.
+func (ot OpTrace) fill(op string) (OpTrace, func()) {
+	if ot.Corr == 0 {
+		ot.Corr = audit.NextCorr()
+	}
+	if ot.Span.Valid() {
+		return ot, func() {}
+	}
+	root := span.Root(ot.Corr, op)
+	ot.Span = root.Context()
+	return ot, root.End
+}
 
 // Runtime is the slice of the shielded runtime the market drives:
 // atomic permission activation and app-health probing for the probation
@@ -225,15 +250,34 @@ type InstallResult struct {
 // reconcileRelease drives one release through verify → parse → reconcile
 // with the verdict cache in front of Algorithm 1.
 func (m *Market) reconcileRelease(sr *SignedRelease) (cv *CachedVerdict, hit bool, err error) {
+	return m.reconcileTraced(sr, span.Context{})
+}
+
+// reconcileTraced is reconcileRelease with per-stage spans and latency
+// histograms: cache_hit on the short path; parse and reconcile on the
+// miss path. One clock-read pair per stage feeds both the span and the
+// stage histogram, so tracing adds no timing of its own.
+func (m *Market) reconcileTraced(sr *SignedRelease, sc span.Context) (cv *CachedVerdict, hit bool, err error) {
 	manifestDigest := sr.Digest()
+	t := time.Now()
 	if cv, ok := m.cache.Get(manifestDigest, m.policyDigest); ok {
+		d := time.Since(t)
+		observeStage("cache_hit", d)
+		span.Add(sc, "stage:cache_hit", t, d)
 		return cv, true, nil
 	}
 	manifest, err := permlang.Parse(sr.Manifest)
+	d := time.Since(t)
+	observeStage("parse", d)
+	span.Add(sc, "stage:parse", t, d)
 	if err != nil {
 		return nil, false, fmt.Errorf("market: manifest does not parse: %w", err)
 	}
+	t = time.Now()
 	res, err := m.engine.Reconcile(sr.Name, manifest, m.policy)
+	d = time.Since(t)
+	observeStage("reconcile", d)
+	span.Add(sc, "stage:reconcile", t, d)
 	if err != nil {
 		return nil, false, err
 	}
@@ -314,7 +358,17 @@ func (m *Market) Recompute(app string) (int, error) {
 // verdicts park as pending sign-off (Approve activates them); rejected
 // verdicts return ErrRejected.
 func (m *Market) Install(d Digest) (*InstallResult, error) {
+	return m.InstallTraced(d, OpTrace{})
+}
+
+// InstallTraced is Install under a caller-supplied operation identity:
+// the HTTP ingress and the job spine pass the corr they minted at the
+// boundary (plus the span context to nest stages under), so the trace
+// at /trace/<corr> and the audit trail share one ID end to end.
+func (m *Market) InstallTraced(d Digest, ot OpTrace) (*InstallResult, error) {
+	tVerify := time.Now()
 	sr, err := m.reg.Release(d)
+	dVerify := time.Since(tVerify)
 	if err != nil {
 		return nil, err
 	}
@@ -325,8 +379,13 @@ func (m *Market) Install(d Digest) (*InstallResult, error) {
 	}
 	m.mu.Unlock()
 
-	corr := audit.NextCorr()
-	cv, hit, err := m.reconcileRelease(sr)
+	ot, finish := ot.fill("market:install:" + sr.Name)
+	defer finish()
+	defer func(t0 time.Time) { mInstallSeconds.Observe(time.Since(t0)) }(tVerify)
+	corr := ot.Corr
+	observeStage("verify", dVerify)
+	span.Add(ot.Span, "stage:verify", tVerify, dVerify)
+	cv, hit, err := m.reconcileTraced(sr, ot.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +403,11 @@ func (m *Market) Install(d Digest) (*InstallResult, error) {
 			fmt.Sprintf("release %s@%s repaired, pending sign-off (%d violations)", sr.Name, sr.Version, len(cv.Violations)))
 		return result, nil
 	default: // approved
+		tAct := time.Now()
 		m.activate(sr.Name, refOf(sr, cv), corr, false)
+		dAct := time.Since(tAct)
+		observeStage("activate", dAct)
+		span.Add(ot.Span, "stage:activate", tAct, dAct)
 		result.Status = StatusActive
 		countLifecycle("install")
 		m.emit("install", audit.VerdictInstall, sr.Name, corr,
@@ -357,7 +420,15 @@ func (m *Market) Install(d Digest) (*InstallResult, error) {
 // app. Approved upgrades activate immediately but enter a probation
 // window; repaired upgrades wait for sign-off first.
 func (m *Market) Upgrade(d Digest) (*InstallResult, error) {
+	return m.UpgradeTraced(d, OpTrace{})
+}
+
+// UpgradeTraced is Upgrade under a caller-supplied operation identity;
+// see InstallTraced.
+func (m *Market) UpgradeTraced(d Digest, ot OpTrace) (*InstallResult, error) {
+	tVerify := time.Now()
 	sr, err := m.reg.Release(d)
+	dVerify := time.Since(tVerify)
 	if err != nil {
 		return nil, err
 	}
@@ -379,8 +450,13 @@ func (m *Market) Upgrade(d Digest) (*InstallResult, error) {
 	}
 	m.mu.Unlock()
 
-	corr := audit.NextCorr()
-	cv, hit, err := m.reconcileRelease(sr)
+	ot, finish := ot.fill("market:upgrade:" + sr.Name)
+	defer finish()
+	defer func(t0 time.Time) { mInstallSeconds.Observe(time.Since(t0)) }(tVerify)
+	corr := ot.Corr
+	observeStage("verify", dVerify)
+	span.Add(ot.Span, "stage:verify", tVerify, dVerify)
+	cv, hit, err := m.reconcileTraced(sr, ot.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +474,11 @@ func (m *Market) Upgrade(d Digest) (*InstallResult, error) {
 			fmt.Sprintf("upgrade to %s@%s repaired, pending sign-off (%d violations)", sr.Name, sr.Version, len(cv.Violations)))
 		return result, nil
 	default: // approved
+		tAct := time.Now()
 		m.activate(sr.Name, refOf(sr, cv), corr, true)
+		dAct := time.Since(tAct)
+		observeStage("activate", dAct)
+		span.Add(ot.Span, "stage:activate", tAct, dAct)
 		result.Status = StatusProbation
 		countLifecycle("upgrade")
 		m.emit("upgrade", audit.VerdictUpgrade, sr.Name, corr,

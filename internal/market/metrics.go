@@ -1,6 +1,10 @@
 package market
 
-import "sdnshield/internal/obs"
+import (
+	"time"
+
+	"sdnshield/internal/obs"
+)
 
 // Market instruments, in the process-wide registry so they surface on
 // /metrics next to the engine and shield series.
@@ -26,7 +30,30 @@ var (
 		"Apps currently running with market-managed permissions.")
 	gProbations = obs.Default().Gauge("sdnshield_market_probations",
 		"Upgrades currently inside their probation window.")
+	// mInstallSeconds is the end-to-end pipeline latency (provenance
+	// lookup through activation) — the counter pair behind the install
+	// latency SLO.
+	mInstallSeconds = obs.Default().Histogram("sdnshield_market_install_seconds",
+		"End-to-end install/upgrade pipeline latency.")
+	// mStageSeconds breaks the pipeline down per stage, mirroring the
+	// stage spans so the trace view and the metric view agree on where
+	// time goes.
+	mStageSeconds = func() map[string]*obs.Histogram {
+		stages := []string{"verify", "parse", "reconcile", "cache_hit", "activate"}
+		out := make(map[string]*obs.Histogram, len(stages))
+		for _, st := range stages {
+			out[st] = obs.Default().Histogram("sdnshield_market_stage_seconds",
+				"Install pipeline latency by stage.", "stage", st)
+		}
+		return out
+	}()
 )
+
+func observeStage(stage string, d time.Duration) {
+	if h, ok := mStageSeconds[stage]; ok {
+		h.Observe(d)
+	}
+}
 
 func countLifecycle(op string) {
 	if c, ok := mLifecycle[op]; ok {

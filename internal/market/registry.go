@@ -55,6 +55,11 @@ type LogEntry struct {
 	Digest  string `json:"digest"`
 	App     string `json:"app"`
 	Version string `json:"version"`
+	// Corr is the correlation/trace ID of the submission that admitted
+	// this release (0 for pre-tracing entries). Followers continue the
+	// same trace when they pull the entry, so one ID follows a release
+	// across node boundaries.
+	Corr uint64 `json:"corr,omitempty"`
 }
 
 // NewRegistry builds an empty registry.
@@ -102,13 +107,21 @@ func (r *Registry) Vendors() []string {
 // canonical encoding, well-formed semver, parseable manifest. Rejected
 // packages leave an audit event and never reach reconciliation.
 func (r *Registry) Submit(sr *SignedRelease) (Digest, error) {
+	return r.SubmitTraced(sr, 0)
+}
+
+// SubmitTraced is Submit under an existing operation identity: corr
+// stamps the audit events and the release-log entry, so the submission,
+// the async install it feeds, and any follower pulls all share one
+// trace ID. corr 0 means untraced.
+func (r *Registry) SubmitTraced(sr *SignedRelease, corr uint64) (Digest, error) {
 	digest := sr.Digest()
 	if err := r.vet(sr); err != nil {
 		mSubmitRejects.Inc()
 		if audit.On() {
 			audit.Emit(audit.Event{
 				Kind: audit.KindMarket, Verdict: audit.VerdictReject,
-				App: sr.Name, Op: "submit",
+				App: sr.Name, Op: "submit", Corr: corr,
 				Detail: fmt.Sprintf("release %s@%s from %q: %v", sr.Name, sr.Version, sr.Vendor, err),
 			})
 		}
@@ -137,12 +150,13 @@ func (r *Registry) Submit(sr *SignedRelease) (Digest, error) {
 	r.byApp[sr.Name] = releases
 	r.log = append(r.log, LogEntry{
 		Seq: uint64(len(r.log)) + 1, Digest: digest.String(), App: sr.Name, Version: sr.Version,
+		Corr: corr,
 	})
 	mSubmits.Inc()
 	if audit.On() {
 		audit.Emit(audit.Event{
 			Kind: audit.KindMarket, Verdict: audit.VerdictInstall,
-			App: sr.Name, Op: "submit",
+			App: sr.Name, Op: "submit", Corr: corr,
 			Detail: fmt.Sprintf("release %s@%s from %q accepted (digest %s)", sr.Name, sr.Version, sr.Vendor, digest),
 		})
 	}

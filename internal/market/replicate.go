@@ -11,6 +11,7 @@ import (
 
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/span"
 )
 
 // Replication and federation ride the same trust model as the local
@@ -292,8 +293,17 @@ func (s *Syncer) Stop() {
 // admitted. Per-release verification failures are counted, audited and
 // skipped — one poisoned package must not stall the stream — while
 // transport and protocol failures abort the round.
+//
+// Tracing: the round itself is a trace (root span "sync:<mode>" under a
+// fresh corr), and each pulled release additionally continues the trace
+// of its *original submission* — log entries carry the leader-side corr,
+// so /trace/<corr> on the follower shows the pull and admission of the
+// very release that corr submitted on the leader.
 func (s *Syncer) SyncOnce() (admitted int, err error) {
 	corr := audit.NextCorr()
+	root := span.Root(corr, "sync:"+string(s.cfg.Mode))
+	defer root.End()
+	sc := root.Context()
 	defer func() {
 		s.mu.Lock()
 		s.stats.Rounds++
@@ -317,16 +327,16 @@ func (s *Syncer) SyncOnce() (admitted int, err error) {
 		}
 	}
 	if s.cfg.Mode == SyncFederate {
-		return s.syncFederate(corr)
+		return s.syncFederate(corr, sc)
 	}
-	return s.syncReplica(corr)
+	return s.syncReplica(corr, sc)
 }
 
 // checkLease reads the upstream lease and refuses an epoch regression.
 // An upstream without a lease (404) syncs unguarded.
 func (s *Syncer) checkLease(corr uint64) error {
 	var view LeaseView
-	status, err := s.getJSON("/market/lease", nil, &view)
+	status, err := s.getJSON("/market/lease", nil, &view, span.Context{})
 	if err != nil {
 		return err
 	}
@@ -358,7 +368,7 @@ func (s *Syncer) checkLease(corr uint64) error {
 // pullKeys imports the upstream's trusted vendor key set.
 func (s *Syncer) pullKeys() error {
 	var keys map[string]string
-	status, err := s.getJSON("/market/keys", nil, &keys)
+	status, err := s.getJSON("/market/keys", nil, &keys, span.Context{})
 	if err != nil {
 		return err
 	}
@@ -379,7 +389,7 @@ func (s *Syncer) pullKeys() error {
 
 // syncReplica ships the upstream release log from the last applied
 // sequence number.
-func (s *Syncer) syncReplica(corr uint64) (int, error) {
+func (s *Syncer) syncReplica(corr uint64, sc span.Context) (int, error) {
 	s.mu.Lock()
 	after := s.stats.LastSeq
 	s.mu.Unlock()
@@ -387,7 +397,9 @@ func (s *Syncer) syncReplica(corr uint64) (int, error) {
 		LastSeq uint64     `json:"last_seq"`
 		Entries []LogEntry `json:"entries"`
 	}
-	status, err := s.getJSON("/market/log", url.Values{"after": {fmt.Sprint(after)}}, &resp)
+	pull := span.Start(sc, "sync:pull")
+	status, err := s.getJSON("/market/log", url.Values{"after": {fmt.Sprint(after)}}, &resp, pull.Context())
+	pull.End()
 	if err != nil {
 		return 0, err
 	}
@@ -397,7 +409,13 @@ func (s *Syncer) syncReplica(corr uint64) (int, error) {
 	gSyncLag.Set(int64(len(resp.Entries)))
 	admitted := 0
 	for _, e := range resp.Entries {
-		if s.admit(e.Digest, corr) {
+		// Continue the original submission's trace when the entry carries
+		// one; otherwise the pull is attributed to this round's trace.
+		ecorr, tc := corr, sc
+		if e.Corr != 0 {
+			ecorr, tc = e.Corr, span.Context{TraceID: e.Corr}
+		}
+		if s.admit(e.Digest, ecorr, tc) {
 			admitted++
 		}
 		// The sequence advances even over a rejected entry: replaying a
@@ -417,12 +435,14 @@ func (s *Syncer) syncReplica(corr uint64) (int, error) {
 }
 
 // syncFederate runs one digest-set anti-entropy round.
-func (s *Syncer) syncFederate(corr uint64) (int, error) {
+func (s *Syncer) syncFederate(corr uint64, sc span.Context) (int, error) {
 	var resp struct {
 		Root    string   `json:"root"`
 		Digests []string `json:"digests"`
 	}
-	status, err := s.getJSON("/market/digests", nil, &resp)
+	pull := span.Start(sc, "sync:pull")
+	status, err := s.getJSON("/market/digests", nil, &resp, pull.Context())
+	pull.End()
 	if err != nil {
 		return 0, err
 	}
@@ -444,7 +464,7 @@ func (s *Syncer) syncFederate(corr uint64) (int, error) {
 		if local[d] {
 			continue
 		}
-		if s.admit(d, corr) {
+		if s.admit(d, corr, sc) {
 			admitted++
 		}
 	}
@@ -461,14 +481,21 @@ func (s *Syncer) syncFederate(corr uint64) (int, error) {
 // admit fetches one release by digest and pushes it through the local
 // provenance gate: the claimed content address must match the fetched
 // body's hash, then Submit re-checks vendor trust, signature, semver
-// and manifest. Reports whether the release entered the registry.
-func (s *Syncer) admit(digest string, corr uint64) bool {
+// and manifest. Reports whether the release entered the registry. corr
+// and tc are the operation identity the admission runs under — the
+// original submission's when the log entry carries one, the sync
+// round's otherwise — so both the fetch (upstream serve side) and the
+// local re-verification land in that trace.
+func (s *Syncer) admit(digest string, corr uint64, tc span.Context) bool {
+	sp := span.Start(tc, "sync:admit")
+	sp.Annotate(digest)
+	defer sp.End()
 	if _, err := ParseDigest(digest); err != nil {
 		s.reject(digest, corr, err)
 		return false
 	}
 	var sr SignedRelease
-	status, err := s.getJSON("/market/release", url.Values{"digest": {digest}}, &sr)
+	status, err := s.getJSON("/market/release", url.Values{"digest": {digest}}, &sr, sp.Context())
 	if err != nil || status != http.StatusOK {
 		if err == nil {
 			err = fmt.Errorf("market: upstream release fetch returned %d", status)
@@ -480,7 +507,7 @@ func (s *Syncer) admit(digest string, corr uint64) bool {
 		s.reject(digest, corr, fmt.Errorf("market: upstream body hashes to %s, not the claimed digest — tampered in transit or at rest", got))
 		return false
 	}
-	if _, err := s.reg.Submit(&sr); err != nil {
+	if _, err := s.reg.SubmitTraced(&sr, corr); err != nil {
 		s.reject(digest, corr, err)
 		return false
 	}
@@ -527,13 +554,21 @@ func (s *Syncer) reject(digest string, corr uint64, err error) {
 
 // getJSON GETs path on the upstream and decodes the body into out when
 // the status is 200. Non-2xx statuses are returned for the caller to
-// interpret; only transport errors error.
-func (s *Syncer) getJSON(path string, q url.Values, out interface{}) (int, error) {
+// interpret; only transport errors error. A valid sc rides along in the
+// trace header so the upstream can record its serve side of the pull.
+func (s *Syncer) getJSON(path string, q url.Values, out interface{}, sc span.Context) (int, error) {
 	u := s.cfg.Upstream + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := s.cfg.Client.Get(u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	if sc.Valid() {
+		req.Header.Set(span.Header, sc.String())
+	}
+	resp, err := s.cfg.Client.Do(req)
 	if err != nil {
 		return 0, err
 	}

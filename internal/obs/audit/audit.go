@@ -60,6 +60,9 @@ const (
 	// a release pulled from an upstream registry and re-verified (or
 	// rejected) locally; Op names the sync mode.
 	KindFederation Kind = "federation"
+	// KindSLO is a service-level objective state transition (an error
+	// budget entering or leaving fast burn); Op names the objective.
+	KindSLO Kind = "slo"
 )
 
 // Verdict is the outcome an event records.
@@ -116,6 +119,11 @@ const (
 	// store — restart durability degraded, admission unaffected.
 	VerdictPull          Verdict = "pull"
 	VerdictPersistFailed Verdict = "persist_failed"
+
+	// SLO verdicts: an objective's error budget entered fast burn, or
+	// recovered from it.
+	VerdictSLOBreach  Verdict = "slo_breach"
+	VerdictSLORecover Verdict = "slo_recover"
 )
 
 // Event is one structured audit record. Seq and Time are stamped by the

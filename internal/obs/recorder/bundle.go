@@ -34,6 +34,9 @@ const (
 	TriggerQuota      Trigger = "quota_breach"
 	TriggerQuarantine Trigger = "quarantine"
 	TriggerManual     Trigger = "manual"
+	// TriggerSLO marks a bundle captured because an objective's error
+	// budget entered fast burn (both SLO burn windows over threshold).
+	TriggerSLO Trigger = "slo_breach"
 )
 
 // RuntimeStats is the Go runtime's state at capture time.

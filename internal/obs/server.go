@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -122,7 +123,7 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("sdnshield telemetry\n\n/metrics\n/metrics.json\n/health\n/traces\n/debug/pprof/\n"))
+		_, _ = w.Write([]byte("sdnshield telemetry\n\n/metrics\n/metrics.json\n/health\n/traces\n/slo\n/debug/pprof/\n"))
 		for _, p := range extPatterns {
 			_, _ = w.Write([]byte(p + "\n"))
 		}
@@ -140,12 +141,44 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, healthSnapshot())
 	})
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		traces := tracer.Recent()
+		// ?corr=<id> and ?op=<name> narrow the ring to the sampled
+		// trace(s) matching an audit event, instead of making the
+		// operator scan all 256 entries by eye.
+		q := r.URL.Query()
+		if corrStr := q.Get("corr"); corrStr != "" {
+			corr, err := strconv.ParseUint(corrStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad corr", http.StatusBadRequest)
+				return
+			}
+			traces = filterTraces(traces, func(t TraceSnapshot) bool { return t.Corr == corr })
+		}
+		if op := q.Get("op"); op != "" {
+			traces = filterTraces(traces, func(t TraceSnapshot) bool { return t.Op == op })
+		}
 		if traces == nil {
 			traces = []TraceSnapshot{}
 		}
 		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		e := DefaultSLO()
+		if e == nil {
+			writeJSON(w, struct {
+				Enabled bool `json:"enabled"`
+			}{false})
+			return
+		}
+		st := e.Status()
+		if st == nil {
+			st = e.Evaluate(time.Now())
+		}
+		writeJSON(w, struct {
+			Enabled    bool              `json:"enabled"`
+			Objectives []ObjectiveStatus `json:"objectives"`
+		}{true, st})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -153,6 +186,16 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func filterTraces(in []TraceSnapshot, keep func(TraceSnapshot) bool) []TraceSnapshot {
+	out := in[:0:0]
+	for _, t := range in {
+		if keep(t) {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

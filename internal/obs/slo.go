@@ -1,0 +1,386 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// The SLO engine turns cumulative metrics into error budgets. Every
+// objective — latency, ratio, error rate — reduces to a pair of
+// monotonic counters (good events, total events); the engine samples
+// those counters on an interval and evaluates compliance over two
+// trailing windows. Burn rate is the standard multi-window form:
+//
+//	burn = (1 - compliance) / (1 - target)
+//
+// i.e. how many times faster than "exactly on target" the error budget
+// is being consumed. A burn of 1 spends the budget exactly at the
+// allowed rate; the engine flags a breach only when BOTH the fast and
+// the slow window burn past the threshold — fast alone is noise, slow
+// alone is stale.
+
+// Objective is one declarative service-level objective: Good and Total
+// are pulls of cumulative counters (monotonic, process lifetime);
+// Target is the required good/total fraction, e.g. 0.999.
+type Objective struct {
+	Name        string
+	Description string
+	Target      float64
+	Good        func() float64
+	Total       func() float64
+}
+
+// LatencyObjective builds an objective "fraction of observations at or
+// under threshold ≥ target" over a histogram family (all label sets
+// merged), interpolating within the bucket the threshold falls into.
+// This is how a "p99 ≤ 50ms" requirement is expressed as an SLO: target
+// 0.99, threshold 50ms.
+func LatencyObjective(name, desc string, reg *Registry, family string, threshold time.Duration, target float64) Objective {
+	if reg == nil {
+		reg = Default()
+	}
+	th := threshold.Seconds()
+	return Objective{
+		Name:        name,
+		Description: desc,
+		Target:      target,
+		Good:        func() float64 { g, _ := reg.histogramGoodTotal(family, th); return g },
+		Total:       func() float64 { _, t := reg.histogramGoodTotal(family, th); return t },
+	}
+}
+
+// histogramGoodTotal sums, across every series of a histogram family,
+// the (interpolated) observations at or under threshold and the total
+// observation count.
+func (r *Registry) histogramGoodTotal(name string, thresholdSeconds float64) (good, total float64) {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.kind != KindHistogram {
+		return 0, 0
+	}
+	for _, s := range f.snapshotSeries() {
+		snap := s.hist.Snapshot()
+		good += bucketGoodBelow(snap, thresholdSeconds)
+		total += float64(snap.Count)
+	}
+	return good, total
+}
+
+// bucketGoodBelow counts observations at or under threshold from
+// cumulative buckets, linearly interpolating inside the straddling
+// bucket. Mass in the +Inf bucket is never counted good — when the
+// threshold exceeds the largest finite bound the estimate is
+// conservative.
+func bucketGoodBelow(snap HistogramSnapshot, threshold float64) float64 {
+	prevLE, prevCum := 0.0, uint64(0)
+	for _, b := range snap.Buckets {
+		if threshold >= b.LE {
+			prevLE, prevCum = b.LE, b.Count
+			continue
+		}
+		inc := float64(b.Count - prevCum)
+		if math.IsInf(b.LE, 1) {
+			return float64(prevCum)
+		}
+		frac := 0.0
+		if b.LE > prevLE {
+			frac = (threshold - prevLE) / (b.LE - prevLE)
+		}
+		return float64(prevCum) + inc*frac
+	}
+	return float64(prevCum)
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+// EngineConfig tunes the evaluation loop. Zero values select defaults:
+// 5s interval, 1m fast window, 10m slow window, burn threshold 2.
+type EngineConfig struct {
+	Interval      time.Duration
+	FastWindow    time.Duration
+	SlowWindow    time.Duration
+	BurnThreshold float64
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 10 * time.Minute
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 2
+	}
+	return c
+}
+
+// ObjectiveStatus is the evaluated error-budget state of one objective,
+// as served at /slo and folded into /health.
+type ObjectiveStatus struct {
+	Name            string  `json:"name"`
+	Description     string  `json:"description,omitempty"`
+	Target          float64 `json:"target"`
+	Compliance      float64 `json:"compliance"` // slow-window good/total
+	FastBurn        float64 `json:"fast_burn"`
+	SlowBurn        float64 `json:"slow_burn"`
+	BudgetRemaining float64 `json:"budget_remaining"` // 1 - slow burn; negative = overspent
+	Good            float64 `json:"good"`             // cumulative
+	Total           float64 `json:"total"`            // cumulative
+	State           string  `json:"state"`            // ok | warn | breach | idle
+}
+
+// Objective states.
+const (
+	StateOK     = "ok"
+	StateWarn   = "warn"   // one window burning past threshold
+	StateBreach = "breach" // both windows burning past threshold
+	StateIdle   = "idle"   // no traffic in the slow window
+)
+
+// sloSample is one pull of every objective's counters.
+type sloSample struct {
+	t     time.Time
+	good  []float64
+	total []float64
+}
+
+// Engine evaluates a set of objectives over multi-window burn rates.
+type Engine struct {
+	cfg EngineConfig
+
+	mu         sync.Mutex
+	objectives []Objective
+	samples    []sloSample
+	last       []ObjectiveStatus
+	breached   map[string]bool
+	onBreach   func(ObjectiveStatus)
+	onRecover  func(ObjectiveStatus)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	unreg    func()
+}
+
+// NewEngine builds an engine over the given objectives.
+func NewEngine(cfg EngineConfig, objectives ...Objective) *Engine {
+	return &Engine{
+		cfg:        cfg.withDefaults(),
+		objectives: objectives,
+		breached:   make(map[string]bool),
+		stop:       make(chan struct{}),
+	}
+}
+
+// SetOnBreach installs the edge-triggered breach callback: fired once
+// per objective when it enters StateBreach, re-armed when it leaves.
+// This is what feeds the anomaly/bundle triggers.
+func (e *Engine) SetOnBreach(fn func(ObjectiveStatus)) {
+	e.mu.Lock()
+	e.onBreach = fn
+	e.mu.Unlock()
+}
+
+// SetOnRecover installs the matching edge-triggered recovery callback:
+// fired once per objective when it leaves StateBreach.
+func (e *Engine) SetOnRecover(fn func(ObjectiveStatus)) {
+	e.mu.Lock()
+	e.onRecover = fn
+	e.mu.Unlock()
+}
+
+// Evaluate pulls every objective's counters at the given time and
+// recomputes all statuses. It is the loop body of Start, exported so
+// tests drive it with a deterministic clock.
+func (e *Engine) Evaluate(now time.Time) []ObjectiveStatus {
+	e.mu.Lock()
+	cur := sloSample{
+		t:     now,
+		good:  make([]float64, len(e.objectives)),
+		total: make([]float64, len(e.objectives)),
+	}
+	objectives := e.objectives
+	e.mu.Unlock()
+	// Counter pulls run unlocked: they may grab other subsystems' locks.
+	for i, o := range objectives {
+		cur.good[i], cur.total[i] = o.Good(), o.Total()
+	}
+	e.mu.Lock()
+	e.samples = append(e.samples, cur)
+	// Keep one sample beyond the slow window so a full-width baseline
+	// always exists.
+	horizon := now.Add(-e.cfg.SlowWindow - e.cfg.Interval)
+	for len(e.samples) > 1 && e.samples[1].t.Before(horizon) {
+		e.samples = e.samples[1:]
+	}
+	out := make([]ObjectiveStatus, len(objectives))
+	var fired, recovered []ObjectiveStatus
+	for i, o := range objectives {
+		st := ObjectiveStatus{
+			Name: o.Name, Description: o.Description, Target: o.Target,
+			Good: cur.good[i], Total: cur.total[i],
+		}
+		fastOK, fastComp := e.windowCompliance(i, now, e.cfg.FastWindow, cur)
+		slowOK, slowComp := e.windowCompliance(i, now, e.cfg.SlowWindow, cur)
+		st.FastBurn = burnRate(fastComp, o.Target)
+		st.SlowBurn = burnRate(slowComp, o.Target)
+		st.Compliance = slowComp
+		st.BudgetRemaining = 1 - st.SlowBurn
+		switch {
+		case !fastOK && !slowOK:
+			st.State = StateIdle
+			st.Compliance = 1
+			st.FastBurn, st.SlowBurn = 0, 0
+			st.BudgetRemaining = 1
+		case st.FastBurn >= e.cfg.BurnThreshold && st.SlowBurn >= e.cfg.BurnThreshold:
+			st.State = StateBreach
+		case st.FastBurn >= e.cfg.BurnThreshold || st.SlowBurn >= e.cfg.BurnThreshold:
+			st.State = StateWarn
+		default:
+			st.State = StateOK
+		}
+		if st.State == StateBreach {
+			if !e.breached[o.Name] {
+				e.breached[o.Name] = true
+				fired = append(fired, st)
+			}
+		} else if e.breached[o.Name] {
+			delete(e.breached, o.Name)
+			recovered = append(recovered, st)
+		}
+		out[i] = st
+	}
+	e.last = out
+	onBreach, onRecover := e.onBreach, e.onRecover
+	e.mu.Unlock()
+	if onBreach != nil {
+		for _, st := range fired {
+			onBreach(st)
+		}
+	}
+	if onRecover != nil {
+		for _, st := range recovered {
+			onRecover(st)
+		}
+	}
+	return out
+}
+
+// windowCompliance computes good/total over the trailing window ending
+// at cur. The baseline is the newest sample at or before the window
+// start (falling back to the oldest retained). Returns ok=false when
+// the window saw no traffic.
+func (e *Engine) windowCompliance(i int, now time.Time, window time.Duration, cur sloSample) (ok bool, compliance float64) {
+	start := now.Add(-window)
+	base := e.samples[0]
+	for _, s := range e.samples {
+		if s.t.After(start) {
+			break
+		}
+		base = s
+	}
+	dTotal := cur.total[i] - base.total[i]
+	if dTotal <= 0 {
+		return false, 1
+	}
+	dGood := cur.good[i] - base.good[i]
+	if dGood < 0 {
+		dGood = 0
+	}
+	if dGood > dTotal {
+		dGood = dTotal
+	}
+	return true, dGood / dTotal
+}
+
+// burnRate is (1-compliance)/(1-target), the budget consumption speed
+// relative to "exactly on target". A target of 1 leaves no budget, so
+// any miss is infinite burn — clamped to a large finite value to keep
+// JSON marshalable.
+func burnRate(compliance, target float64) float64 {
+	bad := 1 - compliance
+	if bad <= 0 {
+		return 0
+	}
+	allowed := 1 - target
+	if allowed <= 0 {
+		return 1e9
+	}
+	b := bad / allowed
+	if b > 1e9 {
+		b = 1e9
+	}
+	return b
+}
+
+// Status returns the most recent evaluation (nil before the first).
+func (e *Engine) Status() []ObjectiveStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]ObjectiveStatus(nil), e.last...)
+}
+
+// Start launches the periodic evaluation loop and registers the engine
+// as the "slo" component of /health. Stop undoes both.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.unreg == nil {
+		e.unreg = RegisterHealth("slo", func() interface{} { return e.Status() })
+	}
+	e.mu.Unlock()
+	go func() {
+		tick := time.NewTicker(e.cfg.Interval)
+		defer tick.Stop()
+		e.Evaluate(time.Now())
+		for {
+			select {
+			case <-e.stop:
+				return
+			case now := <-tick.C:
+				e.Evaluate(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the evaluation loop and unregisters the health provider.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.mu.Lock()
+	if e.unreg != nil {
+		e.unreg()
+		e.unreg = nil
+	}
+	e.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Default engine
+
+var (
+	sloMu  sync.Mutex
+	sloDef *Engine
+)
+
+// SetDefaultSLO installs the engine /slo serves (nil clears it) and
+// returns the previous one.
+func SetDefaultSLO(e *Engine) *Engine {
+	sloMu.Lock()
+	defer sloMu.Unlock()
+	prev := sloDef
+	sloDef = e
+	return prev
+}
+
+// DefaultSLO returns the engine /slo serves, or nil when none is set.
+func DefaultSLO() *Engine {
+	sloMu.Lock()
+	defer sloMu.Unlock()
+	return sloDef
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeCounters is a settable good/total pair standing in for cumulative
+// metrics, so Engine.Evaluate runs against a scripted traffic history.
+type fakeCounters struct {
+	mu          sync.Mutex
+	good, total float64
+}
+
+func (f *fakeCounters) add(good, total float64) {
+	f.mu.Lock()
+	f.good += good
+	f.total += total
+	f.mu.Unlock()
+}
+
+func (f *fakeCounters) objective(name string, target float64) Objective {
+	return Objective{
+		Name: name, Target: target,
+		Good:  func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return f.good },
+		Total: func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return f.total },
+	}
+}
+
+func newTestEngine(o Objective) (*Engine, time.Time) {
+	return NewEngine(EngineConfig{
+		Interval: time.Second, FastWindow: 10 * time.Second,
+		SlowWindow: 60 * time.Second, BurnThreshold: 2,
+	}, o), time.Unix(1_700_000_000, 0)
+}
+
+// TestEngineBreachAndRecoverEdges drives one objective idle → ok →
+// breach → recovered with a deterministic clock and asserts each
+// callback fires exactly once, on the transition.
+func TestEngineBreachAndRecoverEdges(t *testing.T) {
+	f := &fakeCounters{}
+	e, now := newTestEngine(f.objective("install_p99", 0.9))
+	var breaches, recoveries []string
+	e.SetOnBreach(func(st ObjectiveStatus) { breaches = append(breaches, st.State) })
+	e.SetOnRecover(func(st ObjectiveStatus) { recoveries = append(recoveries, st.State) })
+
+	// No traffic yet: idle, full budget.
+	st := e.Evaluate(now)[0]
+	if st.State != StateIdle || st.BudgetRemaining != 1 {
+		t.Fatalf("no-traffic status = %+v, want idle", st)
+	}
+
+	// Healthy traffic: all good for 20s.
+	for i := 0; i < 20; i++ {
+		now = now.Add(time.Second)
+		f.add(100, 100)
+		st = e.Evaluate(now)[0]
+	}
+	if st.State != StateOK || st.FastBurn != 0 {
+		t.Fatalf("healthy status = %+v, want ok", st)
+	}
+
+	// Total failure: burn = (1-0)/(1-0.9) = 10 in both windows → breach,
+	// callback exactly once even as the breach persists.
+	for i := 0; i < 15; i++ {
+		now = now.Add(time.Second)
+		f.add(0, 100)
+		st = e.Evaluate(now)[0]
+	}
+	if st.State != StateBreach {
+		t.Fatalf("failing status = %+v, want breach", st)
+	}
+	if st.FastBurn < 2 || st.SlowBurn < 2 || st.BudgetRemaining >= 0 {
+		t.Fatalf("breach burn rates = %+v", st)
+	}
+	if len(breaches) != 1 {
+		t.Fatalf("breach callback fired %d times, want 1", len(breaches))
+	}
+	if len(recoveries) != 0 {
+		t.Fatal("recovery fired while still breaching")
+	}
+
+	// Back to healthy: the fast window clears first (warn — only the
+	// slow window still burns), which already leaves StateBreach, so the
+	// recovery edge fires once.
+	for i := 0; i < 15; i++ {
+		now = now.Add(time.Second)
+		f.add(100, 100)
+		st = e.Evaluate(now)[0]
+	}
+	if st.State == StateBreach {
+		t.Fatalf("recovered status = %+v, want not breach", st)
+	}
+	if len(recoveries) != 1 {
+		t.Fatalf("recovery callback fired %d times, want 1", len(recoveries))
+	}
+	if len(breaches) != 1 {
+		t.Fatalf("breach callback re-fired without a new breach: %d", len(breaches))
+	}
+}
+
+// TestEngineWarnOnSingleWindow: a short failure spike past the fast
+// window's threshold, against a long healthy history, warns rather than
+// breaches — the multi-window guard against paging on noise.
+func TestEngineWarnOnSingleWindow(t *testing.T) {
+	f := &fakeCounters{}
+	e, now := newTestEngine(f.objective("spike", 0.9))
+	for i := 0; i < 55; i++ {
+		now = now.Add(time.Second)
+		f.add(100, 100)
+		e.Evaluate(now)
+	}
+	var st ObjectiveStatus
+	for i := 0; i < 3; i++ {
+		now = now.Add(time.Second)
+		f.add(0, 100)
+		st = e.Evaluate(now)[0]
+	}
+	if st.State != StateWarn {
+		t.Fatalf("spike status = %+v, want warn (fast window only)", st)
+	}
+	if st.FastBurn < 2 || st.SlowBurn >= 2 {
+		t.Fatalf("spike burns = fast %.2f slow %.2f, want fast>=2 > slow", st.FastBurn, st.SlowBurn)
+	}
+}
+
+func TestBurnRateClamp(t *testing.T) {
+	if got := burnRate(1, 0.9); got != 0 {
+		t.Fatalf("full compliance burn = %v, want 0", got)
+	}
+	if got := burnRate(0.8, 0.9); got != 2 {
+		t.Fatalf("burn = %v, want 2", got)
+	}
+	// Target 1 leaves no budget: any miss is clamped, not +Inf, so the
+	// status stays JSON-marshalable.
+	if got := burnRate(0.999, 1); got != 1e9 {
+		t.Fatalf("zero-budget burn = %v, want clamp 1e9", got)
+	}
+}
+
+// TestLatencyObjectiveBuckets: the histogram-backed objective counts
+// observations at or under the threshold across bucket boundaries.
+func TestLatencyObjectiveBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_latency_seconds", "test", "op", "x")
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(3 * time.Second)
+	o := LatencyObjective("lat", "p90 under 1.5ms", reg, "t_latency_seconds", 1500*time.Microsecond, 0.9)
+	good, total := o.Good(), o.Total()
+	if total != 10 {
+		t.Fatalf("total = %v, want 10", total)
+	}
+	// The 3s outlier sits buckets above the threshold, so interpolation
+	// adds nothing: exactly the nine fast observations count good.
+	if good != 9 {
+		t.Fatalf("good = %v, want 9", good)
+	}
+	// Unknown family: no traffic, not a panic.
+	miss := LatencyObjective("none", "", reg, "t_absent_seconds", time.Second, 0.9)
+	if g, tot := miss.Good(), miss.Total(); g != 0 || tot != 0 {
+		t.Fatalf("absent family = (%v, %v), want zeros", g, tot)
+	}
+}

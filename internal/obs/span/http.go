@@ -1,0 +1,56 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"sdnshield/internal/obs"
+)
+
+// The span surface mounts onto every obs introspection endpoint via the
+// extension-route registry, exactly like the audit journal's /audit:
+//
+//	/trace          — index of retained traces, newest first
+//	/trace/<id>     — one trace's span timeline, sorted by start
+func init() {
+	obs.RegisterHandler("/trace", http.HandlerFunc(handleIndex))
+	obs.RegisterHandler("/trace/", http.HandlerFunc(handleTrace))
+}
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/trace" {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, struct {
+		Traces  []TraceInfo `json:"traces"`
+		Dropped uint64      `json:"dropped_spans"`
+	}{def.TraceIDs(), def.Dropped()})
+}
+
+func handleTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/trace/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil || id == 0 {
+		http.Error(w, "bad trace id", http.StatusBadRequest)
+		return
+	}
+	spans := def.Trace(id)
+	if spans == nil {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, struct {
+		TraceID uint64   `json:"trace_id"`
+		Spans   []Record `json:"spans"`
+	}{id, spans})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,95 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileSink exports span records as JSON Lines, one record per line,
+// alongside the audit journal: same append-only, same single-file
+// rotation, so operators ship both with the same tooling.
+type FileSink struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	size     int64
+	maxBytes int64
+}
+
+// DefaultMaxSinkBytes bounds a sink file before rotation to <path>.1.
+const DefaultMaxSinkBytes = 64 << 20
+
+// NewFileSink opens (appending) or creates the JSONL sink at path.
+// maxBytes <= 0 selects DefaultMaxSinkBytes.
+func NewFileSink(path string, maxBytes int64) (*FileSink, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxSinkBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("span sink: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("span sink: %w", err)
+	}
+	return &FileSink{f: f, path: path, size: st.Size(), maxBytes: maxBytes}, nil
+}
+
+// Write appends one record, rotating the file to <path>.1 when the
+// size bound is reached.
+func (s *FileSink) Write(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("span sink: closed")
+	}
+	if s.size+int64(len(line)) > s.maxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(line)
+	s.size += int64(n)
+	return err
+}
+
+func (s *FileSink) rotateLocked() error {
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(s.path, s.path+".1"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.f = nil
+		return err
+	}
+	s.f = f
+	s.size = 0
+	return nil
+}
+
+// Close flushes and closes the sink file. Further writes fail.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -114,6 +114,7 @@ type SpanRecord struct {
 type TraceSnapshot struct {
 	ID       string        `json:"id"`
 	Op       string        `json:"op"`
+	Corr     uint64        `json:"corr,omitempty"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Spans    []SpanRecord  `json:"spans"`
@@ -129,9 +130,23 @@ type Trace struct {
 	Start  time.Time
 
 	mu       sync.Mutex
+	corr     uint64
 	spans    []SpanRecord
 	duration time.Duration
 	done     bool
+}
+
+// SetCorr stamps the audit correlation ID of the call this trace
+// follows, linking the sampled trace to its audit events and — via the
+// span layer — to the causal trace of the surrounding operation. Safe
+// on a nil (unsampled) trace.
+func (tr *Trace) SetCorr(corr uint64) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.corr = corr
+	tr.mu.Unlock()
 }
 
 // StartSpan opens a named stage. Safe on a nil (unsampled) trace.
@@ -170,12 +185,22 @@ func (tr *Trace) Finish() {
 	tr.tracer.retain(tr)
 }
 
+// Snapshot renders the trace's immutable JSON view; callers use it to
+// re-export a finished trace (e.g. into the span layer). Safe on nil.
+func (tr *Trace) Snapshot() TraceSnapshot {
+	if tr == nil {
+		return TraceSnapshot{}
+	}
+	return tr.snapshot()
+}
+
 func (tr *Trace) snapshot() TraceSnapshot {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	return TraceSnapshot{
 		ID:       tr.ID,
 		Op:       tr.Op,
+		Corr:     tr.corr,
 		Start:    tr.Start,
 		Duration: tr.duration,
 		Spans:    append([]SpanRecord(nil), tr.spans...),
