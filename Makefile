@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder bench-market bench-trace attacksim fuzz-smoke
+.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder bench-market bench-trace bench-tenants attacksim fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ bench-recorder:
 bench-market:
 	SDNSHIELD_MARKET_BENCH=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestMarketBenchTrajectory -v ./internal/bench/
 
+# bench-tenants is the multi-tenant flatness guard: a thousand tenants
+# (two hundred with SHORT=1) install their apps and issue mediated calls
+# across shard counts {1,4,16}, and the 16-shard call p95 must stay
+# within 10% of the single-tenant baseline (DESIGN.md §16). Writes
+# BENCH_tenants.json.
+bench-tenants:
+	SDNSHIELD_TENANT_BENCH=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestTenantBenchFlatness -v ./internal/bench/
+
 # bench-trace enforces the span layer's 5% budget on the mediated-call
 # hot path: the guard runs SpanOn/SpanOff chunk pairs and fails when
 # the median ratio exceeds 1.05 (DESIGN.md §15). The span throughput
@@ -73,3 +81,4 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParseManifest -fuzztime=$(FUZZTIME) ./internal/permlang/
 	$(GO) test -run=^$$ -fuzz=FuzzParsePolicy -fuzztime=$(FUZZTIME) ./internal/policylang/
 	$(GO) test -run=^$$ -fuzz=FuzzJobDecode -fuzztime=$(FUZZTIME) ./internal/jobs/
+	$(GO) test -run=^$$ -fuzz=FuzzTenantID -fuzztime=$(FUZZTIME) ./internal/tenant/

@@ -20,6 +20,8 @@ import (
 
 	"sdnshield/internal/bench"
 	"sdnshield/internal/jobs"
+	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/tenant"
 )
 
 func main() {
@@ -56,8 +58,15 @@ func run(args []string) error {
 	traceFile := fs.String("trace-file", "", "append finished trace spans as JSONL to this file (rotated at 64 MiB)")
 	sloOn := fs.Bool("slo", false, "evaluate the built-in SLOs and serve them at /slo")
 	bundleDir := fs.String("bundle-dir", "", "write diagnostic bundles (anomaly/quota/quarantine captures) to this directory as <id>.json")
+	tenantID := fs.String("tenant", "", "stamp all audit events of this run with a tenant ID (so a shared journal sink can be filtered per tenant)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tenantID != "" {
+		if _, err := tenant.ParseID(*tenantID); err != nil {
+			return err
+		}
+		audit.SetDefaultTenant(*tenantID)
 	}
 
 	stopTelemetry, bound, err := bench.StartTelemetry(*telemetryAddr)

@@ -36,6 +36,19 @@
 //
 // With -market-sync-mode federate the follower keeps its own vendor
 // trust anchors instead of importing the upstream's keys.
+//
+// Multi-tenant mode (-tenants-dir) hosts many isolated tenants — each
+// with its own market, job queues and scoped observability — in one
+// process, serving /t/<tenant>/market/... and the /tenants admin
+// surface:
+//
+//	sdnshieldc -tenants-dir ./tenants -policy site.policy \
+//	    -telemetry-addr 127.0.0.1:9090
+//	curl -X POST http://127.0.0.1:9090/tenants \
+//	    -d '{"op":"create","tenant":"acme"}'
+//	curl http://127.0.0.1:9090/t/acme/market/apps
+//
+// Single-tenant runs can stamp their audit trail with -tenant <id>.
 package main
 
 import (
@@ -51,7 +64,9 @@ import (
 	"sdnshield/internal/bench"
 	"sdnshield/internal/jobs"
 	"sdnshield/internal/market"
+	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/obs/span"
+	"sdnshield/internal/tenant"
 )
 
 func main() {
@@ -86,12 +101,20 @@ func run(args []string) (int, error) {
 	marketFollow := fs.String("market-follow", "", "market follower mode: pull releases from this upstream base URL into the market dir")
 	marketSyncMode := fs.String("market-sync-mode", "replica", "follower mode: replica (ship the release log, import upstream keys) or federate (digest anti-entropy, locally provisioned keys)")
 	marketSyncInterval := fs.Duration("market-sync-interval", 2*time.Second, "follower mode: upstream poll cadence")
+	tenantsDir := fs.String("tenants-dir", "", "multi-tenant serve mode: host isolated tenants over this store; serves /t/<tenant>/market/..., /t/<tenant>/{audit,trace,apps,jobs} and the /tenants admin surface (pair with -telemetry-addr)")
+	tenantID := fs.String("tenant", "", "stamp this tenant on audit events of a single-tenant run (multi-tenant serve mode derives the tenant per request instead)")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
-	if *marketDir == "" && *manifestPath == "" {
+	if *marketDir == "" && *tenantsDir == "" && *manifestPath == "" {
 		fs.Usage()
 		return 1, fmt.Errorf("-manifest is required")
+	}
+	if *tenantID != "" {
+		if _, err := tenant.ParseID(*tenantID); err != nil {
+			return 1, err
+		}
+		audit.SetDefaultTenant(*tenantID)
 	}
 
 	// Key generation needs no policy, telemetry or audit plumbing.
@@ -112,6 +135,29 @@ func run(args []string) (int, error) {
 			return 1, err
 		}
 		policySrc = string(raw)
+	}
+
+	// Multi-tenant mode mounts /t/<tenant>/... and /tenants before the
+	// telemetry server starts so the composed handler includes the
+	// routes. Each tenant gets its own market (hydrated lazily from
+	// <tenants-dir>/<id>/store), job queues and scoped observability.
+	var tmgr *tenant.Manager
+	if *tenantsDir != "" {
+		var err error
+		tmgr, err = tenant.NewManager(tenant.Config{
+			Dir:         *tenantsDir,
+			PolicySrc:   policySrc,
+			DurableJobs: *marketJobs != "" && *marketJobs != "mem",
+			JobWorkers:  *marketWorkers,
+		})
+		if err != nil {
+			return 1, fmt.Errorf("tenant manager: %w", err)
+		}
+		defer tmgr.Close()
+		tenant.MountHTTP(tmgr)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "tenants: %d stored under %s\n", len(tmgr.Stored()), *tenantsDir)
+		}
 	}
 
 	// Market mode mounts /market/* before the telemetry server starts so
@@ -208,6 +254,17 @@ func run(args []string) (int, error) {
 	defer jobs.DrainAll()
 	// The reconciled permissions go to stdout; the digest must not mix in.
 	defer func() { fmt.Fprintln(os.Stderr, bench.TelemetrySummary()) }()
+
+	if tmgr != nil {
+		for _, id := range tmgr.Stored() {
+			fmt.Printf("tenant %s\n", id)
+		}
+		if bound != "" {
+			fmt.Fprintf(os.Stderr, "serving /t/<tenant>/ and /tenants endpoints on http://%s/ — interrupt to exit\n", bound)
+			select {} // OnShutdown drains every tenant's job queues and exits
+		}
+		return 0, nil
+	}
 
 	if *marketDir != "" {
 		if *marketSign {

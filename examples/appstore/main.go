@@ -11,8 +11,11 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -25,6 +28,7 @@ import (
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/obs/span"
+	"sdnshield/internal/tenant"
 )
 
 // sitePolicy is the administrator's template: a boundary for third-party
@@ -321,6 +325,73 @@ func main() {
 	fs := fed.Stats()
 	fmt.Printf("  federation: admitted %d, rejected %d (only opendaylight is trusted downstream)\n",
 		fs.Admitted, fs.Rejected)
+
+	// --- Multi-tenant hosting: one process, many isolated stores. Each
+	// tenant gets its own market, registry, verdict cache and job queues
+	// behind a tenant.Manager; scoped HTTP under /t/<tenant>/ shows each
+	// tenant only its own world, and per-tenant admission turns the soft
+	// BUDGET quotas into hard 429s at the front door. One SIGINT hook
+	// (jobs.DrainAll) still drains every tenant's queues.
+	fmt.Println("\n==== multi-tenant hosting ====")
+	tmgr, err := tenant.NewManager(tenant.Config{PolicySrc: sitePolicy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tmgr.Close()
+	alpha, err := tmgr.Create("alpha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bravo, err := tmgr.CreateWith("bravo", tenant.AdmissionConfig{
+		CallsPerSec: 0.5, CallBurst: 2, // tiny on purpose: the demo exhausts it
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	odl, _ := reg.VendorKey("opendaylight")
+	if err := alpha.Market().Registry().TrustVendor("opendaylight", odl); err != nil {
+		log.Fatal(err)
+	}
+	srAlpha := keys["opendaylight"](market.Release{
+		Name: "l2switch", Vendor: "opendaylight", Version: "1.0.0",
+		Manifest: submissions[0].manifest,
+	})
+	dAlpha, err := alpha.Market().Registry().Submit(srAlpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alpha.Market().Install(dAlpha); err != nil {
+		log.Fatal(err)
+	}
+
+	tenant.MountHTTP(tmgr)
+	ts := httptest.NewServer(obs.NewHandler(obs.Default(), nil))
+	defer ts.Close()
+	for _, path := range []string{"/t/alpha/market/apps", "/t/bravo/market/apps"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("  GET %-22s -> %d, %d bytes (bravo sees none of alpha's apps)\n",
+			path, resp.StatusCode, len(body))
+	}
+
+	for i := 1; ; i++ {
+		if err := bravo.Do("read_statistics", func() error { return nil }); err != nil {
+			var te *tenant.ThrottleError
+			if errors.As(err, &te) {
+				fmt.Printf("  bravo throttled after %d calls: %v\n", i-1, te)
+			}
+			break
+		}
+	}
+	if err := alpha.Do("read_statistics", func() error { return nil }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  alpha is unaffected by its neighbour's exhaustion")
+	fmt.Printf("  resident tenants: %d (evict/suspend/pin via POST /tenants)\n", tmgr.Resident())
 
 	snaps := m.Snapshot()
 	fmt.Println("\n==== final market state ====")

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTenantBenchFlatness is the `make bench-tenants` guard: a thousand
+// tenants (two hundred under -short) each install their apps and issue
+// mediated calls concurrently, across shard counts {1, 4, 16}, and the
+// 16-shard call p95 must stay within 10% (plus a fixed noise allowance)
+// of the single-tenant baseline — tenancy must not tax the hot path.
+// Writes BENCH_tenants.json at the repo root. Benchmarks on shared CI
+// machines are noisy, so it only runs when asked for
+// (SDNSHIELD_TENANT_BENCH=1); plain `go test ./...` skips it.
+func TestTenantBenchFlatness(t *testing.T) {
+	if os.Getenv("SDNSHIELD_TENANT_BENCH") != "1" {
+		t.Skip("set SDNSHIELD_TENANT_BENCH=1 to run the multi-tenant flatness guard")
+	}
+	tenants, apps, calls := 1000, 10, 10
+	if testing.Short() {
+		tenants, apps, calls = 200, 5, 10
+	}
+	res, err := RunTenantBench(tenants, apps, calls, []int{1, 4, 16}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline (1 tenant, 16 shards): p50=%.0fµs p95=%.0fµs %.0f calls/s",
+		res.Baseline.CallP50Micros, res.Baseline.CallP95Micros, res.Baseline.CallsPerSec)
+	var sixteen *TenantShardRun
+	for i := range res.Runs {
+		r := &res.Runs[i]
+		t.Logf("shards=%2d: %d tenants, %.0f installs/s, p50=%.0fµs p95=%.0fµs %.0f calls/s throttled=%d",
+			r.Shards, r.Tenants, r.InstallsPerSec, r.CallP50Micros, r.CallP95Micros, r.CallsPerSec, r.Throttled)
+		if r.Throttled != 0 {
+			t.Fatalf("shards=%d refused %d calls with no admission limits set", r.Shards, r.Throttled)
+		}
+		if r.Installs != tenants*apps {
+			t.Fatalf("shards=%d completed %d installs, want %d", r.Shards, r.Installs, tenants*apps)
+		}
+		if r.Shards == 16 {
+			sixteen = r
+		}
+	}
+	if sixteen == nil {
+		t.Fatal("no 16-shard run")
+	}
+	// The flatness guard: a thousand neighbours at full shard width cost
+	// at most 10% p95 over a lone tenant, modulo a fixed allowance for
+	// scheduler noise on small absolute latencies.
+	limit := res.Baseline.CallP95Micros * 1.10
+	if slack := res.Baseline.CallP95Micros + 250; slack > limit {
+		limit = slack
+	}
+	if sixteen.CallP95Micros > limit {
+		t.Fatalf("16-shard p95 %.0fµs exceeds baseline %.0fµs by more than 10%% (+noise floor)",
+			sixteen.CallP95Micros, res.Baseline.CallP95Micros)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join("..", "..", "BENCH_tenants.json")
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

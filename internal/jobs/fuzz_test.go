@@ -22,6 +22,11 @@ func FuzzJobDecode(f *testing.F) {
 		{op: opEnqueue, id: 5, queue: "market.install", payload: []byte(`{"digest":"cd"}`), corr: 7, maxAttempts: 5, ts: 1700000001, traceID: 7, spanID: 19, spanParent: 11},
 		{op: opEnqueue, id: 6, queue: "market.upgrade", payload: []byte(`{"digest":"ef"}`), corr: 9, maxAttempts: 3, ts: 1700000002, traceID: 9, spanID: 1},
 		{op: opEnqueue, id: 7, queue: "market.recompute", ts: 5, spanID: 1 << 40, spanParent: 1},
+		// Tenant-tagged records: the tenant rides as a further optional
+		// suffix after the trace triple — with and without a real trace
+		// context, since a tenant alone forces an all-zero triple.
+		{op: opEnqueue, id: 8, queue: "market.install", payload: []byte(`{"digest":"aa"}`), corr: 12, maxAttempts: 5, ts: 1700000003, traceID: 21, spanID: 22, spanParent: 19, tenant: "acme"},
+		{op: opEnqueue, id: 9, queue: "market.install", ts: 6, tenant: "tenant-b.prod"},
 	}
 	for _, r := range seeds {
 		f.Add(encodeRecord(r))
@@ -42,7 +47,8 @@ func FuzzJobDecode(f *testing.F) {
 		if r2.op != r.op || r2.id != r.id || r2.queue != r.queue || r2.ts != r.ts ||
 			r2.corr != r.corr || r2.maxAttempts != r.maxAttempts || r2.attempts != r.attempts ||
 			r2.errMsg != r.errMsg || !bytes.Equal(r2.payload, r.payload) || !bytes.Equal(r2.result, r.result) ||
-			r2.traceID != r.traceID || r2.spanID != r.spanID || r2.spanParent != r.spanParent {
+			r2.traceID != r.traceID || r2.spanID != r.spanID || r2.spanParent != r.spanParent ||
+			r2.tenant != r.tenant {
 			t.Fatalf("round trip drifted: %+v != %+v", r2, r)
 		}
 	})

@@ -124,6 +124,7 @@ type job struct {
 	payload     []byte
 	corr        uint64
 	trace       span.Context // span context of the enqueuing operation
+	tenant      string       // owning tenant ("" single-tenant)
 	maxAttempts int
 	attempts    int
 	state       State
@@ -148,6 +149,7 @@ type Snapshot struct {
 	// it, so the operation's trace continues across the queue hop — and,
 	// because the context is WAL-persisted, across a restart.
 	Trace      span.Context `json:"trace"`
+	Tenant     string       `json:"tenant,omitempty"`
 	Error      string       `json:"error,omitempty"`
 	Payload    []byte       `json:"-"`
 	Result     []byte       `json:"-"`
@@ -206,10 +208,13 @@ type Manager struct {
 	queues  map[string]*queue
 	jobs    map[uint64]*job
 	doneSeq []uint64 // completed/dead IDs in finish order, for eviction
-	nextID  uint64
-	timers  map[uint64]*time.Timer // scheduled retries by job ID
-	closing bool
-	killed  bool
+	// deadByTenant counts dead-lettered jobs per owning tenant (the ""
+	// key aggregates untenanted jobs), surviving restarts via replay.
+	deadByTenant map[string]uint64
+	nextID       uint64
+	timers       map[uint64]*time.Timer // scheduled retries by job ID
+	closing      bool
+	killed       bool
 
 	wg        sync.WaitGroup
 	stopFlush chan struct{}
@@ -243,12 +248,13 @@ func DrainAll() {
 func Open(cfg Config) (*Manager, error) {
 	cfg.fill()
 	m := &Manager{
-		cfg:       cfg,
-		queues:    make(map[string]*queue),
-		jobs:      make(map[uint64]*job),
-		timers:    make(map[uint64]*time.Timer),
-		stopFlush: make(chan struct{}),
-		nextID:    1, // 0 is "no job" in every external surface
+		cfg:          cfg,
+		queues:       make(map[string]*queue),
+		jobs:         make(map[uint64]*job),
+		timers:       make(map[uint64]*time.Timer),
+		deadByTenant: make(map[string]uint64),
+		stopFlush:    make(chan struct{}),
+		nextID:       1, // 0 is "no job" in every external surface
 	}
 	if cfg.Dir != "" {
 		if err := m.replay(); err != nil {
@@ -302,6 +308,7 @@ func (m *Manager) replay() error {
 			j.payload = r.payload
 			j.corr = r.corr
 			j.trace = span.Context{TraceID: r.traceID, SpanID: r.spanID, Parent: r.spanParent}
+			j.tenant = r.tenant
 			j.maxAttempts = int(r.maxAttempts)
 			j.attempts = int(r.attempts)
 			j.state = StatePending
@@ -329,6 +336,7 @@ func (m *Manager) replay() error {
 				j.attempts = int(r.attempts)
 				j.lastErr = r.errMsg
 				j.finishedAt = time.Unix(0, r.ts)
+				m.deadByTenant[j.tenant]++
 			}
 		}
 	}
@@ -407,6 +415,7 @@ func enqueueRecord(j *job) *walRecord {
 		corr: j.corr, maxAttempts: uint32(j.maxAttempts), attempts: uint32(j.attempts),
 		ts:      j.enqueuedAt.UnixNano(),
 		traceID: j.trace.TraceID, spanID: j.trace.SpanID, spanParent: j.trace.Parent,
+		tenant: j.tenant,
 	}
 }
 
@@ -459,6 +468,11 @@ func WithCorr(corr uint64) Option { return func(j *job) { j.corr = corr } }
 // this process or the next one) runs the handler under a child span of
 // it.
 func WithTrace(ctx span.Context) Option { return func(j *job) { j.trace = ctx } }
+
+// WithTenant stamps the job with its owning tenant, persisted in the WAL
+// so per-tenant accounting (dead-letter counts above all) survives a
+// restart and audit events the job emits carry the attribution.
+func WithTenant(tenant string) Option { return func(j *job) { j.tenant = tenant } }
 
 // WithMaxAttempts overrides the manager's default attempt budget.
 func WithMaxAttempts(n int) Option {
@@ -515,7 +529,7 @@ func (m *Manager) Enqueue(queueName string, payload []byte, opts ...Option) (uin
 	span.Add(j.trace, "job:enqueue:"+queueName, j.enqueuedAt, time.Since(j.enqueuedAt))
 	if audit.On() {
 		audit.Emit(audit.Event{
-			Kind: audit.KindJob, Verdict: audit.VerdictEnqueue, Op: queueName, Corr: j.corr,
+			Kind: audit.KindJob, Verdict: audit.VerdictEnqueue, Op: queueName, Corr: j.corr, Tenant: j.tenant,
 			Detail: fmt.Sprintf("job %d enqueued", id),
 		})
 	}
@@ -631,6 +645,7 @@ func (m *Manager) settle(q *queue, j *job, res []byte, err error) {
 		m.walAppend(&walRecord{op: opDead, id: j.id, attempts: uint32(j.attempts), errMsg: j.lastErr, ts: now.UnixNano()})
 		q.dead++
 		q.met.deadC.Inc()
+		m.deadByTenant[j.tenant]++
 		m.retainLocked(j)
 	default:
 		j.state = StatePending
@@ -642,7 +657,7 @@ func (m *Manager) settle(q *queue, j *job, res []byte, err error) {
 		id := j.id
 		m.timers[id] = time.AfterFunc(delay, func() { m.requeueAfterBackoff(id) })
 	}
-	state, corr, attempts, lastErr := j.state, j.corr, j.attempts, j.lastErr
+	state, corr, attempts, lastErr, tenant := j.state, j.corr, j.attempts, j.lastErr, j.tenant
 	m.mu.Unlock()
 
 	if audit.On() {
@@ -654,7 +669,7 @@ func (m *Manager) settle(q *queue, j *job, res []byte, err error) {
 			v = audit.VerdictRetry
 		}
 		audit.Emit(audit.Event{
-			Kind: audit.KindJob, Verdict: v, Op: q.name, Corr: corr,
+			Kind: audit.KindJob, Verdict: v, Op: q.name, Corr: corr, Tenant: tenant,
 			Detail: fmt.Sprintf("job %d attempt %d: %s", j.id, attempts, stateDetail(state, lastErr)),
 		})
 	}
@@ -727,6 +742,7 @@ func snapshotOf(j *job) Snapshot {
 	return Snapshot{
 		ID: j.id, Queue: j.queue, State: j.state,
 		Attempts: j.attempts, MaxAttempts: j.maxAttempts, Corr: j.corr, Trace: j.trace,
+		Tenant:     j.tenant,
 		Error:      j.lastErr,
 		Payload:    append([]byte(nil), j.payload...),
 		Result:     append([]byte(nil), j.result...),
@@ -827,6 +843,19 @@ func (m *Manager) Stats() []QueueStats {
 		})
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Queue < out[k].Queue })
+	return out
+}
+
+// DeadByTenant reports the dead-letter count per owning tenant (the ""
+// key aggregates untenanted jobs). Counts survive restarts: replay
+// re-counts dead records still present in the WAL.
+func (m *Manager) DeadByTenant() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.deadByTenant))
+	for t, n := range m.deadByTenant {
+		out[t] = n
+	}
 	return out
 }
 

@@ -70,6 +70,12 @@ type walRecord struct {
 	traceID    uint64
 	spanID     uint64
 	spanParent uint64
+
+	// Tenant owning the job (multi-tenant managers). Rides as a further
+	// optional suffix after the trace triple; a record carrying a tenant
+	// forces the trace triple (possibly all-zero) so decode order stays
+	// unambiguous. Pre-tenant records decode with tenant == "".
+	tenant string
 }
 
 // errBadRecord reports a record body that does not decode.
@@ -105,11 +111,15 @@ func encodeRecord(r *walRecord) []byte {
 	n := binary.PutVarint(tmp[:], r.ts)
 	buf = append(buf, tmp[:n]...)
 	// Optional trace suffix: written only when a context exists, so
-	// untraced records stay byte-identical to the pre-trace format.
-	if r.traceID != 0 || r.spanID != 0 || r.spanParent != 0 {
+	// untraced records stay byte-identical to the pre-trace format. A
+	// tenant forces the triple (even all-zero) because it decodes after.
+	if r.traceID != 0 || r.spanID != 0 || r.spanParent != 0 || r.tenant != "" {
 		putUvarint(r.traceID)
 		putUvarint(r.spanID)
 		putUvarint(r.spanParent)
+		if r.tenant != "" {
+			putBytes([]byte(r.tenant))
+		}
 	}
 	return buf
 }
@@ -203,6 +213,14 @@ func decodeRecord(b []byte) (*walRecord, error) {
 	if r.spanParent, err = readUvarint(); err != nil {
 		return nil, err
 	}
+	if len(b) == 0 {
+		return r, nil // pre-tenant record
+	}
+	t, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	r.tenant = string(t)
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", errBadRecord, len(b))
 	}

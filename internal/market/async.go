@@ -69,7 +69,8 @@ func (m *Market) SubmitJob(queue string, req JobRequest, corr uint64, sc span.Co
 	if err != nil {
 		return 0, err
 	}
-	return jm.Enqueue(queue, payload, jobs.WithCorr(corr), jobs.WithTrace(sc))
+	return jm.Enqueue(queue, payload,
+		jobs.WithCorr(corr), jobs.WithTrace(sc), jobs.WithTenant(m.cfg.Tenant))
 }
 
 // pipelineHandler adapts an install/upgrade step into a job handler:

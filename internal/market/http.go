@@ -51,30 +51,44 @@ var ErrBadRequest = errors.New("market: bad request")
 // Accepted with the job ID to poll at /market/jobs/<id>. A full queue
 // answers 429. Without a manager the old synchronous behavior stands.
 func MountHTTP(m *Market) {
-	obs.RegisterHandler("/market/apps", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Snapshot())
-	}))
-	obs.RegisterHandler("/market/install", handlePackage(m, m.InstallTraced, QueueInstall))
-	obs.RegisterHandler("/market/upgrade", handlePackage(m, m.UpgradeTraced, QueueUpgrade))
-	obs.RegisterHandler("/market/approve", handleApp(m, func(app string) (interface{}, error) {
-		return m.Approve(app)
-	}))
-	obs.RegisterHandler("/market/revoke", handleApp(m, func(app string) (interface{}, error) {
-		if err := m.Revoke(app); err != nil {
-			return nil, err
-		}
-		snap, _ := m.Status(app)
-		return snap, nil
-	}))
-	obs.RegisterHandler("/market/recompute", handleRecompute(m))
-	obs.RegisterHandler("/market/diff", handleDiff(m))
-	obs.RegisterHandler("/market/jobs", handleJobsIndex(m))
-	obs.RegisterHandler("/market/jobs/", handleJobByID(m))
-	obs.RegisterHandler("/market/log", handleLog(m))
-	obs.RegisterHandler("/market/release", handleRelease(m))
-	obs.RegisterHandler("/market/keys", handleKeys(m))
-	obs.RegisterHandler("/market/digests", handleDigests(m))
-	obs.RegisterHandler("/market/lease", handleLease(m))
+	for pattern, h := range Routes(m) {
+		obs.RegisterHandler(pattern, h)
+	}
+}
+
+// Routes builds the market's administrative surface as a pattern →
+// handler map — the same routes MountHTTP registers globally, but
+// reusable by multi-tenant managers that serve one market per tenant
+// under a /t/<tenant> prefix. Handlers parse their own r.URL.Path with
+// the /market/... prefix intact, so a scoped dispatcher must strip only
+// the tenant prefix.
+func Routes(m *Market) map[string]http.Handler {
+	return map[string]http.Handler{
+		"/market/apps": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, m.Snapshot())
+		}),
+		"/market/install": handlePackage(m, m.InstallTraced, QueueInstall),
+		"/market/upgrade": handlePackage(m, m.UpgradeTraced, QueueUpgrade),
+		"/market/approve": handleApp(m, func(app string) (interface{}, error) {
+			return m.Approve(app)
+		}),
+		"/market/revoke": handleApp(m, func(app string) (interface{}, error) {
+			if err := m.Revoke(app); err != nil {
+				return nil, err
+			}
+			snap, _ := m.Status(app)
+			return snap, nil
+		}),
+		"/market/recompute": handleRecompute(m),
+		"/market/diff":      handleDiff(m),
+		"/market/jobs":      handleJobsIndex(m),
+		"/market/jobs/":     handleJobByID(m),
+		"/market/log":       handleLog(m),
+		"/market/release":   handleRelease(m),
+		"/market/keys":      handleKeys(m),
+		"/market/digests":   handleDigests(m),
+		"/market/lease":     handleLease(m),
+	}
 }
 
 // MountSyncHTTP registers a follower's sync introspection:
@@ -305,8 +319,9 @@ func handleJobsIndex(m *Market) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"queues": jm.Stats(),
-			"recent": jm.Recent(50),
+			"queues":         jm.Stats(),
+			"recent":         jm.Recent(50),
+			"dead_by_tenant": jm.DeadByTenant(),
 		})
 	})
 }

@@ -75,6 +75,10 @@ type Config struct {
 	// one cache so a verdict computed anywhere is a hit everywhere the
 	// policy digest matches. Nil builds a private cache.
 	Cache *VerdictCache
+	// Tenant, when set, stamps every audit event and enqueued job this
+	// market emits with the owning tenant — the multi-tenant manager
+	// runs one market per tenant and sets it at hydration.
+	Tenant string
 }
 
 // Lifecycle errors.
@@ -740,6 +744,7 @@ func (m *Market) emit(op string, v audit.Verdict, app string, corr uint64, detai
 	}
 	audit.Emit(audit.Event{
 		Kind: audit.KindMarket, Verdict: v, App: app, Op: op, Corr: corr, Detail: detail,
+		Tenant: m.cfg.Tenant,
 	})
 }
 

@@ -153,6 +153,28 @@ type Event struct {
 	// quarantine causes, fault kinds. Allow-path events leave it empty so
 	// the hot path never formats strings.
 	Detail string `json:"detail,omitempty"`
+	// Tenant is the tenant the event is attributed to in multi-tenant
+	// deployments. The journal stamps it at emit time when the emitting
+	// layer left it empty: first from the App's "tenant/app" namespace
+	// prefix, then from the process-wide default tenant.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// defaultTenant is the tenant stamped on otherwise-unattributed events,
+// for single-tenant processes running under a tenant identity (the CLIs'
+// -tenant flag).
+var defaultTenant atomic.Value // string
+
+// SetDefaultTenant sets the process-wide tenant stamped on events that
+// carry no tenant of their own and whose App has no tenant prefix.
+func SetDefaultTenant(t string) { defaultTenant.Store(t) }
+
+// DefaultTenant returns the process-wide default tenant ("" when unset).
+func DefaultTenant() string {
+	if v, ok := defaultTenant.Load().(string); ok {
+		return v
+	}
+	return ""
 }
 
 // corrSeq mints correlation IDs. Process-wide so IDs stay unique across

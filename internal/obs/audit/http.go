@@ -53,7 +53,7 @@ const maxStreamWait = 30 * time.Second
 // Handler serves the journal over HTTP:
 //
 //	/audit        — retained events as JSON, filterable by ?app=, ?kind=,
-//	                ?verdict=, ?corr=, ?limit=
+//	                ?verdict=, ?corr=, ?tenant=, ?limit=
 //	/audit/stream — long-poll JSONL tail: blocks until events newer than
 //	                ?after= (default: now) arrive or ?wait= (seconds,
 //	                default 10, max 30) elapses; the X-Audit-Cursor
@@ -142,6 +142,7 @@ func filterFromQuery(r *http.Request) (Filter, error) {
 		App:     q.Get("app"),
 		Kind:    Kind(q.Get("kind")),
 		Verdict: Verdict(q.Get("verdict")),
+		Tenant:  q.Get("tenant"),
 	}
 	if c := q.Get("corr"); c != "" {
 		v, err := strconv.ParseUint(c, 10, 64)

@@ -2,6 +2,7 @@ package audit
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -181,6 +182,17 @@ func (j *Journal) Emit(ev Event) {
 	if ev.Time.IsZero() {
 		ev.Time = time.Now()
 	}
+	if ev.Tenant == "" {
+		// Multi-tenant managers namespace app names "tenant/app" (market
+		// app names themselves cannot contain '/'), so the prefix is an
+		// unambiguous attribution; otherwise fall back to the process-wide
+		// tenant identity.
+		if i := strings.IndexByte(ev.App, '/'); i > 0 {
+			ev.Tenant = ev.App[:i]
+		} else {
+			ev.Tenant = DefaultTenant()
+		}
+	}
 	ev.Seq = j.seq.Add(1)
 	sh := j.shard()
 	sh.mu.Lock()
@@ -315,6 +327,7 @@ type Filter struct {
 	Kind    Kind
 	Verdict Verdict
 	Corr    uint64
+	Tenant  string
 	// AfterSeq keeps only events with Seq strictly greater (stream
 	// cursors).
 	AfterSeq uint64
@@ -336,6 +349,9 @@ func (f *Filter) match(ev *Event) bool {
 		return false
 	}
 	if f.Corr != 0 && ev.Corr != f.Corr {
+		return false
+	}
+	if f.Tenant != "" && ev.Tenant != f.Tenant {
 		return false
 	}
 	return true

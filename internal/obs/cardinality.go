@@ -1,0 +1,64 @@
+package obs
+
+import "sync"
+
+// LabelOverflow is the label value a LabelGuard folds overflow into: once
+// a guard has admitted its configured number of distinct values, every
+// further value maps to this one, so a flood of unique tenant IDs (or any
+// other unbounded principal) collapses into a single metrics series
+// instead of growing the registry without bound.
+const LabelOverflow = "_other"
+
+// LabelGuard caps the distinct values one metric label may take. Metrics
+// series live for the process lifetime (the registry never evicts), so an
+// attacker who can mint principals — tenant IDs above all — could
+// otherwise OOM the registry by making every request a new series. The
+// guard admits the first max distinct values verbatim and folds the rest
+// into LabelOverflow; admission is first-come, permanent, and
+// goroutine-safe.
+type LabelGuard struct {
+	mu     sync.Mutex
+	max    int
+	seen   map[string]struct{}
+	folded uint64
+}
+
+// NewLabelGuard builds a guard admitting up to max distinct label values
+// (default 256 for max <= 0).
+func NewLabelGuard(max int) *LabelGuard {
+	if max <= 0 {
+		max = 256
+	}
+	return &LabelGuard{max: max, seen: make(map[string]struct{}, 16)}
+}
+
+// Value returns v when it is already admitted or room remains, and
+// LabelOverflow once the guard is full. A value admitted once stays
+// admitted — the same principal always lands in the same series.
+func (g *LabelGuard) Value(v string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.seen[v]; ok {
+		return v
+	}
+	if len(g.seen) < g.max {
+		g.seen[v] = struct{}{}
+		return v
+	}
+	g.folded++
+	return LabelOverflow
+}
+
+// Admitted reports how many distinct values the guard has let through.
+func (g *LabelGuard) Admitted() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.seen)
+}
+
+// Folded reports how many lookups were folded into LabelOverflow.
+func (g *LabelGuard) Folded() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.folded
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLabelGuardFoldsOverflow(t *testing.T) {
+	g := NewLabelGuard(3)
+	for _, v := range []string{"a", "b", "c"} {
+		if got := g.Value(v); got != v {
+			t.Fatalf("Value(%q) = %q, want admitted verbatim", v, got)
+		}
+	}
+	// Full: new values fold, admitted ones keep their series.
+	if got := g.Value("d"); got != LabelOverflow {
+		t.Fatalf("Value(d) over cap = %q, want %q", got, LabelOverflow)
+	}
+	if got := g.Value("b"); got != "b" {
+		t.Fatalf("admitted value folded after cap: got %q", got)
+	}
+	if got := g.Value("e"); got != LabelOverflow {
+		t.Fatalf("Value(e) over cap = %q, want %q", got, LabelOverflow)
+	}
+	if g.Admitted() != 3 {
+		t.Fatalf("Admitted = %d, want 3", g.Admitted())
+	}
+	if g.Folded() != 2 {
+		t.Fatalf("Folded = %d, want 2", g.Folded())
+	}
+}
+
+// TestLabelGuardBoundsRegistry is the cardinality-cap guarantee end to
+// end: a flood of distinct tenant IDs through a guarded label produces at
+// most cap+1 series in the registry (the admitted set plus "_other"), so
+// a tenant-ID flood cannot grow the metrics registry without bound.
+func TestLabelGuardBoundsRegistry(t *testing.T) {
+	reg := NewRegistry()
+	g := NewLabelGuard(8)
+	for i := 0; i < 1000; i++ {
+		tenant := g.Value(fmt.Sprintf("tenant-%04d", i))
+		reg.Counter("guard_test_calls_total", "test", "tenant", tenant).Inc()
+	}
+	series := 0
+	overflowCount := 0.0
+	for _, s := range reg.Snapshot() {
+		if s.Name != "guard_test_calls_total" {
+			continue
+		}
+		series++
+		if s.Labels == `tenant="`+LabelOverflow+`"` {
+			overflowCount = s.Value
+		}
+	}
+	if series != 9 {
+		t.Fatalf("registry holds %d series, want cap+1 = 9", series)
+	}
+	if overflowCount != 992 {
+		t.Fatalf("overflow series = %v increments, want 992", overflowCount)
+	}
+}
+
+func TestLabelGuardConcurrent(t *testing.T) {
+	g := NewLabelGuard(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := g.Value(fmt.Sprintf("t-%d", i%32))
+				if v == "" {
+					t.Error("empty value")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := g.Admitted(); n != 16 {
+		t.Fatalf("Admitted = %d, want exactly the cap (16)", n)
+	}
+}

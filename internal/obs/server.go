@@ -158,6 +158,9 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 		if op := q.Get("op"); op != "" {
 			traces = filterTraces(traces, func(t TraceSnapshot) bool { return t.Op == op })
 		}
+		if tenant := q.Get("tenant"); tenant != "" {
+			traces = filterTraces(traces, func(t TraceSnapshot) bool { return t.Tenant == tenant })
+		}
 		if traces == nil {
 			traces = []TraceSnapshot{}
 		}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -50,10 +51,41 @@ func LatencyObjective(name, desc string, reg *Registry, family string, threshold
 	}
 }
 
+// LatencyObjectiveLabeled is LatencyObjective restricted to the series
+// whose label set contains the given key/value pair — how a per-tenant
+// latency SLO is expressed over a shared histogram family without one
+// family per tenant: target the series labeled tenant="acme" only.
+func LatencyObjectiveLabeled(name, desc string, reg *Registry, family, labelKey, labelValue string, threshold time.Duration, target float64) Objective {
+	if reg == nil {
+		reg = Default()
+	}
+	th := threshold.Seconds()
+	return Objective{
+		Name:        name,
+		Description: desc,
+		Target:      target,
+		Good:        func() float64 { g, _ := reg.histogramGoodTotalLabeled(family, labelKey, labelValue, th); return g },
+		Total:       func() float64 { _, t := reg.histogramGoodTotalLabeled(family, labelKey, labelValue, th); return t },
+	}
+}
+
 // histogramGoodTotal sums, across every series of a histogram family,
 // the (interpolated) observations at or under threshold and the total
 // observation count.
 func (r *Registry) histogramGoodTotal(name string, thresholdSeconds float64) (good, total float64) {
+	return r.histogramGoodTotalFiltered(name, "", thresholdSeconds)
+}
+
+// histogramGoodTotalLabeled is histogramGoodTotal over only the series
+// whose label set contains the key/value pair.
+func (r *Registry) histogramGoodTotalLabeled(name, key, value string, thresholdSeconds float64) (good, total float64) {
+	return r.histogramGoodTotalFiltered(name, key+"="+strconv.Quote(value), thresholdSeconds)
+}
+
+// histogramGoodTotalFiltered sums good/total across a family's series,
+// keeping only those whose canonical label string contains pair ("" keeps
+// all).
+func (r *Registry) histogramGoodTotalFiltered(name, pair string, thresholdSeconds float64) (good, total float64) {
 	r.mu.RLock()
 	f, ok := r.families[name]
 	r.mu.RUnlock()
@@ -61,6 +93,9 @@ func (r *Registry) histogramGoodTotal(name string, thresholdSeconds float64) (go
 		return 0, 0
 	}
 	for _, s := range f.snapshotSeries() {
+		if pair != "" && !labelSetContains(s.labels, pair) {
+			continue
+		}
 		snap := s.hist.Snapshot()
 		good += bucketGoodBelow(snap, thresholdSeconds)
 		total += float64(snap.Count)

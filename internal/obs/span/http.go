@@ -24,10 +24,23 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	traces := def.TraceIDs()
+	if tenant := r.URL.Query().Get("tenant"); tenant != "" {
+		kept := traces[:0:0]
+		for _, ti := range traces {
+			if ti.Tenant == tenant {
+				kept = append(kept, ti)
+			}
+		}
+		traces = kept
+	}
+	if traces == nil {
+		traces = []TraceInfo{}
+	}
 	writeJSON(w, struct {
 		Traces  []TraceInfo `json:"traces"`
 		Dropped uint64      `json:"dropped_spans"`
-	}{def.TraceIDs(), def.Dropped()})
+	}{traces, def.Dropped()})
 }
 
 func handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -44,8 +57,9 @@ func handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, struct {
 		TraceID uint64   `json:"trace_id"`
+		Tenant  string   `json:"tenant,omitempty"`
 		Spans   []Record `json:"spans"`
-	}{id, spans})
+	}{id, def.TenantOf(id), spans})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

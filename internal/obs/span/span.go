@@ -247,7 +247,8 @@ type Collector struct {
 }
 
 type traceEntry struct {
-	spans []Record
+	tenant string
+	spans  []Record
 }
 
 // NewCollector builds a collector bounded to maxTraces traces of
@@ -300,6 +301,48 @@ func (c *Collector) Collect(rec Record) {
 	}
 }
 
+// Tag stamps a tenant on a retained (or not-yet-seen) trace, so the
+// /trace index and a tenant's scoped endpoints can tell whose operation
+// each trace is. Tagging before the first span arrives is fine — the
+// entry is created empty and the spans attach to it later.
+func (c *Collector) Tag(traceID uint64, tenant string) {
+	if traceID == 0 || tenant == "" {
+		return
+	}
+	c.mu.Lock()
+	e, ok := c.traces[traceID]
+	if !ok {
+		if len(c.order) >= c.maxTraces {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.traces, oldest)
+		}
+		e = &traceEntry{}
+		c.traces[traceID] = e
+		c.order = append(c.order, traceID)
+	}
+	e.tenant = tenant
+	c.mu.Unlock()
+}
+
+// TenantOf returns the tenant tagged on a retained trace ("" when the
+// trace is unknown or untagged).
+func (c *Collector) TenantOf(traceID uint64) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.traces[traceID]; ok {
+		return e.tenant
+	}
+	return ""
+}
+
+// Tag stamps a tenant on a trace in the process-wide collector.
+func Tag(traceID uint64, tenant string) { def.Tag(traceID, tenant) }
+
+// TenantOf reports the tenant tagged on a trace in the process-wide
+// collector.
+func TenantOf(traceID uint64) string { return def.TenantOf(traceID) }
+
 // Trace returns a trace's spans sorted by start time (ties broken by
 // span ID, which is mint order), or nil when the trace is not retained.
 func (c *Collector) Trace(traceID uint64) []Record {
@@ -328,7 +371,8 @@ func (c *Collector) TraceIDs() []TraceInfo {
 	out := make([]TraceInfo, 0, len(c.order))
 	for i := len(c.order) - 1; i >= 0; i-- {
 		id := c.order[i]
-		out = append(out, TraceInfo{TraceID: id, Spans: len(c.traces[id].spans)})
+		e := c.traces[id]
+		out = append(out, TraceInfo{TraceID: id, Tenant: e.tenant, Spans: len(e.spans)})
 	}
 	return out
 }
@@ -336,6 +380,7 @@ func (c *Collector) TraceIDs() []TraceInfo {
 // TraceInfo is the /trace index listing of one retained trace.
 type TraceInfo struct {
 	TraceID uint64 `json:"trace_id"`
+	Tenant  string `json:"tenant,omitempty"`
 	Spans   int    `json:"spans"`
 }
 

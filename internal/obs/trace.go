@@ -115,6 +115,7 @@ type TraceSnapshot struct {
 	ID       string        `json:"id"`
 	Op       string        `json:"op"`
 	Corr     uint64        `json:"corr,omitempty"`
+	Tenant   string        `json:"tenant,omitempty"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Spans    []SpanRecord  `json:"spans"`
@@ -131,6 +132,7 @@ type Trace struct {
 
 	mu       sync.Mutex
 	corr     uint64
+	tenant   string
 	spans    []SpanRecord
 	duration time.Duration
 	done     bool
@@ -146,6 +148,17 @@ func (tr *Trace) SetCorr(corr uint64) {
 	}
 	tr.mu.Lock()
 	tr.corr = corr
+	tr.mu.Unlock()
+}
+
+// SetTenant stamps the tenant the traced call belongs to, so /traces can
+// be filtered per tenant (?tenant=). Safe on a nil (unsampled) trace.
+func (tr *Trace) SetTenant(tenant string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.tenant = tenant
 	tr.mu.Unlock()
 }
 
@@ -201,6 +214,7 @@ func (tr *Trace) snapshot() TraceSnapshot {
 		ID:       tr.ID,
 		Op:       tr.Op,
 		Corr:     tr.corr,
+		Tenant:   tr.tenant,
 		Start:    tr.Start,
 		Duration: tr.duration,
 		Spans:    append([]SpanRecord(nil), tr.spans...),

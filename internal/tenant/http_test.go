@@ -1,0 +1,239 @@
+package tenant
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdnshield/internal/market"
+)
+
+const testPolicy = `
+LET Bound = { PERM pkt_in_event PERM read_statistics PERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0 }
+`
+
+func genKey(t testing.TB) (ed25519.PublicKey, ed25519.PrivateKey) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub, priv
+}
+
+// do runs one request against the scoped handler.
+func do(t *testing.T, h http.Handler, method, path string, body interface{}, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	r := httptest.NewRequest(method, path, rd)
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// installApp drives a signed release through a tenant's scoped market
+// surface (async install job → pending → approve) and waits for the
+// given status.
+func installApp(t *testing.T, h http.Handler, tenant, app, version string, priv ed25519.PrivateKey) {
+	t.Helper()
+	sr := market.Sign(market.Release{
+		Name: app, Vendor: "acme", Version: version,
+		Manifest: "PERM pkt_in_event\nPERM read_statistics",
+	}, priv)
+	w := do(t, h, "POST", "/t/"+tenant+"/market/install", sr, nil)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("install = %d: %s", w.Code, w.Body.String())
+	}
+	// A clean verdict activates directly; a repaired one parks pending
+	// and needs sign-off.
+	if st := waitStatus(t, h, tenant, app, "pending", "active"); st == "pending" {
+		w = do(t, h, "POST", "/t/"+tenant+"/market/approve", map[string]string{"app": app}, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("approve = %d: %s", w.Code, w.Body.String())
+		}
+	}
+	waitStatus(t, h, tenant, app, "active")
+}
+
+func waitStatus(t *testing.T, h http.Handler, tenant, app string, statuses ...string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w := do(t, h, "GET", "/t/"+tenant+"/market/apps", nil, nil)
+		var snaps []market.AppSnapshot
+		if err := json.Unmarshal(w.Body.Bytes(), &snaps); err == nil {
+			for _, s := range snaps {
+				for _, status := range statuses {
+					if s.App == app && string(s.Status) == status {
+						return status
+					}
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("app %s/%s never reached %v: %s", tenant, app, statuses, w.Body.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestScopedHTTPSurface(t *testing.T) {
+	m := newTestManager(t, Config{Dir: t.TempDir(), PolicySrc: testPolicy})
+	scoped := &scopedHandler{m: m}
+	admin := &adminHandler{m: m}
+
+	// Admin: create, list.
+	w := do(t, admin, "POST", "/tenants", adminOp{Op: "create", Tenant: "acme"}, nil)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("admin create = %d: %s", w.Code, w.Body.String())
+	}
+	w = do(t, admin, "GET", "/tenants", nil, nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"acme"`) {
+		t.Fatalf("admin list = %d: %s", w.Code, w.Body.String())
+	}
+	w = do(t, admin, "POST", "/tenants", adminOp{Op: "create", Tenant: "acme"}, nil)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("duplicate create = %d", w.Code)
+	}
+	w = do(t, admin, "POST", "/tenants", adminOp{Op: "flip", Tenant: "acme"}, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown op = %d", w.Code)
+	}
+
+	// Identity enforcement at the scoped ingress.
+	if w = do(t, scoped, "GET", "/t/ghost/market/apps", nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown tenant = %d", w.Code)
+	}
+	if w = do(t, scoped, "GET", "/t/../market/apps", nil, nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("traversal id = %d", w.Code)
+	}
+	w = do(t, scoped, "GET", "/t/acme/market/apps", nil, map[string]string{HeaderTenant: "evil"})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("header mismatch = %d", w.Code)
+	}
+	w = do(t, scoped, "GET", "/t/acme/market/apps", nil, map[string]string{HeaderTenant: "acme"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("agreeing header = %d: %s", w.Code, w.Body.String())
+	}
+
+	// The tenant's market works end to end through the scoped surface.
+	pub, priv := genKey(t)
+	at, err := m.Get("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := at.Market().Registry().TrustVendor("acme", pub); err != nil {
+		t.Fatal(err)
+	}
+	installApp(t, scoped, "acme", "sensor", "1.0.0", priv)
+
+	// Scoped snapshot, jobs and audit answer for this tenant.
+	if w = do(t, scoped, "GET", "/t/acme/", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("tenant root = %d", w.Code)
+	}
+	var info Info
+	if err := json.Unmarshal(do(t, scoped, "GET", "/t/acme", nil, nil).Body.Bytes(), &info); err != nil || info.ID != "acme" || info.Apps != 1 {
+		t.Fatalf("tenant snapshot = %+v, %v", info, err)
+	}
+	if w = do(t, scoped, "GET", "/t/acme/jobs", nil, nil); w.Code != http.StatusOK ||
+		!strings.Contains(w.Body.String(), "market.install") {
+		t.Fatalf("scoped jobs = %d: %s", w.Code, w.Body.String())
+	}
+	waitAuditEvent(t, scoped, "acme", "install")
+
+	// Suspension closes the whole scoped surface.
+	if w = do(t, admin, "POST", "/tenants", adminOp{Op: "suspend", Tenant: "acme"}, nil); w.Code != http.StatusOK {
+		t.Fatalf("suspend = %d", w.Code)
+	}
+	if w = do(t, scoped, "GET", "/t/acme/market/apps", nil, nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("suspended scoped GET = %d", w.Code)
+	}
+	if w = do(t, admin, "POST", "/tenants", adminOp{Op: "resume", Tenant: "acme"}, nil); w.Code != http.StatusOK {
+		t.Fatalf("resume = %d", w.Code)
+	}
+	if w = do(t, scoped, "GET", "/t/acme/market/apps", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("resumed scoped GET = %d", w.Code)
+	}
+
+	// Evict + rehydrate through HTTP: the market store was persisted, so
+	// the app is still there.
+	if w = do(t, admin, "POST", "/tenants", adminOp{Op: "evict", Tenant: "acme"}, nil); w.Code != http.StatusOK {
+		t.Fatalf("evict = %d: %s", w.Code, w.Body.String())
+	}
+	if m.Resident() != 0 {
+		t.Fatal("evict left tenant resident")
+	}
+}
+
+func waitAuditEvent(t *testing.T, scoped http.Handler, tenant, op string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w := do(t, scoped, "GET", "/t/"+tenant+"/audit", nil, nil)
+		if w.Code == http.StatusOK && strings.Contains(w.Body.String(), fmt.Sprintf("%q", op)) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q audit event for %s: %s", op, tenant, w.Body.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestScopedHTTPInstallThrottle(t *testing.T) {
+	m := newTestManager(t, Config{PolicySrc: testPolicy})
+	scoped := &scopedHandler{m: m}
+	if _, err := m.CreateWith("acme", AdmissionConfig{
+		InstallsPerSec: 0.0001, InstallBurst: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	body := map[string]string{"digest": strings.Repeat("0", 64)}
+	// First install spends the burst token (the digest is unknown, but
+	// admission runs before the market ever sees the request body).
+	w := do(t, scoped, "POST", "/t/acme/market/install", body, nil)
+	if w.Code == http.StatusTooManyRequests {
+		t.Fatalf("burst install throttled: %s", w.Body.String())
+	}
+	w = do(t, scoped, "POST", "/t/acme/market/install", body, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("drained install = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var refusal struct {
+		Tenant  string `json:"tenant"`
+		Path    string `json:"path"`
+		RetryMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &refusal); err != nil ||
+		refusal.Tenant != "acme" || refusal.Path != "install" || refusal.RetryMS <= 0 {
+		t.Fatalf("throttle body = %+v, %v: %s", refusal, err, w.Body.String())
+	}
+
+	// Reads are not install-gated.
+	if w = do(t, scoped, "GET", "/t/acme/market/apps", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("read while install-throttled = %d", w.Code)
+	}
+}

@@ -1,0 +1,274 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// The shard pool is the scheduling layer of tenancy: tenants are mapped
+// to shards by consistent hashing (so a tenant's work always lands on
+// the same worker set, and changing the shard count moves only ~1/n of
+// tenants), and inside each shard the backlogged tenants are served by
+// weighted fair queuing over a virtual clock — a tenant with weight 2
+// gets twice the service rate of a weight-1 neighbour while both are
+// backlogged, and an idle tenant pays nothing.
+
+// ErrPoolClosed reports a dispatch into a closed pool.
+var ErrPoolClosed = errors.New("tenant: shard pool closed")
+
+// fnv64a hashes a tenant ID for shard placement.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// jumpHash is Lamping–Veach jump consistent hashing: maps key to a
+// bucket in [0, buckets) such that growing the bucket count relocates
+// only keys that move to the new buckets.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// call is one queued unit of work and its completion signal.
+type call struct {
+	fn   func()
+	done chan struct{}
+}
+
+// flow is one tenant's backlog within a shard. vt is the virtual finish
+// time of the flow's head call; the shard's heap orders backlogged flows
+// by it. Flows are created on first arrival and deleted when they drain,
+// so the map is bounded by the number of *backlogged* tenants.
+type flow struct {
+	key     string
+	weight  float64
+	vt      float64
+	calls   []*call
+	heapIdx int
+}
+
+// shard is one worker set's queue state.
+type shard struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	vtime  float64
+	heap   []*flow
+	flows  map[string]*flow
+	depth  int // queued (not yet started) calls, for introspection
+	closed bool
+}
+
+// ShardPool runs tenant work across a fixed set of shards, each with its
+// own worker pool and weighted-fair queue.
+type ShardPool struct {
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// NewShardPool builds a pool of `shards` shards (min 1) with `workers`
+// goroutines each (min 1).
+func NewShardPool(shards, workers int) *ShardPool {
+	if shards < 1 {
+		shards = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ShardPool{shards: make([]*shard, shards)}
+	for i := range p.shards {
+		sh := &shard{flows: make(map[string]*flow)}
+		sh.cond = sync.NewCond(&sh.mu)
+		p.shards[i] = sh
+		for w := 0; w < workers; w++ {
+			p.wg.Add(1)
+			go p.worker(sh)
+		}
+	}
+	return p
+}
+
+// Shards returns the pool's shard count.
+func (p *ShardPool) Shards() int { return len(p.shards) }
+
+// ShardOf returns the shard a key consistently maps to.
+func (p *ShardPool) ShardOf(key string) int { return jumpHash(fnv64a(key), len(p.shards)) }
+
+// Depth returns one shard's queued-call count (not counting running
+// calls) — the shard backlog gauge.
+func (p *ShardPool) Depth(i int) int {
+	if i < 0 || i >= len(p.shards) {
+		return 0
+	}
+	sh := p.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.depth
+}
+
+// Run executes fn on the shard owning key, after weighted fair queuing
+// against the shard's other backlogged flows, and blocks until fn
+// returns. maxQueue > 0 bounds the flow's own backlog: arrival beyond it
+// is refused with an error (the caller surfaces throttling) instead of
+// queuing unboundedly.
+func (p *ShardPool) Run(key string, weight float64, maxQueue int, fn func()) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	sh := p.shards[p.ShardOf(key)]
+	c := &call{fn: fn, done: make(chan struct{})}
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrPoolClosed
+	}
+	f, ok := sh.flows[key]
+	if !ok {
+		f = &flow{key: key, weight: weight, heapIdx: -1}
+		sh.flows[key] = f
+	}
+	f.weight = weight
+	if maxQueue > 0 && len(f.calls) >= maxQueue {
+		sh.mu.Unlock()
+		return fmt.Errorf("tenant: flow %s backlog at %d", key, maxQueue)
+	}
+	if f.heapIdx < 0 {
+		// Newly backlogged: its head call finishes 1/weight virtual time
+		// after the later of now and its own last finish.
+		if f.vt < sh.vtime {
+			f.vt = sh.vtime
+		}
+		f.vt += 1 / f.weight
+		sh.heapPush(f)
+	}
+	f.calls = append(f.calls, c)
+	sh.depth++
+	sh.cond.Signal()
+	sh.mu.Unlock()
+	<-c.done
+	return nil
+}
+
+// worker serves one shard: pop the minimum-virtual-finish-time flow's
+// head call, advance the clocks, run it.
+func (p *ShardPool) worker(sh *shard) {
+	defer p.wg.Done()
+	for {
+		sh.mu.Lock()
+		for len(sh.heap) == 0 && !sh.closed {
+			sh.cond.Wait()
+		}
+		if len(sh.heap) == 0 && sh.closed {
+			sh.mu.Unlock()
+			return
+		}
+		f := sh.heap[0]
+		c := f.calls[0]
+		f.calls = f.calls[1:]
+		sh.depth--
+		sh.vtime = f.vt
+		if len(f.calls) > 0 {
+			f.vt += 1 / f.weight
+			sh.heapFix(0)
+		} else {
+			sh.heapPop()
+			delete(sh.flows, f.key)
+		}
+		sh.mu.Unlock()
+		runCall(c)
+	}
+}
+
+// runCall executes one call, converting a panic into completion so a
+// buggy callee cannot wedge its submitter (who is blocked on done).
+func runCall(c *call) {
+	defer close(c.done)
+	defer func() { _ = recover() }()
+	c.fn()
+}
+
+// Close refuses new dispatches, lets the workers drain every queued
+// call, and waits for them to exit.
+func (p *ShardPool) Close() {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	p.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Min-heap of flows by virtual finish time. Hand-rolled over the shard's
+// slice so heapIdx stays coherent without container/heap's interface
+// indirection on the dispatch hot path.
+
+func (sh *shard) heapPush(f *flow) {
+	f.heapIdx = len(sh.heap)
+	sh.heap = append(sh.heap, f)
+	sh.heapUp(f.heapIdx)
+}
+
+func (sh *shard) heapPop() *flow {
+	f := sh.heap[0]
+	last := len(sh.heap) - 1
+	sh.heap[0] = sh.heap[last]
+	sh.heap[0].heapIdx = 0
+	sh.heap = sh.heap[:last]
+	if last > 0 {
+		sh.heapDown(0)
+	}
+	f.heapIdx = -1
+	return f
+}
+
+func (sh *shard) heapFix(i int) {
+	sh.heapDown(i)
+	sh.heapUp(i)
+}
+
+func (sh *shard) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if sh.heap[parent].vt <= sh.heap[i].vt {
+			break
+		}
+		sh.heapSwap(parent, i)
+		i = parent
+	}
+}
+
+func (sh *shard) heapDown(i int) {
+	n := len(sh.heap)
+	for {
+		left, small := 2*i+1, i
+		if left < n && sh.heap[left].vt < sh.heap[small].vt {
+			small = left
+		}
+		if right := left + 1; right < n && sh.heap[right].vt < sh.heap[small].vt {
+			small = right
+		}
+		if small == i {
+			return
+		}
+		sh.heapSwap(i, small)
+		i = small
+	}
+}
+
+func (sh *shard) heapSwap(i, k int) {
+	sh.heap[i], sh.heap[k] = sh.heap[k], sh.heap[i]
+	sh.heap[i].heapIdx = i
+	sh.heap[k].heapIdx = k
+}

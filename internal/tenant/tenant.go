@@ -1,0 +1,106 @@
+// Package tenant is SDNShield's multi-tenancy subsystem: one controller
+// process hosting thousands of isolated tenants, each with its own
+// policy set, market registry, verdict cache, job queues and audit/trace
+// attribution — behind a Manager owning the tenant lifecycle
+// (create/suspend/evict, lazy hydration from the on-disk store, idle
+// eviction with LRU and pinning).
+//
+// Isolation is layered:
+//
+//   - Namespace: every tenant runs a private market.Market over a private
+//     registry and verdict cache; app names cross into shared layers
+//     (shield runtimes, recorder, audit) prefixed "tenant/app", which is
+//     unambiguous because market app names themselves cannot contain '/'.
+//   - Scheduling: tenants are sharded across a worker pool by consistent
+//     (jump) hashing over the tenant ID; inside a shard, backlogged
+//     tenants are served by weighted fair queuing, so one tenant's
+//     burst cannot starve its shard neighbours beyond its weight.
+//   - Admission: per-tenant token buckets bound the mediated-call and
+//     install rates *before* any per-call allocation happens; refusal is
+//     a typed ErrTenantThrottled carrying a retry-after, surfaced as
+//     HTTP 429 — hard admission, extending the soft BUDGET accounting.
+//   - Observability: audit events, sampled traces, causal spans, job WAL
+//     records and metric series all carry the tenant (metrics behind a
+//     cardinality guard), and every introspection surface grows a
+//     tenant filter plus a /t/<tenant>/... scoped view.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// HeaderTenant is the HTTP header naming the calling tenant. Optional on
+// /t/<tenant>/... paths — when present it must agree with the path.
+const HeaderTenant = "X-Sdnshield-Tenant"
+
+// PathPrefix is the URL prefix of tenant-scoped routes: /t/<tenant>/...
+const PathPrefix = "/t/"
+
+// MaxIDLen bounds tenant IDs; longer ones are rejected at every ingress.
+const MaxIDLen = 64
+
+// Identity errors.
+var (
+	// ErrBadTenantID reports a tenant ID violating the charset/length
+	// rules (traversal attempts included).
+	ErrBadTenantID = errors.New("tenant: bad tenant id")
+	// ErrTenantMismatch reports a request whose X-Sdnshield-Tenant header
+	// disagrees with its /t/<tenant>/ path.
+	ErrTenantMismatch = errors.New("tenant: header/path tenant mismatch")
+	// ErrUnknownTenant reports an operation on a tenant the manager
+	// neither hosts nor finds in its on-disk store.
+	ErrUnknownTenant = errors.New("tenant: unknown tenant")
+	// ErrSuspended reports an operation on a suspended tenant.
+	ErrSuspended = errors.New("tenant: suspended")
+	// ErrManagerClosed reports an operation on a closed manager.
+	ErrManagerClosed = errors.New("tenant: manager closed")
+	// ErrTenantExists reports Create of an ID already hosted or stored.
+	ErrTenantExists = errors.New("tenant: already exists")
+)
+
+// ParseID validates a tenant ID: 1..MaxIDLen characters of lowercase
+// [a-z0-9._-], starting alphanumeric, with no ".." anywhere — tenant IDs
+// name directories under the manager's store, so traversal sequences are
+// rejected outright rather than sanitized.
+func ParseID(s string) (string, error) {
+	if s == "" || len(s) > MaxIDLen {
+		return "", fmt.Errorf("%w: length must be 1..%d", ErrBadTenantID, MaxIDLen)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return "", fmt.Errorf("%w: %q (lowercase [a-z0-9._-], alphanumeric first)", ErrBadTenantID, s)
+		}
+	}
+	if strings.Contains(s, "..") {
+		return "", fmt.Errorf("%w: %q contains \"..\"", ErrBadTenantID, s)
+	}
+	return s, nil
+}
+
+// FromRequest extracts the tenant identity of a scoped request: the
+// /t/<tenant>/rest path names the tenant, the optional header must
+// agree, and the returned rest ("/rest") is the path the tenant's own
+// surface serves. The bare prefix ("/t/x" with no trailing route) maps
+// to rest "/".
+func FromRequest(r *http.Request) (id, rest string, err error) {
+	p := r.URL.Path
+	if !strings.HasPrefix(p, PathPrefix) {
+		return "", "", fmt.Errorf("%w: path %q lacks %q", ErrBadTenantID, p, PathPrefix)
+	}
+	p = p[len(PathPrefix):]
+	id, rest, _ = strings.Cut(p, "/")
+	if id, err = ParseID(id); err != nil {
+		return "", "", err
+	}
+	if h := r.Header.Get(HeaderTenant); h != "" && h != id {
+		return "", "", fmt.Errorf("%w: header %q, path %q", ErrTenantMismatch, h, id)
+	}
+	return id, "/" + rest, nil
+}
