@@ -43,10 +43,16 @@
 // surface:
 //
 //	sdnshieldc -tenants-dir ./tenants -policy site.policy \
-//	    -telemetry-addr 127.0.0.1:9090
+//	    -tenants-admin-token s3cret -telemetry-addr 127.0.0.1:9090
 //	curl -X POST http://127.0.0.1:9090/tenants \
+//	    -H 'Authorization: Bearer s3cret' \
 //	    -d '{"op":"create","tenant":"acme"}'
-//	curl http://127.0.0.1:9090/t/acme/market/apps
+//	curl -H 'X-Sdnshield-Tenant: acme' http://127.0.0.1:9090/t/acme/market/apps
+//
+// Scoped routes require the X-Sdnshield-Tenant header to agree with the
+// path; in production a trusted front proxy authenticates the caller,
+// injects that header, and strips client-supplied X-Sdnshield-Tenant
+// and X-Sdnshield-Trace values before forwarding.
 //
 // Single-tenant runs can stamp their audit trail with -tenant <id>.
 package main
@@ -102,6 +108,7 @@ func run(args []string) (int, error) {
 	marketSyncMode := fs.String("market-sync-mode", "replica", "follower mode: replica (ship the release log, import upstream keys) or federate (digest anti-entropy, locally provisioned keys)")
 	marketSyncInterval := fs.Duration("market-sync-interval", 2*time.Second, "follower mode: upstream poll cadence")
 	tenantsDir := fs.String("tenants-dir", "", "multi-tenant serve mode: host isolated tenants over this store; serves /t/<tenant>/market/..., /t/<tenant>/{audit,trace,apps,jobs} and the /tenants admin surface (pair with -telemetry-addr)")
+	tenantsAdminToken := fs.String("tenants-admin-token", "", "require this bearer token on the /tenants admin API (empty leaves it open — only acceptable behind a trusted network boundary)")
 	tenantID := fs.String("tenant", "", "stamp this tenant on audit events of a single-tenant run (multi-tenant serve mode derives the tenant per request instead)")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -149,6 +156,7 @@ func run(args []string) (int, error) {
 			PolicySrc:   policySrc,
 			DurableJobs: *marketJobs != "" && *marketJobs != "mem",
 			JobWorkers:  *marketWorkers,
+			AdminToken:  *tenantsAdminToken,
 		})
 		if err != nil {
 			return 1, fmt.Errorf("tenant manager: %w", err)

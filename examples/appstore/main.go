@@ -367,8 +367,16 @@ func main() {
 	tenant.MountHTTP(tmgr)
 	ts := httptest.NewServer(obs.NewHandler(obs.Default(), nil))
 	defer ts.Close()
-	for _, path := range []string{"/t/alpha/market/apps", "/t/bravo/market/apps"} {
-		resp, err := http.Get(ts.URL + path)
+	// Scoped routes require the tenant header (production fronts this
+	// with a proxy that injects it after authenticating the caller).
+	for _, id := range []string{"alpha", "bravo"} {
+		path := "/t/" + id + "/market/apps"
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set(tenant.HeaderTenant, id)
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			log.Fatal(err)
 		}

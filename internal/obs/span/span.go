@@ -305,6 +305,12 @@ func (c *Collector) Collect(rec Record) {
 // /trace index and a tenant's scoped endpoints can tell whose operation
 // each trace is. Tagging before the first span arrives is fine — the
 // entry is created empty and the spans attach to it later.
+//
+// Trusted callers only: Tag overwrites any existing tag and
+// materializes an entry in the bounded store, so it must never be fed a
+// client-controlled trace ID (that would let one tenant take ownership
+// of another's trace, or flood-evict retained traces). Ingress code
+// must check TenantOf before continuing an inbound trace context.
 func (c *Collector) Tag(traceID uint64, tenant string) {
 	if traceID == 0 || tenant == "" {
 		return

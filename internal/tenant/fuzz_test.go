@@ -27,6 +27,7 @@ func FuzzTenantID(f *testing.F) {
 			if !strings.ContainsAny(s, "/?#%\x00 ") && s != "" {
 				r := httptest.NewRequest("GET", "/t/"+sanitizeTarget(s)+"/audit", nil)
 				r.URL.Path = "/t/" + s + "/audit" // bypass URL parsing quirks
+				r.Header.Set(HeaderTenant, s)     // agree, so only ID validity decides
 				if got, _, ferr := FromRequest(r); ferr == nil && got == s {
 					t.Fatalf("ParseID rejected %q but FromRequest accepted it", s)
 				}
@@ -59,10 +60,15 @@ func FuzzTenantID(f *testing.F) {
 		if err != nil || got != id || rest != "/market/apps" {
 			t.Fatalf("FromRequest(/t/%s) = %q, %q, %v", id, got, rest, err)
 		}
-		// A disagreeing header is always a refusal, never a silent pick.
+		// A disagreeing header is always a refusal, never a silent pick —
+		// and so is an absent one (the path alone never grants access).
 		r.Header.Set(HeaderTenant, id+"0")
 		if _, _, err := FromRequest(r); err == nil {
 			t.Fatalf("mismatched header accepted for %q", id)
+		}
+		r.Header.Del(HeaderTenant)
+		if _, _, err := FromRequest(r); err == nil {
+			t.Fatalf("headerless request accepted for %q", id)
 		}
 	})
 }

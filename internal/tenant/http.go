@@ -1,6 +1,7 @@
 package tenant
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,9 +27,12 @@ import (
 //	/t/<tenant>/            the tenant's snapshot
 //	/tenants                admin: list (GET), lifecycle ops (POST)
 //
-// Every scoped route enforces tenant identity (path, optionally
-// confirmed by the X-Sdnshield-Tenant header) and install-path
-// admission before any per-call work happens.
+// Every scoped route requires the X-Sdnshield-Tenant header to agree
+// with the path (absence is a 401 — the header is the hand-off point
+// for a trusted front proxy's authentication, see HeaderTenant) and
+// enforces install-path admission before any per-call work happens.
+// When Config.AdminToken is set, /tenants additionally requires
+// "Authorization: Bearer <token>".
 func MountHTTP(m *Manager) {
 	obs.RegisterHandler(PathPrefix, &scopedHandler{m: m})
 	obs.RegisterHandler("/tenants", &adminHandler{m: m})
@@ -49,6 +53,8 @@ func httpStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrBadTenantID), errors.Is(err, ErrTenantMismatch):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrNoTenantHeader), errors.Is(err, ErrNotAdmin):
+		return http.StatusUnauthorized
 	case errors.Is(err, ErrUnknownTenant):
 		return http.StatusNotFound
 	case errors.Is(err, ErrTenantExists):
@@ -101,27 +107,34 @@ func (h *scopedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	t, err := h.m.Get(id)
+	t, release, err := h.m.Acquire(id)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	defer release()
 	if t.State() != StateActive {
 		w.Header().Set("X-Sdnshield-Tenant-State", string(StateSuspended))
 		writeError(w, fmt.Errorf("%w: %s", ErrSuspended, id))
 		return
 	}
 
-	// Trace ingress: tag an inbound trace with the tenant, or mint a
-	// root so everything below (market handlers continue the header)
-	// lands in a tenant-tagged trace.
-	if pc, ok := span.Parse(r.Header.Get(span.Header)); ok {
-		span.Tag(pc.TraceID, id)
-	} else if sp := span.Root(audit.NextCorr(), "tenant:"+id); sp != nil {
-		sc := sp.Context()
-		span.Tag(sc.TraceID, id)
-		r.Header.Set(span.Header, sc.String())
-		defer sp.End()
+	// Trace ingress. The header is client-controlled, so it may only
+	// continue a trace the collector already tags with this tenant —
+	// anything else (unknown, untagged, or another tenant's ID) is
+	// dropped and replaced with a fresh tenant-tagged root. Inbound IDs
+	// never take ownership of a trace and never materialize collector
+	// entries, so trace IDs stay unguessable-in-effect even though they
+	// are sequential audit correlation values.
+	pc, ok := span.Parse(r.Header.Get(span.Header))
+	if !ok || span.TenantOf(pc.TraceID) != id {
+		r.Header.Del(span.Header)
+		if sp := span.Root(audit.NextCorr(), "tenant:"+id); sp != nil {
+			sc := sp.Context()
+			span.Tag(sc.TraceID, id)
+			r.Header.Set(span.Header, sc.String())
+			defer sp.End()
+		}
 	}
 
 	// Install-path admission: hard refusal before the market handler
@@ -167,7 +180,14 @@ func (t *Tenant) buildMux() http.Handler {
 		q := r.URL.Query()
 		f := audit.Filter{Tenant: id}
 		if c := q.Get("corr"); c != "" {
-			f.Corr, _ = strconv.ParseUint(c, 10, 64)
+			v, err := strconv.ParseUint(c, 10, 64)
+			if err != nil {
+				// Match the shared audit surface: a malformed filter is a
+				// refusal, never a silent widening to the whole slice.
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad corr: " + err.Error()})
+				return
+			}
+			f.Corr = v
 		}
 		events := audit.Default().Query(f)
 		if app := q.Get("app"); app != "" {
@@ -269,7 +289,24 @@ type adminOp struct {
 	Admission *AdmissionConfig `json:"admission,omitempty"` // create only
 }
 
+// authorized checks the admin bearer token when one is configured; an
+// empty AdminToken leaves /tenants open (dev mode — see DESIGN.md §16
+// for the deployment trust model).
+func (h *adminHandler) authorized(r *http.Request) bool {
+	tok := h.m.cfg.AdminToken
+	if tok == "" {
+		return true
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return subtle.ConstantTimeCompare([]byte(got), []byte(tok)) == 1
+}
+
 func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !h.authorized(r) {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeError(w, ErrNotAdmin)
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		stored := h.m.Stored()

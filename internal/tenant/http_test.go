@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sdnshield/internal/market"
+	"sdnshield/internal/obs/span"
 )
 
 const testPolicy = `
@@ -42,7 +43,21 @@ func do(t *testing.T, h http.Handler, method, path string, body interface{}, hdr
 		rd = bytes.NewReader(nil)
 	}
 	r := httptest.NewRequest(method, path, rd)
+	// Scoped routes require the tenant header (a trusted proxy's job in
+	// production); derive it from the path so every call site doesn't
+	// repeat it. An explicit hdr entry overrides; "" deletes.
+	if strings.HasPrefix(path, PathPrefix) {
+		id, _, _ := strings.Cut(strings.TrimPrefix(path, PathPrefix), "/")
+		if i := strings.IndexAny(id, "?#"); i >= 0 {
+			id = id[:i]
+		}
+		r.Header.Set(HeaderTenant, id)
+	}
 	for k, v := range hdr {
+		if v == "" {
+			r.Header.Del(k)
+			continue
+		}
 		r.Header.Set(k, v)
 	}
 	w := httptest.NewRecorder()
@@ -130,6 +145,10 @@ func TestScopedHTTPSurface(t *testing.T) {
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("header mismatch = %d", w.Code)
 	}
+	w = do(t, scoped, "GET", "/t/acme/market/apps", nil, map[string]string{HeaderTenant: ""})
+	if w.Code != http.StatusUnauthorized {
+		t.Fatalf("missing header = %d, want 401", w.Code)
+	}
 	w = do(t, scoped, "GET", "/t/acme/market/apps", nil, map[string]string{HeaderTenant: "acme"})
 	if w.Code != http.StatusOK {
 		t.Fatalf("agreeing header = %d: %s", w.Code, w.Body.String())
@@ -159,6 +178,12 @@ func TestScopedHTTPSurface(t *testing.T) {
 		t.Fatalf("scoped jobs = %d: %s", w.Code, w.Body.String())
 	}
 	waitAuditEvent(t, scoped, "acme", "install")
+
+	// A malformed corr filter is refused, never silently widened to the
+	// tenant's whole audit slice.
+	if w = do(t, scoped, "GET", "/t/acme/audit?corr=abc", nil, nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad corr = %d, want 400: %s", w.Code, w.Body.String())
+	}
 
 	// Suspension closes the whole scoped surface.
 	if w = do(t, admin, "POST", "/tenants", adminOp{Op: "suspend", Tenant: "acme"}, nil); w.Code != http.StatusOK {
@@ -196,6 +221,91 @@ func waitAuditEvent(t *testing.T, scoped http.Handler, tenant, op string) {
 			t.Fatalf("no %q audit event for %s: %s", op, tenant, w.Body.String())
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTraceHeaderCannotHijack pins the trace-ownership boundary: the
+// X-Sdnshield-Trace header is client-controlled, so replaying another
+// tenant's (sequential, enumerable) trace ID must neither transfer
+// ownership of the trace nor materialize collector entries for bogus
+// IDs.
+func TestTraceHeaderCannotHijack(t *testing.T) {
+	prevSpan := span.SetEnabled(true)
+	defer span.SetEnabled(prevSpan)
+
+	m := newTestManager(t, Config{PolicySrc: testPolicy})
+	scoped := &scopedHandler{m: m}
+	for _, id := range []string{"alpha", "bravo"} {
+		if _, err := m.Create(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Alpha's request mints a trace tagged alpha.
+	if w := do(t, scoped, "GET", "/t/alpha/market/apps", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("alpha request = %d", w.Code)
+	}
+	var idx struct {
+		Traces []span.TraceInfo `json:"traces"`
+	}
+	w := do(t, scoped, "GET", "/t/alpha/trace", nil, nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &idx); err != nil || len(idx.Traces) == 0 {
+		t.Fatalf("alpha has no retained trace: %v %s", err, w.Body.String())
+	}
+	stolen := idx.Traces[0].TraceID
+
+	// Bravo replays alpha's trace ID in the header. The request succeeds
+	// (a fresh bravo-tagged trace replaces the header), but alpha keeps
+	// ownership and bravo still cannot read the trace.
+	hdr := map[string]string{span.Header: fmt.Sprintf("%d-1-0", stolen)}
+	if w := do(t, scoped, "GET", "/t/bravo/market/apps", nil, hdr); w.Code != http.StatusOK {
+		t.Fatalf("bravo replay request = %d", w.Code)
+	}
+	if got := span.TenantOf(stolen); got != "alpha" {
+		t.Fatalf("trace %d owner = %q after replay, want alpha", stolen, got)
+	}
+	if w := do(t, scoped, "GET", fmt.Sprintf("/t/bravo/trace/%d", stolen), nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("bravo reads alpha's trace after replay: %d %s", w.Code, w.Body.String())
+	}
+	if w := do(t, scoped, "GET", fmt.Sprintf("/t/alpha/trace/%d", stolen), nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("alpha lost its own trace: %d", w.Code)
+	}
+
+	// A bogus unseen inbound ID creates no collector entry, so a header
+	// flood cannot evict legitimately retained traces.
+	const bogus = uint64(1)<<62 + 12345
+	hdr = map[string]string{span.Header: fmt.Sprintf("%d-1-0", bogus)}
+	if w := do(t, scoped, "GET", "/t/bravo/market/apps", nil, hdr); w.Code != http.StatusOK {
+		t.Fatalf("bravo bogus-header request = %d", w.Code)
+	}
+	if span.DefaultCollector().Trace(bogus) != nil || span.TenantOf(bogus) != "" {
+		t.Fatalf("bogus inbound trace ID %d materialized a collector entry", bogus)
+	}
+}
+
+// TestAdminToken gates the /tenants lifecycle API behind the configured
+// bearer token.
+func TestAdminToken(t *testing.T) {
+	m := newTestManager(t, Config{AdminToken: "s3cret"})
+	admin := &adminHandler{m: m}
+
+	op := adminOp{Op: "create", Tenant: "acme"}
+	if w := do(t, admin, "POST", "/tenants", op, nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless create = %d, want 401", w.Code)
+	}
+	if w := do(t, admin, "GET", "/tenants", nil, nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless list = %d, want 401", w.Code)
+	}
+	wrong := map[string]string{"Authorization": "Bearer nope"}
+	if w := do(t, admin, "POST", "/tenants", op, wrong); w.Code != http.StatusUnauthorized {
+		t.Fatalf("wrong token = %d, want 401", w.Code)
+	}
+	good := map[string]string{"Authorization": "Bearer s3cret"}
+	if w := do(t, admin, "POST", "/tenants", op, good); w.Code != http.StatusCreated {
+		t.Fatalf("authorized create = %d: %s", w.Code, w.Body.String())
+	}
+	if w := do(t, admin, "GET", "/tenants", nil, good); w.Code != http.StatusOK {
+		t.Fatalf("authorized list = %d", w.Code)
 	}
 }
 

@@ -60,6 +60,10 @@ type Config struct {
 	// activates permissions into; the manager wraps it so the tenant's
 	// apps cross into it namespaced "tenant/app".
 	Runtime func(id string) market.Runtime
+	// AdminToken, when set, gates the /tenants admin API behind
+	// "Authorization: Bearer <token>". Empty leaves it open — only
+	// acceptable behind a trusted network boundary.
+	AdminToken string
 	// Registry receives the manager's metrics (default obs.Default()).
 	Registry *obs.Registry
 	// MetricTenants caps distinct tenant label values in metrics; beyond
@@ -217,6 +221,24 @@ func (m *Manager) writeRecord(rec *record) error {
 	return os.Rename(tmp, path)
 }
 
+// Acquire resolves a tenant and marks one in-flight use of it, so a
+// concurrent eviction waits for the use to end instead of closing the
+// tenant's market and job manager mid-request. It retries when it loses
+// the Get/close race (the closing instance is already unlinked, so the
+// retry hydrates or finds a fresh one). The returned release func must
+// be called exactly once when the use ends.
+func (m *Manager) Acquire(id string) (*Tenant, func(), error) {
+	for {
+		t, err := m.Get(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t.tryAcquire() {
+			return t, t.release, nil
+		}
+	}
+}
+
 // Get returns a resident tenant, hydrating it from the on-disk store
 // when the manager persists and the tenant exists there.
 func (m *Manager) Get(id string) (*Tenant, error) {
@@ -342,15 +364,17 @@ func (m *Manager) build(rec *record) (*Tenant, error) {
 	}
 	mkt.AttachJobs(jm, m.cfg.JobWorkers)
 	t := &Tenant{
-		ID:     rec.ID,
-		mgr:    m,
-		shard:  m.pool.ShardOf(rec.ID),
-		mkt:    mkt,
-		jm:     jm,
-		adm:    newAdmission(rec.Admission),
-		admCfg: rec.Admission,
-		met:    m.met.forTenant(rec.ID),
+		ID:      rec.ID,
+		mgr:     m,
+		shard:   m.pool.ShardOf(rec.ID),
+		created: rec.CreatedAt,
+		mkt:     mkt,
+		jm:      jm,
+		adm:     newAdmission(rec.Admission),
+		admCfg:  rec.Admission,
+		met:     m.met.forTenant(rec.ID),
 	}
+	t.drained = sync.NewCond(&t.lifeMu)
 	if rec.Suspended {
 		t.state.Store(string(StateSuspended))
 	} else {
@@ -360,8 +384,10 @@ func (m *Manager) build(rec *record) (*Tenant, error) {
 	return t, nil
 }
 
-// lruVictimsLocked unlinks up to n least-recently-used unpinned tenants
-// (front of the LRU) and returns them for closing outside the lock.
+// lruVictimsLocked unlinks up to n least-recently-used unpinned, idle
+// tenants (front of the LRU) and returns them for closing outside the
+// lock. Tenants with in-flight holders are skipped — pressure relief
+// must not interrupt running requests (and close would block on them).
 func (m *Manager) lruVictimsLocked(n int) []*Tenant {
 	if n <= 0 {
 		return nil
@@ -370,7 +396,7 @@ func (m *Manager) lruVictimsLocked(n int) []*Tenant {
 	for e := m.lru.Front(); e != nil && len(victims) < n; {
 		next := e.Next()
 		t := e.Value.(*Tenant)
-		if !t.pinned.Load() {
+		if !t.pinned.Load() && !t.busy() {
 			m.unlinkLocked(t)
 			victims = append(victims, t)
 		}
@@ -417,7 +443,9 @@ func (m *Manager) setSuspended(id string, suspended bool) error {
 	}
 	t.state.Store(string(st))
 	if m.cfg.Dir != "" {
-		rec := record{ID: t.ID, Admission: t.admCfg, Suspended: suspended, CreatedAt: time.Now()}
+		// Re-persist the hydrated identity — CreatedAt is the tenant's
+		// original creation time, not this lifecycle toggle's.
+		rec := record{ID: t.ID, Admission: t.admCfg, Suspended: suspended, CreatedAt: t.created}
 		return m.writeRecord(&rec)
 	}
 	return nil
@@ -436,7 +464,9 @@ func (m *Manager) Pin(id string, pin bool) error {
 
 // Evict closes a resident tenant and drops it from memory; its store
 // (when the manager persists) remains for re-hydration. Works on pinned
-// tenants — pinning shields only the automatic paths.
+// and busy tenants — pinning and in-flight use shield only the automatic
+// eviction paths — but waits for in-flight requests to drain before the
+// tenant's market and job manager close.
 func (m *Manager) Evict(id string) error {
 	m.mu.Lock()
 	t, ok := m.tenants[id]
@@ -463,7 +493,7 @@ func (m *Manager) EvictIdle(now time.Time) int {
 	for e := m.lru.Front(); e != nil; {
 		next := e.Next()
 		t := e.Value.(*Tenant)
-		if !t.pinned.Load() && t.lastTouch.Load() < cutoff {
+		if !t.pinned.Load() && !t.busy() && t.lastTouch.Load() < cutoff {
 			m.unlinkLocked(t)
 			victims = append(victims, t)
 		}
@@ -483,6 +513,7 @@ type Info struct {
 	Apps      int       `json:"apps"`
 	Calls     uint64    `json:"calls"`
 	Throttled uint64    `json:"throttled"`
+	CreatedAt time.Time `json:"created_at"`
 	LastTouch time.Time `json:"last_touch"`
 }
 
@@ -532,6 +563,12 @@ func (m *Manager) Resident() int {
 	return len(m.tenants)
 }
 
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
 // Registry returns the manager's metrics registry.
 func (m *Manager) Registry() *obs.Registry { return m.cfg.Registry }
 
@@ -566,9 +603,10 @@ func (m *Manager) Close() {
 // a private job manager, admission buckets, and a consistent shard
 // placement. All methods are safe for concurrent use.
 type Tenant struct {
-	ID    string
-	mgr   *Manager
-	shard int
+	ID      string
+	mgr     *Manager
+	shard   int
+	created time.Time // original creation time, carried across re-persists
 
 	mkt    *market.Market
 	jm     *jobs.Manager
@@ -581,9 +619,47 @@ type Tenant struct {
 	lastTouch atomic.Int64 // unix nanos
 	lastLRU   atomic.Int64 // unix nanos of the last LRU move
 
+	// lifeMu guards the in-flight refcount against close: holders keep
+	// the market and job manager open; close marks the tenant closing
+	// (refusing new holders) and waits on drained for refs to hit zero.
+	lifeMu  sync.Mutex
+	refs    int
+	closing bool
+	drained *sync.Cond
+
 	mu   sync.Mutex
 	elem *list.Element // LRU position; nil once evicted
 	mux  http.Handler  // lazily built scoped surface
+}
+
+// tryAcquire marks one in-flight use of the tenant. It fails once close
+// has begun — the caller should re-resolve the tenant through the
+// manager, which hydrates a fresh instance (Manager.Acquire does this).
+func (t *Tenant) tryAcquire() bool {
+	t.lifeMu.Lock()
+	defer t.lifeMu.Unlock()
+	if t.closing {
+		return false
+	}
+	t.refs++
+	return true
+}
+
+// release ends one in-flight use, waking a close waiting for drain.
+func (t *Tenant) release() {
+	t.lifeMu.Lock()
+	t.refs--
+	if t.refs == 0 && t.closing {
+		t.drained.Broadcast()
+	}
+	t.lifeMu.Unlock()
+}
+
+// busy reports whether the tenant has in-flight holders.
+func (t *Tenant) busy() bool {
+	t.lifeMu.Lock()
+	defer t.lifeMu.Unlock()
+	return t.refs > 0
 }
 
 // State returns the tenant's lifecycle state.
@@ -622,11 +698,19 @@ func (t *Tenant) touch() {
 // Do runs one mediated call for the tenant: token-bucket admission
 // first (hard refusal with retry-after, before any allocation), then
 // weighted-fair dispatch on the tenant's shard. The returned error is
-// fn's own, a *ThrottleError, ErrSuspended, or ErrManagerClosed.
+// fn's own, a *ThrottleError, ErrSuspended, ErrUnknownTenant (the
+// instance was evicted — re-Get it), or ErrManagerClosed.
 func (t *Tenant) Do(op string, fn func() error) error {
 	if t.State() != StateActive {
 		return fmt.Errorf("%w: %s", ErrSuspended, t.ID)
 	}
+	if !t.tryAcquire() {
+		if t.mgr.isClosed() {
+			return ErrManagerClosed
+		}
+		return fmt.Errorf("%w: %s (evicted)", ErrUnknownTenant, t.ID)
+	}
+	defer t.release()
 	if ok, retry := t.adm.calls.take(); !ok {
 		t.met.throttledCalls.Inc()
 		return &ThrottleError{Tenant: t.ID, Path: "call", RetryAfter: retry}
@@ -673,6 +757,7 @@ func (t *Tenant) Info() Info {
 		Apps:      len(t.mkt.Snapshot()),
 		Calls:     t.met.calls.Value(),
 		Throttled: t.met.throttledCalls.Value() + t.met.throttledInstalls.Value(),
+		CreatedAt: t.created,
 		LastTouch: time.Unix(0, t.lastTouch.Load()),
 	}
 }
@@ -689,9 +774,16 @@ func (t *Tenant) LatencyObjective(threshold time.Duration, target float64) obs.O
 		threshold, target)
 }
 
-// close shuts the tenant's market and job manager down. Idempotent via
-// their own Close guards.
+// close refuses new holders, waits for in-flight ones to drain, then
+// shuts the tenant's market and job manager down. Idempotent via their
+// own Close guards (a concurrent second close also waits for drain).
 func (t *Tenant) close() {
+	t.lifeMu.Lock()
+	t.closing = true
+	for t.refs > 0 {
+		t.drained.Wait()
+	}
+	t.lifeMu.Unlock()
 	t.mkt.Close()
 	_ = t.jm.Close()
 }

@@ -32,8 +32,11 @@ import (
 	"strings"
 )
 
-// HeaderTenant is the HTTP header naming the calling tenant. Optional on
-// /t/<tenant>/... paths — when present it must agree with the path.
+// HeaderTenant is the HTTP header naming the calling tenant. Required on
+// /t/<tenant>/... paths and it must agree with the path. The header is
+// the deployment's authentication hand-off point: a trusted front proxy
+// authenticates the caller, injects this header, and strips any
+// client-supplied HeaderTenant and span.Header values before forwarding.
 const HeaderTenant = "X-Sdnshield-Tenant"
 
 // PathPrefix is the URL prefix of tenant-scoped routes: /t/<tenant>/...
@@ -50,6 +53,12 @@ var (
 	// ErrTenantMismatch reports a request whose X-Sdnshield-Tenant header
 	// disagrees with its /t/<tenant>/ path.
 	ErrTenantMismatch = errors.New("tenant: header/path tenant mismatch")
+	// ErrNoTenantHeader reports a scoped request arriving without the
+	// X-Sdnshield-Tenant header — the path alone never grants access.
+	ErrNoTenantHeader = errors.New("tenant: missing " + HeaderTenant + " header")
+	// ErrNotAdmin reports a /tenants admin request without the configured
+	// admin bearer token.
+	ErrNotAdmin = errors.New("tenant: admin token required")
 	// ErrUnknownTenant reports an operation on a tenant the manager
 	// neither hosts nor finds in its on-disk store.
 	ErrUnknownTenant = errors.New("tenant: unknown tenant")
@@ -85,10 +94,12 @@ func ParseID(s string) (string, error) {
 }
 
 // FromRequest extracts the tenant identity of a scoped request: the
-// /t/<tenant>/rest path names the tenant, the optional header must
-// agree, and the returned rest ("/rest") is the path the tenant's own
-// surface serves. The bare prefix ("/t/x" with no trailing route) maps
-// to rest "/".
+// /t/<tenant>/rest path names the tenant, the X-Sdnshield-Tenant header
+// must be present and agree (the path alone is client-typed routing, the
+// header is what a trusted front proxy injects after authenticating),
+// and the returned rest ("/rest") is the path the tenant's own surface
+// serves. The bare prefix ("/t/x" with no trailing route) maps to rest
+// "/".
 func FromRequest(r *http.Request) (id, rest string, err error) {
 	p := r.URL.Path
 	if !strings.HasPrefix(p, PathPrefix) {
@@ -99,7 +110,10 @@ func FromRequest(r *http.Request) (id, rest string, err error) {
 	if id, err = ParseID(id); err != nil {
 		return "", "", err
 	}
-	if h := r.Header.Get(HeaderTenant); h != "" && h != id {
+	switch h := r.Header.Get(HeaderTenant); {
+	case h == "":
+		return "", "", fmt.Errorf("%w (path %q)", ErrNoTenantHeader, id)
+	case h != id:
 		return "", "", fmt.Errorf("%w: header %q, path %q", ErrTenantMismatch, h, id)
 	}
 	return id, "/" + rest, nil

@@ -1,8 +1,11 @@
 package tenant
 
 import (
+	"encoding/json"
 	"errors"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -35,7 +38,12 @@ func TestParseID(t *testing.T) {
 }
 
 func TestFromRequest(t *testing.T) {
+	// The header is mandatory: the bare path never grants an identity.
 	r := httptest.NewRequest("GET", "/t/acme/market/apps", nil)
+	if _, _, err := FromRequest(r); !errors.Is(err, ErrNoTenantHeader) {
+		t.Fatalf("headerless err = %v, want ErrNoTenantHeader", err)
+	}
+	r.Header.Set(HeaderTenant, "acme")
 	id, rest, err := FromRequest(r)
 	if err != nil || id != "acme" || rest != "/market/apps" {
 		t.Fatalf("FromRequest = %q, %q, %v", id, rest, err)
@@ -43,24 +51,23 @@ func TestFromRequest(t *testing.T) {
 
 	// Bare tenant root.
 	r = httptest.NewRequest("GET", "/t/acme", nil)
+	r.Header.Set(HeaderTenant, "acme")
 	if id, rest, err = FromRequest(r); err != nil || id != "acme" || rest != "/" {
 		t.Fatalf("bare root: %q, %q, %v", id, rest, err)
 	}
 
-	// Agreeing header is fine; disagreeing one is rejected.
+	// A disagreeing header is rejected.
 	r = httptest.NewRequest("GET", "/t/acme/audit", nil)
-	r.Header.Set(HeaderTenant, "acme")
-	if _, _, err = FromRequest(r); err != nil {
-		t.Fatalf("agreeing header: %v", err)
-	}
 	r.Header.Set(HeaderTenant, "evil")
 	if _, _, err = FromRequest(r); !errors.Is(err, ErrTenantMismatch) {
 		t.Fatalf("disagreeing header err = %v, want ErrTenantMismatch", err)
 	}
 
-	// Traversal and malformed IDs are refused at the ingress.
+	// Traversal and malformed IDs are refused at the ingress, header or
+	// not — the path ID is validated before the header is consulted.
 	for _, p := range []string{"/t/", "/t/../audit", "/t/UP/market/apps", "/market/apps"} {
 		r = httptest.NewRequest("GET", p, nil)
+		r.Header.Set(HeaderTenant, "acme")
 		if _, _, err = FromRequest(r); err == nil {
 			t.Errorf("FromRequest(%q) accepted", p)
 		}
@@ -370,6 +377,129 @@ func TestManagerLRUPressure(t *testing.T) {
 		if m.Resident() > 2 {
 			t.Fatalf("resident %d exceeds bound", m.Resident())
 		}
+	}
+}
+
+// TestEvictWaitsForInflight pins the eviction/in-flight race: an
+// explicit Evict must not close the tenant's market and job manager
+// under a running call — it waits for the call to drain, and the
+// evicted instance then refuses new work with a typed error.
+func TestEvictWaitsForInflight(t *testing.T) {
+	m := newTestManager(t, Config{})
+	a, err := m.Create("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Do("op", func() error {
+			close(started)
+			<-gate
+			return nil
+		})
+	}()
+	<-started
+
+	evicted := make(chan error, 1)
+	go func() { evicted <- m.Evict("acme") }()
+	select {
+	case err := <-evicted:
+		t.Fatalf("Evict returned (%v) while a call was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight Do err = %v", err)
+	}
+	if err := <-evicted; err != nil {
+		t.Fatalf("Evict err = %v", err)
+	}
+	if err := a.Do("op", func() error { return nil }); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("post-evict Do err = %v, want ErrUnknownTenant", err)
+	}
+}
+
+// TestEvictIdleSkipsBusyTenant: the automatic sweep never takes a tenant
+// with in-flight holders, however stale its last touch looks.
+func TestEvictIdleSkipsBusyTenant(t *testing.T) {
+	m := newTestManager(t, Config{IdleAfter: time.Minute})
+	a, err := m.Create("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Do("op", func() error {
+			close(started)
+			<-gate
+			return nil
+		})
+	}()
+	<-started
+	if n := m.EvictIdle(time.Now().Add(time.Hour)); n != 0 {
+		t.Fatalf("sweep evicted %d busy tenants", n)
+	}
+	if m.Resident() != 1 {
+		t.Fatalf("busy tenant gone: resident = %d", m.Resident())
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight Do err = %v", err)
+	}
+	// Drained, the same sweep takes it.
+	if n := m.EvictIdle(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("post-drain sweep evicted %d, want 1", n)
+	}
+}
+
+// TestSuspendPreservesCreatedAt: lifecycle toggles re-persist the
+// tenant record without clobbering its original creation timestamp.
+func TestSuspendPreservesCreatedAt(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Dir: dir})
+	if _, err := m.Create("acme"); err != nil {
+		t.Fatal(err)
+	}
+	readCreated := func() time.Time {
+		t.Helper()
+		raw, err := os.ReadFile(filepath.Join(dir, "acme", "tenant.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatal(err)
+		}
+		return rec.CreatedAt
+	}
+	orig := readCreated()
+	if orig.IsZero() {
+		t.Fatal("created record lacks CreatedAt")
+	}
+	if err := m.Suspend("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Resume("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCreated(); !got.Equal(orig) {
+		t.Fatalf("CreatedAt after suspend/resume = %v, want %v", got, orig)
+	}
+	// Survives eviction + rehydration before the next toggle too.
+	if err := m.Evict("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Suspend("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCreated(); !got.Equal(orig) {
+		t.Fatalf("CreatedAt after rehydrate+suspend = %v, want %v", got, orig)
 	}
 }
 
