@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder bench-market bench-trace bench-tenants attacksim fuzz-smoke
+.PHONY: build test race vet fmt-check check bench bench-obs bench-audit bench-recorder bench-market bench-trace bench-tenants bench-heat bench-all attacksim fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,19 @@ bench-tenants:
 # SHORT=1 drops to 5 rounds for CI.
 bench-trace:
 	SDNSHIELD_SPAN_GUARD=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestSpanOverheadBudget -v .
+
+# bench-heat enforces the decision-heat profiler's 5% budget on the
+# mediated-call hot path (HeatOn/HeatOff chunk pairs, median ratio
+# ≤1.05, DESIGN.md §17) and writes BENCH_heat.json: the per-clause heat
+# distribution and check latency percentiles at sampling 1. SHORT=1
+# shrinks both for CI.
+bench-heat:
+	SDNSHIELD_HEAT_GUARD=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestHeatOverheadBudget -v .
+	SDNSHIELD_HEAT_BENCH=1 $(GO) test $(if $(SHORT),-short) -count=1 -run=TestHeatBenchTrajectory -v ./internal/bench/
+
+# bench-all runs every bench gate in one pass, refreshing every
+# BENCH_*.json trajectory file. SHORT=1 propagates to each gate.
+bench-all: bench-recorder bench-trace bench-heat bench-market bench-tenants
 
 attacksim:
 	$(GO) run ./cmd/attacksim -v

@@ -480,6 +480,125 @@ func TestSpanOverheadBudget(t *testing.T) {
 	}
 }
 
+// benchmarkMediatedCallHeat times the same mediated call with heat
+// profiling on or off (telemetry on, audit/recorder/span off in both,
+// so the delta isolates the heat layer). The unsampled majority of
+// checks pays exactly one atomic load and one atomic add before taking
+// the fused compiled path; only 1-in-64 checks walk the instrumented
+// per-clause route. The budget is 5% on the On/Off ratio; `make
+// bench-heat` enforces it.
+func benchmarkMediatedCallHeat(b *testing.B, heatOn bool) {
+	call, cleanup := setupHeatBench(b, heatOn)
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := call(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// setupHeatBench prepares one heat measurement: telemetry on, audit,
+// recorder and span off, heat profiling as requested at the default
+// sampling rate, probe app launched.
+func setupHeatBench(tb testing.TB, heatOn bool) (call func() error, cleanup func()) {
+	prevObs := obs.SetEnabled(true)
+	prevAudit := audit.On()
+	audit.SetEnabled(false)
+	prevRec := recorder.SetEnabled(false)
+	prevSpan := span.SetEnabled(false)
+	prevHeat := permengine.SetHeatEnabled(heatOn)
+	k := controller.New(nil, nil)
+	shield := isolation.NewShield(k, isolation.Config{})
+	shield.SetPermissions("obsprobe", permlang.MustParse("PERM visible_topology\n").Set())
+	if err := shield.Launch(obsProbeApp{}); err != nil {
+		tb.Fatal(err)
+	}
+	api, err := isolation.AttackerHandle(shield, "obsprobe")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	call = func() error {
+		_, err := api.Switches()
+		return err
+	}
+	cleanup = func() {
+		shield.Stop()
+		k.Stop()
+		permengine.SetHeatEnabled(prevHeat)
+		span.SetEnabled(prevSpan)
+		recorder.SetEnabled(prevRec)
+		audit.SetEnabled(prevAudit)
+		obs.SetEnabled(prevObs)
+	}
+	return call, cleanup
+}
+
+func BenchmarkMediatedCallHeatOn(b *testing.B)  { benchmarkMediatedCallHeat(b, true) }
+func BenchmarkMediatedCallHeatOff(b *testing.B) { benchmarkMediatedCallHeat(b, false) }
+
+// TestHeatOverheadBudget enforces the ≤5% heat-profiling budget on the
+// mediated-call hot path, with the same de-biasing as the recorder and
+// span guards: one shield instance, interleaved ~10ms chunks, median
+// ratio across rounds. Runs only under SDNSHIELD_HEAT_GUARD=1 (as
+// `make bench-heat` does); plain `go test ./...` skips it.
+func TestHeatOverheadBudget(t *testing.T) {
+	if os.Getenv("SDNSHIELD_HEAT_GUARD") != "1" {
+		t.Skip("set SDNSHIELD_HEAT_GUARD=1 to run the heat overhead guard")
+	}
+	rounds, chunks, chunkIters := 7, 60, 10_000
+	if testing.Short() {
+		rounds = 5
+	}
+	call, cleanup := setupHeatBench(t, false)
+	defer cleanup()
+	runChunk := func() time.Duration {
+		start := time.Now()
+		for i := 0; i < chunkIters; i++ {
+			if err := call(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < chunkIters; i++ { // warmup
+		if err := call(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	timeChunk := func(heatOn bool) time.Duration {
+		permengine.SetHeatEnabled(heatOn)
+		return runChunk()
+	}
+	ratios := make([]float64, 0, rounds*chunks/2)
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		var offNs, onNs int64
+		for c := 0; c < chunks/2; c++ {
+			var off, on time.Duration
+			if r%2 == 0 {
+				off = timeChunk(false)
+				on = timeChunk(true)
+			} else {
+				on = timeChunk(true)
+				off = timeChunk(false)
+			}
+			offNs += off.Nanoseconds()
+			onNs += on.Nanoseconds()
+			ratios = append(ratios, float64(on)/float64(off))
+		}
+		perOp := float64(chunks/2) * float64(chunkIters)
+		t.Logf("round %d: heat off %.0f ns/op, on %.0f ns/op (%+.2f%%)",
+			r, float64(offNs)/perOp, float64(onNs)/perOp, (float64(onNs)/float64(offNs)-1)*100)
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2] - 1
+	t.Logf("mediated call: median heat overhead %+.2f%% across %d chunk pairs", overhead*100, len(ratios))
+	if overhead > 0.05 {
+		t.Fatalf("heat overhead %.2f%% exceeds the 5%% budget (median of %d chunk-pair ratios)", overhead*100, len(ratios))
+	}
+}
+
 // BenchmarkReconcile measures one full reconciliation of the large
 // complexity manifest against a constraint-heavy policy (§IX-A: never
 // exceeds one second).

@@ -39,6 +39,7 @@ func run(args []string) error {
 	traceFile := fs.String("trace-file", "", "append finished trace spans as JSONL to this file (rotated at 64 MiB)")
 	sloOn := fs.Bool("slo", false, "evaluate the built-in SLOs and serve them at /slo")
 	bundleDir := fs.String("bundle-dir", "", "write diagnostic bundles (anomaly/quota/quarantine captures) to this directory as <id>.json")
+	profDir := fs.String("prof-dir", "", "run the continuous profiler: delta CPU/heap/mutex/block pprof captures land here in a bounded ring, surfaced at /prof and inside diagnostic bundles")
 	tenantID := fs.String("tenant", "", "stamp all audit events of this run with a tenant ID (so a shared journal sink can be filtered per tenant)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,9 +78,18 @@ func run(args []string) error {
 		stopTelemetry()
 		return err
 	}
+	stopProf, err := bench.StartProfiler(*profDir)
+	if err != nil {
+		stopBundles()
+		stopSLO()
+		stopTrace()
+		stopAudit()
+		stopTelemetry()
+		return err
+	}
 	// Flush the audit sink and close the telemetry server on SIGINT/
 	// SIGTERM too, so an interrupted run loses no events.
-	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopSLO, stopTrace, stopAudit, stopTelemetry)
+	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopProf, stopBundles, stopSLO, stopTrace, stopAudit, stopTelemetry)
 	defer cancelShutdown()
 	defer func() { fmt.Println(bench.TelemetrySummary()) }()
 

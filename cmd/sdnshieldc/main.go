@@ -96,6 +96,7 @@ func run(args []string) (int, error) {
 	traceFile := fs.String("trace-file", "", "append finished trace spans as JSONL to this file (rotated at 64 MiB)")
 	sloOn := fs.Bool("slo", false, "evaluate the built-in SLOs (install latency, queue wait, mediated calls, cache hits, dead letters) and serve them at /slo")
 	bundleDir := fs.String("bundle-dir", "", "write diagnostic bundles (anomaly/quota/quarantine captures) to this directory as <id>.json")
+	profDir := fs.String("prof-dir", "", "run the continuous profiler: delta CPU/heap/mutex/block pprof captures land here in a bounded ring, surfaced at /prof and inside diagnostic bundles")
 	marketDir := fs.String("market-dir", "", "market mode: operate on this app-market directory (keys/ + releases/)")
 	marketKeygen := fs.String("market-keygen", "", "market mode: generate a keypair for this vendor under the market dir, print the public key, and exit")
 	marketSign := fs.Bool("market-sign", false, "market mode: package -app/-manifest as a signed release (needs -market-vendor, -market-version)")
@@ -253,11 +254,20 @@ func run(args []string) (int, error) {
 		stopTelemetry()
 		return 1, err
 	}
+	stopProf, err := bench.StartProfiler(*profDir)
+	if err != nil {
+		stopBundles()
+		stopSLO()
+		stopTrace()
+		stopAudit()
+		stopTelemetry()
+		return 1, err
+	}
 	// Flush the audit sink and close the telemetry server on SIGINT/
 	// SIGTERM too, so an interrupted run loses no events. Job queues
 	// drain first: in-flight installs finish and the WAL is fsynced
 	// before the audit trail is sealed.
-	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopBundles, stopSLO, stopTrace, stopAudit, stopTelemetry)
+	cancelShutdown := bench.OnShutdown(jobs.DrainAll, stopProf, stopBundles, stopSLO, stopTrace, stopAudit, stopTelemetry)
 	defer cancelShutdown()
 	defer jobs.DrainAll()
 	// The reconciled permissions go to stdout; the digest must not mix in.

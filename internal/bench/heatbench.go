@@ -1,0 +1,120 @@
+// Heat benchmark: the decision-heat profiler at sampling 1 (every check
+// instrumented) over the Figure-5 medium manifest and trace mix, so
+// BENCH_heat.json records where permission decisions actually spend
+// their evaluations — per-clause evals/pass/fail/short-circuit counts
+// with latency brackets — plus the check latency percentiles of the
+// fully instrumented path. The ≤5% production-overhead guard (default
+// 1-in-64 sampling) lives in the root TestHeatOverheadBudget; `make
+// bench-heat` runs both.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/permengine"
+)
+
+// HeatClauseRow is one clause's heat in the BENCH_heat.json document,
+// flattened with its (app, token) key.
+type HeatClauseRow struct {
+	Token         string                  `json:"token"`
+	Index         int                     `json:"index"`
+	Expr          string                  `json:"expr"`
+	Dimensions    []string                `json:"dimensions,omitempty"`
+	Evals         uint64                  `json:"evals"`
+	Pass          uint64                  `json:"pass"`
+	Fail          uint64                  `json:"fail"`
+	ShortCircuits uint64                  `json:"short_circuits"`
+	Latency       permengine.HeatBrackets `json:"latency"`
+}
+
+// HeatBenchResult is the BENCH_heat.json document.
+type HeatBenchResult struct {
+	TrajectoryHeader
+	Checks        int     `json:"checks"`
+	Allowed       int     `json:"allowed"`
+	Denied        int     `json:"denied"`
+	ChecksPerSec  float64 `json:"checks_per_sec"`
+	CheckP50Nanos float64 `json:"check_p50_nanos"`
+	CheckP95Nanos float64 `json:"check_p95_nanos"`
+	CheckP99Nanos float64 `json:"check_p99_nanos"`
+	// SampledChecks is how many of the driven checks took the
+	// instrumented route — equal to Checks at sampling 1.
+	SampledChecks uint64          `json:"sampled_checks"`
+	Clauses       []HeatClauseRow `json:"clauses"`
+}
+
+// RunHeatBench drives `checks` permission checks (the Fig5 medium
+// manifest, 5% denials) through a heat-profiled engine at sampling 1
+// and returns the per-clause heat distribution plus per-check latency
+// percentiles.
+func RunHeatBench(checks int) (*HeatBenchResult, error) {
+	prevEnabled := permengine.SetHeatEnabled(true)
+	prevEvery := permengine.SetHeatSampling(1)
+	defer func() {
+		permengine.SetHeatEnabled(prevEnabled)
+		permengine.SetHeatSampling(prevEvery)
+	}()
+
+	// The Fig5 trace stamps App "bench" on every call.
+	engine := permengine.New(nil)
+	engine.SetPermissions("bench", bench5MediumManifest())
+	trace := Fig5TraceForBench(4096, core.TokenInsertFlow)
+	sampledBefore := engine.HeatSnapshot().SampledChecks
+
+	res := &HeatBenchResult{TrajectoryHeader: NewTrajectoryHeader("heat"), Checks: checks}
+	lat := make([]time.Duration, checks)
+	start := time.Now()
+	for i := 0; i < checks; i++ {
+		s := time.Now()
+		err := engine.Check(trace[i%len(trace)])
+		lat[i] = time.Since(s)
+		if err == nil {
+			res.Allowed++
+		} else {
+			res.Denied++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		res.ChecksPerSec = float64(checks) / elapsed
+	}
+	sort.Slice(lat, func(i, k int) bool { return lat[i] < lat[k] })
+	pct := func(p float64) float64 {
+		return float64(lat[int(p*float64(len(lat)-1))].Nanoseconds())
+	}
+	res.CheckP50Nanos = pct(0.50)
+	res.CheckP95Nanos = pct(0.95)
+	res.CheckP99Nanos = pct(0.99)
+
+	snap := engine.HeatSnapshot()
+	res.SampledChecks = snap.SampledChecks - sampledBefore
+	for _, app := range snap.Apps {
+		for _, tok := range app.Tokens {
+			for _, cl := range tok.Clauses {
+				if cl.Evals == 0 && cl.ShortCircuits == 0 {
+					continue
+				}
+				res.Clauses = append(res.Clauses, HeatClauseRow{
+					Token: tok.Token, Index: cl.Index, Expr: cl.Expr,
+					Dimensions: cl.Dimensions,
+					Evals:      cl.Evals, Pass: cl.Pass, Fail: cl.Fail,
+					ShortCircuits: cl.ShortCircuits, Latency: cl.Latency,
+				})
+			}
+		}
+	}
+	if len(res.Clauses) == 0 {
+		return nil, fmt.Errorf("heat bench: no clause recorded any evaluations")
+	}
+	return res, nil
+}
+
+// bench5MediumManifest is the Fig5 medium-complexity manifest with the
+// insert-flow token first, shared by the heat gate.
+func bench5MediumManifest() *core.Set {
+	return BuildComplexityManifestFor(core.TokenInsertFlow, 5, 15)
+}

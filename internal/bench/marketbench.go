@@ -37,6 +37,7 @@ func (nullRuntime) AppHealth(string) (isolation.Health, bool) { return 0, false 
 
 // MarketBenchResult is the BENCH_market.json document.
 type MarketBenchResult struct {
+	TrajectoryHeader
 	Releases           int     `json:"releases"`
 	ColdInstallsPerSec float64 `json:"cold_installs_per_sec"`
 	WarmInstallsPerSec float64 `json:"warm_installs_per_sec"`
@@ -83,7 +84,7 @@ func RunMarketBench(releases, jobsN int, jobDir string) (*MarketBenchResult, err
 	}
 
 	cache := market.NewVerdictCache()
-	res := &MarketBenchResult{Releases: releases, Jobs: jobsN}
+	res := &MarketBenchResult{TrajectoryHeader: NewTrajectoryHeader("market"), Releases: releases, Jobs: jobsN}
 
 	installAll := func() (float64, error) {
 		m, err := market.New(reg, nullRuntime{}, market.Config{

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -38,12 +37,8 @@ func TestMarketBenchTrajectory(t *testing.T) {
 		t.Fatalf("warm-cache installs = %.0f/s, below the 1000/s floor", res.WarmInstallsPerSec)
 	}
 
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
 	out := filepath.Join("..", "..", "BENCH_market.json")
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	if err := WriteTrajectory(out, res); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
@@ -68,12 +63,8 @@ func TestMarketBenchTrajectory(t *testing.T) {
 			t.Fatalf("stage %q missing from the trace breakdown: %+v", stage, tr.Stages)
 		}
 	}
-	tdata, err := json.MarshalIndent(tr, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
 	tout := filepath.Join("..", "..", "BENCH_trace.json")
-	if err := os.WriteFile(tout, append(tdata, '\n'), 0o644); err != nil {
+	if err := WriteTrajectory(tout, tr); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", tout)

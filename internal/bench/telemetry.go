@@ -6,6 +6,7 @@ import (
 
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
+	"sdnshield/internal/obs/prof"
 	"sdnshield/internal/obs/recorder"
 	"sdnshield/internal/obs/span"
 )
@@ -77,6 +78,21 @@ func StartTraceSink(path string) (stop func(), err error) {
 	}, nil
 }
 
+// StartProfiler runs the continuous profiler over dir ("" means off):
+// periodic + diagnostic-trigger delta pprof captures land in a bounded
+// on-disk ring surfaced at /prof and in every /debug/bundle. The
+// returned stop function (never nil) halts the profiler.
+func StartProfiler(dir string) (stop func(), err error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	p, err := prof.Start(prof.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return p.Stop, nil
+}
+
 // StartSLO arms the default SLO engine over the five core objectives —
 // install latency, job queue wait, mediated-call latency, verdict-cache
 // hit ratio and job dead-letter rate — and starts its evaluation loop.
@@ -120,6 +136,24 @@ func StartSLO(enable bool) (stop func()) {
 			},
 		},
 	)
+	WireSLOBreach(eng)
+	obs.SetDefaultSLO(eng)
+	eng.Start()
+	return func() {
+		eng.Stop()
+		if obs.DefaultSLO() == eng {
+			obs.SetDefaultSLO(nil)
+		}
+	}
+}
+
+// WireSLOBreach installs the standard breach/recover callbacks on an SLO
+// engine: a breach emits a KindSLO audit event and captures a diagnostic
+// bundle (which in turn joins a profiler capture when one is running);
+// recovery emits the matching audit event. StartSLO uses it for the
+// default engine; tests wire purpose-built engines through the same
+// path.
+func WireSLOBreach(eng *obs.Engine) {
 	eng.SetOnBreach(func(st obs.ObjectiveStatus) {
 		corr := audit.NextCorr()
 		detail := fmt.Sprintf("%s: fast burn %.2f, slow burn %.2f, compliance %.4f against target %.4f",
@@ -141,14 +175,6 @@ func StartSLO(enable bool) (stop func()) {
 			})
 		}
 	})
-	obs.SetDefaultSLO(eng)
-	eng.Start()
-	return func() {
-		eng.Stop()
-		if obs.DefaultSLO() == eng {
-			obs.SetDefaultSLO(nil)
-		}
-	}
 }
 
 // TelemetrySummary renders the one-line metrics digest the CLIs print on

@@ -34,6 +34,7 @@ type TenantShardRun struct {
 
 // TenantBenchResult is the BENCH_tenants.json document.
 type TenantBenchResult struct {
+	TrajectoryHeader
 	AppsPerTenant  int `json:"apps_per_tenant"`
 	CallsPerTenant int `json:"calls_per_tenant"`
 	Workers        int `json:"load_workers"`
@@ -197,9 +198,10 @@ func runTenantShardConfig(tenants, appsPerTenant, callsPerTenant, shards, worker
 // Throttled should stay 0 in every run.
 func RunTenantBench(tenants, appsPerTenant, callsPerTenant int, shardCounts []int, workers int) (*TenantBenchResult, error) {
 	res := &TenantBenchResult{
-		AppsPerTenant:  appsPerTenant,
-		CallsPerTenant: callsPerTenant,
-		Workers:        workers,
+		TrajectoryHeader: NewTrajectoryHeader("tenants"),
+		AppsPerTenant:    appsPerTenant,
+		CallsPerTenant:   callsPerTenant,
+		Workers:          workers,
 	}
 	// Baseline: one tenant, 16 shards, the same offered concurrency and
 	// total call count as each multi-tenant run.

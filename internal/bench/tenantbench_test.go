@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -59,12 +58,8 @@ func TestTenantBenchFlatness(t *testing.T) {
 			sixteen.CallP95Micros, res.Baseline.CallP95Micros)
 	}
 
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
 	out := filepath.Join("..", "..", "BENCH_tenants.json")
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	if err := WriteTrajectory(out, res); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)

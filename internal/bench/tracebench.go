@@ -28,6 +28,7 @@ type StageStat struct {
 
 // TraceBenchResult is the BENCH_trace.json document.
 type TraceBenchResult struct {
+	TrajectoryHeader
 	Installs        int     `json:"installs"`
 	SpansPerInstall float64 `json:"spans_per_install"`
 	// SpanOpsPerSec is raw Root+End throughput into the bounded default
@@ -91,7 +92,11 @@ func RunTraceBench(installs int) (*TraceBenchResult, error) {
 		corrs = append(corrs, ot.Corr)
 	}
 
-	res := &TraceBenchResult{Installs: installs, Stages: make(map[string]StageStat)}
+	res := &TraceBenchResult{
+		TrajectoryHeader: NewTrajectoryHeader("trace"),
+		Installs:         installs,
+		Stages:           make(map[string]StageStat),
+	}
 	col := span.DefaultCollector()
 	durations := make(map[string][]time.Duration)
 	totalSpans := 0

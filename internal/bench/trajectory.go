@@ -1,0 +1,77 @@
+// Trajectory files: every bench gate writes a BENCH_<name>.json at the
+// repo root so the performance history of the codebase is diffable
+// across commits. This file is the shared schema glue — a common header
+// (schema version, bench name, toolchain, commit) embedded in every
+// result document, and the one writer all gates use.
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// TrajectorySchemaVersion is bumped whenever the common header (not a
+// bench's own payload) changes shape.
+const TrajectorySchemaVersion = 2
+
+// TrajectoryHeader is the common prefix of every BENCH_*.json document,
+// embedded in each bench's result struct.
+type TrajectoryHeader struct {
+	SchemaVersion int    `json:"schema_version"`
+	BenchName     string `json:"bench_name"`
+	GoVersion     string `json:"go_version"`
+	Commit        string `json:"commit"`
+}
+
+// NewTrajectoryHeader stamps a header for the named bench.
+func NewTrajectoryHeader(name string) TrajectoryHeader {
+	return TrajectoryHeader{
+		SchemaVersion: TrajectorySchemaVersion,
+		BenchName:     name,
+		GoVersion:     runtime.Version(),
+		Commit:        buildCommit(),
+	}
+}
+
+var (
+	commitOnce sync.Once
+	commitVal  string
+)
+
+// buildCommit resolves the commit the binary was built from: the build
+// info's vcs.revision when stamped (installed binaries), the working
+// tree's HEAD when running under `go test` in a checkout, "unknown"
+// otherwise.
+func buildCommit() string {
+	commitOnce.Do(func() {
+		commitVal = "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && s.Value != "" {
+					commitVal = s.Value
+					return
+				}
+			}
+		}
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			if rev := strings.TrimSpace(string(out)); rev != "" {
+				commitVal = rev
+			}
+		}
+	})
+	return commitVal
+}
+
+// WriteTrajectory writes one bench result as an indented JSON document.
+func WriteTrajectory(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -8,6 +8,7 @@ import (
 	"sdnshield/internal/obs"
 	"sdnshield/internal/obs/audit"
 	"sdnshield/internal/obs/recorder"
+	"sdnshield/internal/permengine"
 )
 
 // AppHealthSnapshot is one container's state as reported by
@@ -87,7 +88,9 @@ func registerHealth(s *Shield) func() {
 	}
 	unregHealth := obs.RegisterHealth(name, func() interface{} { return s.HealthSnapshot() })
 	unregUsage := recorder.RegisterUsage(name, func() interface{} { return s.UsageSnapshot() })
+	unregEngine := permengine.RegisterEngine(name, s.engine)
 	unregister := func() {
+		unregEngine()
 		unregUsage()
 		unregHealth()
 	}

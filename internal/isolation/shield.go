@@ -160,6 +160,13 @@ func (s *Shield) SetPermissions(app string, set *core.Set) {
 	s.engine.SetPermissions(app, set)
 }
 
+// SetProvenance records the reconciliation repair notes attached to the
+// app's active permission set (market.ProvenanceRuntime); /explain
+// cross-references them when naming a denial's deciding term.
+func (s *Shield) SetProvenance(app string, notes []string) {
+	s.engine.SetProvenance(app, notes)
+}
+
 // ksdLoop is one Kernel Service Deputy: it executes mediated API calls on
 // behalf of apps.
 func (s *Shield) ksdLoop() {

@@ -57,6 +57,14 @@ type BudgetRuntime interface {
 	SetBudget(app string, b core.Budget)
 }
 
+// ProvenanceRuntime is optionally implemented by runtimes whose
+// permission engine records reconciliation provenance: the repair notes
+// attached to the active release, so /explain can report which repair
+// introduced a denial's deciding term. *isolation.Shield implements it.
+type ProvenanceRuntime interface {
+	SetProvenance(app string, notes []string)
+}
+
 // Config tunes a Market.
 type Config struct {
 	// PolicySrc is the administrator's site security policy source. Its
@@ -127,6 +135,9 @@ type releaseRef struct {
 	// budget is the release's declared resource quota (BUDGET
 	// statements in the manifest); zero when the manifest declares none.
 	budget core.Budget
+	// provenance renders the reconciliation violations/repairs that
+	// shaped the effective set, for the runtime's /explain forensics.
+	provenance []string
 }
 
 // appState is the market's view of one installed app.
@@ -552,6 +563,7 @@ func (m *Market) Revoke(app string) error {
 	if m.runtime != nil {
 		m.runtime.SetPermissions(app, core.NewSet())
 		m.pushBudget(app, core.Budget{})
+		m.pushProvenance(app, nil)
 	}
 	countLifecycle("revoke")
 	gActiveApps.Add(-1)
@@ -579,6 +591,17 @@ func (m *Market) pushBudget(app string, b core.Budget) {
 	}
 	if br, ok := m.runtime.(BudgetRuntime); ok {
 		br.SetBudget(app, b)
+	}
+}
+
+// pushProvenance threads the active release's reconciliation notes into
+// the runtime when it records them. nil clears.
+func (m *Market) pushProvenance(app string, notes []string) {
+	if m.runtime == nil {
+		return
+	}
+	if pr, ok := m.runtime.(ProvenanceRuntime); ok {
+		pr.SetProvenance(app, notes)
 	}
 }
 
@@ -621,6 +644,7 @@ func (m *Market) activate(app string, ref *releaseRef, corr uint64, probated boo
 	if m.runtime != nil {
 		m.runtime.SetPermissions(app, ref.effective.Clone())
 		m.pushBudget(app, ref.budget)
+		m.pushProvenance(app, ref.provenance)
 	}
 	if stop != nil {
 		m.wg.Add(1)
@@ -697,6 +721,7 @@ func (m *Market) rollback(app string, ref *releaseRef, stop chan struct{}, corr 
 	if m.runtime != nil {
 		m.runtime.SetPermissions(app, prev.effective.Clone())
 		m.pushBudget(app, prev.budget)
+		m.pushProvenance(app, prev.provenance)
 	}
 	gProbations.Add(-1)
 	countLifecycle("rollback")
@@ -898,6 +923,9 @@ func refOf(sr *SignedRelease, cv *CachedVerdict) *releaseRef {
 	// budget".
 	if man, err := permlang.Parse(sr.Manifest); err == nil {
 		ref.budget = man.Budget
+	}
+	for _, v := range cv.Violations {
+		ref.provenance = append(ref.provenance, v.String())
 	}
 	return ref
 }

@@ -61,6 +61,65 @@ func TestLabelGuardBoundsRegistry(t *testing.T) {
 	}
 }
 
+// TestLabelGuardConcurrentChurnNoLostIncrements drives concurrent label
+// churn through the guard *and* the registry together: 8 goroutines
+// each mint their own stream of distinct tenant IDs and bump a guarded
+// counter per ID. Whatever interleaving the race detector provokes, the
+// registry must end with exactly cap+1 series, every increment
+// accounted for in the total (none lost to a racing admit/fold), and
+// the overflow series carrying everything beyond the admitted set.
+func TestLabelGuardConcurrentChurnNoLostIncrements(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 500
+		cap     = 32
+	)
+	reg := NewRegistry()
+	g := NewLabelGuard(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Distinct across all goroutines: churn, not reuse.
+				label := g.Value(fmt.Sprintf("tenant-%d-%04d", w, i))
+				reg.Counter("churn_test_calls_total", "test", "tenant", label).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := workers * perW
+	if got := reg.TotalOf("churn_test_calls_total"); got != float64(total) {
+		t.Fatalf("TotalOf = %v, want %d — increments lost under churn", got, total)
+	}
+	if n := g.Admitted(); n != cap {
+		t.Fatalf("Admitted = %d, want exactly the cap (%d)", n, cap)
+	}
+	series, overflow := 0, 0.0
+	for _, s := range reg.Snapshot() {
+		if s.Name != "churn_test_calls_total" {
+			continue
+		}
+		series++
+		if s.Labels == `tenant="`+LabelOverflow+`"` {
+			overflow = s.Value
+		}
+	}
+	if series != cap+1 {
+		t.Fatalf("registry holds %d series, want cap+1 = %d", series, cap+1)
+	}
+	// Every admitted label was distinct, so each admitted series holds
+	// exactly one increment and the fold absorbs the rest.
+	if want := float64(total - cap); overflow != want {
+		t.Fatalf("overflow series = %v increments, want %v", overflow, want)
+	}
+	if folded := g.Folded(); folded != uint64(total-cap) {
+		t.Fatalf("Folded = %d, want %d", folded, total-cap)
+	}
+}
+
 func TestLabelGuardConcurrent(t *testing.T) {
 	g := NewLabelGuard(16)
 	var wg sync.WaitGroup

@@ -1,0 +1,167 @@
+package prof
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTest runs a profiler over a temp ring with a short CPU window
+// and no periodic loop, stopped with the test.
+func startTest(t *testing.T, dir string, maxCaptures int) *Profiler {
+	t.Helper()
+	p, err := Start(Config{
+		Dir:         dir,
+		Interval:    -1, // demand/trigger captures only
+		CPUWindow:   20 * time.Millisecond,
+		MaxCaptures: maxCaptures,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	return p
+}
+
+// TestProfilerCaptureRing: on-demand captures land as complete on-disk
+// capture directories, the in-memory index tracks them newest first,
+// and the ring evicts the oldest beyond MaxCaptures — index and disk
+// both.
+func TestProfilerCaptureRing(t *testing.T) {
+	dir := t.TempDir()
+	p := startTest(t, dir, 2)
+	if Default() != p {
+		t.Fatal("Start did not install the process-wide profiler")
+	}
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		c, err := p.CaptureNow("ring-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Reason != "ring-test" || len(c.Files) == 0 {
+			t.Fatalf("capture %d: %+v", i, c)
+		}
+		if c.Delta.WindowNs <= 0 {
+			t.Fatalf("capture %d has no delta window: %+v", i, c.Delta)
+		}
+		ids = append(ids, c.ID)
+	}
+
+	recent := p.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("ring retained %d captures, want 2", len(recent))
+	}
+	// Newest first: the last two captures, in reverse order.
+	if recent[0].ID != ids[2] || recent[1].ID != ids[1] {
+		t.Fatalf("recent order = %s, %s; want %s, %s", recent[0].ID, recent[1].ID, ids[2], ids[1])
+	}
+	if _, ok := p.Lookup(ids[0]); ok {
+		t.Fatal("evicted capture still in index")
+	}
+	if _, err := os.Stat(filepath.Join(dir, ids[0])); !os.IsNotExist(err) {
+		t.Fatalf("evicted capture dir survives: %v", err)
+	}
+
+	// The newest capture's files are real and its meta.json round-trips.
+	for name, size := range recent[0].Files {
+		fi, err := os.Stat(filepath.Join(dir, recent[0].ID, name))
+		if err != nil {
+			t.Fatalf("capture file %s: %v", name, err)
+		}
+		if fi.Size() != size {
+			t.Fatalf("capture file %s is %d bytes, index says %d", name, fi.Size(), size)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, recent[0].ID, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta Capture
+	if err := json.Unmarshal(raw, &meta); err != nil || meta.ID != recent[0].ID {
+		t.Fatalf("meta.json: %v, %+v", err, meta)
+	}
+
+	p.Stop()
+	if Default() != nil {
+		t.Fatal("Stop left the process-wide profiler installed")
+	}
+}
+
+// TestProfilerBusySkip: only one capture runs at a time; overlapping
+// requests are refused with ErrBusy and counted, never queued.
+func TestProfilerBusySkip(t *testing.T) {
+	p, err := Start(Config{
+		Dir:       t.TempDir(),
+		Interval:  -1,
+		CPUWindow: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	const burst = 8
+	errs := make([]error, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.CaptureNow("overlap")
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, busy int
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrBusy):
+			busy++
+		default:
+			t.Fatal(err)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no capture from the burst succeeded")
+	}
+	if busy == 0 {
+		t.Fatal("overlapping captures never refused with ErrBusy")
+	}
+	if got := p.Skipped(); got != uint64(busy) {
+		t.Fatalf("Skipped() = %d, want %d", got, busy)
+	}
+}
+
+// TestProfilerRestartLoadsExisting: a new profiler over an old ring
+// directory rebuilds its index from the meta.json files and applies the
+// (possibly smaller) ring bound to the leftovers.
+func TestProfilerRestartLoadsExisting(t *testing.T) {
+	dir := t.TempDir()
+	p := startTest(t, dir, 4)
+	var ids []string
+	for i := 0; i < 2; i++ {
+		c, err := p.CaptureNow("before-restart")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID)
+	}
+	p.Stop()
+
+	p2 := startTest(t, dir, 1)
+	recent := p2.Recent()
+	if len(recent) != 1 || recent[0].ID != ids[1] {
+		t.Fatalf("restarted index = %+v, want just %s", recent, ids[1])
+	}
+	if _, err := os.Stat(filepath.Join(dir, ids[0])); !os.IsNotExist(err) {
+		t.Fatalf("restart did not apply the ring bound on disk: %v", err)
+	}
+}

@@ -75,6 +75,10 @@ type Bundle struct {
 	Metrics []obs.SeriesSnapshot `json:"metrics"`
 	// Runtime is the Go runtime's state.
 	Runtime RuntimeStats `json:"runtime"`
+	// Profiles is the continuous profiler's capture index (obs/prof),
+	// when one is running: the delta pprof captures joined to this
+	// diagnosis, newest first.
+	Profiles interface{} `json:"profiles,omitempty"`
 }
 
 // BundleInfo is the listing view of a retained bundle.
@@ -191,6 +195,7 @@ func (b *Bundler) Capture(trigger Trigger, app string, corr uint64, detail strin
 			b.writeErrs.Add(1)
 		}
 	}
+	notifyCapture(trigger, app, corr, detail)
 	return bundle
 }
 
@@ -208,6 +213,9 @@ func (b *Bundler) build(id string, now time.Time, trigger Trigger, app string, c
 		Usage:   usageSnapshots(),
 		Health:  obs.HealthSnapshots(),
 		Metrics: obs.Default().Snapshot(),
+	}
+	if fn := profilesProvider.Load(); fn != nil {
+		bundle.Profiles = (*fn)()
 	}
 	if corr != 0 {
 		bundle.CorrFrames = def.Snapshot(FrameFilter{Corr: corr})
@@ -307,6 +315,62 @@ func usageSnapshots() map[string]interface{} {
 		out[n] = fns[n]()
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Profiler integration
+
+// profilesProvider supplies the Profiles section of every bundle; set by
+// obs/prof when a profiler starts. The indirection keeps recorder free
+// of any prof dependency (prof imports recorder, never the reverse).
+var profilesProvider atomic.Pointer[func() interface{}]
+
+// SetProfilesProvider installs (or, with nil, clears) the callback whose
+// result every future bundle embeds as its "profiles" section.
+func SetProfilesProvider(fn func() interface{}) {
+	if fn == nil {
+		profilesProvider.Store(nil)
+		return
+	}
+	profilesProvider.Store(&fn)
+}
+
+// captureObservers are notified after every completed (non-suppressed)
+// bundle capture. obs/prof joins profile captures to diagnostic events
+// through this hook. Observers run on the capturing goroutine and must
+// not block — spawn a goroutine for anything slow.
+var (
+	captureObsMu sync.Mutex
+	captureObs   []*func(trigger Trigger, app string, corr uint64, detail string)
+)
+
+// OnCapture registers a bundle-capture observer and returns its
+// unregister function.
+func OnCapture(fn func(trigger Trigger, app string, corr uint64, detail string)) (unregister func()) {
+	p := &fn
+	captureObsMu.Lock()
+	captureObs = append(captureObs, p)
+	captureObsMu.Unlock()
+	return func() {
+		captureObsMu.Lock()
+		for i, q := range captureObs {
+			if q == p {
+				captureObs = append(captureObs[:i], captureObs[i+1:]...)
+				break
+			}
+		}
+		captureObsMu.Unlock()
+	}
+}
+
+func notifyCapture(trigger Trigger, app string, corr uint64, detail string) {
+	captureObsMu.Lock()
+	observers := make([]*func(Trigger, string, uint64, string), len(captureObs))
+	copy(observers, captureObs)
+	captureObsMu.Unlock()
+	for _, fn := range observers {
+		(*fn)(trigger, app, corr, detail)
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -110,38 +110,29 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 	}
 	reg.GaugeFunc("sdnshield_goroutines", "Live goroutines in the controller process.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
-	ext := extensionRoutes()
-	extPatterns := make([]string, 0, len(ext))
-	for p := range ext {
-		extPatterns = append(extPatterns, p)
-	}
-	sort.Strings(extPatterns)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("sdnshield telemetry\n\n/metrics\n/metrics.json\n/health\n/traces\n/slo\n/debug/pprof/\n"))
-		for _, p := range extPatterns {
-			_, _ = w.Write([]byte(p + "\n"))
-		}
-	})
-	for _, p := range extPatterns {
-		mux.Handle(p, ext[p])
+	// The index page is generated from the same registrations the mux
+	// serves — a route cannot exist without being listed. Extension
+	// routes and builtins alike flow through listed().
+	var patterns []string
+	listed := func(pattern string, h http.Handler) {
+		patterns = append(patterns, pattern)
+		mux.Handle(pattern, h)
 	}
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	for p, h := range extensionRoutes() {
+		listed(p, h)
+	}
+	listed("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	listed("/metrics.json", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, reg.Snapshot())
-	})
-	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	listed("/health", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, healthSnapshot())
-	})
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	listed("/traces", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		traces := tracer.Recent()
 		// ?corr=<id> and ?op=<name> narrow the ring to the sampled
 		// trace(s) matching an audit event, instead of making the
@@ -165,8 +156,8 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 			traces = []TraceSnapshot{}
 		}
 		writeJSON(w, traces)
-	})
-	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	listed("/slo", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		e := DefaultSLO()
 		if e == nil {
 			writeJSON(w, struct {
@@ -182,12 +173,24 @@ func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
 			Enabled    bool              `json:"enabled"`
 			Objectives []ObjectiveStatus `json:"objectives"`
 		}{true, st})
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	}))
+	listed("/debug/pprof/", http.HandlerFunc(pprof.Index))
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	sort.Strings(patterns)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("sdnshield telemetry\n\n"))
+		for _, p := range patterns {
+			_, _ = w.Write([]byte(p + "\n"))
+		}
+	})
 	return mux
 }
 

@@ -270,6 +270,17 @@ func NewCollector(maxTraces, maxSpans int) *Collector {
 // def is the process-wide collector /trace/<id> serves.
 var def = NewCollector(0, 0)
 
+// mDropped mirrors the default collector's drop count into /metrics, so
+// collector pressure shows up on dashboards without polling /trace.
+var mDropped = obs.Default().Counter("sdnshield_span_dropped_total",
+	"Spans the default collector refused because their trace hit the span bound.")
+
+func init() {
+	obs.Default().GaugeFunc("sdnshield_span_traces_resident",
+		"Traces currently retained in the default span collector.",
+		func() float64 { return float64(def.TracesResident()) })
+}
+
 // DefaultCollector returns the process-wide collector.
 func DefaultCollector() *Collector { return def }
 
@@ -291,6 +302,9 @@ func (c *Collector) Collect(rec Record) {
 	if len(e.spans) >= c.maxSpans {
 		c.dropped++
 		c.mu.Unlock()
+		if c == def {
+			mDropped.Inc()
+		}
 		return
 	}
 	e.spans = append(e.spans, rec)
@@ -395,6 +409,14 @@ func (c *Collector) Dropped() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.dropped
+}
+
+// TracesResident reports how many traces the collector currently
+// retains.
+func (c *Collector) TracesResident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces)
 }
 
 // SetSink attaches (or, with nil, detaches) the collector's export sink.

@@ -1,0 +1,403 @@
+package permengine
+
+// /explain forensics: re-evaluate a call off the hot path and return the
+// full decision path — which clause matched, which filter failed, which
+// reconciliation repair introduced the deciding term — cross-linked to
+// the audit correlation ID of the original denial. The engine retains a
+// bounded ring of recent denied calls so an operator holding a denial's
+// corr (from /audit or a DeniedError) can ask "why exactly?" minutes
+// later, and a POST surface lets them probe hypothetical calls against
+// the live compiled policy.
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/of"
+)
+
+// Explanation reasons.
+const (
+	ReasonAllowed        = "allowed"
+	ReasonNoManifest     = "no_manifest"
+	ReasonTokenUngranted = "token_not_granted"
+	ReasonFilterRejected = "filter_rejected"
+)
+
+// LeafExplain is one filter's verdict inside a clause, with the vacuous
+// truth and negation bookkeeping spelled out: Effective is what the leaf
+// contributed to the expression (true when inapplicable, else Matched
+// XOR Negated).
+type LeafExplain struct {
+	Filter     string `json:"filter"`
+	Dimension  string `json:"dimension"`
+	Negated    bool   `json:"negated,omitempty"`
+	Applicable bool   `json:"applicable"`
+	Matched    bool   `json:"matched"`
+	Effective  bool   `json:"effective"`
+}
+
+// ClauseExplain is one top-level conjunct's verdict. ShortCircuited
+// clauses were never evaluated because an earlier clause already failed
+// (the compiled engine's && chain stops there too).
+type ClauseExplain struct {
+	Index          int           `json:"index"`
+	Expr           string        `json:"expr"`
+	Dimensions     []string      `json:"dimensions"`
+	Evaluated      bool          `json:"evaluated"`
+	Passed         bool          `json:"passed"`
+	ShortCircuited bool          `json:"short_circuited,omitempty"`
+	Leaves         []LeafExplain `json:"leaves,omitempty"`
+}
+
+// Explanation is the full decision path of one permission check.
+type Explanation struct {
+	App     string `json:"app"`
+	Token   string `json:"token"`
+	Call    string `json:"call"`
+	Corr    uint64 `json:"corr,omitempty"`
+	Allowed bool   `json:"allowed"`
+	Reason  string `json:"reason"`
+	Detail  string `json:"detail,omitempty"`
+	// Granted lists the tokens the app does hold, populated on
+	// token_not_granted denials.
+	Granted []string        `json:"granted_tokens,omitempty"`
+	Clauses []ClauseExplain `json:"clauses,omitempty"`
+	// FailingClauses indexes the clauses that rejected the call (for the
+	// compiled conjunction that is always exactly one, the first failure).
+	FailingClauses []int `json:"failing_clauses,omitempty"`
+	// Provenance carries the app's reconciliation repair notes — the
+	// terms the market's reconciler added or rewrote to make the
+	// requested manifest admissible.
+	Provenance []string `json:"provenance,omitempty"`
+	// DecidingRepair is the first provenance note that mentions the
+	// failing clause or one of its failing filters: the repair that
+	// introduced the deciding term, when reconciliation did.
+	DecidingRepair string `json:"deciding_repair,omitempty"`
+}
+
+// Explain re-evaluates the call against the app's compiled permission
+// set with full bookkeeping. The verdict is produced by the same
+// compiled clause closures the hot path runs, so Explanation.Allowed
+// cannot disagree with Check; the per-leaf detail rides a parallel
+// interpretive walk. Explain resolves stateful attributes like Check
+// does and is safe to call concurrently with live traffic.
+func (e *Engine) Explain(call *core.Call) Explanation {
+	ex := Explanation{
+		App:        call.App,
+		Token:      call.Token.String(),
+		Corr:       call.Corr,
+		Provenance: e.Provenance(call.App),
+	}
+	e.mu.RLock()
+	c, ok := e.apps[call.App]
+	e.mu.RUnlock()
+	if !ok {
+		ex.Call = call.String()
+		ex.Reason = ReasonNoManifest
+		ex.Detail = "app has no permission manifest"
+		return ex
+	}
+	th := c.heat[call.Token]
+	if th == nil {
+		ex.Call = call.String()
+		ex.Reason = ReasonTokenUngranted
+		ex.Detail = "token not granted"
+		for tok := range c.checkers {
+			ex.Granted = append(ex.Granted, tok.String())
+		}
+		sort.Strings(ex.Granted)
+		return ex
+	}
+	e.Resolve(call)
+	ex.Call = call.String()
+	failed := false
+	for i := range th.clauses {
+		cl := &th.clauses[i]
+		ce := ClauseExplain{Index: i, Expr: cl.expr, Dimensions: cl.dims}
+		if failed {
+			ce.ShortCircuited = true
+			ex.Clauses = append(ex.Clauses, ce)
+			continue
+		}
+		ce.Evaluated = true
+		ce.Passed = cl.check(call)
+		explainLeaves(cl.raw, call, false, &ce.Leaves)
+		if !ce.Passed {
+			failed = true
+			ex.FailingClauses = append(ex.FailingClauses, i)
+		}
+		ex.Clauses = append(ex.Clauses, ce)
+	}
+	if failed {
+		ex.Reason = ReasonFilterRejected
+		ex.Detail = "filter rejected call " + call.String()
+		ex.DecidingRepair = decidingRepair(&ex)
+		return ex
+	}
+	ex.Allowed = true
+	ex.Reason = ReasonAllowed
+	return ex
+}
+
+// explainLeaves walks an expression with negation pushed to the leaves
+// (mirroring compile/evalExpr), appending one LeafExplain per filter.
+// Unlike the compiled closures it does not short-circuit: forensics
+// wants every leaf's verdict, and off the hot path the extra tests are
+// free. The returned value equals the expression's verdict.
+func explainLeaves(e core.Expr, call *core.Call, neg bool, out *[]LeafExplain) bool {
+	switch v := e.(type) {
+	case nil:
+		return true
+	case *core.Leaf:
+		matched, applicable := v.F.Test(call)
+		eff := !applicable || (matched != neg)
+		*out = append(*out, LeafExplain{
+			Filter:     v.F.String(),
+			Dimension:  v.F.Dimension(),
+			Negated:    neg,
+			Applicable: applicable,
+			Matched:    matched,
+			Effective:  eff,
+		})
+		return eff
+	case *core.Not:
+		return explainLeaves(v.X, call, !neg, out)
+	case *core.And:
+		l := explainLeaves(v.L, call, neg, out)
+		r := explainLeaves(v.R, call, neg, out)
+		if neg { // ¬(L∧R) = ¬L ∨ ¬R
+			return l || r
+		}
+		return l && r
+	case *core.Or:
+		l := explainLeaves(v.L, call, neg, out)
+		r := explainLeaves(v.R, call, neg, out)
+		if neg { // ¬(L∨R) = ¬L ∧ ¬R
+			return l && r
+		}
+		return l || r
+	case *core.MacroRef:
+		*out = append(*out, LeafExplain{
+			Filter:     v.Name,
+			Dimension:  "macro",
+			Negated:    neg,
+			Applicable: true,
+			Matched:    false,
+			Effective:  false,
+		})
+		return false
+	default:
+		return false
+	}
+}
+
+// decidingRepair scans the provenance notes for the first one mentioning
+// a failing clause's expression or one of its ineffective filters —
+// best-effort string matching, since reconcile reports repairs in
+// rendered permission-language.
+func decidingRepair(ex *Explanation) string {
+	if len(ex.Provenance) == 0 {
+		return ""
+	}
+	var needles []string
+	for _, i := range ex.FailingClauses {
+		cl := ex.Clauses[i]
+		needles = append(needles, cl.Expr)
+		for _, lf := range cl.Leaves {
+			if !lf.Effective {
+				needles = append(needles, lf.Filter)
+			}
+		}
+	}
+	for _, note := range ex.Provenance {
+		for _, n := range needles {
+			if n != "" && n != "*" && strings.Contains(note, n) {
+				return note
+			}
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// Reconciliation provenance
+
+// SetProvenance records the reconciliation repair notes attached to the
+// app's active permission set (the market passes its reconcile
+// violations here at activation). An empty list clears them.
+func (e *Engine) SetProvenance(app string, notes []string) {
+	e.provMu.Lock()
+	defer e.provMu.Unlock()
+	if len(notes) == 0 {
+		delete(e.prov, app)
+		return
+	}
+	if e.prov == nil {
+		e.prov = make(map[string][]string)
+	}
+	e.prov[app] = append([]string(nil), notes...)
+}
+
+// Provenance returns the app's reconciliation repair notes.
+func (e *Engine) Provenance(app string) []string {
+	e.provMu.Lock()
+	defer e.provMu.Unlock()
+	return append([]string(nil), e.prov[app]...)
+}
+
+// ---------------------------------------------------------------------------
+// Denial retention
+
+// denialRingSize bounds the retained-denial ring.
+const denialRingSize = 256
+
+// explainRetention gates denial retention (default on). Retention costs
+// one mutexed copy per denial — nothing on the allowed path.
+var explainRetention atomic.Bool
+
+func init() { explainRetention.Store(true) }
+
+// SetExplainRetention flips denial retention for /explain?corr= lookups
+// and returns the previous state.
+func SetExplainRetention(v bool) bool { return explainRetention.Swap(v) }
+
+type retainedDenial struct {
+	call core.Call
+	at   time.Time
+}
+
+type denialRing struct {
+	mu  sync.Mutex
+	buf [denialRingSize]retainedDenial
+	n   uint64
+}
+
+// retainDenial copies the denied call into the forensic ring. Calls
+// without a correlation ID (kernel-internal probes, micro-benchmarks)
+// are not retained — nothing could look them up.
+func (e *Engine) retainDenial(call *core.Call) {
+	if call.Corr == 0 || !explainRetention.Load() {
+		return
+	}
+	cp := *call
+	if call.Match != nil {
+		cp.Match = call.Match.Clone()
+	}
+	if len(call.Actions) > 0 {
+		cp.Actions = append([]of.Action(nil), call.Actions...)
+	}
+	if len(call.Switches) > 0 {
+		cp.Switches = append([]of.DPID(nil), call.Switches...)
+	}
+	if len(call.Links) > 0 {
+		cp.Links = append([]core.LinkID(nil), call.Links...)
+	}
+	r := &e.denialRing
+	r.mu.Lock()
+	r.buf[r.n%denialRingSize] = retainedDenial{call: cp, at: time.Now()}
+	r.n++
+	r.mu.Unlock()
+}
+
+// RetainedDenial looks a denied call up by its correlation ID, newest
+// first, returning a private copy.
+func (e *Engine) RetainedDenial(corr uint64) (*core.Call, bool) {
+	r := &e.denialRing
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	span := uint64(denialRingSize)
+	if n < span {
+		span = n
+	}
+	for i := uint64(1); i <= span; i++ {
+		rd := &r.buf[(n-i)%denialRingSize]
+		if rd.call.Corr == corr {
+			cp := rd.call
+			return &cp, true
+		}
+	}
+	return nil, false
+}
+
+// RetainedDenialInfo summarizes one retained denial for the /explain
+// index view.
+type RetainedDenialInfo struct {
+	Corr  uint64    `json:"corr"`
+	App   string    `json:"app"`
+	Token string    `json:"token"`
+	Call  string    `json:"call"`
+	Time  time.Time `json:"time"`
+}
+
+// RetainedDenials lists the retained denials, newest first, capped at
+// limit (0 means all).
+func (e *Engine) RetainedDenials(limit int) []RetainedDenialInfo {
+	r := &e.denialRing
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	span := uint64(denialRingSize)
+	if n < span {
+		span = n
+	}
+	out := make([]RetainedDenialInfo, 0, span)
+	for i := uint64(1); i <= span; i++ {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		rd := &r.buf[(n-i)%denialRingSize]
+		out = append(out, RetainedDenialInfo{
+			Corr:  rd.call.Corr,
+			App:   rd.call.App,
+			Token: rd.call.Token.String(),
+			Call:  rd.call.String(),
+			Time:  rd.at,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Engine registry
+
+// Engines register under a stable name (the shield's health-provider
+// name) so the /heat and /explain endpoints can address them; processes
+// running several engines side by side (benchmarks, baseline-vs-shield
+// harnesses) expose each under its own name.
+var (
+	engRegMu sync.Mutex
+	engReg   = make(map[string]*Engine)
+)
+
+// RegisterEngine publishes the engine for the introspection endpoints
+// and returns its unregister function. Registering an existing name
+// replaces it.
+func RegisterEngine(name string, e *Engine) (unregister func()) {
+	engRegMu.Lock()
+	engReg[name] = e
+	engRegMu.Unlock()
+	return func() {
+		engRegMu.Lock()
+		if engReg[name] == e {
+			delete(engReg, name)
+		}
+		engRegMu.Unlock()
+	}
+}
+
+// RegisteredEngines snapshots the engine registry.
+func RegisteredEngines() map[string]*Engine {
+	engRegMu.Lock()
+	defer engRegMu.Unlock()
+	out := make(map[string]*Engine, len(engReg))
+	for n, e := range engReg {
+		out[n] = e
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package permengine
+
+// Decision-heat profiles (§IX forward work): sampled, sharded,
+// pointer-free counters recording how permission checks actually spend
+// their time — which clauses of which tokens' filter expressions are
+// evaluated, which short-circuit, which decide the verdict, and how long
+// each clause costs. The profile is the input a future compiled engine
+// consumes (ROADMAP item 1): a clause that decides 99% of denials should
+// be hoisted first; a dimension that never fails can be dropped from the
+// fast path.
+//
+// Cost model: the unsampled majority of checks pays exactly one atomic
+// add (the sampler tick) on top of the existing fused-closure path. One
+// check in N (SetHeatSampling, default 64) takes the instrumented route:
+// the same clause conjunction evaluated clause-by-clause with per-clause
+// timing. Both routes produce identical verdicts, denial detail strings,
+// activity-log records and audit events.
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"sdnshield/internal/core"
+	"sdnshield/internal/obs"
+)
+
+// heatShards stripes the per-clause counter slab. Sampled hits are rare
+// (1-in-64 by default), so a small fixed stripe count is enough to keep
+// concurrent deputies off each other's cache lines without bloating the
+// per-app footprint.
+const heatShards = 4
+
+// Per-clause counter slots within the flat slab.
+const (
+	heatCellEvals = iota // clause actually evaluated
+	heatCellPass
+	heatCellFail
+	heatCellShort // skipped because an earlier clause already failed
+	heatCellBracket0
+	heatCells = heatCellBracket0 + heatBracketCount
+)
+
+// heatBracketCount latency brackets per clause: ≤256ns, ≤1µs, ≤4µs,
+// ≤16µs, ≤64µs, >64µs (power-of-4 spacing brackets the ~300–400ns
+// whole-check budget from both sides).
+const heatBracketCount = 6
+
+var heatBracketBounds = [heatBracketCount - 1]int64{256, 1024, 4096, 16384, 65536}
+
+func heatBracketIdx(ns int64) int {
+	for i, b := range heatBracketBounds {
+		if ns <= b {
+			return i
+		}
+	}
+	return heatBracketCount - 1
+}
+
+// heatPad is one cache-line-padded counter cell for the per-token
+// allow/deny totals.
+type heatPad struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// heatClause is one top-level conjunct of a token's filter expression,
+// compiled to its own closure. The conjunction of the clause closures is
+// semantically identical to the token's fused checker (both lower via
+// compile with left-to-right && evaluation), so the instrumented path
+// cannot disagree with the fast path.
+type heatClause struct {
+	expr  string
+	dims  []string
+	raw   core.Expr
+	check checker
+}
+
+// tokenHeat carries one (app, token)'s heat counters: a pointer-free
+// shard-major slab of atomic cells, heatCells per clause, plus padded
+// allow/deny totals. Allocated once at compile time; writers only ever
+// atomically add.
+type tokenHeat struct {
+	clauses []heatClause
+	allow   [heatShards]heatPad
+	deny    [heatShards]heatPad
+	cells   []atomic.Uint64 // heatShards × len(clauses) × heatCells, shard-major
+}
+
+func newTokenHeat(filter core.Expr) *tokenHeat {
+	var cls []heatClause
+	for _, c := range conjuncts(filter) {
+		cls = append(cls, heatClause{
+			expr:  core.ExprString(c),
+			dims:  leafDims(c),
+			raw:   c,
+			check: compileExpr(c),
+		})
+	}
+	return &tokenHeat{
+		clauses: cls,
+		cells:   make([]atomic.Uint64, heatShards*len(cls)*heatCells),
+	}
+}
+
+// cell indexes the slab: shard-major so one sampled check touches a
+// contiguous region owned by its stripe.
+func (th *tokenHeat) cell(shard, clause, slot int) *atomic.Uint64 {
+	return &th.cells[(shard*len(th.clauses)+clause)*heatCells+slot]
+}
+
+// conjuncts flattens a top-level AND chain into its clause list,
+// preserving the left-to-right order the fused closure evaluates in.
+// Non-AND roots (Or, Not, Leaf, MacroRef, nil) are a single clause.
+func conjuncts(e core.Expr) []core.Expr {
+	if a, ok := e.(*core.And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []core.Expr{e}
+}
+
+// leafDims collects the distinct filter dimensions a clause touches,
+// sorted for stable output. Unresolved macros surface as "macro".
+func leafDims(e core.Expr) []string {
+	seen := make(map[string]bool)
+	var walk func(core.Expr)
+	walk = func(e core.Expr) {
+		switch v := e.(type) {
+		case *core.Leaf:
+			seen[v.F.Dimension()] = true
+		case *core.Not:
+			walk(v.X)
+		case *core.And:
+			walk(v.L)
+			walk(v.R)
+		case *core.Or:
+			walk(v.L)
+			walk(v.R)
+		case *core.MacroRef:
+			seen["macro"] = true
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+
+var (
+	heatEnabled atomic.Bool
+	heatEvery   atomic.Int64
+	heatTick    atomic.Uint64
+	// heatSampled counts checks that took the instrumented route;
+	// consumers scale clause counts back to full rate with
+	// total-checks / heatSampled.
+	heatSampled atomic.Uint64
+)
+
+func init() {
+	heatEnabled.Store(true)
+	heatEvery.Store(64)
+}
+
+// HeatEnabled reports whether heat profiling is live.
+func HeatEnabled() bool { return heatEnabled.Load() }
+
+// SetHeatEnabled flips heat profiling and returns the previous state.
+// Counters are retained across off/on cycles.
+func SetHeatEnabled(v bool) bool { return heatEnabled.Swap(v) }
+
+// SetHeatSampling sets the 1-in-N rate at which checks take the
+// instrumented per-clause route; n <= 1 profiles every check (tests and
+// the heat bench use this for exact counts). Returns the previous rate.
+func SetHeatSampling(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(heatEvery.Swap(int64(n)))
+}
+
+// HeatSampling returns the current 1-in-N heat sampling rate.
+func HeatSampling() int { return int(heatEvery.Load()) }
+
+// heatHit decides whether this check is profiled. Cost on the unsampled
+// path: one atomic load + one atomic add.
+func heatHit() bool {
+	if !heatEnabled.Load() || !obs.On() {
+		return false
+	}
+	every := heatEvery.Load()
+	if every <= 1 {
+		return true
+	}
+	return heatTick.Add(1)%uint64(every) == 0
+}
+
+// heatShard picks the caller's stripe off a stack-address hash, the same
+// trick obs uses: distinct goroutines live on distinct stacks.
+func heatShard() int {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b)))
+	h ^= h >> 12
+	h *= 0x9e3779b97f4a7c15
+	return int(h>>62) & (heatShards - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented check path
+
+// checkProfiled is the sampled twin of Check: same verdict, same
+// counters, same audit surface, plus per-clause heat recording.
+func (e *Engine) checkProfiled(call *core.Call) error {
+	heatSampled.Add(1)
+	var t obs.Timer
+	if checkSampler.Hit() {
+		t = obs.StartTimer()
+	}
+	err := e.evaluateProfiled(call)
+	mCheckSeconds.ObserveTimer(t)
+	countCheck(call.Token, err == nil)
+	return err
+}
+
+func (e *Engine) evaluateProfiled(call *core.Call) error {
+	e.checks.Add(1)
+	e.mu.RLock()
+	c, ok := e.apps[call.App]
+	e.mu.RUnlock()
+	if !ok {
+		e.heatNoManifest.Add(1)
+		e.denials.Add(1)
+		e.retainDenial(call)
+		e.logDecision(call, false, "app has no permission manifest")
+		return &DeniedError{App: call.App, Token: call.Token, Detail: "app has no permission manifest"}
+	}
+	th := c.heat[call.Token]
+	if th == nil {
+		e.heatUngranted.Add(1)
+		e.denials.Add(1)
+		e.retainDenial(call)
+		e.logDecision(call, false, "token not granted")
+		return &DeniedError{App: call.App, Token: call.Token, Detail: "token not granted"}
+	}
+	e.Resolve(call)
+	shard := heatShard()
+	failed := false
+	for i := range th.clauses {
+		if failed {
+			th.cell(shard, i, heatCellShort).Add(1)
+			continue
+		}
+		start := time.Now()
+		pass := th.clauses[i].check(call)
+		ns := time.Since(start).Nanoseconds()
+		th.cell(shard, i, heatCellEvals).Add(1)
+		th.cell(shard, i, heatCellBracket0+heatBracketIdx(ns)).Add(1)
+		if pass {
+			th.cell(shard, i, heatCellPass).Add(1)
+		} else {
+			th.cell(shard, i, heatCellFail).Add(1)
+			failed = true
+		}
+	}
+	if failed {
+		th.deny[shard].v.Add(1)
+		detail := "filter rejected call " + call.String()
+		e.denials.Add(1)
+		e.retainDenial(call)
+		e.logDecision(call, false, detail)
+		return &DeniedError{App: call.App, Token: call.Token, Detail: detail}
+	}
+	th.allow[shard].v.Add(1)
+	e.logDecision(call, true, "")
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+// HeatBrackets is one clause's latency distribution over the sampled
+// evaluations, in fixed nanosecond brackets.
+type HeatBrackets struct {
+	LE256ns uint64 `json:"le_256ns"`
+	LE1us   uint64 `json:"le_1us"`
+	LE4us   uint64 `json:"le_4us"`
+	LE16us  uint64 `json:"le_16us"`
+	LE64us  uint64 `json:"le_64us"`
+	GT64us  uint64 `json:"gt_64us"`
+}
+
+// ClauseHeat is one clause's sampled counters.
+type ClauseHeat struct {
+	Index         int          `json:"index"`
+	Expr          string       `json:"expr"`
+	Dimensions    []string     `json:"dimensions"`
+	Evals         uint64       `json:"evals"`
+	Pass          uint64       `json:"pass"`
+	Fail          uint64       `json:"fail"`
+	ShortCircuits uint64       `json:"short_circuits"`
+	Latency       HeatBrackets `json:"latency"`
+}
+
+// TokenHeat is one (app, token)'s sampled decision heat.
+type TokenHeat struct {
+	Token   string       `json:"token"`
+	Allow   uint64       `json:"allow"`
+	Deny    uint64       `json:"deny"`
+	Clauses []ClauseHeat `json:"clauses"`
+}
+
+// AppHeat is one app's heat profile.
+type AppHeat struct {
+	App    string      `json:"app"`
+	Tokens []TokenHeat `json:"tokens"`
+}
+
+// HeatProfile is an engine's full decision-heat snapshot — the
+// profile-guided input for the compiled engine.
+type HeatProfile struct {
+	Enabled       bool      `json:"enabled"`
+	SamplingEvery int       `json:"sampling_every"`
+	SampledChecks uint64    `json:"sampled_checks"`
+	NoManifest    uint64    `json:"deny_no_manifest"`
+	Ungranted     uint64    `json:"deny_token_not_granted"`
+	Apps          []AppHeat `json:"apps"`
+}
+
+// HeatSnapshot sums the sharded counters into a stable, sorted profile.
+// Counters reset when an app's permission set is replaced (a new set is a
+// new profile).
+func (e *Engine) HeatSnapshot() HeatProfile {
+	p := HeatProfile{
+		Enabled:       HeatEnabled(),
+		SamplingEvery: HeatSampling(),
+		SampledChecks: heatSampled.Load(),
+		NoManifest:    e.heatNoManifest.Load(),
+		Ungranted:     e.heatUngranted.Load(),
+	}
+	e.mu.RLock()
+	apps := make(map[string]*compiled, len(e.apps))
+	for name, c := range e.apps {
+		apps[name] = c
+	}
+	e.mu.RUnlock()
+	for name, c := range apps {
+		ah := AppHeat{App: name}
+		for tok, th := range c.heat {
+			ah.Tokens = append(ah.Tokens, th.snapshot(tok))
+		}
+		sort.Slice(ah.Tokens, func(i, j int) bool { return ah.Tokens[i].Token < ah.Tokens[j].Token })
+		p.Apps = append(p.Apps, ah)
+	}
+	sort.Slice(p.Apps, func(i, j int) bool { return p.Apps[i].App < p.Apps[j].App })
+	return p
+}
+
+func (th *tokenHeat) snapshot(tok core.Token) TokenHeat {
+	out := TokenHeat{Token: tok.String()}
+	for s := 0; s < heatShards; s++ {
+		out.Allow += th.allow[s].v.Load()
+		out.Deny += th.deny[s].v.Load()
+	}
+	for i, cl := range th.clauses {
+		ch := ClauseHeat{Index: i, Expr: cl.expr, Dimensions: cl.dims}
+		var brackets [heatBracketCount]uint64
+		for s := 0; s < heatShards; s++ {
+			ch.Evals += th.cell(s, i, heatCellEvals).Load()
+			ch.Pass += th.cell(s, i, heatCellPass).Load()
+			ch.Fail += th.cell(s, i, heatCellFail).Load()
+			ch.ShortCircuits += th.cell(s, i, heatCellShort).Load()
+			for b := 0; b < heatBracketCount; b++ {
+				brackets[b] += th.cell(s, i, heatCellBracket0+b).Load()
+			}
+		}
+		ch.Latency = HeatBrackets{
+			LE256ns: brackets[0], LE1us: brackets[1], LE4us: brackets[2],
+			LE16us: brackets[3], LE64us: brackets[4], GT64us: brackets[5],
+		}
+		out.Clauses = append(out.Clauses, ch)
+	}
+	return out
+}

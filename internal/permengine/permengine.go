@@ -61,13 +61,22 @@ type checker func(*core.Call) bool
 type compiled struct {
 	set      *core.Set
 	checkers map[core.Token]checker
+	// heat carries the per-token clause decomposition and decision-heat
+	// counters (heat.go); built once with the checkers so the sampled
+	// profiled path needs no extra locking or lookups.
+	heat map[core.Token]*tokenHeat
 }
 
 // compileSet lowers a permission set.
 func compileSet(set *core.Set) *compiled {
-	c := &compiled{set: set, checkers: make(map[core.Token]checker, set.Len())}
+	c := &compiled{
+		set:      set,
+		checkers: make(map[core.Token]checker, set.Len()),
+		heat:     make(map[core.Token]*tokenHeat, set.Len()),
+	}
 	for _, p := range set.Permissions() {
 		c.checkers[p.Token] = compileExpr(p.Filter)
+		c.heat[p.Token] = newTokenHeat(p.Filter)
 	}
 	return c
 }
@@ -136,6 +145,20 @@ type Engine struct {
 	denials   atomic.Uint64
 	apiPanics atomic.Uint64
 
+	// Heat-profile denial counters for calls that never reach a compiled
+	// token (heat.go).
+	heatNoManifest atomic.Uint64
+	heatUngranted  atomic.Uint64
+
+	// denialRing retains recent denied calls for /explain?corr= forensics
+	// (explain.go).
+	denialRing denialRing
+
+	// provMu guards prov, the per-app reconciliation provenance notes
+	// /explain cross-references (explain.go).
+	provMu sync.Mutex
+	prov   map[string][]string
+
 	log *ActivityLog
 }
 
@@ -168,11 +191,13 @@ func (e *Engine) SetPermissions(app string, set *core.Set) {
 	e.apps[app] = c
 }
 
-// RemoveApp drops an app's permissions entirely.
+// RemoveApp drops an app's permissions (and any reconciliation
+// provenance) entirely.
 func (e *Engine) RemoveApp(app string) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	delete(e.apps, app)
+	e.mu.Unlock()
+	e.SetProvenance(app, nil)
 }
 
 // Permissions returns the app's current permission set.
@@ -224,6 +249,9 @@ func (e *Engine) Resolve(call *core.Call) {
 // sampled (obs.SetLatencySampling) so the unsampled majority of calls
 // pays no clock reads.
 func (e *Engine) Check(call *core.Call) error {
+	if heatHit() {
+		return e.checkProfiled(call)
+	}
 	var t obs.Timer
 	if checkSampler.Hit() {
 		t = obs.StartTimer()
@@ -242,12 +270,14 @@ func (e *Engine) evaluate(call *core.Call) error {
 	e.mu.RUnlock()
 	if !ok {
 		e.denials.Add(1)
+		e.retainDenial(call)
 		e.logDecision(call, false, "app has no permission manifest")
 		return &DeniedError{App: call.App, Token: call.Token, Detail: "app has no permission manifest"}
 	}
 	chk, granted := c.checkers[call.Token]
 	if !granted {
 		e.denials.Add(1)
+		e.retainDenial(call)
 		e.logDecision(call, false, "token not granted")
 		return &DeniedError{App: call.App, Token: call.Token, Detail: "token not granted"}
 	}
@@ -256,6 +286,7 @@ func (e *Engine) evaluate(call *core.Call) error {
 		detail := "filter rejected call " + call.String()
 		e.logDecision(call, false, detail)
 		e.denials.Add(1)
+		e.retainDenial(call)
 		return &DeniedError{App: call.App, Token: call.Token, Detail: detail}
 	}
 	e.logDecision(call, true, "")

@@ -26,16 +26,18 @@ import (
 //	/t/<tenant>/jobs        the tenant's job queues + dead-letter counts
 //	/t/<tenant>/            the tenant's snapshot
 //	/tenants                admin: list (GET), lifecycle ops (POST)
+//	/tenants/shards         admin: per-shard WFQ scheduling telemetry
 //
 // Every scoped route requires the X-Sdnshield-Tenant header to agree
 // with the path (absence is a 401 — the header is the hand-off point
 // for a trusted front proxy's authentication, see HeaderTenant) and
 // enforces install-path admission before any per-call work happens.
-// When Config.AdminToken is set, /tenants additionally requires
-// "Authorization: Bearer <token>".
+// When Config.AdminToken is set, /tenants and /tenants/shards
+// additionally require "Authorization: Bearer <token>".
 func MountHTTP(m *Manager) {
 	obs.RegisterHandler(PathPrefix, &scopedHandler{m: m})
 	obs.RegisterHandler("/tenants", &adminHandler{m: m})
+	obs.RegisterHandler("/tenants/shards", &shardsHandler{m: m})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -274,6 +276,32 @@ func (t *Tenant) buildMux() http.Handler {
 		writeJSON(w, http.StatusOK, t.Info())
 	})
 	return mux
+}
+
+// shardsHandler serves /tenants/shards: the WFQ scheduling telemetry —
+// per-shard queue depth, backlogged flows, cumulative throughput,
+// virtual-time lag, backlog residency — plus the pool-wide imbalance
+// gauge. Same bearer gate as /tenants: shard state reveals the shape of
+// every tenant's load, so it is admin surface.
+type shardsHandler struct {
+	m *Manager
+}
+
+func (h *shardsHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !(&adminHandler{m: h.m}).authorized(r) {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeError(w, ErrNotAdmin)
+		return
+	}
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"shards":    h.m.pool.ShardStats(),
+		"imbalance": h.m.pool.Imbalance(),
+	})
 }
 
 // adminHandler serves /tenants: GET lists resident and stored tenants,

@@ -347,3 +347,56 @@ func TestScopedHTTPInstallThrottle(t *testing.T) {
 		t.Fatalf("read while install-throttled = %d", w.Code)
 	}
 }
+
+// TestShardsEndpoint gates the shard-telemetry surface behind the same
+// bearer token as the lifecycle API and serves a read-only snapshot.
+func TestShardsEndpoint(t *testing.T) {
+	m := newTestManager(t, Config{AdminToken: "s3cret", PolicySrc: testPolicy})
+	h := &shardsHandler{m: m}
+
+	if w := do(t, h, "GET", "/tenants/shards", nil, nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless shards = %d, want 401", w.Code)
+	}
+	good := map[string]string{"Authorization": "Bearer s3cret"}
+	if w := do(t, h, "POST", "/tenants/shards", nil, good); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST shards = %d, want 405", w.Code)
+	}
+
+	// Drive a little work so the snapshot has non-zero counters.
+	if _, err := m.Create("acme"); err != nil {
+		t.Fatal(err)
+	}
+	tn, release, err := m.Acquire("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Do("noop", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	w := do(t, h, "GET", "/tenants/shards", nil, good)
+	if w.Code != http.StatusOK {
+		t.Fatalf("authorized shards = %d: %s", w.Code, w.Body.String())
+	}
+	var out struct {
+		Shards    []ShardStat `json:"shards"`
+		Imbalance float64     `json:"imbalance"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("shards body: %v: %s", err, w.Body.String())
+	}
+	if len(out.Shards) != m.pool.Shards() {
+		t.Fatalf("snapshot has %d shards, pool has %d", len(out.Shards), m.pool.Shards())
+	}
+	var completed uint64
+	for _, st := range out.Shards {
+		completed += st.Completed
+	}
+	if completed == 0 {
+		t.Fatalf("no completed calls in snapshot: %s", w.Body.String())
+	}
+	if out.Imbalance < 0 {
+		t.Fatalf("imbalance = %v", out.Imbalance)
+	}
+}

@@ -821,3 +821,11 @@ func (s *scopedRuntime) SetBudget(app string, b core.Budget) {
 		br.SetBudget(s.prefix+app, b)
 	}
 }
+
+// SetProvenance forwards reconciliation provenance under the tenant
+// namespace when the underlying runtime records it.
+func (s *scopedRuntime) SetProvenance(app string, notes []string) {
+	if pr, ok := s.rt.(market.ProvenanceRuntime); ok {
+		pr.SetProvenance(s.prefix+app, notes)
+	}
+}

@@ -39,6 +39,9 @@ func newMetrics(reg *obs.Registry, maxTenants int, pool *ShardPool) *metrics {
 			func() float64 { return float64(pool.Depth(shard)) },
 			"shard", strconv.Itoa(shard))
 	}
+	m.reg.GaugeFunc("sdnshield_tenant_shard_imbalance",
+		"Shard load imbalance over cumulative arrivals: max/mean - 1 (0 is even).",
+		pool.Imbalance)
 	return m
 }
 

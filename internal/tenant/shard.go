@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // The shard pool is the scheduling layer of tenancy: tenants are mapped
@@ -40,10 +41,12 @@ func jumpHash(key uint64, buckets int) int {
 	return int(b)
 }
 
-// call is one queued unit of work and its completion signal.
+// call is one queued unit of work and its completion signal. enq stamps
+// arrival so the dequeue can account backlog residency.
 type call struct {
 	fn   func()
 	done chan struct{}
+	enq  time.Time
 }
 
 // flow is one tenant's backlog within a shard. vt is the virtual finish
@@ -58,7 +61,12 @@ type flow struct {
 	heapIdx int
 }
 
-// shard is one worker set's queue state.
+// shard is one worker set's queue state. The trailing counters are the
+// shard's WFQ telemetry (all guarded by mu, which the dispatch path
+// already holds where they are touched): cumulative arrivals and
+// completions, total backlog-residency time, and an EWMA of recent
+// residency so /tenants/shards shows "queue wait right now" rather than
+// a lifetime average.
 type shard struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -67,7 +75,15 @@ type shard struct {
 	flows  map[string]*flow
 	depth  int // queued (not yet started) calls, for introspection
 	closed bool
+
+	enqueued  uint64
+	completed uint64
+	waitNs    uint64
+	ewmaNs    float64
 }
+
+// residencyAlpha is the EWMA smoothing factor for backlog residency.
+const residencyAlpha = 0.125
 
 // ShardPool runs tenant work across a fixed set of shards, each with its
 // own worker pool and weighted-fair queue.
@@ -126,7 +142,7 @@ func (p *ShardPool) Run(key string, weight float64, maxQueue int, fn func()) err
 		weight = 1
 	}
 	sh := p.shards[p.ShardOf(key)]
-	c := &call{fn: fn, done: make(chan struct{})}
+	c := &call{fn: fn, done: make(chan struct{}), enq: time.Now()}
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
@@ -153,6 +169,7 @@ func (p *ShardPool) Run(key string, weight float64, maxQueue int, fn func()) err
 	}
 	f.calls = append(f.calls, c)
 	sh.depth++
+	sh.enqueued++
 	sh.cond.Signal()
 	sh.mu.Unlock()
 	<-c.done
@@ -176,6 +193,10 @@ func (p *ShardPool) worker(sh *shard) {
 		c := f.calls[0]
 		f.calls = f.calls[1:]
 		sh.depth--
+		wait := float64(time.Since(c.enq).Nanoseconds())
+		sh.completed++
+		sh.waitNs += uint64(wait)
+		sh.ewmaNs += (wait - sh.ewmaNs) * residencyAlpha
 		sh.vtime = f.vt
 		if len(f.calls) > 0 {
 			f.vt += 1 / f.weight
@@ -207,6 +228,85 @@ func (p *ShardPool) Close() {
 		sh.mu.Unlock()
 	}
 	p.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// WFQ telemetry
+
+// ShardStat is one shard's live scheduling state, the /tenants/shards
+// introspection unit.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Depth is the queued-not-yet-started call count right now.
+	Depth int `json:"depth"`
+	// BackloggedFlows is how many tenants currently hold a backlog here.
+	BackloggedFlows int `json:"backlogged_flows"`
+	// Enqueued and Completed are cumulative call counts.
+	Enqueued  uint64 `json:"enqueued"`
+	Completed uint64 `json:"completed"`
+	// VirtualTime is the shard's WFQ clock.
+	VirtualTime float64 `json:"virtual_time"`
+	// VirtualTimeLag is the spread between the furthest backlogged
+	// flow's head finish time and the shard clock — how far the fair
+	// scheduler is running behind its most-delayed tenant. 0 when idle.
+	VirtualTimeLag float64 `json:"virtual_time_lag"`
+	// ResidencyEWMAMicros is the smoothed backlog residency (enqueue →
+	// dequeue) of recent calls, in microseconds.
+	ResidencyEWMAMicros float64 `json:"residency_ewma_us"`
+	// ResidencyAvgMicros is the lifetime average backlog residency, in
+	// microseconds.
+	ResidencyAvgMicros float64 `json:"residency_avg_us"`
+}
+
+// ShardStats snapshots every shard's scheduling state.
+func (p *ShardPool) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		st := ShardStat{
+			Shard:               i,
+			Depth:               sh.depth,
+			BackloggedFlows:     len(sh.flows),
+			Enqueued:            sh.enqueued,
+			Completed:           sh.completed,
+			VirtualTime:         sh.vtime,
+			ResidencyEWMAMicros: sh.ewmaNs / 1e3,
+		}
+		for _, f := range sh.heap {
+			if lag := f.vt - sh.vtime; lag > st.VirtualTimeLag {
+				st.VirtualTimeLag = lag
+			}
+		}
+		if sh.completed > 0 {
+			st.ResidencyAvgMicros = float64(sh.waitNs) / float64(sh.completed) / 1e3
+		}
+		sh.mu.Unlock()
+		out[i] = st
+	}
+	return out
+}
+
+// Imbalance gauges how unevenly the consistent hash spread load across
+// shards, over cumulative arrivals: max/mean − 1, so 0 is perfectly
+// even and 1 means the hottest shard saw twice the mean. 0 before any
+// work arrives.
+func (p *ShardPool) Imbalance() float64 {
+	var max, sum uint64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		e := sh.enqueued
+		sh.mu.Unlock()
+		sum += e
+		if e > max {
+			max = e
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(p.shards))
+	return float64(max)/mean - 1
 }
 
 // ---------------------------------------------------------------------------

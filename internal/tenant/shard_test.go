@@ -1,0 +1,140 @@
+package tenant
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond until it holds or a generous deadline passes.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardStatsReconcile: after a drained workload, every shard's
+// cumulative counters reconcile with the calls driven through it and
+// the live gauges read idle.
+func TestShardStatsReconcile(t *testing.T) {
+	pool := NewShardPool(4, 2)
+	defer pool.Close()
+
+	const tenants, perTenant = 8, 25
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perTenant; j++ {
+				if err := pool.Run(key, 1, 0, func() {}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := pool.ShardStats()
+	if len(stats) != pool.Shards() {
+		t.Fatalf("ShardStats returned %d entries for %d shards", len(stats), pool.Shards())
+	}
+	var enq, done uint64
+	for _, st := range stats {
+		if st.Shard < 0 || st.Shard >= pool.Shards() {
+			t.Fatalf("stat carries shard index %d", st.Shard)
+		}
+		if st.Depth != 0 || st.BackloggedFlows != 0 || st.VirtualTimeLag != 0 {
+			t.Fatalf("drained shard still shows backlog: %+v", st)
+		}
+		if st.Enqueued != st.Completed {
+			t.Fatalf("shard %d enqueued %d != completed %d after drain", st.Shard, st.Enqueued, st.Completed)
+		}
+		if st.Completed > 0 {
+			if st.ResidencyAvgMicros <= 0 {
+				t.Fatalf("shard %d served %d calls with zero average residency", st.Shard, st.Completed)
+			}
+			if st.VirtualTime <= 0 {
+				t.Fatalf("shard %d served calls without advancing its WFQ clock", st.Shard)
+			}
+		}
+		enq += st.Enqueued
+		done += st.Completed
+	}
+	if want := uint64(tenants * perTenant); enq != want || done != want {
+		t.Fatalf("pool totals enqueued=%d completed=%d, want %d", enq, done, want)
+	}
+	if im := pool.Imbalance(); im < 0 {
+		t.Fatalf("imbalance = %v, want >= 0", im)
+	}
+}
+
+// TestShardStatsBacklogged: with the single worker plugged, the stats
+// expose live depth, backlogged flow count, and a positive virtual-time
+// lag for the flows still waiting.
+func TestShardStatsBacklogged(t *testing.T) {
+	pool := NewShardPool(1, 1)
+	defer pool.Close()
+
+	plugGate := make(chan struct{})
+	plugRunning := make(chan struct{})
+	go pool.Run("plug", 1, 0, func() { close(plugRunning); <-plugGate })
+	<-plugRunning
+
+	var wg sync.WaitGroup
+	const backlog = 3
+	for i := 0; i < backlog; i++ {
+		key := fmt.Sprintf("waiter-%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Run(key, 1, 0, func() {})
+		}()
+	}
+	// Wait until every waiter is queued behind the plug.
+	waitUntil(t, func() bool { return pool.Depth(0) == backlog })
+
+	st := pool.ShardStats()[0]
+	if st.Depth != backlog {
+		t.Fatalf("depth = %d, want %d", st.Depth, backlog)
+	}
+	if st.BackloggedFlows != backlog {
+		t.Fatalf("backlogged flows = %d, want %d", st.BackloggedFlows, backlog)
+	}
+	if st.VirtualTimeLag <= 0 {
+		t.Fatalf("virtual time lag = %v with %d flows waiting", st.VirtualTimeLag, backlog)
+	}
+	if st.Enqueued != backlog+1 || st.Completed != 1 {
+		t.Fatalf("enqueued/completed = %d/%d, want %d/1", st.Enqueued, st.Completed, backlog+1)
+	}
+
+	close(plugGate)
+	wg.Wait()
+}
+
+// TestShardPoolImbalance: an empty pool reads perfectly even; a single
+// hot key on a multi-shard pool reads maximally skewed (max/mean - 1 =
+// shards - 1).
+func TestShardPoolImbalance(t *testing.T) {
+	pool := NewShardPool(4, 1)
+	defer pool.Close()
+	if im := pool.Imbalance(); im != 0 {
+		t.Fatalf("idle imbalance = %v, want 0", im)
+	}
+	for i := 0; i < 10; i++ {
+		if err := pool.Run("hot", 1, 0, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if im := pool.Imbalance(); im != 3 {
+		t.Fatalf("single-key imbalance on 4 shards = %v, want 3", im)
+	}
+}
